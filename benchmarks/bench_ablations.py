@@ -1,0 +1,188 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation pits the paper's design against the alternative it argues
+against, on the same data:
+
+1. **typed array payloads vs text leaves** — §3's claim that typed atomic
+   values ("native machine form") are the key to performance;
+2. **one ArrayElement vs a LeafElement per item** — §4.1's frame
+   granularity argument (numerous small frames degrade efficiency);
+3. **namespace tokenization vs repeated URIs** — §4.1's symbol-table
+   QName references;
+4. **accelerated sequential access vs full decode** — §4.1's Size-field
+   skipping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import FrameScanner, decode, encode
+from repro.workloads.lead import lead_dataset
+from repro.xdm import QName, TreeBuilder, array, element, leaf, text
+
+N = 20_000
+
+
+# ---------------------------------------------------------------------------
+# 1. typed array vs text-per-number
+
+
+def _typed_tree():
+    return lead_dataset(N).to_bxdm()
+
+
+def _text_tree():
+    """The same data as an untyped, text-content tree (XML-Infoset style)."""
+    ds = lead_dataset(N)
+    b = TreeBuilder()
+    with b.element("d"):
+        with b.element("i"):
+            for v in ds.index.tolist():
+                b.add(element("i", text(str(v))))
+        with b.element("v"):
+            for v in ds.values.tolist():
+                b.add(element("v", text(repr(v))))
+    return b.document.root
+
+
+class TestTypedVsText:
+    def test_encode_typed(self, benchmark):
+        tree = _typed_tree()
+        blob = benchmark(encode, tree)
+        assert len(blob) < N * 13
+
+    def test_encode_text(self, benchmark):
+        tree = _text_tree()
+        blob = benchmark(encode, tree)
+        assert len(blob) > N * 13  # text forms are bigger on the wire too
+
+    def test_size_gap(self):
+        typed = len(encode(_typed_tree()))
+        texty = len(encode(_text_tree()))
+        assert texty > 1.5 * typed
+
+
+# ---------------------------------------------------------------------------
+# 2. one ArrayElement vs a LeafElement per item
+
+
+def _array_element_tree():
+    return element("d", array("v", lead_dataset(N).values, item_name="v"))
+
+
+def _leaf_per_item_tree():
+    ds = lead_dataset(N)
+    b = TreeBuilder()
+    with b.element("d"):
+        with b.element("v"):
+            for v in ds.values.tolist():
+                b.leaf("v", v, "double")
+    return b.document.root
+
+
+class TestArrayVsLeafFrames:
+    def test_encode_array_element(self, benchmark):
+        tree = _array_element_tree()
+        benchmark(encode, tree)
+
+    def test_encode_leaf_per_item(self, benchmark):
+        tree = _leaf_per_item_tree()
+        benchmark(encode, tree)
+
+    def test_decode_array_element(self, benchmark):
+        blob = encode(_array_element_tree())
+        benchmark(decode, blob)
+
+    def test_decode_leaf_per_item(self, benchmark):
+        blob = encode(_leaf_per_item_tree())
+        benchmark(decode, blob)
+
+    def test_frame_overhead_gap(self):
+        """Per-item frames pay a header per number; the array frame one
+        header per million numbers."""
+        array_size = len(encode(_array_element_tree()))
+        leaf_size = len(encode(_leaf_per_item_tree()))
+        assert leaf_size > 1.5 * array_size
+
+
+# ---------------------------------------------------------------------------
+# 3. namespace tokenization
+
+
+def _namespaced_tree(n_elements: int = 2_000, *, declare_everywhere: bool) -> object:
+    """A deep chain of qualified elements.
+
+    With ``declare_everywhere=False`` (the paper's design) the namespace is
+    declared once at the root and every descendant references it by
+    (scope depth, index); with ``True`` every element re-declares it —
+    the wire then repeats the URI string per element.
+    """
+    uri = "urn:example:quite/a/long/namespace/uri/for/science"
+    b = TreeBuilder()
+    with b.element(QName("root", uri, "p"), namespaces={"p": uri}):
+        for _ in range(n_elements):
+            kwargs = {"namespaces": {"p": uri}} if declare_everywhere else {}
+            b.start_element(QName("e", uri, "p"), **kwargs)
+        for _ in range(n_elements):
+            b.end_element()
+    return b.document
+
+
+class TestNamespaceTokenization:
+    def test_encode_tokenized(self, benchmark):
+        tree = _namespaced_tree(declare_everywhere=False)
+        blob = benchmark(encode, tree)
+        assert blob.count(b"urn:example") == 1  # the URI travels once
+
+    def test_encode_redeclared(self, benchmark):
+        tree = _namespaced_tree(declare_everywhere=True)
+        blob = benchmark(encode, tree)
+        assert blob.count(b"urn:example") > 1_000
+
+    def test_size_gap(self):
+        tokenized = len(encode(_namespaced_tree(declare_everywhere=False)))
+        redeclared = len(encode(_namespaced_tree(declare_everywhere=True)))
+        assert redeclared > 3 * tokenized
+
+
+# ---------------------------------------------------------------------------
+# 4. accelerated sequential access
+
+
+@pytest.fixture(scope="module")
+def wide_document():
+    """A body whose last child hides behind many large array siblings."""
+    children = [array(f"a{i}", np.arange(50_000, dtype="f8")) for i in range(20)]
+    children.append(leaf("needle", 42, "int"))
+    return encode(element("body", *children))
+
+
+class TestAcceleratedAccess:
+    def test_scanner_skips_to_needle(self, benchmark, wide_document):
+        scanner = FrameScanner(wide_document)
+
+        def find():
+            info = scanner.find_child_named(0, "needle")
+            return scanner.decode_frame(info.start)
+
+        node = benchmark(find)
+        assert node.value == 42
+
+    def test_full_decode_then_search(self, benchmark, wide_document):
+        def find():
+            root = decode(wide_document)
+            return [c for c in root.elements() if c.name.local == "needle"][0]
+
+        node = benchmark(find)
+        assert node.value == 42
+
+    def test_scanner_is_faster(self, wide_document):
+        """Not a timing assert (the harness handles those) — a structural
+        one: scanning touches only headers, so it must not materialize any
+        array values."""
+        scanner = FrameScanner(wide_document)
+        names = [
+            scanner.element_name(i.start)
+            for i in scanner.children(0)
+        ]
+        assert names[-1] == "needle"

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the individual codecs on the evaluation dataset.
+
+These decompose the figure-level results: the XML float↔ASCII conversion
+cost the paper identifies as *the* SOAP bottleneck shows up here directly
+as the gap between the xml and bxsa rows at equal model size.
+"""
+
+import pytest
+
+from repro.bxsa.decoder import decode as bxsa_decode
+from repro.bxsa.encoder import encode as bxsa_encode
+from repro.netcdf.reader import read_dataset_bytes
+from repro.netcdf.writer import write_dataset_bytes
+from repro.workloads.lead import lead_dataset
+from repro.xmlcodec.parser import parse_document
+from repro.xmlcodec.serializer import serialize
+
+SIZES = [1_000, 87_360]
+
+
+@pytest.fixture(scope="module", params=SIZES, ids=lambda n: f"n={n}")
+def dataset(request):
+    return lead_dataset(request.param)
+
+
+class TestBXSA:
+    def test_encode(self, benchmark, dataset):
+        doc = dataset.to_document()
+        blob = benchmark(bxsa_encode, doc)
+        assert len(blob) >= dataset.native_bytes
+
+    def test_decode(self, benchmark, dataset):
+        blob = bxsa_encode(dataset.to_document())
+        out = benchmark(bxsa_decode, blob)
+        assert out.root.name.local == "d"
+
+
+class TestXML:
+    def test_serialize_typed(self, benchmark, dataset):
+        doc = dataset.to_document()
+        xml = benchmark(serialize, doc)
+        assert "bx:Array" in xml
+
+    def test_parse_typed(self, benchmark, dataset):
+        xml = serialize(dataset.to_document())
+        out = benchmark(parse_document, xml)
+        assert out.root.name.local == "d"
+
+    def test_serialize_untyped(self, benchmark, dataset):
+        doc = dataset.to_document()
+        xml = benchmark(serialize, doc, emit_types=False)
+        assert xml.startswith("<d>")
+
+
+class TestNetCDF:
+    def test_write(self, benchmark, dataset):
+        ds = dataset.to_netcdf()
+        blob = benchmark(write_dataset_bytes, ds)
+        assert blob[:3] == b"CDF"
+
+    def test_read(self, benchmark, dataset):
+        blob = write_dataset_bytes(dataset.to_netcdf())
+        out = benchmark(read_dataset_bytes, blob)
+        assert "values" in out.variables
+
+
+class TestVerification:
+    def test_verify(self, benchmark, dataset):
+        record = benchmark(dataset.verify)
+        assert record["ok"]

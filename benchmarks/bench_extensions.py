@@ -1,0 +1,76 @@
+"""Extension experiments: the paper's untested assertions, benchmarked.
+
+* **Extension A** — the skipped attachment solution (§6 footnote 1),
+  raw-binary vs base64 packaging against the Figure 5 baselines;
+* **Extension B** — the RTT sweep interpolating Figures 5 and 6, locating
+  the crossover where GridFTP's parallel streams start to pay.
+"""
+
+from benchmarks.conftest import quick_mode, spool_result
+from repro.harness import extension_attachments, extension_rtt
+
+
+def test_extension_attachments(benchmark, results_dir):
+    sizes = [1365, 21840] if quick_mode() else None
+    result = benchmark.pedantic(
+        extension_attachments.run, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    spool_result(results_dir, "extension_attachments", result.render())
+    if not quick_mode():
+        assert result.all_checks_pass, result.render()
+
+
+def test_extension_rtt_sweep(benchmark, results_dir):
+    kwargs = {}
+    if quick_mode():
+        kwargs = {"rtts": [0.0002, 0.00575], "model_size": 349_440}
+    result = benchmark.pedantic(extension_rtt.run, kwargs=kwargs, rounds=1, iterations=1)
+    spool_result(results_dir, "extension_rtt", result.render())
+    if not quick_mode():
+        assert result.checks[0].passed and result.checks[1].passed, result.render()
+
+
+def test_compression_is_no_substitute(benchmark, results_dir):
+    """The §2 'compressed representation' alternative, quantified: deflate
+    narrows XML's size gap but cannot remove the conversion CPU."""
+    import time
+
+    from repro.core import BXSAEncoding, DeflateEncoding, XMLEncoding
+    from repro.workloads.lead import lead_dataset
+
+    dataset = lead_dataset(87_360)
+    doc = dataset.to_document()
+    rows = []
+    for label, encoding in (
+        ("xml", XMLEncoding()),
+        ("xml+deflate", DeflateEncoding(XMLEncoding())),
+        ("bxsa", BXSAEncoding()),
+        ("bxsa+deflate", DeflateEncoding(BXSAEncoding())),
+    ):
+        start = time.perf_counter()
+        payload = encoding.encode(doc)
+        encode_time = time.perf_counter() - start
+        start = time.perf_counter()
+        encoding.decode(payload)
+        decode_time = time.perf_counter() - start
+        rows.append(
+            [label, str(len(payload)), f"{encode_time * 1e3:.1f}", f"{decode_time * 1e3:.1f}"]
+        )
+
+    from repro.harness.report import render_table
+
+    table = render_table(["encoding", "bytes", "encode ms", "decode ms"], rows)
+    spool_result(results_dir, "extension_compression", table)
+
+    sizes = {row[0]: int(row[1]) for row in rows}
+    decode_ms = {row[0]: float(row[3]) for row in rows}
+    # deflate shrinks XML a lot...
+    assert sizes["xml+deflate"] < sizes["xml"] / 2
+    # ...but the decode CPU stays text-bound, far above BXSA's
+    assert decode_ms["xml+deflate"] > 5 * decode_ms["bxsa"]
+
+    def roundtrip():
+        encoding = DeflateEncoding(XMLEncoding())
+        encoding.decode(encoding.encode(doc))
+
+    benchmark(roundtrip)

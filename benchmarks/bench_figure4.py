@@ -1,0 +1,18 @@
+"""Regenerates Figure 4: LAN response time for small datasets.
+
+The full paper sweep (model size 0→1000, four schemes) runs once inside the
+benchmark; the rendered series table and shape verdicts are spooled to
+``benchmarks/results/figure4.txt``.
+"""
+
+from benchmarks.conftest import quick_mode, spool_result
+from repro.harness import figure4
+
+
+def test_figure4_regeneration(benchmark, results_dir):
+    sizes = [0, 500, 1000] if quick_mode() else None
+    result = benchmark.pedantic(
+        figure4.run, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    spool_result(results_dir, "figure4", result.render())
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,19 @@
+"""Regenerates Figure 5: LAN bandwidth for large datasets (16 KB → 64 MB).
+
+Runs the full paper sweep once (six series including the slow XML/HTTP one)
+and spools the rendered table + shape verdicts to
+``benchmarks/results/figure5.txt``.
+"""
+
+from benchmarks.conftest import quick_mode, spool_result
+from repro.harness import figure5
+
+
+def test_figure5_regeneration(benchmark, results_dir):
+    kwargs = {}
+    if quick_mode():
+        kwargs = {"sizes": [1365, 21840, 349440], "xml_size_cap": 21840}
+    result = benchmark.pedantic(figure5.run, kwargs=kwargs, rounds=1, iterations=1)
+    spool_result(results_dir, "figure5", result.render())
+    if not quick_mode():
+        assert result.all_checks_pass, result.render()

@@ -1,0 +1,19 @@
+"""Regenerates Figure 6: WAN bandwidth for large datasets — the partial flip
+where GridFTP's parallel streams overtake every single-stream scheme.
+
+Spools the rendered table + shape verdicts to
+``benchmarks/results/figure6.txt``.
+"""
+
+from benchmarks.conftest import quick_mode, spool_result
+from repro.harness import figure6
+
+
+def test_figure6_regeneration(benchmark, results_dir):
+    sizes = [1365, 21840, 349440] if quick_mode() else None
+    result = benchmark.pedantic(
+        figure6.run, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    spool_result(results_dir, "figure6", result.render())
+    if not quick_mode():
+        assert result.all_checks_pass, result.render()

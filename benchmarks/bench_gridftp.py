@@ -1,0 +1,51 @@
+"""Benchmarks of the GridFTP-like substrate: handshake and striped pulls."""
+
+import itertools
+
+import pytest
+
+from repro.gridftp import GridFTPClient, GridFTPServer, HostCredential
+from repro.transport import MemoryNetwork
+
+
+@pytest.fixture(scope="module")
+def grid():
+    net = MemoryNetwork()
+    credential = HostCredential.generate()
+    counter = itertools.count()
+
+    def data_listener_factory():
+        name = f"bd{next(counter)}"
+        return name, net.listen(name)
+
+    server = GridFTPServer(net.listen("bgftp"), data_listener_factory, credential)
+    server.publish("/blob", b"\xab" * (4 * 1024 * 1024))
+    server.start()
+    yield net, credential
+    server.stop()
+
+
+def test_session_setup(benchmark, grid):
+    """Connect + GSI-style handshake + QUIT (the per-request fixed cost)."""
+    net, credential = grid
+
+    def session():
+        client = GridFTPClient(lambda: net.connect("bgftp"), net.connect, credential)
+        client.quit()
+
+    benchmark(session)
+
+
+@pytest.mark.parametrize("n_streams", [1, 4, 16])
+def test_striped_retrieve_4mb(benchmark, grid, n_streams):
+    net, credential = grid
+
+    def fetch():
+        client = GridFTPClient(lambda: net.connect("bgftp"), net.connect, credential)
+        try:
+            return client.retrieve("/blob", n_streams)
+        finally:
+            client.quit()
+
+    blob = benchmark(fetch)
+    assert len(blob) == 4 * 1024 * 1024

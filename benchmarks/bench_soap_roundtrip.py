@@ -1,0 +1,39 @@
+"""End-to-end SOAP round trips over the live in-process stack.
+
+Unlike the figure harness (which separates CPU from modelled wire time),
+these run the complete engine + dispatcher + transport threads and measure
+real wall time per call — the latency floor of the implementation itself.
+"""
+
+import pytest
+
+from repro.core import (
+    BXSAEncoding,
+    SoapEnvelope,
+    SoapTcpClient,
+    SoapTcpService,
+    XMLEncoding,
+)
+from repro.services import build_verification_dispatcher, make_unified_request
+from repro.transport import MemoryNetwork
+from repro.workloads.lead import lead_dataset
+
+
+@pytest.fixture(scope="module")
+def service():
+    net = MemoryNetwork()
+    svc = SoapTcpService(net.listen("svc"), build_verification_dispatcher()).start()
+    yield net
+    svc.stop()
+
+
+@pytest.mark.parametrize("encoding_cls", [BXSAEncoding, XMLEncoding], ids=["bxsa", "xml"])
+@pytest.mark.parametrize("model_size", [100, 10_000], ids=lambda n: f"n={n}")
+def test_verify_call(benchmark, service, encoding_cls, model_size):
+    client = SoapTcpClient(lambda: service.connect("svc"), encoding=encoding_cls())
+    request = make_unified_request(lead_dataset(model_size))
+    try:
+        response = benchmark(client.call, request)
+        assert response.body_root.name.local == "VerifyResponse"
+    finally:
+        client.close()

@@ -1,0 +1,35 @@
+"""Regenerates Table 1 (serialization sizes) and benchmarks the encoders
+behind each of its rows at the paper's model size of 1000."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import spool_result
+from repro.bxsa.encoder import encode as bxsa_encode
+from repro.harness import table1
+from repro.netcdf.writer import write_dataset_bytes
+from repro.workloads.lead import lead_dataset
+from repro.xmlcodec.serializer import serialize
+
+DATASET = lead_dataset(1000)
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    """The deliverable: regenerate Table 1 and verify its shape checks."""
+    result = benchmark.pedantic(table1.run, kwargs={"model_size": 1000}, rounds=3)
+    spool_result(results_dir, "table1", result.render())
+    assert result.all_checks_pass, result.render()
+
+
+@pytest.mark.parametrize(
+    "fmt,encode",
+    [
+        ("bxsa", lambda: bxsa_encode(DATASET.to_document())),
+        ("netcdf", lambda: write_dataset_bytes(DATASET.to_netcdf())),
+        ("xml", lambda: serialize(DATASET.to_document(), emit_types=False)),
+    ],
+)
+def test_encode_model_size_1000(benchmark, fmt, encode):
+    """Encoder cost per format for the Table 1 dataset."""
+    out = benchmark(encode)
+    assert len(out) > DATASET.native_bytes * 0.9

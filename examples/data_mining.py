@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Distributed data mining scenario: unified vs separated bulk transfer.
+
+The paper's other motivating regime: "a large binary data set usually must
+be transmitted" (distributed data mining, Open DMIX / SOAP+ in related
+work).  This example ships feature-matrix partitions from a coordinator to
+a worker two ways:
+
+* **unified** — the partition rides inside the SOAP message as a packed
+  ArrayElement (BXSA over TCP);
+* **separated** — the partition is written to a netCDF file, published on
+  an HTTP data channel, and the SOAP message carries only the URL, which
+  the worker then dereferences.
+
+Both produce identical numerics; the point is the difference in moving
+parts (one channel and zero files vs two channels and four file touches).
+
+Run:  python examples/data_mining.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    BXSAEncoding,
+    Dispatcher,
+    SoapEnvelope,
+    SoapTcpClient,
+    SoapTcpService,
+    XMLEncoding,
+)
+from repro.datachannel import HttpDataChannel
+from repro.netcdf import Dataset, read_dataset_bytes, write_dataset_bytes
+from repro.transport import MemoryNetwork
+from repro.workloads.datamining import block_from_bxdm, block_to_bxdm, feature_block
+from repro.xdm import element, leaf
+from repro.xdm.path import children_named
+
+ROWS, FEATURES = 4000, 32
+
+
+def build_worker(http_channel: HttpDataChannel) -> Dispatcher:
+    """The worker computes per-feature means of whatever block it gets."""
+    dispatcher = Dispatcher()
+
+    def feature_means(matrix: np.ndarray):
+        means = matrix.mean(axis=0)
+        return element(
+            "TrainResponse",
+            leaf("rows", int(matrix.shape[0]), "int"),
+            leaf("checksum", float(means.sum()), "double"),
+        )
+
+    @dispatcher.operation("Train")
+    def train_unified(request: SoapEnvelope):
+        _bid, matrix = block_from_bxdm(children_named(request.body_root, "block")[0])
+        return feature_means(matrix)
+
+    @dispatcher.operation("TrainByReference")
+    def train_by_reference(request: SoapEnvelope):
+        url = str(children_named(request.body_root, "url")[0].value)
+        blob = http_channel.fetch(url)
+        ds = read_dataset_bytes(blob)
+        matrix = np.asarray(ds.variables["features"].data, dtype="f8")
+        return feature_means(matrix)
+
+    return dispatcher
+
+
+def main() -> None:
+    net = MemoryNetwork()
+    http_channel = HttpDataChannel(net.listen("web"), lambda: net.connect("web")).start()
+    service = SoapTcpService(net.listen("worker"), build_worker(http_channel)).start()
+    block = feature_block(ROWS, FEATURES, seed=11)
+
+    try:
+        # ---- unified: data inside the message ---------------------------
+        client = SoapTcpClient(lambda: net.connect("worker"), encoding=BXSAEncoding())
+        start = time.perf_counter()
+        response = client.call(
+            SoapEnvelope.wrap(element("Train", block_to_bxdm(block, block_id=1)))
+        )
+        unified_time = time.perf_counter() - start
+        unified_sum = children_named(response.body_root, "checksum")[0].value
+        client.close()
+
+        # ---- separated: netCDF file + URL in the message ----------------
+        start = time.perf_counter()
+        ds = Dataset()
+        ds.create_variable("features", block, ("row", "feature"))
+        url = http_channel.publish("partition-1.nc", write_dataset_bytes(ds))
+        client = SoapTcpClient(lambda: net.connect("worker"), encoding=XMLEncoding())
+        response = client.call(
+            SoapEnvelope.wrap(
+                element("TrainByReference", leaf("url", url, "string"))
+            )
+        )
+        separated_time = time.perf_counter() - start
+        separated_sum = children_named(response.body_root, "checksum")[0].value
+        client.close()
+    finally:
+        service.stop()
+        http_channel.stop()
+
+    assert abs(unified_sum - separated_sum) < 1e-9
+    print(f"partition: {ROWS} x {FEATURES} float64 ({block.nbytes / 1e6:.1f} MB)")
+    print(f"unified   (BXSA in message) : {unified_time * 1e3:7.1f} ms, checksum {unified_sum:.6f}")
+    print(f"separated (netCDF over HTTP): {separated_time * 1e3:7.1f} ms, checksum {separated_sum:.6f}")
+    print(
+        "\nIdentical results; the separated path needed a second server, a\n"
+        "spool file, a URL convention and a download — the development-cost\n"
+        "half of the paper's argument, before performance even enters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Intermediary hop with BXSA as the inter-hop protocol (§5.1).
+
+"Transcodability enables BXSA to be the intermediate protocol over the
+message hops, even when the message sender and receiver are communicating
+via textual XML."
+
+Topology::
+
+    XML client ──(text/xml over TCP)──> intermediary ──(BXSA over TCP)──> backend
+
+The client and the backend dispatcher never learn that the middle hop ran
+binary; the intermediary is just two generic engines with different policy
+configurations bridged back to back.
+
+Run:  python examples/intermediary_transcoding.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BXSAEncoding,
+    SoapEnvelope,
+    SoapTcpClient,
+    SoapTcpService,
+    TcpIntermediary,
+    XMLEncoding,
+)
+from repro.services import build_verification_dispatcher, make_unified_request, parse_verification_response
+from repro.transport import MemoryNetwork
+from repro.workloads.lead import lead_dataset
+
+
+def main() -> None:
+    net = MemoryNetwork()
+
+    backend = SoapTcpService(
+        net.listen("backend"),
+        build_verification_dispatcher(),
+        encoding=BXSAEncoding(),  # the backend prefers binary
+    ).start()
+
+    hop = TcpIntermediary(
+        net.listen("front"),
+        lambda: net.connect("backend"),
+        inbound_encoding=XMLEncoding(),  # clients speak textual XML
+        outbound_encoding=BXSAEncoding(),  # the backbone runs BXSA
+        name="edge-hop",
+    ).start()
+
+    dataset = lead_dataset(5000, seed=3)
+    xml = XMLEncoding()
+    bxsa = BXSAEncoding()
+    request = make_unified_request(dataset)
+    doc = request.to_document()
+
+    try:
+        client = SoapTcpClient(lambda: net.connect("front"), encoding=XMLEncoding())
+        response = client.call(request)
+        result = parse_verification_response(response.body_root)
+        client.close()
+    finally:
+        hop.stop()
+        backend.stop()
+
+    assert result.ok and result.count == dataset.model_size
+    print(f"verification through the hop: ok={result.ok}, count={result.count}")
+    print(f"messages forwarded by the intermediary: {hop.forwarded}")
+    print(f"client-side   message size (text/xml)       : {len(xml.encode(doc)):8d} bytes")
+    print(f"backbone-side message size (application/bxsa): {len(bxsa.encode(doc)):8d} bytes")
+    print(
+        "\nThe client spoke textual XML end to end as far as it knows; the\n"
+        "intermediary re-encoded the same bXDM envelope onto a binary hop\n"
+        "and back — the hop-by-hop rebinding §5.1 of the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

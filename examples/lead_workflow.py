@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""LEAD-style workflow: the full Section 6 experiment, live and end to end.
+
+Reproduces (at laptop scale, over real in-process transports) the exact
+client/server programs the paper benchmarks:
+
+1. **Unified solution** — the client builds the atmospheric dataset in the
+   bXDM model and sends request + data in one SOAP message (BXSA/TCP and
+   XML/HTTP variants); the server deserializes, verifies every value, and
+   replies with the verification result.
+2. **Separated solution** — the client saves the dataset as a netCDF file
+   published on an HTTP server and on a GridFTP-like striped server, sends
+   a SOAP message containing just the URL, and the verification server
+   pulls the file, reads it and verifies it.
+
+All four configurations return the same verification verdict for the same
+dataset — the interoperability half of the paper's claim — while the wire
+sizes and moving parts differ exactly as Section 6 describes.
+
+Run:  python examples/lead_workflow.py
+"""
+
+import itertools
+import time
+
+from repro.core import (
+    BXSAEncoding,
+    SoapHttpClient,
+    SoapHttpService,
+    SoapTcpClient,
+    SoapTcpService,
+    XMLEncoding,
+)
+from repro.datachannel import GridFTPDataChannel, HttpDataChannel, UrlResolver
+from repro.netcdf import write_dataset_bytes
+from repro.services import (
+    build_verification_dispatcher,
+    make_reference_request,
+    make_unified_request,
+    parse_verification_response,
+)
+from repro.transport import MemoryNetwork
+from repro.workloads.lead import lead_dataset
+
+MODEL_SIZE = 20_000
+
+
+def main() -> None:
+    net = MemoryNetwork()
+    counter = itertools.count()
+
+    # -- infrastructure: data channels + the verification service ---------
+    http_channel = HttpDataChannel(net.listen("web"), lambda: net.connect("web")).start()
+
+    def data_listener_factory():
+        name = f"gd{next(counter)}"
+        return name, net.listen(name)
+
+    gftp_channel = GridFTPDataChannel(
+        net.listen("gftp"),
+        data_listener_factory,
+        lambda: net.connect("gftp"),
+        net.connect,
+        n_streams=4,
+    ).start()
+
+    resolver = UrlResolver().register(http_channel).register(gftp_channel)
+    dispatcher = build_verification_dispatcher(fetch_url=resolver.fetch)
+    tcp_service = SoapTcpService(net.listen("soap-tcp"), dispatcher).start()
+    http_service = SoapHttpService(net.listen("soap-http"), dispatcher).start()
+
+    dataset = lead_dataset(MODEL_SIZE, seed=42)
+    print(
+        f"dataset: model size {dataset.model_size} "
+        f"({dataset.native_bytes / 1e3:.0f} KB native)\n"
+    )
+
+    results = []
+
+    def record(name, call, message_bytes):
+        start = time.perf_counter()
+        response = call()
+        elapsed = time.perf_counter() - start
+        result = parse_verification_response(response.body_root)
+        assert result.ok and result.count == MODEL_SIZE
+        results.append((name, message_bytes, elapsed, result.checksum))
+
+    try:
+        # 1a. unified over BXSA/TCP
+        request = make_unified_request(dataset)
+        client = SoapTcpClient(lambda: net.connect("soap-tcp"), encoding=BXSAEncoding())
+        record(
+            "unified  BXSA/TCP",
+            lambda: client.call(request),
+            len(BXSAEncoding().encode(request.to_document())),
+        )
+        client.close()
+
+        # 1b. unified over XML/HTTP
+        client = SoapHttpClient(lambda: net.connect("soap-http"), encoding=XMLEncoding())
+        record(
+            "unified  XML/HTTP",
+            lambda: client.call(request),
+            len(XMLEncoding().encode(request.to_document())),
+        )
+        client.close()
+
+        # 2a. separated via HTTP data channel
+        blob = write_dataset_bytes(dataset.to_netcdf())
+        url = http_channel.publish("lead/run42.nc", blob)
+        reference = make_reference_request(url)
+        client = SoapTcpClient(lambda: net.connect("soap-tcp"), encoding=XMLEncoding())
+        record(
+            "separated SOAP+HTTP",
+            lambda: client.call(reference),
+            len(XMLEncoding().encode(reference.to_document())),
+        )
+        client.close()
+
+        # 2b. separated via GridFTP data channel (4 parallel streams)
+        gurl = gftp_channel.publish("run42.nc", blob)
+        greference = make_reference_request(gurl, n_streams=4)
+        client = SoapTcpClient(lambda: net.connect("soap-tcp"), encoding=XMLEncoding())
+        record(
+            "separated SOAP+GridFTP(4)",
+            lambda: client.call(greference),
+            len(XMLEncoding().encode(greference.to_document())),
+        )
+        client.close()
+    finally:
+        http_service.stop()
+        tcp_service.stop()
+        gftp_channel.stop()
+        http_channel.stop()
+
+    print(f"{'configuration':28s} {'SOAP msg':>10s} {'wall time':>10s}  checksum")
+    for name, nbytes, elapsed, checksum in results:
+        print(f"{name:28s} {nbytes:8d} B {elapsed * 1e3:8.1f} ms  {checksum:.4f}")
+
+    print(
+        "\nEvery configuration verified the same data and produced the same\n"
+        "checksum.  The unified binary message carries the whole dataset in\n"
+        "barely more than its native size; the separated schemes carry a\n"
+        "300-byte control message plus an entire out-of-band machinery.\n"
+        "(Wall times here are in-process plumbing only — the calibrated\n"
+        "network-era comparison is what `benchmarks/` regenerates.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

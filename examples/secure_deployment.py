@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Policy composition: description-driven, signed, compressed SOAP.
+
+§5 of the paper claims the generic design absorbs new concerns "by just
+adding more template parameters".  This example composes all of this
+project's policies at once:
+
+* the service publishes a WSDL-lite description declaring a *compressed
+  binary* encoding (``application/bxsa+deflate``) over TCP;
+* the client configures itself purely from that description;
+* both sides run an HMAC security policy — the signature covers the
+  *data model*, so it is independent of the encoding stack under it;
+* a tampering middlebox demonstrates what the security policy catches.
+
+Run:  python examples/secure_deployment.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BXSAEncoding,
+    DeflateEncoding,
+    Dispatcher,
+    HmacSigningPolicy,
+    SecretKey,
+    SoapEnvelope,
+    SoapFault,
+    SoapTcpService,
+    XMLEncoding,
+)
+from repro.core.wsdl import ServiceDescription
+from repro.transport import MemoryNetwork
+from repro.xdm import array, element, leaf
+from repro.xdm.path import children_named
+
+
+def build_service() -> Dispatcher:
+    dispatcher = Dispatcher()
+
+    @dispatcher.operation("Integrate")
+    def integrate(request: SoapEnvelope):
+        values = children_named(request.body_root, "samples")[0].values
+        dx = children_named(request.body_root, "dx")[0].value
+        return element(
+            "IntegrateResponse",
+            leaf("integral", float(np.trapezoid(values, dx=dx)), "double"),
+        )
+
+    return dispatcher
+
+
+def main() -> None:
+    net = MemoryNetwork()
+    key = SecretKey.generate(key_id="prod-2026")
+
+    # register the compressed encoding so content negotiation knows it
+    DeflateEncoding(BXSAEncoding()).register()
+
+    service = SoapTcpService(
+        net.listen("calc"),
+        build_service(),
+        encoding=DeflateEncoding(BXSAEncoding()),
+        security=HmacSigningPolicy(key),
+    ).start()
+
+    description = ServiceDescription(
+        name="CalculusService",
+        operations=("Integrate",),
+        transport="tcp",
+        encoding_content_type="application/bxsa+deflate",
+        location="calc",
+    )
+    print("service description declares:")
+    print(f"  transport : {description.transport}")
+    print(f"  encoding  : {description.encoding_content_type}")
+    print(f"  operations: {', '.join(description.operations)}\n")
+
+    try:
+        # -- a well-behaved client configured from the description --------
+        client = description.make_client(
+            lambda loc: (lambda: net.connect(loc)),
+            security=HmacSigningPolicy(key),
+        )
+        request = SoapEnvelope.wrap(
+            element(
+                "Integrate",
+                array("samples", np.sin(np.linspace(0, np.pi, 10_001))),
+                leaf("dx", np.pi / 10_000, "double"),
+            )
+        )
+        response = client.call(request)
+        integral = children_named(response.body_root, "integral")[0].value
+        print(f"signed, compressed call: integral of sin over [0, pi] = {integral:.6f}")
+        client.close()
+
+        # -- a tampering path: modified body, stale signature --------------
+        tampered = SoapEnvelope.wrap(
+            element(
+                "Integrate",
+                array("samples", np.sin(np.linspace(0, np.pi, 101))),
+                leaf("dx", np.pi / 100, "double"),
+            )
+        )
+        HmacSigningPolicy(key).sign(tampered)
+        children_named(tampered.body_root, "dx")[0].value = 1e6  # the "attack"
+        evil_client = description.make_client(lambda loc: (lambda: net.connect(loc)))
+        try:
+            evil_client.call(tampered)
+            print("!! tampering went unnoticed")
+        except SoapFault as fault:
+            print(f"tampered call rejected: {fault.code}: {fault.string}")
+        evil_client.close()
+    finally:
+        service.stop()
+
+    print(
+        "\nEncoding (BXSA), compression (deflate), transport (TCP) and\n"
+        "security (HMAC over the data model) are four independent policies\n"
+        "on one generic engine; the WSDL-lite description made the stack\n"
+        "discoverable instead of hardcoded."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Sensor network scenario: many small messages at high frequency.
+
+The paper's introduction motivates binary XML with "wide-scale wireless
+sensor networks [where] small data messages are transmitted between the
+machines but at very high frequency and on real-time demand" — the regime
+where the separated schemes' fixed costs (extra channels, file handling,
+GridFTP authentication) are fatal, and where even textual XML's per-message
+overhead adds up.
+
+This example streams readings from a simulated station fleet into an
+aggregation service over one persistent connection per encoding, comparing
+throughput and bytes moved.
+
+Run:  python examples/sensor_network.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import (
+    BXSAEncoding,
+    Dispatcher,
+    SoapEnvelope,
+    SoapTcpClient,
+    SoapTcpService,
+    XMLEncoding,
+)
+from repro.services.verification import VerificationResult  # noqa: F401 (doc pointer)
+from repro.transport import MemoryNetwork
+from repro.workloads.sensors import SensorReading, sensor_stream
+from repro.xdm import element, leaf
+from repro.xdm.path import children_named
+
+N_MESSAGES = 400
+
+
+def build_aggregator() -> tuple[Dispatcher, dict]:
+    """Keeps a running mean per station; returns current fleet summary."""
+    state: dict[int, list] = {}
+    dispatcher = Dispatcher()
+
+    @dispatcher.operation("Report")
+    def report(request: SoapEnvelope):
+        reading = SensorReading.from_bxdm(
+            children_named(request.body_root, "reading")[0]
+        )
+        entry = state.setdefault(reading.station, [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(reading.channels.mean())
+        return element(
+            "ReportResponse",
+            leaf("station", reading.station, "int"),
+            leaf("acknowledged", True, "boolean"),
+        )
+
+    return dispatcher, state
+
+
+def run_stream(net: MemoryNetwork, encoding, label: str) -> None:
+    client = SoapTcpClient(lambda: net.connect("agg"), encoding=encoding)
+    sent_bytes = 0
+    start = time.perf_counter()
+    for reading in sensor_stream(N_MESSAGES, n_stations=16, n_channels=8):
+        envelope = SoapEnvelope.wrap(element("Report", reading.to_bxdm()))
+        sent_bytes += len(encoding.encode(envelope.to_document()))
+        response = client.call(envelope)
+        assert children_named(response.body_root, "acknowledged")[0].value is True
+    elapsed = time.perf_counter() - start
+    client.close()
+    print(
+        f"{label:12s} {N_MESSAGES} readings in {elapsed * 1e3:7.1f} ms "
+        f"({N_MESSAGES / elapsed:7.0f} msg/s), {sent_bytes / N_MESSAGES:6.1f} bytes/msg"
+    )
+
+
+def main() -> None:
+    net = MemoryNetwork()
+    dispatcher, state = build_aggregator()
+    service = SoapTcpService(net.listen("agg"), dispatcher).start()
+    try:
+        run_stream(net, XMLEncoding(), "textual XML")
+        run_stream(net, BXSAEncoding(), "binary XML")
+    finally:
+        service.stop()
+
+    means = {
+        station: round(total / count, 2) for station, (count, total) in sorted(state.items())
+    }
+    print(f"\nfleet summary (station -> mean of means): {means}")
+    print(
+        "\nBoth encodings ride the same persistent SOAP channel; the binary\n"
+        "one shrinks each message and skips all float<->text conversion —\n"
+        "the per-message margin that matters at sensor-network rates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+PEP 517 editable installs cannot build; this keeps `pip install -e .` working
+via the classic setuptools develop path."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    python_requires=">=3.10",
+)

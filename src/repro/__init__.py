@@ -1,0 +1,81 @@
+"""repro: a generic SOAP framework over binary XML (HPDC 2006 reproduction).
+
+Public API re-exports.  The package layers, bottom-up:
+
+``repro.xbs`` → ``repro.xdm`` → ``repro.bxsa`` / ``repro.xmlcodec`` →
+``repro.core`` (the generic SOAP engine) → ``repro.transport`` bindings,
+with the evaluation substrates (``netcdf``, ``gridftp``, ``datachannel``,
+``netsim``, ``workloads``, ``services``, ``harness``) alongside.
+
+Most applications only need what is re-exported here: the data-model
+builders, the two encodings, the engine/service/client classes and a
+transport.
+"""
+
+__version__ = "0.1.0"
+
+from repro.xdm import (
+    ArrayElement,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    QName,
+    TreeBuilder,
+    array,
+    deep_equal,
+    doc,
+    element,
+    leaf,
+    text,
+)
+from repro.bxsa import decode as bxsa_decode
+from repro.bxsa import encode as bxsa_encode
+from repro.xmlcodec import parse_document, serialize
+from repro.core import (
+    BXSAEncoding,
+    Dispatcher,
+    ServiceProxy,
+    SoapEngine,
+    SoapEnvelope,
+    SoapFault,
+    SoapHttpClient,
+    SoapHttpService,
+    SoapTcpClient,
+    SoapTcpService,
+    XMLEncoding,
+)
+from repro.transport import MemoryNetwork, TcpListener, connect_tcp
+
+__all__ = [
+    "ArrayElement",
+    "BXSAEncoding",
+    "Dispatcher",
+    "DocumentNode",
+    "ElementNode",
+    "LeafElement",
+    "MemoryNetwork",
+    "QName",
+    "ServiceProxy",
+    "SoapEngine",
+    "SoapEnvelope",
+    "SoapFault",
+    "SoapHttpClient",
+    "SoapHttpService",
+    "SoapTcpClient",
+    "SoapTcpService",
+    "TcpListener",
+    "TreeBuilder",
+    "XMLEncoding",
+    "__version__",
+    "array",
+    "bxsa_decode",
+    "bxsa_encode",
+    "connect_tcp",
+    "deep_equal",
+    "doc",
+    "element",
+    "leaf",
+    "parse_document",
+    "serialize",
+    "text",
+]

@@ -1,0 +1,32 @@
+"""Field annotation helpers for the databinding layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _ArrayMeta(type):
+    """Makes ``Array["f8"]`` produce a dtype-carrying annotation class."""
+
+    _cache: dict[str, type] = {}
+
+    def __getitem__(cls, dtype_spec) -> type:
+        key = np.dtype(dtype_spec).str
+        cached = cls._cache.get(key)
+        if cached is None:
+            cached = _ArrayMeta(
+                f"Array[{key}]", (Array,), {"dtype": np.dtype(dtype_spec)}
+            )
+            cls._cache[key] = cached
+        return cached
+
+
+class Array(metaclass=_ArrayMeta):
+    """Annotation for packed numpy array fields: ``channels: Array["f4"]``.
+
+    The subscript fixes the element dtype; the bound value is always a
+    1-D C-contiguous array of that dtype (coerced on construction of the
+    element, validated on extraction).
+    """
+
+    dtype: np.dtype = np.dtype("f8")

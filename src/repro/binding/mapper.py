@@ -1,0 +1,206 @@
+"""The dataclass ↔ bXDM mapping engine.
+
+Mapping rules (field name = element local name):
+
+=====================  ===================================================
+field annotation       element form
+=====================  ===================================================
+``int``                ``LeafElement`` typed xsd:long (any int fits)
+``float``              ``LeafElement`` typed xsd:double
+``bool``               ``LeafElement`` typed xsd:boolean
+``str``                ``LeafElement`` typed xsd:string
+``Array[dtype]``       ``ArrayElement`` of that dtype
+bound dataclass        nested component element
+``list[dataclass]``    repeated nested elements (one per item)
+``Optional[T]``        element omitted when the value is None
+=====================  ===================================================
+
+``from_element`` is strict: missing required fields, type mismatches and
+unknown child elements raise :class:`BindingError` with the field path —
+the databinding layer is where silent schema drift must be caught.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.binding.fields import Array
+from repro.xdm.nodes import ArrayElement, ElementNode, LeafElement
+from repro.xdm.builder import array as make_array
+from repro.xdm.builder import element as make_element
+from repro.xdm.builder import leaf as make_leaf
+
+
+class BindingError(TypeError):
+    """A value or element does not fit its declared binding."""
+
+
+def _is_bound_dataclass(tp) -> bool:
+    return dataclasses.is_dataclass(tp) and isinstance(tp, type)
+
+
+def _unwrap_optional(tp) -> tuple[object, bool]:
+    """(inner type, is_optional) for Optional[T]; passthrough otherwise."""
+    origin = typing.get_origin(tp)
+    if origin is typing.Union:
+        args = [a for a in typing.get_args(tp) if a is not type(None)]
+        if len(args) == 1 and type(None) in typing.get_args(tp):
+            return args[0], True
+    return tp, False
+
+
+def _list_item_type(tp):
+    if typing.get_origin(tp) in (list, typing.List):
+        (item,) = typing.get_args(tp) or (None,)
+        return item
+    return None
+
+
+_LEAF_TYPES = {int: "long", float: "double", bool: "boolean", str: "string"}
+
+
+# ---------------------------------------------------------------------------
+# object → element
+
+
+def to_element(obj, name: str | None = None) -> ElementNode:
+    """Map a bound dataclass instance to a component element.
+
+    The element name defaults to the class name; fields become children in
+    declaration order.
+    """
+    cls = type(obj)
+    if not _is_bound_dataclass(cls):
+        raise BindingError(f"{cls.__name__} is not a dataclass")
+    node = make_element(name or cls.__name__)
+    hints = typing.get_type_hints(cls)
+    for field in dataclasses.fields(cls):
+        value = getattr(obj, field.name)
+        node.children.extend(_field_to_nodes(field.name, hints[field.name], value))
+    return node
+
+
+def _field_to_nodes(field_name: str, annotation, value) -> list:
+    inner, optional = _unwrap_optional(annotation)
+    if value is None:
+        if optional:
+            return []
+        raise BindingError(f"field {field_name!r} is None but not Optional")
+
+    if isinstance(inner, type) and issubclass(inner, Array):
+        arr = np.asarray(value)
+        if arr.ndim != 1:
+            raise BindingError(f"field {field_name!r}: arrays must be 1-D")
+        return [make_array(field_name, arr.astype(inner.dtype, copy=False))]
+
+    if inner in _LEAF_TYPES:
+        if inner is not bool and isinstance(value, bool):
+            raise BindingError(f"field {field_name!r}: bool given for {inner.__name__}")
+        if not isinstance(value, inner) and not (
+            inner is float and isinstance(value, int)
+        ):
+            raise BindingError(
+                f"field {field_name!r}: expected {inner.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        return [make_leaf(field_name, inner(value), _LEAF_TYPES[inner])]
+
+    item_type = _list_item_type(inner)
+    if item_type is not None:
+        if not _is_bound_dataclass(item_type):
+            raise BindingError(
+                f"field {field_name!r}: list items must be bound dataclasses"
+            )
+        return [to_element(item, field_name) for item in value]
+
+    if _is_bound_dataclass(inner):
+        return [to_element(value, field_name)]
+
+    raise BindingError(
+        f"field {field_name!r}: unsupported annotation {annotation!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# element → object
+
+
+def from_element(cls, node: ElementNode, *, path: str = ""):
+    """Rebuild a bound dataclass instance from a component element."""
+    if not _is_bound_dataclass(cls):
+        raise BindingError(f"{cls.__name__} is not a dataclass")
+    path = path or cls.__name__
+    children: dict[str, list[ElementNode]] = {}
+    for child in node.elements():
+        children.setdefault(child.name.local, []).append(child)
+
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    consumed: set[str] = set()
+    for field in dataclasses.fields(cls):
+        annotation = hints[field.name]
+        inner, optional = _unwrap_optional(annotation)
+        matches = children.get(field.name, [])
+        consumed.add(field.name)
+        field_path = f"{path}.{field.name}"
+
+        item_type = _list_item_type(inner)
+        if item_type is not None:
+            kwargs[field.name] = [
+                from_element(item_type, m, path=field_path) for m in matches
+            ]
+            continue
+        if not matches:
+            if optional:
+                kwargs[field.name] = None
+                continue
+            raise BindingError(f"{field_path}: required element is missing")
+        if len(matches) > 1:
+            raise BindingError(f"{field_path}: {len(matches)} elements, expected 1")
+        kwargs[field.name] = _node_to_value(inner, matches[0], field_path)
+
+    unknown = set(children) - consumed
+    if unknown:
+        raise BindingError(f"{path}: unknown child element(s) {sorted(unknown)}")
+    return cls(**kwargs)
+
+
+def _node_to_value(inner, node: ElementNode, path: str):
+    if isinstance(inner, type) and issubclass(inner, Array):
+        if not isinstance(node, ArrayElement):
+            raise BindingError(f"{path}: expected an array element")
+        values = np.asarray(node.values)
+        if values.dtype != inner.dtype:
+            try:
+                values = values.astype(inner.dtype)
+            except (TypeError, ValueError) as exc:
+                raise BindingError(f"{path}: cannot convert {values.dtype} array: {exc}")
+        return values
+
+    if inner in _LEAF_TYPES:
+        if not isinstance(node, LeafElement):
+            raise BindingError(f"{path}: expected a typed leaf element")
+        value = node.value
+        if inner is bool:
+            if node.atype.xsd_name != "boolean":
+                raise BindingError(f"{path}: expected xsd:boolean, got {node.atype.xsd_name}")
+            return bool(value)
+        if inner is int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise BindingError(f"{path}: expected an integer leaf")
+            return int(value)
+        if inner is float:
+            if isinstance(value, bool) or isinstance(value, str):
+                raise BindingError(f"{path}: expected a numeric leaf")
+            return float(value)
+        if not isinstance(value, str):
+            raise BindingError(f"{path}: expected a string leaf")
+        return value
+
+    if _is_bound_dataclass(inner):
+        return from_element(inner, node, path=path)
+
+    raise BindingError(f"{path}: unsupported annotation {inner!r}")

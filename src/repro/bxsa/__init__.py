@@ -1,0 +1,53 @@
+"""BXSA: Binary XML for Scientific Applications.
+
+The frame-based binary XML encoding of §4 of the paper, layered on XBS.  A
+BXSA document is a sequence of *frames*, one per bXDM node, with container
+frames (document, component element) embedding their children recursively.
+Every frame starts with the Common Frame Prefix — a byte-order/frame-type
+byte plus a variable-length ``Size`` field — so a consumer can skip over any
+frame without parsing it (*accelerated sequential access*, exposed by
+:mod:`repro.bxsa.scanner`).
+
+Highlights reproduced from the paper:
+
+* coarse frame granularity — attributes and namespace declarations live
+  *inside* their element's frame rather than as separate tiny frames (§4.1);
+* namespace tokenization — QNames reference a namespace by (scope depth,
+  table index) instead of by prefix string (§4.1);
+* typed leaf and array payloads in native machine form, with per-frame byte
+  order so frames can be embedded in containers of a different endianness;
+* transcodability with textual XML (§4.2), via :mod:`repro.bxsa.transcode`.
+
+See :mod:`repro.bxsa.constants` for the exact wire layout.
+"""
+
+from repro.bxsa.constants import FrameType, pack_prefix_byte, unpack_prefix_byte
+from repro.bxsa.decoder import BXSADecoder, decode, decode_document
+from repro.bxsa.encoder import BXSAEncoder, encode, encode_document
+from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError, BXSAError
+from repro.bxsa.scanner import FrameInfo, FrameScanner
+from repro.bxsa.stream import BXSAStreamReader, BXSAStreamWriter, EventKind, StreamEvent
+from repro.bxsa.transcode import bxsa_to_xml, xml_to_bxsa
+
+__all__ = [
+    "BXSADecodeError",
+    "BXSAStreamReader",
+    "BXSAStreamWriter",
+    "EventKind",
+    "StreamEvent",
+    "BXSADecoder",
+    "BXSAEncodeError",
+    "BXSAEncoder",
+    "BXSAError",
+    "FrameInfo",
+    "FrameScanner",
+    "FrameType",
+    "bxsa_to_xml",
+    "decode",
+    "decode_document",
+    "encode",
+    "encode_document",
+    "pack_prefix_byte",
+    "unpack_prefix_byte",
+    "xml_to_bxsa",
+]

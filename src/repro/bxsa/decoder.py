@@ -1,0 +1,276 @@
+"""BXSA → bXDM decoder (the encoding policy's "factory method").
+
+The decoder is a single forward pass over the buffer with an explicit
+container stack (no recursion).  Frame ``Size`` fields are *validated*
+against the actually-consumed bytes — a frame whose content over- or
+under-runs its declared size is rejected, which is what makes the scanner's
+skip-by-size trustworthy.
+
+Array payloads come back as zero-copy numpy views over the input buffer by
+default (read-only when the buffer is immutable), the Python counterpart of
+the paper's memory-mapped ArrayElement I/O; pass ``copy=True`` for
+independent, writable, native-order arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bxsa.constants import FrameType
+from repro.bxsa.errors import BXSADecodeError
+from repro.bxsa.frames import (
+    read_frame_prefix,
+    read_name_ref,
+    read_scalar_value,
+    read_string,
+    read_type_code,
+    read_vls,
+)
+from repro.bxsa.namespaces import ScopeStack, to_nodes
+from repro.xbs.constants import TypeCode, dtype_for
+from repro.xdm.errors import XDMTypeError
+from repro.xdm.nodes import (
+    ArrayElement,
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    Node,
+    PINode,
+    TextNode,
+)
+from repro.xdm.qname import QName
+from repro.xdm.types import atomic_type_for_code
+
+
+def decode(data, offset: int = 0, *, copy: bool = False) -> Node:
+    """Decode one BXSA frame (document or element tree) from ``data``.
+
+    Trailing bytes after the first top-level frame are rejected; use
+    :class:`BXSADecoder` directly to pull consecutive frames from a stream.
+    """
+    decoder = BXSADecoder(data, offset, copy=copy)
+    node = decoder.read_node()
+    if decoder.pos != len(decoder.data):
+        raise BXSADecodeError(
+            f"{len(decoder.data) - decoder.pos} trailing bytes after frame"
+        )
+    return node
+
+
+def decode_document(data, offset: int = 0, *, copy: bool = False) -> DocumentNode:
+    """Decode and require a document frame."""
+    node = decode(data, offset, copy=copy)
+    if not isinstance(node, DocumentNode):
+        raise BXSADecodeError(f"expected a document frame, found {type(node).__name__}")
+    return node
+
+
+class _Container:
+    __slots__ = ("node", "remaining", "end", "is_element")
+
+    def __init__(self, node, remaining: int, end: int, is_element: bool) -> None:
+        self.node = node
+        self.remaining = remaining
+        self.end = end
+        self.is_element = is_element
+
+
+class BXSADecoder:
+    """Streaming decoder: repeated :meth:`read_node` calls pull consecutive
+    top-level frames (the TCP binding uses this for message framing)."""
+
+    def __init__(
+        self,
+        data,
+        offset: int = 0,
+        *,
+        copy: bool = False,
+        outer_tables: list[list[tuple[str, str]]] | None = None,
+    ) -> None:
+        self.data = memoryview(data) if not isinstance(data, memoryview) else data
+        self.pos = offset
+        self.copy = copy
+        #: Namespace tables of the frame's ancestors (outermost first).
+        #: Required to decode a frame extracted from mid-document whose
+        #: QName references reach outer scopes — BXSA frames are skippable
+        #: in isolation but only *decodable* with their scope chain, a
+        #: direct consequence of §4.1's tokenization.
+        self.outer_tables = list(outer_tables or [])
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.data)
+
+    # ------------------------------------------------------------------
+
+    def read_node(self) -> Node:
+        """Decode the frame at the current position into a bXDM tree."""
+        scopes = ScopeStack()
+        for table in self.outer_tables:
+            scopes.push(list(table))
+        stack: list[_Container] = []
+        while True:
+            node, container = self._read_frame(scopes)
+            if container is not None:
+                if container.remaining == 0:
+                    node = self._finalize(container, scopes)
+                else:
+                    stack.append(container)
+                    continue
+            # attach completed node upward, closing containers as they fill
+            while True:
+                if not stack:
+                    return node
+                top = stack[-1]
+                top.node.children.append(node)
+                top.remaining -= 1
+                if top.remaining:
+                    break
+                stack.pop()
+                node = self._finalize(top, scopes)
+
+    def _finalize(self, container: _Container, scopes: ScopeStack) -> Node:
+        if self.pos != container.end:
+            raise BXSADecodeError(
+                f"frame size mismatch: content ends at {self.pos}, "
+                f"Size field says {container.end}"
+            )
+        if container.is_element:
+            scopes.pop()
+        return container.node
+
+    # ------------------------------------------------------------------
+
+    def _read_frame(self, scopes: ScopeStack):
+        data = self.data
+        byte_order, frame_type, pos, end = read_frame_prefix(data, self.pos)
+
+        if frame_type is FrameType.DOCUMENT:
+            count, pos = read_vls(data, pos)
+            self.pos = pos
+            return None, _Container(DocumentNode(), count, end, is_element=False)
+
+        if frame_type is FrameType.COMPONENT_ELEMENT:
+            name, attrs, table, pos = self._read_header(pos, byte_order, scopes)
+            count, pos = read_vls(data, pos)
+            node = ElementNode(name, attributes=attrs, namespaces=to_nodes(table))
+            self.pos = pos
+            container = _Container(node, count, end, is_element=True)
+            if count == 0:
+                # scope was pushed by _read_header; _finalize pops it
+                return None, container
+            return None, container
+
+        if frame_type is FrameType.LEAF_ELEMENT:
+            name, attrs, table, pos = self._read_header(pos, byte_order, scopes)
+            scopes.pop()
+            code, pos = read_type_code(data, pos)
+            value, pos = read_scalar_value(data, pos, code, byte_order)
+            atype = self._atype(code)
+            self.pos = pos
+            self._check_end(end)
+            try:
+                node = LeafElement(name, value, atype, attributes=attrs, namespaces=to_nodes(table))
+            except XDMTypeError as exc:
+                raise BXSADecodeError(str(exc)) from exc
+            return node, None
+
+        if frame_type is FrameType.ARRAY_ELEMENT:
+            name, attrs, table, pos = self._read_header(pos, byte_order, scopes)
+            scopes.pop()
+            code, pos = read_type_code(data, pos)
+            if code is TypeCode.STRING:
+                raise BXSADecodeError("array frames cannot hold strings")
+            item_name, pos = read_string(data, pos)
+            count, pos = read_vls(data, pos)
+            if pos >= len(data):
+                raise BXSADecodeError(f"truncated array frame at offset {pos}")
+            pad = data[pos]
+            pos += 1 + pad
+            nbytes = count * code.size
+            if pos + nbytes > end:
+                raise BXSADecodeError(
+                    f"array payload of {nbytes} bytes overruns frame end {end}"
+                )
+            wire_dtype = dtype_for(code, byte_order)
+            values = np.frombuffer(data[pos : pos + nbytes], dtype=wire_dtype, count=count)
+            if self.copy:
+                values = values.astype(wire_dtype.newbyteorder("="), copy=True)
+            atype = self._atype(code)
+            self.pos = pos + nbytes
+            self._check_end(end)
+            node = ArrayElement.__new__(ArrayElement)
+            ElementNode.__init__(node, name, attributes=attrs, namespaces=to_nodes(table))
+            # Bypass the constructor's ascontiguousarray to keep zero-copy
+            # views (possibly non-native byte order) intact.
+            node.atype = atype
+            node.values = values
+            node.item_name = item_name or None
+            return node, None
+
+        if frame_type in (FrameType.CHARACTER_DATA, FrameType.COMMENT):
+            text, pos = read_string(data, pos)
+            self.pos = pos
+            self._check_end(end)
+            return (TextNode(text) if frame_type is FrameType.CHARACTER_DATA else CommentNode(text)), None
+
+        if frame_type is FrameType.PI:
+            target, pos = read_string(data, pos)
+            pi_data, pos = read_string(data, pos)
+            self.pos = pos
+            self._check_end(end)
+            return PINode(target, pi_data), None
+
+        raise BXSADecodeError(f"unhandled frame type {frame_type!r}")  # pragma: no cover
+
+    def _check_end(self, end: int) -> None:
+        if self.pos != end:
+            raise BXSADecodeError(
+                f"frame size mismatch: content ends at {self.pos}, Size field says {end}"
+            )
+
+    def _atype(self, code: TypeCode):
+        try:
+            return atomic_type_for_code(code)
+        except XDMTypeError as exc:
+            raise BXSADecodeError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+
+    def _read_header(self, pos: int, byte_order: int, scopes: ScopeStack):
+        """Read an element header; pushes the frame's table onto ``scopes``.
+
+        The caller pops the scope when the element's frame is complete
+        (immediately for leaf/array, after children for component).
+        """
+        data = self.data
+        n1, pos = read_vls(data, pos)
+        table: list[tuple[str, str]] = []
+        for _ in range(n1):
+            prefix, pos = read_string(data, pos)
+            uri, pos = read_string(data, pos)
+            table.append((prefix, uri))
+        scopes.push(table)
+        depth, index, pos = read_name_ref(data, pos)
+        local, pos = read_string(data, pos)
+        name = self._make_qname(local, depth, index, scopes)
+        n2, pos = read_vls(data, pos)
+        attrs: list[AttributeNode] = []
+        for _ in range(n2):
+            a_depth, a_index, pos = read_name_ref(data, pos)
+            a_local, pos = read_string(data, pos)
+            code, pos = read_type_code(data, pos)
+            value, pos = read_scalar_value(data, pos, code, byte_order)
+            qname = self._make_qname(a_local, a_depth, a_index, scopes)
+            try:
+                attrs.append(AttributeNode(qname, value, self._atype(code)))
+            except XDMTypeError as exc:
+                raise BXSADecodeError(str(exc)) from exc
+        return name, attrs, table, pos
+
+    def _make_qname(self, local: str, depth: int, index: int, scopes: ScopeStack) -> QName:
+        if depth == 0:
+            return QName(local)
+        prefix, uri = scopes.resolve(depth, index)
+        return QName(local, uri, prefix)

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the BXSA codec."""
+
+from repro.xbs.errors import XBSError
+
+
+class BXSAError(XBSError):
+    """Base class for BXSA codec errors."""
+
+
+class BXSAEncodeError(BXSAError):
+    """Raised when a bXDM tree cannot be represented as BXSA frames."""
+
+
+class BXSADecodeError(BXSAError):
+    """Raised when a byte stream is not a valid BXSA document.
+
+    Covers truncated frames, unknown frame types, size-field mismatches and
+    dangling namespace references.
+    """

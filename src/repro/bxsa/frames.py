@@ -1,0 +1,135 @@
+"""Low-level BXSA frame primitives shared by the decoder and the scanner.
+
+These functions read the wire structures documented in
+:mod:`repro.bxsa.constants` from a buffer + offset, returning
+``(value, new_offset)`` pairs.  They are deliberately free of any tree
+construction so the :class:`~repro.bxsa.scanner.FrameScanner` can *skip*
+structures at the same speed the decoder *parses* them.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.bxsa.constants import FrameType, unpack_prefix_byte
+from repro.bxsa.errors import BXSADecodeError
+from repro.xbs.constants import _ENDIAN_CHAR, TypeCode
+from repro.xbs.errors import XBSDecodeError
+from repro.xbs.varint import decode_vls
+from repro.xbs.writer import _STRUCT_FMT
+
+
+def read_vls(data, pos: int) -> tuple[int, int]:
+    try:
+        return decode_vls(data, pos)
+    except XBSDecodeError as exc:
+        raise BXSADecodeError(str(exc)) from exc
+
+
+def read_frame_prefix(data, pos: int) -> tuple[int, FrameType, int, int]:
+    """Read the Common Frame Prefix.
+
+    Returns ``(byte_order, frame_type, body_start, frame_end)``.
+    """
+    if pos >= len(data):
+        raise BXSADecodeError(f"truncated frame prefix at offset {pos}")
+    byte_order, frame_type = unpack_prefix_byte(data[pos])
+    size, body_start = read_vls(data, pos + 1)
+    frame_end = body_start + size
+    if frame_end > len(data):
+        raise BXSADecodeError(
+            f"frame at offset {pos} claims {size} body bytes but only "
+            f"{len(data) - body_start} remain"
+        )
+    return byte_order, frame_type, body_start, frame_end
+
+
+def read_string(data, pos: int) -> tuple[str, int]:
+    length, pos = read_vls(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise BXSADecodeError(f"truncated string at offset {pos}")
+    try:
+        return str(data[pos:end], "utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise BXSADecodeError(f"invalid UTF-8 at offset {pos}: {exc}") from exc
+
+
+def skip_string(data, pos: int) -> int:
+    length, pos = read_vls(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise BXSADecodeError(f"truncated string at offset {pos}")
+    return end
+
+
+def read_type_code(data, pos: int) -> tuple[TypeCode, int]:
+    if pos >= len(data):
+        raise BXSADecodeError(f"truncated type code at offset {pos}")
+    try:
+        return TypeCode(data[pos]), pos + 1
+    except ValueError:
+        raise BXSADecodeError(f"unknown type code 0x{data[pos]:02x} at offset {pos}") from None
+
+
+def read_scalar_value(data, pos: int, code: TypeCode, byte_order: int):
+    """Read one typed value (attribute or leaf payload).
+
+    Returns ``(python_value, new_offset)``.
+    """
+    if code is TypeCode.STRING:
+        return read_string(data, pos)
+    size = code.size
+    if pos + size > len(data):
+        raise BXSADecodeError(f"truncated {code.name} value at offset {pos}")
+    fmt = _ENDIAN_CHAR[byte_order] + _STRUCT_FMT[code]
+    (value,) = struct.unpack_from(fmt, data, pos)
+    if code is TypeCode.BOOL:
+        value = bool(value)
+    return value, pos + size
+
+
+def skip_scalar_value(data, pos: int, code: TypeCode) -> int:
+    if code is TypeCode.STRING:
+        return skip_string(data, pos)
+    end = pos + code.size
+    if end > len(data):
+        raise BXSADecodeError(f"truncated {code.name} value at offset {pos}")
+    return end
+
+
+def read_name_ref(data, pos: int) -> tuple[int, int, int]:
+    """Read a (scope depth, index) QName reference.
+
+    Returns ``(depth, index, new_offset)`` with ``index == -1`` when the
+    name is in no namespace (depth 0).
+    """
+    depth, pos = read_vls(data, pos)
+    if depth == 0:
+        return 0, -1, pos
+    index, pos = read_vls(data, pos)
+    return depth, index, pos
+
+
+def skip_name_ref(data, pos: int) -> int:
+    depth, pos = read_vls(data, pos)
+    if depth:
+        _, pos = read_vls(data, pos)
+    return pos
+
+
+def skip_element_header(data, pos: int) -> int:
+    """Skip a full element header (namespace table, name, attributes)."""
+    n1, pos = read_vls(data, pos)
+    for _ in range(n1):
+        pos = skip_string(data, pos)  # prefix
+        pos = skip_string(data, pos)  # uri
+    pos = skip_name_ref(data, pos)
+    pos = skip_string(data, pos)  # local name
+    n2, pos = read_vls(data, pos)
+    for _ in range(n2):
+        pos = skip_name_ref(data, pos)
+        pos = skip_string(data, pos)  # attribute local name
+        code, pos = read_type_code(data, pos)
+        pos = skip_scalar_value(data, pos, code)
+    return pos

@@ -1,0 +1,438 @@
+"""Streaming BXSA: event-based writing and pull-based reading.
+
+XBS is "a *streaming* binary serializer" (the paper's §4 heritage); this
+module carries that property up to the BXSA layer.  It lets producers emit
+frames as data becomes available — without ever materializing a bXDM tree —
+and consumers iterate events the way a StAX/pull parser walks textual XML:
+
+* :class:`BXSAStreamWriter` — ``start_element`` / ``attribute-carrying``
+  starts, ``leaf`` / ``array`` / ``text`` / ``comment`` / ``pi`` items,
+  ``end_element``; the document is assembled with the same O(n)
+  placeholder back-patching as the tree encoder.
+* :class:`BXSAStreamReader` — yields :class:`StreamEvent` records
+  (START_DOCUMENT/END_DOCUMENT, START_ELEMENT/END_ELEMENT, LEAF, ARRAY,
+  TEXT, COMMENT, PI) directly off the frame structure.  Array events carry
+  zero-copy numpy views, so a gigabyte-scale message can be reduced (summed,
+  verified, re-encoded) in bounded memory.
+
+A round trip through writer → bytes → reader → writer reproduces the
+byte stream exactly for documents the tree encoder would produce the same
+way (the stream writer *is* the tree encoder's lower half).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.bxsa.constants import FrameType, pack_prefix_byte
+from repro.bxsa.encoder import BXSAEncoder
+from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError
+from repro.bxsa.frames import (
+    read_frame_prefix,
+    read_scalar_value,
+    read_string,
+    read_type_code,
+    read_vls,
+)
+from repro.bxsa.namespaces import ScopeStack, to_nodes
+from repro.xbs.constants import NATIVE_ENDIAN, TypeCode, dtype_for
+from repro.xbs.varint import encode_vls
+from repro.xdm.errors import XDMTypeError
+from repro.xdm.nodes import ArrayElement, AttributeNode, LeafElement
+from repro.xdm.qname import QName
+from repro.xdm.types import atomic_type_for_code
+
+
+class EventKind(enum.Enum):
+    START_DOCUMENT = "start-document"
+    END_DOCUMENT = "end-document"
+    START_ELEMENT = "start-element"
+    END_ELEMENT = "end-element"
+    LEAF = "leaf"
+    ARRAY = "array"
+    TEXT = "text"
+    COMMENT = "comment"
+    PI = "pi"
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One pull-parsing event.
+
+    Population by kind: START/END_ELEMENT carry ``name`` (+ ``attributes``/
+    ``namespaces`` on START); LEAF carries ``name``, ``value``, ``atype``;
+    ARRAY carries ``name``, ``values`` (zero-copy), ``atype``, ``item_name``;
+    TEXT/COMMENT carry ``text``; PI carries ``target`` and ``text`` (data).
+    """
+
+    kind: EventKind
+    name: QName | None = None
+    attributes: tuple = ()
+    namespaces: tuple = ()
+    value: object = None
+    values: np.ndarray | None = None
+    atype: object = None
+    item_name: str | None = None
+    text: str = ""
+    target: str = ""
+    depth: int = 0  #: element nesting depth at which the event occurs
+
+
+# ---------------------------------------------------------------------------
+# writer
+
+
+class BXSAStreamWriter:
+    """Emit a BXSA document incrementally.
+
+    The writer reuses the tree encoder's header serialization (namespace
+    tokenization, auto-declaration, typed attributes) by building
+    throwaway header-only nodes; payloads never pass through bXDM.
+    """
+
+    def __init__(self, byte_order: int = NATIVE_ENDIAN) -> None:
+        self._encoder = BXSAEncoder(byte_order)
+        self.byte_order = byte_order
+        self._chunks: list = []
+        self._nbytes = 0
+        self._scopes = ScopeStack()
+        # (placeholder index, byte mark, child count, header bytes|None)
+        self._open: list[list] = []
+        self._document_started = False
+        self._finished = False
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, chunk) -> None:
+        self._chunks.append(chunk)
+        self._nbytes += len(chunk)
+
+    def _count_child(self) -> None:
+        if not self._open:
+            raise BXSAEncodeError("content outside the document")
+        self._open[-1][2] += 1
+
+    def _emit_frame(self, frame_type: FrameType, body_chunks: list) -> None:
+        size = sum(len(c) for c in body_chunks)
+        prefix = bytes((pack_prefix_byte(self.byte_order, frame_type),))
+        self._emit(prefix + encode_vls(size))
+        for chunk in body_chunks:
+            self._emit(chunk)
+
+    def _header_for(
+        self, name: QName | str, attributes: dict | None, namespaces: dict | None
+    ) -> bytes:
+        from repro.xdm.nodes import ElementNode
+
+        qname = name if isinstance(name, QName) else QName.parse(name)
+        shell = ElementNode(qname)
+        for prefix, uri in (namespaces or {}).items():
+            shell.declare_namespace(prefix, uri)
+        for attr_name, attr_value in (attributes or {}).items():
+            shell.set_attribute(attr_name, attr_value)
+        self._scopes.push(self._encoder._own_table(shell))
+        return self._encoder._element_header(shell, self._scopes)
+
+    # -- structure ------------------------------------------------------
+
+    def start_document(self) -> "BXSAStreamWriter":
+        if self._document_started:
+            raise BXSAEncodeError("document already started")
+        self._document_started = True
+        self._open.append([len(self._chunks), self._nbytes, 0, None])
+        self._chunks.append(b"")  # placeholder
+        return self
+
+    def start_element(
+        self,
+        name: QName | str,
+        *,
+        attributes: dict | None = None,
+        namespaces: dict | None = None,
+    ) -> "BXSAStreamWriter":
+        if not self._document_started:
+            raise BXSAEncodeError("start_document() first")
+        self._count_child()
+        header = self._header_for(name, attributes, namespaces)
+        self._open.append([len(self._chunks), self._nbytes, 0, header])
+        self._chunks.append(b"")
+        return self
+
+    def end_element(self) -> "BXSAStreamWriter":
+        if len(self._open) <= 1:
+            raise BXSAEncodeError("no element open")
+        placeholder, mark, n_children, header = self._open.pop()
+        self._scopes.pop()
+        self._patch(placeholder, mark, n_children, FrameType.COMPONENT_ELEMENT, header)
+        return self
+
+    def end_document(self) -> bytes:
+        if len(self._open) != 1:
+            raise BXSAEncodeError(f"{len(self._open) - 1} element(s) still open")
+        placeholder, mark, n_children, _ = self._open.pop()
+        self._patch(placeholder, mark, n_children, FrameType.DOCUMENT, b"")
+        self._finished = True
+        return b"".join(self._chunks)
+
+    def _patch(self, placeholder, mark, n_children, frame_type, header) -> None:
+        children_len = self._nbytes - mark
+        count_vls = encode_vls(n_children)
+        body_len = len(header) + len(count_vls) + children_len
+        prefix = bytes((pack_prefix_byte(self.byte_order, frame_type),))
+        chunk = prefix + encode_vls(body_len) + header + count_vls
+        self._chunks[placeholder] = chunk
+        self._nbytes += len(chunk)
+
+    # -- content --------------------------------------------------------
+
+    def leaf(self, name: QName | str, value, atype=None, **header_kwargs) -> "BXSAStreamWriter":
+        self._count_child()
+        node = LeafElement(name, value, atype)
+        header = self._header_for(node.name, header_kwargs.get("attributes"), header_kwargs.get("namespaces"))
+        self._scopes.pop()
+        self._emit_frame(
+            FrameType.LEAF_ELEMENT,
+            [header + self._encoder._typed_value(node.atype.code, node.value)],
+        )
+        return self
+
+    def array(
+        self,
+        name: QName | str,
+        values,
+        atype=None,
+        *,
+        item_name: str | None = None,
+        attributes: dict | None = None,
+        namespaces: dict | None = None,
+    ) -> "BXSAStreamWriter":
+        self._count_child()
+        node = ArrayElement(name, values, atype, item_name=item_name)
+        header = self._header_for(node.name, attributes, namespaces)
+        self._scopes.pop()
+        code = node.atype.code
+        meta = bytes((int(code),)) + self._encoder._string(node.item_name or "")
+        count = encode_vls(int(node.values.size))
+        pad = (-(len(header) + len(meta) + len(count) + 1)) % code.size
+        target = dtype_for(code, self.byte_order)
+        normalized = np.ascontiguousarray(node.values, dtype=target)
+        payload = memoryview(normalized).cast("B") if normalized.size else b""
+        head = header + meta + count + bytes((pad,)) + b"\x00" * pad
+        self._emit_frame(FrameType.ARRAY_ELEMENT, [head, payload])
+        return self
+
+    def text(self, content: str) -> "BXSAStreamWriter":
+        self._count_child()
+        self._emit_frame(FrameType.CHARACTER_DATA, [self._encoder._string(content)])
+        return self
+
+    def comment(self, content: str) -> "BXSAStreamWriter":
+        self._count_child()
+        self._emit_frame(FrameType.COMMENT, [self._encoder._string(content)])
+        return self
+
+    def pi(self, target: str, data: str = "") -> "BXSAStreamWriter":
+        self._count_child()
+        self._emit_frame(
+            FrameType.PI, [self._encoder._string(target) + self._encoder._string(data)]
+        )
+        return self
+
+
+# ---------------------------------------------------------------------------
+# reader
+
+
+class BXSAStreamReader:
+    """Pull events from a BXSA buffer without building a tree."""
+
+    def __init__(self, data, offset: int = 0) -> None:
+        self.data = memoryview(data) if not isinstance(data, memoryview) else data
+        self._pos = offset
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return self.events()
+
+    def events(self) -> Iterator[StreamEvent]:
+        """Yield the event stream for the frame at the start offset."""
+        scopes = ScopeStack()
+        # stack of (remaining children, frame end, is_element, name|None)
+        stack: list[list] = []
+        data = self.data
+        pos = self._pos
+        while True:
+            byte_order, frame_type, body, end = read_frame_prefix(data, pos)
+            depth = sum(1 for entry in stack if entry[2])
+
+            if frame_type is FrameType.DOCUMENT:
+                count, body = read_vls(data, body)
+                yield StreamEvent(EventKind.START_DOCUMENT, depth=depth)
+                if count == 0:
+                    yield StreamEvent(EventKind.END_DOCUMENT, depth=depth)
+                    if not stack:
+                        return
+                    raise BXSADecodeError("document frame nested inside a document")
+                stack.append([count, end, False, None])
+                pos = body
+                continue
+
+            if frame_type is FrameType.COMPONENT_ELEMENT:
+                name, attrs, table, body = self._read_header(data, body, byte_order, scopes)
+                count, body = read_vls(data, body)
+                yield StreamEvent(
+                    EventKind.START_ELEMENT,
+                    name=name,
+                    attributes=tuple(attrs),
+                    namespaces=tuple(to_nodes(table)),
+                    depth=depth,
+                )
+                if count == 0:
+                    scopes.pop()
+                    yield StreamEvent(EventKind.END_ELEMENT, name=name, depth=depth)
+                    pos = body
+                    event = self._close_containers(stack, scopes, pos)
+                    for e in event:
+                        yield e
+                    if not stack:
+                        return
+                    continue
+                stack.append([count, end, True, name])
+                pos = body
+                continue
+
+            # atom frames ------------------------------------------------
+            if frame_type is FrameType.LEAF_ELEMENT:
+                name, attrs, table, body = self._read_header(data, body, byte_order, scopes)
+                scopes.pop()
+                code, body = read_type_code(data, body)
+                value, body = read_scalar_value(data, body, code, byte_order)
+                yield StreamEvent(
+                    EventKind.LEAF,
+                    name=name,
+                    attributes=tuple(attrs),
+                    namespaces=tuple(to_nodes(table)),
+                    value=value,
+                    atype=self._atype(code),
+                    depth=depth,
+                )
+                pos = end
+            elif frame_type is FrameType.ARRAY_ELEMENT:
+                name, attrs, table, body = self._read_header(data, body, byte_order, scopes)
+                scopes.pop()
+                code, body = read_type_code(data, body)
+                if code is TypeCode.STRING:
+                    raise BXSADecodeError("array frames cannot hold strings")
+                item_name, body = read_string(data, body)
+                count, body = read_vls(data, body)
+                if body >= len(data):
+                    raise BXSADecodeError("truncated array frame")
+                pad = data[body]
+                body += 1 + pad
+                nbytes = count * code.size
+                if body + nbytes > end:
+                    raise BXSADecodeError("array payload overruns its frame")
+                values = np.frombuffer(
+                    data[body : body + nbytes], dtype=dtype_for(code, byte_order), count=count
+                )
+                yield StreamEvent(
+                    EventKind.ARRAY,
+                    name=name,
+                    attributes=tuple(attrs),
+                    namespaces=tuple(to_nodes(table)),
+                    values=values,
+                    atype=self._atype(code),
+                    item_name=item_name or None,
+                    depth=depth,
+                )
+                pos = end
+            elif frame_type in (FrameType.CHARACTER_DATA, FrameType.COMMENT):
+                content, body = read_string(data, body)
+                kind = (
+                    EventKind.TEXT
+                    if frame_type is FrameType.CHARACTER_DATA
+                    else EventKind.COMMENT
+                )
+                yield StreamEvent(kind, text=content, depth=depth)
+                pos = end
+            elif frame_type is FrameType.PI:
+                target, body = read_string(data, body)
+                content, body = read_string(data, body)
+                yield StreamEvent(EventKind.PI, target=target, text=content, depth=depth)
+                pos = end
+            else:  # pragma: no cover - prefix validation rejects earlier
+                raise BXSADecodeError(f"unhandled frame type {frame_type!r}")
+
+            if not stack:
+                return  # a bare atom frame at top level
+            for event in self._close_containers(stack, scopes, pos):
+                yield event
+            if not stack:
+                return
+
+    def _close_containers(self, stack, scopes, pos) -> list[StreamEvent]:
+        """Decrement the open container; emit END events for completed ones."""
+        events: list[StreamEvent] = []
+        while stack:
+            stack[-1][0] -= 1
+            if stack[-1][0] > 0:
+                break
+            remaining, end, is_element, name = stack.pop()
+            if pos != end:
+                raise BXSADecodeError(
+                    f"frame size mismatch: content ends at {pos}, Size says {end}"
+                )
+            depth = sum(1 for entry in stack if entry[2])
+            if is_element:
+                scopes.pop()
+                events.append(StreamEvent(EventKind.END_ELEMENT, name=name, depth=depth))
+            else:
+                events.append(StreamEvent(EventKind.END_DOCUMENT, depth=depth))
+        return events
+
+    @staticmethod
+    def _atype(code: TypeCode):
+        try:
+            return atomic_type_for_code(code)
+        except XDMTypeError as exc:
+            raise BXSADecodeError(str(exc)) from exc
+
+    def _read_header(self, data, pos, byte_order, scopes):
+        """Element header → (QName, [AttributeNode], table, new pos).
+
+        Same wire walk as the tree decoder, kept local so the reader stays
+        importable without constructing a BXSADecoder.
+        """
+        n1, pos = read_vls(data, pos)
+        table: list[tuple[str, str]] = []
+        for _ in range(n1):
+            prefix, pos = read_string(data, pos)
+            uri, pos = read_string(data, pos)
+            table.append((prefix, uri))
+        scopes.push(table)
+        from repro.bxsa.frames import read_name_ref
+
+        depth, index, pos = read_name_ref(data, pos)
+        local, pos = read_string(data, pos)
+        if depth == 0:
+            name = QName(local)
+        else:
+            prefix, uri = scopes.resolve(depth, index)
+            name = QName(local, uri, prefix)
+        n2, pos = read_vls(data, pos)
+        attrs: list[AttributeNode] = []
+        for _ in range(n2):
+            a_depth, a_index, pos = read_name_ref(data, pos)
+            a_local, pos = read_string(data, pos)
+            code, pos = read_type_code(data, pos)
+            value, pos = read_scalar_value(data, pos, code, byte_order)
+            if a_depth == 0:
+                qname = QName(a_local)
+            else:
+                a_prefix, a_uri = scopes.resolve(a_depth, a_index)
+                qname = QName(a_local, a_uri, a_prefix)
+            attrs.append(AttributeNode(qname, value, self._atype(code)))
+        return name, attrs, table, pos

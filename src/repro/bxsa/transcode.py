@@ -1,0 +1,39 @@
+"""Transcoding between BXSA and textual XML (§4.2 of the paper).
+
+A format is *transcodable* when ``binary → text → binary`` and
+``text → binary → text`` both reproduce the original.  Because both codecs
+in this project share bXDM as their data model, transcoding is simply
+decode-with-one, encode-with-the-other — which is exactly the architectural
+point the paper makes (the data model is the interoperability layer; the
+serializations are interchangeable legs below it).
+
+Caveats faithfully reproduced from the paper:
+
+* floating-point numbers are re-serialized "to full precision regardless of
+  the original input" — we use shortest-round-trip forms, so binary → text →
+  binary is value-exact, while text → binary → text may rewrite ``1.50`` as
+  ``1.5``;
+* without a schema, the textual leg must carry explicit type information
+  (``xsi:type``); transcoding with ``emit_types=False`` degrades typed
+  nodes to plain elements, exactly as the paper warns.
+"""
+
+from __future__ import annotations
+
+from repro.bxsa.decoder import decode as bxsa_decode
+from repro.bxsa.encoder import encode as bxsa_encode
+from repro.xbs.constants import NATIVE_ENDIAN
+from repro.xmlcodec.parser import parse_document
+from repro.xmlcodec.serializer import XMLSerializer
+
+
+def bxsa_to_xml(data, *, emit_types: bool = True, xml_declaration: bool = False) -> str:
+    """Transcode a BXSA document to textual XML."""
+    node = bxsa_decode(data)
+    return XMLSerializer(emit_types=emit_types, xml_declaration=xml_declaration).run(node)
+
+
+def xml_to_bxsa(text: str | bytes, *, byte_order: int = NATIVE_ENDIAN, typed: bool = True) -> bytes:
+    """Transcode a textual XML document to BXSA."""
+    node = parse_document(text, typed=typed)
+    return bxsa_encode(node, byte_order)

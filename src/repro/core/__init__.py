@@ -1,0 +1,84 @@
+"""The generic SOAP engine — the paper's primary contribution (§5).
+
+The engine is *generic* in the paper's C++ sense: it implements the SOAP
+messaging model once, against two policy concepts it knows nothing concrete
+about —
+
+* an **encoding policy** serializes/deserializes bXDM documents
+  (:class:`XMLEncoding`, :class:`BXSAEncoding` are the two models shipped);
+* a **binding policy** carries octet streams between SOAP nodes
+  (TCP framing and HTTP POST are the two models shipped, in
+  :mod:`repro.transport`).
+
+Where C++ templates check policy conformance at compile time, this Python
+port checks the policies' *valid expressions* at engine construction
+(:mod:`repro.core.concepts`) — same discipline, shifted to the earliest
+moment Python has.  Any conforming class combines with any other: XML over
+TCP, BXSA over HTTP and the two canonical pairings all work, which is
+exactly the combinatorial freedom §5 claims.
+
+On top of the engine sit the usual service-side pieces: a dispatcher
+mapping body elements to handlers, a service host, a client proxy, SOAP
+faults, and an intermediary node that re-binds message hops (§5.1's
+up-link/down-link scenario, including BXSA as the intermediate protocol
+between textual-XML endpoints).
+"""
+
+from repro.core.concepts import (
+    PolicyConceptError,
+    check_binding_client,
+    check_binding_server,
+    check_encoding_policy,
+)
+from repro.core.envelope import SOAP_ENV_URI, SoapEnvelope
+from repro.core.fault import SoapFault
+from repro.core.policies import (
+    BXSAEncoding,
+    XMLEncoding,
+    encoding_for_content_type,
+    register_content_type,
+)
+from repro.core.compression import DeflateEncoding
+from repro.core.wsdl import ServiceDescription, WsdlError
+from repro.core.engine import SoapEngine
+from repro.core.dispatcher import Dispatcher
+from repro.core.service import SoapHttpService, SoapTcpService
+from repro.core.client import ServiceProxy, SoapHttpClient, SoapTcpClient
+from repro.core.intermediary import TcpIntermediary
+from repro.core.security import (
+    HmacSigningPolicy,
+    NullSecurity,
+    SecretKey,
+    SECURITY_FAULT,
+    check_security_policy,
+)
+
+__all__ = [
+    "BXSAEncoding",
+    "DeflateEncoding",
+    "ServiceDescription",
+    "WsdlError",
+    "register_content_type",
+    "HmacSigningPolicy",
+    "NullSecurity",
+    "SECURITY_FAULT",
+    "SecretKey",
+    "check_security_policy",
+    "Dispatcher",
+    "PolicyConceptError",
+    "SOAP_ENV_URI",
+    "ServiceProxy",
+    "SoapEngine",
+    "SoapEnvelope",
+    "SoapFault",
+    "SoapHttpClient",
+    "SoapHttpService",
+    "SoapTcpClient",
+    "SoapTcpService",
+    "TcpIntermediary",
+    "XMLEncoding",
+    "check_binding_client",
+    "check_binding_server",
+    "check_encoding_policy",
+    "encoding_for_content_type",
+]

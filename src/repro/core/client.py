@@ -1,0 +1,108 @@
+"""Client-side conveniences: engine-backed clients and a service proxy.
+
+The clients pair one encoding policy with one binding over a channel
+factory, reconnecting lazily.  :class:`ServiceProxy` adds the RPC-flavoured
+sugar the examples use (operation element wrapping arguments).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.engine import SoapEngine
+from repro.core.envelope import SoapEnvelope
+from repro.core.policies import EncodingPolicy, XMLEncoding
+from repro.transport.base import Channel, TransportError
+from repro.transport.http.client import HttpClient
+from repro.transport.http.binding import HttpClientBinding
+from repro.transport.tcp_binding import TcpClientBinding
+from repro.xdm.nodes import ElementNode, Node
+
+
+class SoapTcpClient:
+    """SOAP over the raw TCP binding with a persistent connection."""
+
+    def __init__(
+        self,
+        connect: Callable[[], Channel],
+        *,
+        encoding: EncodingPolicy | None = None,
+        security=None,
+    ) -> None:
+        self._connect = connect
+        self._encoding = encoding if encoding is not None else XMLEncoding()
+        self._security = security
+        self._engine: SoapEngine | None = None
+        self._channel: Channel | None = None
+
+    def call(self, envelope: SoapEnvelope) -> SoapEnvelope:
+        attempts = 2 if self._engine is not None else 1
+        for attempt in range(attempts):
+            engine = self._ensure_engine()
+            try:
+                return engine.call(envelope)
+            except TransportError:
+                self.close()
+                if attempt == attempts - 1:
+                    raise
+        raise TransportError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+            self._engine = None
+
+    def _ensure_engine(self) -> SoapEngine:
+        if self._engine is None:
+            self._channel = self._connect()
+            self._engine = SoapEngine(
+                self._encoding, TcpClientBinding(self._channel), self._security
+            )
+        return self._engine
+
+
+class SoapHttpClient:
+    """SOAP over the HTTP binding (persistent HTTP connection)."""
+
+    def __init__(
+        self,
+        connect: Callable[[], Channel],
+        *,
+        encoding: EncodingPolicy | None = None,
+        security=None,
+        target: str = "/soap",
+        host: str = "localhost",
+    ) -> None:
+        self._http = HttpClient(connect, host=host)
+        self._encoding = encoding if encoding is not None else XMLEncoding()
+        self._engine = SoapEngine(
+            self._encoding, HttpClientBinding(self._http, target), security
+        )
+
+    def call(self, envelope: SoapEnvelope) -> SoapEnvelope:
+        return self._engine.call(envelope)
+
+    def close(self) -> None:
+        self._http.close()
+
+
+class ServiceProxy:
+    """RPC-style sugar over any client with a ``call(envelope)`` method.
+
+    ``proxy.invoke("Operation", arg_node, ...)`` wraps the arguments in an
+    operation element, performs the exchange, and returns the response body
+    root element (the conventional ``<OperationResponse>``).
+    """
+
+    def __init__(self, client) -> None:
+        self._client = client
+
+    def invoke(self, operation: str, *args: Node, headers: tuple[Node, ...] = ()) -> ElementNode:
+        op = ElementNode(operation, children=args)
+        envelope = SoapEnvelope([op], list(headers))
+        response = self._client.call(envelope)
+        return response.body_root
+
+    def close(self) -> None:
+        self._client.close()

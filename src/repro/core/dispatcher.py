@@ -1,0 +1,101 @@
+"""Server-side operation dispatch.
+
+Maps the first body element's QName (local name, optionally qualified) to a
+handler.  Handlers receive the request :class:`SoapEnvelope` and return the
+response body children (a node, a list of nodes, or a full envelope);
+raising :class:`SoapFault` — or any exception, which is wrapped — produces
+a fault response.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.envelope import SoapEnvelope
+from repro.core.fault import CLIENT_FAULT, SERVER_FAULT, SoapFault
+from repro.xdm.nodes import ElementNode, Node
+from repro.xdm.qname import QName
+
+Handler = Callable[[SoapEnvelope], "SoapEnvelope | Node | Iterable[Node] | None"]
+
+
+class Dispatcher:
+    """Operation registry + request router."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[QName | str, Handler] = {}
+
+    # ------------------------------------------------------------------
+
+    def register(self, operation: QName | str, handler: Handler) -> None:
+        """Register a handler for an operation element.
+
+        ``operation`` may be a bare local name (matches any namespace), a
+        Clark-notation string, or a QName (exact match).
+        """
+        key = self._key(operation)
+        if key in self._handlers:
+            raise ValueError(f"operation {operation!r} already registered")
+        self._handlers[key] = handler
+
+    def operation(self, operation: QName | str):
+        """Decorator form of :meth:`register`."""
+
+        def wrap(handler: Handler) -> Handler:
+            self.register(operation, handler)
+            return handler
+
+        return wrap
+
+    def operations(self) -> list[str]:
+        """Registered operation names (for description/introspection)."""
+        return [k.clark() if isinstance(k, QName) else k for k in self._handlers]
+
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request: SoapEnvelope) -> SoapEnvelope:
+        """Route a request envelope; always returns a response envelope
+        (faults become fault envelopes at the service host layer — here
+        they propagate as SoapFault for the host to encode)."""
+        try:
+            operation = request.body_root
+        except ValueError as exc:
+            raise SoapFault(CLIENT_FAULT, str(exc)) from exc
+        handler = self._resolve(operation)
+        if handler is None:
+            raise SoapFault(
+                CLIENT_FAULT, f"no such operation {operation.name.clark()}"
+            )
+        try:
+            result = handler(request)
+        except SoapFault:
+            raise
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            raise SoapFault(
+                SERVER_FAULT, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        return _coerce_envelope(result)
+
+    def _resolve(self, operation: ElementNode) -> Handler | None:
+        exact = self._handlers.get(operation.name)
+        if exact is not None:
+            return exact
+        return self._handlers.get(operation.name.local)
+
+    @staticmethod
+    def _key(operation: QName | str):
+        if isinstance(operation, QName):
+            return operation
+        if operation.startswith("{"):
+            return QName.parse(operation)
+        return operation
+
+
+def _coerce_envelope(result) -> SoapEnvelope:
+    if isinstance(result, SoapEnvelope):
+        return result
+    if result is None:
+        return SoapEnvelope()
+    if isinstance(result, Node):
+        return SoapEnvelope.wrap(result)
+    return SoapEnvelope(list(result))

@@ -1,0 +1,166 @@
+"""The generic SOAP engine.
+
+The Python rendering of the paper's::
+
+    template <class EncodingPolicy, class BindingPolicy>
+    class SoapEngine { ... };
+
+A :class:`SoapEngine` owns one encoding policy and one binding policy and
+implements the SOAP message exchange patterns against them:
+
+* client side — :meth:`call` (request-response) and :meth:`send` (one-way);
+* server side — :meth:`receive` / :meth:`reply`, used by the service hosts.
+
+The engine is completely ignorant of what the policies do internally: any
+object satisfying the concepts (checked at construction) composes, giving
+the four combinations the paper demonstrates (XML/HTTP, XML/TCP, BXSA/HTTP,
+BXSA/TCP) plus anything a user brings.
+"""
+
+from __future__ import annotations
+
+from repro.core.concepts import (
+    check_binding_client,
+    check_binding_server,
+    check_encoding_policy,
+)
+from repro.core.envelope import SoapEnvelope
+from repro.core.fault import SoapFault
+from repro.core.policies import EncodingPolicy, encoding_for_content_type
+from repro.core.security import check_security_policy
+
+
+class SoapEngine:
+    """One SOAP node endpoint: an encoding policy + a binding policy.
+
+    Parameters
+    ----------
+    encoding:
+        Any model of the encoding policy concept.
+    binding:
+        Any model of the client- or server-side binding concept (which side
+        is needed depends on which methods are called; both are accepted).
+    security:
+        Optional model of the security policy concept (§5's "just add more
+        policies"): its ``sign`` runs on every outgoing envelope and its
+        ``verify`` on every incoming one (see :mod:`repro.core.security`).
+    strict_content_type:
+        When True (default), a received message whose content type differs
+        from this engine's encoding is decoded with the matching shipped
+        policy — the paper's engines negotiate per message hop.  Set False
+        to force the configured encoding regardless of the tag.
+    """
+
+    def __init__(
+        self,
+        encoding: EncodingPolicy,
+        binding,
+        security=None,
+        *,
+        strict_content_type: bool = True,
+    ) -> None:
+        check_encoding_policy(encoding)
+        if security is not None:
+            check_security_policy(security)
+        is_client = hasattr(binding, "send_request")
+        is_server = hasattr(binding, "receive_request")
+        if is_client:
+            check_binding_client(binding)
+        if is_server:
+            check_binding_server(binding)
+        if not (is_client or is_server):
+            check_binding_client(binding)  # raise with the client-side message
+        self.encoding = encoding
+        self.binding = binding
+        self.security = security
+        self.strict_content_type = strict_content_type
+
+    # ------------------------------------------------------------------
+    # client-side MEPs
+
+    def call(self, envelope: SoapEnvelope) -> SoapEnvelope:
+        """Request-response: send, block for the reply, surface faults.
+
+        A ``soap:Fault`` in the response body is raised as
+        :class:`SoapFault`; anything else is returned as an envelope.
+        """
+        self.send(envelope)
+        return self.receive_response()
+
+    def send(self, envelope: SoapEnvelope) -> int:
+        """One-way send; returns the payload size in bytes."""
+        if self.security is not None:
+            self.security.sign(envelope)
+        payload = self.encoding.encode(envelope.to_document())
+        self.binding.send_request(payload, self.encoding.content_type)
+        return len(payload)
+
+    def receive_response(self) -> SoapEnvelope:
+        payload, content_type = self.binding.receive_response()
+        envelope = self._decode(payload, content_type)
+        if self.security is not None:
+            self.security.verify(envelope)
+        fault_element = SoapFault.find_in(envelope.body_children)
+        if fault_element is not None:
+            raise SoapFault.from_element(fault_element)
+        return envelope
+
+    # ------------------------------------------------------------------
+    # server-side MEPs
+
+    def receive(self) -> tuple[SoapEnvelope, str]:
+        """Receive one request; returns (envelope, wire content type)."""
+        payload, content_type = self.binding.receive_request()
+        envelope = self._decode(payload, content_type)
+        if self.security is not None:
+            self.security.verify(envelope)
+        return envelope, content_type
+
+    def reply(self, envelope: SoapEnvelope, content_type: str | None = None) -> int:
+        """Send a response, re-encoding to ``content_type`` when given.
+
+        Passing the request's content type makes the server answer in the
+        encoding the client spoke, whatever this engine's default is.
+        """
+        encoding = self.encoding
+        if content_type is not None and self.strict_content_type:
+            if content_type.split(";")[0].strip() != encoding.content_type:
+                encoding = encoding_for_content_type(content_type)
+        if self.security is not None:
+            self.security.sign(envelope)
+        payload = encoding.encode(envelope.to_document())
+        self.binding.send_response(payload, encoding.content_type)
+        return len(payload)
+
+    def reply_fault(self, fault: SoapFault, content_type: str | None = None) -> int:
+        """Send a fault envelope."""
+        return self.reply(SoapEnvelope.wrap(fault.to_element()), content_type)
+
+    # ------------------------------------------------------------------
+
+    def _decode(self, payload: bytes, content_type: str) -> SoapEnvelope:
+        encoding = self.encoding
+        if self.strict_content_type:
+            base = content_type.split(";")[0].strip()
+            if base != encoding.content_type:
+                try:
+                    encoding = encoding_for_content_type(content_type)
+                except ValueError as exc:
+                    raise SoapFault("soap:Client", str(exc)) from exc
+        try:
+            document = encoding.decode(payload)
+        except SoapFault:
+            raise
+        except Exception as exc:
+            # any codec error (malformed XML, corrupt BXSA frames, bad
+            # deflate, ...) is the sender's problem, not a server crash
+            raise SoapFault(
+                "soap:Client", f"cannot decode {encoding.content_type} payload: {exc}"
+            ) from exc
+        try:
+            return SoapEnvelope.from_document(document)
+        except ValueError as exc:
+            raise SoapFault("soap:Client", f"invalid SOAP envelope: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SoapEngine({self.encoding!r}, {type(self.binding).__name__})"

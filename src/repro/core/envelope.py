@@ -1,0 +1,126 @@
+"""The SOAP envelope, modelled directly in bXDM.
+
+§5.1: "In the generic SOAP engine, the SOAP message is modeled in the bXDM
+model instead of the XML Infoset."  A :class:`SoapEnvelope` is a thin,
+typed facade over a bXDM document of the canonical shape::
+
+    Envelope                 (SOAP 1.1 envelope namespace)
+      [Header]
+        ...header blocks...
+      Body
+        ...body children (or a Fault)...
+
+Because the payload slots hold arbitrary bXDM nodes — including
+ArrayElements — scientific data rides inside the message itself with zero
+special treatment, which is the unified scheme the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xdm.nodes import DocumentNode, ElementNode, Node
+from repro.xdm.qname import QName
+
+#: SOAP 1.1 envelope namespace (the paper targets SOAP 1.1 over HTTP).
+SOAP_ENV_URI = "http://schemas.xmlsoap.org/soap/envelope/"
+
+_ENVELOPE = QName("Envelope", SOAP_ENV_URI, "soap")
+_HEADER = QName("Header", SOAP_ENV_URI, "soap")
+_BODY = QName("Body", SOAP_ENV_URI, "soap")
+
+
+class SoapEnvelope:
+    """A SOAP message: optional header blocks plus body children."""
+
+    __slots__ = ("header_blocks", "body_children")
+
+    def __init__(
+        self,
+        body_children: Iterable[Node] = (),
+        header_blocks: Iterable[Node] = (),
+    ) -> None:
+        self.body_children: list[Node] = list(body_children)
+        self.header_blocks: list[Node] = list(header_blocks)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    @classmethod
+    def wrap(cls, *body_children: Node) -> "SoapEnvelope":
+        """Envelope around the given body payload nodes."""
+        return cls(body_children)
+
+    def add_header(self, block: Node) -> "SoapEnvelope":
+        self.header_blocks.append(block)
+        return self
+
+    @property
+    def body_root(self) -> ElementNode:
+        """The first body element — the operation element in RPC style."""
+        for child in self.body_children:
+            if isinstance(child, ElementNode):
+                return child
+        raise ValueError("envelope body has no element children")
+
+    def header(self, local_name: str) -> ElementNode | None:
+        """First header block with the given local name, if any."""
+        for block in self.header_blocks:
+            if isinstance(block, ElementNode) and block.name.local == local_name:
+                return block
+        return None
+
+    # ------------------------------------------------------------------
+    # bXDM mapping
+
+    def to_document(self) -> DocumentNode:
+        """Render the canonical bXDM document for this envelope."""
+        envelope = ElementNode(_ENVELOPE, namespaces=[])
+        envelope.declare_namespace("soap", SOAP_ENV_URI)
+        if self.header_blocks:
+            header = ElementNode(_HEADER, children=self.header_blocks)
+            envelope.children.append(header)
+        body = ElementNode(_BODY, children=self.body_children)
+        envelope.children.append(body)
+        return DocumentNode([envelope])
+
+    @classmethod
+    def from_document(cls, document: DocumentNode) -> "SoapEnvelope":
+        """Parse and validate the canonical envelope shape.
+
+        Raises :class:`ValueError` for documents that are not SOAP
+        envelopes (wrong root, missing Body, misplaced Header).
+        """
+        root = document.root
+        if root.name != _ENVELOPE:
+            raise ValueError(
+                f"root element is {root.name.clark()}, expected {_ENVELOPE.clark()}"
+            )
+        header: ElementNode | None = None
+        body: ElementNode | None = None
+        for child in root.elements():
+            if child.name == _HEADER:
+                if header is not None or body is not None:
+                    raise ValueError("misplaced or repeated SOAP Header")
+                header = child
+            elif child.name == _BODY:
+                if body is not None:
+                    raise ValueError("repeated SOAP Body")
+                body = child
+            else:
+                raise ValueError(f"unexpected envelope child {child.name.clark()}")
+        if body is None:
+            raise ValueError("envelope has no SOAP Body")
+        return cls(
+            body_children=list(body.children),
+            header_blocks=list(header.children) if header is not None else [],
+        )
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = [
+            c.name.local if isinstance(c, ElementNode) else type(c).__name__
+            for c in self.body_children
+        ]
+        return f"<SoapEnvelope body={names}>"

@@ -1,0 +1,63 @@
+"""SOAP faults: the protocol's error channel.
+
+A :class:`SoapFault` is both a Python exception and a body payload: servers
+raise it (or the dispatcher wraps unexpected exceptions into one), the
+engine serializes it as the standard ``soap:Fault`` element, and the client
+engine re-raises it after decoding — so a fault crosses the wire in either
+encoding and surfaces as the same exception type on the far side.
+"""
+
+from __future__ import annotations
+
+from repro.core.envelope import SOAP_ENV_URI
+from repro.xdm.nodes import ElementNode, LeafElement, TextNode
+from repro.xdm.qname import QName
+
+_FAULT = QName("Fault", SOAP_ENV_URI, "soap")
+
+#: The two fault code families SOAP 1.1 defines that this stack uses.
+CLIENT_FAULT = "soap:Client"
+SERVER_FAULT = "soap:Server"
+
+
+class SoapFault(Exception):
+    """A SOAP 1.1 fault (faultcode + faultstring [+ detail text])."""
+
+    def __init__(self, code: str, string: str, detail: str = "") -> None:
+        super().__init__(f"{code}: {string}")
+        self.code = code
+        self.string = string
+        self.detail = detail
+
+    # ------------------------------------------------------------------
+
+    def to_element(self) -> ElementNode:
+        """Render as the standard ``soap:Fault`` body element."""
+        fault = ElementNode(_FAULT)
+        fault.children.append(LeafElement("faultcode", self.code, "string"))
+        fault.children.append(LeafElement("faultstring", self.string, "string"))
+        if self.detail:
+            detail = ElementNode("detail", children=[TextNode(self.detail)])
+            fault.children.append(detail)
+        return fault
+
+    @classmethod
+    def from_element(cls, element: ElementNode) -> "SoapFault":
+        """Rebuild from a decoded ``soap:Fault`` element."""
+        code = string = detail = ""
+        for child in element.elements():
+            if child.name.local == "faultcode":
+                code = child.text_content()
+            elif child.name.local == "faultstring":
+                string = child.text_content()
+            elif child.name.local == "detail":
+                detail = child.text_content()
+        return cls(code or SERVER_FAULT, string or "unspecified fault", detail)
+
+    @staticmethod
+    def find_in(body_children) -> ElementNode | None:
+        """The ``soap:Fault`` element among body children, if present."""
+        for child in body_children:
+            if isinstance(child, ElementNode) and child.name == _FAULT:
+                return child
+        return None

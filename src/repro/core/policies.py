@@ -1,0 +1,123 @@
+"""Encoding policies: the pluggable serialization leg of the engine.
+
+§5.2: an encoding policy is "an object that is able to serialize and
+deserialize the bXDM model" — a Visitor for the encode direction and a
+factory for the decode direction.  Both shipped models delegate to the
+corresponding codec package; the engine only ever sees the three valid
+expressions (``content_type``, ``encode``, ``decode``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.bxsa.decoder import decode as bxsa_decode
+from repro.bxsa.encoder import BXSAEncoder
+from repro.xbs.constants import NATIVE_ENDIAN
+from repro.xdm.nodes import DocumentNode
+from repro.xmlcodec.parser import parse_document
+from repro.xmlcodec.serializer import XMLSerializer
+
+#: Content types tagging each encoding on either binding.
+XML_CONTENT_TYPE = "text/xml"
+BXSA_CONTENT_TYPE = "application/bxsa"
+
+
+@runtime_checkable
+class EncodingPolicy(Protocol):
+    """The encoding policy concept (its "valid expressions")."""
+
+    @property
+    def content_type(self) -> str: ...
+
+    def encode(self, document: DocumentNode) -> bytes: ...
+
+    def decode(self, payload: bytes) -> DocumentNode: ...
+
+
+class XMLEncoding:
+    """Textual XML 1.0 encoding — the SOAP default wire format.
+
+    ``emit_types=True`` (default) writes xsi:type annotations so typed bXDM
+    payloads survive; this is what the SOAP encoding rules require when no
+    schema is shared (§4.2 of the paper).
+    """
+
+    content_type = XML_CONTENT_TYPE
+
+    def __init__(self, *, emit_types: bool = True) -> None:
+        self._serializer = XMLSerializer(emit_types=emit_types)
+        self.emit_types = emit_types
+
+    def encode(self, document: DocumentNode) -> bytes:
+        return self._serializer.run_bytes(document)
+
+    def decode(self, payload: bytes) -> DocumentNode:
+        return parse_document(payload, typed=True)
+
+    def __repr__(self) -> str:
+        return f"XMLEncoding(emit_types={self.emit_types})"
+
+
+class BXSAEncoding:
+    """BXSA binary XML encoding.
+
+    ``copy=False`` (default) decodes array payloads as zero-copy views over
+    the received buffer — the receive path stays allocation-free for bulk
+    data, which is where the unified scheme's large-message throughput
+    comes from.
+    """
+
+    content_type = BXSA_CONTENT_TYPE
+
+    def __init__(self, byte_order: int = NATIVE_ENDIAN, *, copy: bool = False) -> None:
+        self._encoder = BXSAEncoder(byte_order)
+        self.byte_order = byte_order
+        self.copy = copy
+
+    def encode(self, document: DocumentNode) -> bytes:
+        return self._encoder.encode(document)
+
+    def decode(self, payload: bytes) -> DocumentNode:
+        node = bxsa_decode(payload, copy=self.copy)
+        if not isinstance(node, DocumentNode):
+            node = DocumentNode([node])
+        return node
+
+    def __repr__(self) -> str:
+        return f"BXSAEncoding(byte_order={self.byte_order})"
+
+
+#: Extensible content-type → policy-factory registry.  The two shipped
+#: encodings are pre-registered; user policies (compression wrappers,
+#: custom formats) add themselves via :func:`register_content_type`.
+_REGISTRY: dict[str, "object"] = {}
+
+
+def register_content_type(content_type: str, factory) -> None:
+    """Register a policy factory for server-side content negotiation.
+
+    ``factory`` is a zero-argument callable returning a fresh policy whose
+    ``content_type`` matches.  Re-registration replaces (tests and
+    reconfiguration need that).
+    """
+    _REGISTRY[content_type.strip().lower()] = factory
+
+
+register_content_type(XML_CONTENT_TYPE, XMLEncoding)
+register_content_type("application/soap+xml", XMLEncoding)
+register_content_type("application/xml", XMLEncoding)
+register_content_type(BXSA_CONTENT_TYPE, BXSAEncoding)
+
+
+def encoding_for_content_type(content_type: str) -> EncodingPolicy:
+    """Instantiate the registered policy matching a wire content type.
+
+    Servers use this to decode whatever a client sent and to reply in
+    kind — the generic engine's server side is encoding-agnostic.
+    """
+    base = content_type.split(";")[0].strip().lower()
+    factory = _REGISTRY.get(base)
+    if factory is None:
+        raise ValueError(f"no encoding policy for content type {content_type!r}")
+    return factory()

@@ -1,0 +1,182 @@
+"""Service hosts: run a dispatcher behind a TCP or HTTP binding.
+
+Both hosts are content-type negotiating: a single host serves XML and BXSA
+clients simultaneously, answering each in the encoding it spoke — the
+"generic" server the paper's §5.1 architecture diagram implies.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.engine import SoapEngine
+from repro.core.fault import SoapFault
+from repro.core.policies import EncodingPolicy, XMLEncoding
+from repro.transport.base import Listener, TransportError
+from repro.transport.http.messages import HttpRequest, HttpResponse
+from repro.transport.http.server import HttpServer
+from repro.transport.tcp_binding import TcpServerBinding
+
+
+class SoapTcpService:
+    """SOAP over the raw TCP binding, persistent connections, threaded."""
+
+    def __init__(
+        self,
+        listener: Listener,
+        dispatcher: Dispatcher,
+        *,
+        encoding: EncodingPolicy | None = None,
+        security=None,
+        name: str = "soap-tcp",
+    ) -> None:
+        self._listener = listener
+        self._dispatcher = dispatcher
+        self._encoding = encoding if encoding is not None else XMLEncoding()
+        self._security = security
+        self._name = name
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "SoapTcpService":
+        if self._running:
+            raise RuntimeError("service already running")
+        self._running = True
+        self._thread = threading.Thread(target=self._accept_loop, name=self._name, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._listener.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "SoapTcpService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                channel = self._listener.accept()
+            except TransportError:
+                return
+            threading.Thread(
+                target=self._serve_connection,
+                args=(channel,),
+                name=f"{self._name}-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, channel) -> None:
+        engine = SoapEngine(self._encoding, TcpServerBinding(channel), self._security)
+        try:
+            while True:
+                try:
+                    request, content_type = engine.receive()
+                except TransportError:
+                    return  # client finished
+                except SoapFault as fault:
+                    engine.reply_fault(fault)
+                    continue
+                try:
+                    response = self._dispatcher.dispatch(request)
+                except SoapFault as fault:
+                    engine.reply_fault(fault, content_type)
+                    continue
+                engine.reply(response, content_type)
+        finally:
+            channel.close()
+
+
+class SoapHttpService:
+    """SOAP over the HTTP binding (POST /soap), via :class:`HttpServer`."""
+
+    def __init__(
+        self,
+        listener: Listener,
+        dispatcher: Dispatcher,
+        *,
+        encoding: EncodingPolicy | None = None,
+        security=None,
+        target: str = "/soap",
+        name: str = "soap-http",
+    ) -> None:
+        self._dispatcher = dispatcher
+        self._encoding = encoding if encoding is not None else XMLEncoding()
+        self._security = security
+        self._target = target
+        self._server = HttpServer(listener, self._handle, name=name)
+
+    def start(self) -> "SoapHttpService":
+        self._server.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.stop()
+
+    def __enter__(self) -> "SoapHttpService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        if request.target != self._target:
+            return HttpResponse(404, body=b"no such endpoint")
+        if request.method != "POST":
+            return HttpResponse(405, body=b"SOAP endpoints accept POST only")
+        content_type = (request.headers.get("Content-Type") or "text/xml").split(";")[0].strip()
+
+        from repro.core.envelope import SoapEnvelope
+        from repro.core.policies import encoding_for_content_type
+
+        try:
+            encoding = (
+                self._encoding
+                if content_type == self._encoding.content_type
+                else encoding_for_content_type(content_type)
+            )
+        except ValueError:
+            return HttpResponse(400, body=f"unsupported content type {content_type}".encode())
+
+        try:
+            envelope = SoapEnvelope.from_document(encoding.decode(request.body))
+        except Exception as exc:  # malformed payload → client fault
+            fault = SoapFault("soap:Client", f"cannot parse request: {exc}")
+            return self._fault_response(fault, encoding, self._security)
+
+        try:
+            if self._security is not None:
+                self._security.verify(envelope)
+            response = self._dispatcher.dispatch(envelope)
+        except SoapFault as fault:
+            return self._fault_response(fault, encoding, self._security)
+
+        if self._security is not None:
+            self._security.sign(response)
+        body = encoding.encode(response.to_document())
+        resp = HttpResponse(200, body=body)
+        resp.headers.set("Content-Type", encoding.content_type)
+        return resp
+
+    @staticmethod
+    def _fault_response(fault: SoapFault, encoding: EncodingPolicy, security=None) -> HttpResponse:
+        from repro.core.envelope import SoapEnvelope
+
+        envelope = SoapEnvelope.wrap(fault.to_element())
+        if security is not None:
+            security.sign(envelope)
+        body = encoding.encode(envelope.to_document())
+        # SOAP 1.1 over HTTP: faults ride a 500.
+        resp = HttpResponse(500, body=body)
+        resp.headers.set("Content-Type", encoding.content_type)
+        return resp

@@ -1,0 +1,162 @@
+"""GridFTP-like client: authenticate, then retrieve with n parallel streams.
+
+The receiver reassembles striped blocks into one buffer the way a real
+GridFTP receiver lands them in one file: a shared write cursor, with every
+block whose offset is not the cursor counting as a *seek* — the quantity
+[Allcock et al. 2005] and the paper blame for LAN parallel degradation.
+:class:`TransferStats` reports it alongside the control-channel round-trip
+count and per-direction byte totals, which is everything the experiment
+harness needs to model wire time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.gridftp.auth import (
+    GSI_HANDSHAKE_ROUND_TRIPS,
+    HostCredential,
+    client_handshake,
+)
+from repro.gridftp.errors import GridFTPError
+from repro.gridftp.server import BLOCK_HEADER, EOF_FLAG
+from repro.transport.base import BufferedChannel, Channel, recv_exactly
+
+
+@dataclass
+class TransferStats:
+    """Observable costs of one client session/transfer."""
+
+    control_round_trips: int = 0  #: command/response exchanges incl. handshake
+    auth_round_trips: int = GSI_HANDSHAKE_ROUND_TRIPS
+    data_bytes: int = 0  #: payload bytes received
+    block_header_bytes: int = 0  #: striping overhead on the wire
+    n_streams: int = 1
+    blocks_received: int = 0
+    out_of_order_blocks: int = 0  #: receiver seeks (offset ≠ write cursor)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.data_bytes + self.block_header_bytes
+
+
+class GridFTPClient:
+    """Client session over one control connection.
+
+    Parameters
+    ----------
+    connect_control:
+        ``() -> Channel`` for the control connection.
+    connect_data:
+        ``(address_string) -> Channel`` for each advertised data channel.
+    credential:
+        Shared host credential; must match the server's.
+    """
+
+    def __init__(
+        self,
+        connect_control: Callable[[], Channel],
+        connect_data: Callable[[str], Channel],
+        credential: HostCredential,
+    ) -> None:
+        self._connect_data = connect_data
+        self._credential = credential
+        self.stats = TransferStats()
+        self._control = BufferedChannel(connect_control())
+        client_handshake(self._control, credential)
+        self.stats.control_round_trips += GSI_HANDSHAKE_ROUND_TRIPS
+
+    # ------------------------------------------------------------------
+    # control commands
+
+    def _command(self, line: str) -> str:
+        self._control.send_all(line.encode("utf-8") + b"\n")
+        reply = str(self._control.recv_until(b"\n", max_bytes=1 << 16), "utf-8").strip()
+        self.stats.control_round_trips += 1
+        return reply
+
+    def size(self, path: str) -> int:
+        reply = self._command(f"SIZE {path}")
+        code, _, rest = reply.partition(" ")
+        if code != "213":
+            raise GridFTPError(f"SIZE failed: {reply}")
+        return int(rest)
+
+    def quit(self) -> None:
+        try:
+            self._command("QUIT")
+        finally:
+            self._control.close()
+
+    close = quit
+
+    # ------------------------------------------------------------------
+    # retrieval
+
+    def retrieve(self, path: str, n_streams: int = 1) -> bytes:
+        """Fetch ``path`` over ``n_streams`` parallel data channels."""
+        size = self.size(path)
+        reply = self._command(f"RETR {path} {n_streams}")
+        code, _, rest = reply.partition(" ")
+        if code != "150":
+            raise GridFTPError(f"RETR failed: {reply}")
+        fields = rest.split()
+        advertised = int(fields[0])
+        addresses = fields[1:]
+        if advertised != n_streams or len(addresses) != n_streams:
+            raise GridFTPError(f"server advertised {advertised} streams, asked {n_streams}")
+
+        buffer = bytearray(size)
+        cursor_lock = threading.Lock()
+        state = {"cursor": 0}
+        self.stats.n_streams = n_streams
+        errors: list[Exception] = []
+
+        def pull(address: str) -> None:
+            try:
+                channel = self._connect_data(address)
+            except Exception as exc:  # noqa: BLE001 - collected below
+                errors.append(exc)
+                return
+            try:
+                while True:
+                    header = recv_exactly(channel, BLOCK_HEADER.size)
+                    offset, length, flags = BLOCK_HEADER.unpack(header)
+                    payload = recv_exactly(channel, length) if length else b""
+                    if offset + length > size:
+                        raise GridFTPError(
+                            f"block [{offset}, {offset + length}) beyond file of {size}"
+                        )
+                    with cursor_lock:
+                        if length:
+                            if offset != state["cursor"]:
+                                self.stats.out_of_order_blocks += 1
+                            buffer[offset : offset + length] = payload
+                            state["cursor"] = offset + length
+                            self.stats.blocks_received += 1
+                            self.stats.data_bytes += length
+                        self.stats.block_header_bytes += BLOCK_HEADER.size
+                    if flags & EOF_FLAG:
+                        return
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                channel.close()
+
+        threads = [
+            threading.Thread(target=pull, args=(addr,), daemon=True) for addr in addresses
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        final = str(self._control.recv_until(b"\n", max_bytes=4096), "utf-8").strip()
+        self.stats.control_round_trips += 1  # the 226 completion line
+        if errors:
+            raise GridFTPError(f"data stream failed: {errors[0]}")
+        if not final.startswith("226"):
+            raise GridFTPError(f"transfer did not complete: {final}")
+        return bytes(buffer)

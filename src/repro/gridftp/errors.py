@@ -1,0 +1,5 @@
+"""Exception hierarchy for the GridFTP-like transfer service."""
+
+
+class GridFTPError(Exception):
+    """Base class for control- and data-channel protocol errors."""

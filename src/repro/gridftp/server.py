@@ -1,0 +1,229 @@
+"""GridFTP-like server: control channel + striped data senders.
+
+Protocol (after the :mod:`~repro.gridftp.auth` handshake), line-oriented
+like FTP::
+
+    C: SIZE <path>
+    S: 213 <bytes>                     | 550 <error>
+    C: RETR <path> <n_streams>
+    S: 150 <n> <data-addr-1> ... <data-addr-n>
+       (client connects each data address; server stripes blocks)
+    S: 226 Transfer complete           (on the control channel, at the end)
+    C: QUIT
+    S: 221 Goodbye
+
+Data block framing on each stream: ``offset:u64be  length:u32be  flags:u8``
+then ``length`` payload bytes; ``flags & 1`` marks the stream's final
+block (MODE E's EOF semantics).  Blocks are cut every ``block_size`` bytes
+and dealt round-robin over the streams, each stream sent by its own
+thread — so a multi-stream client genuinely observes interleaved,
+out-of-order arrivals.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Callable
+
+from repro.gridftp.auth import AuthenticationError, HostCredential, server_handshake
+from repro.gridftp.errors import GridFTPError
+from repro.transport.base import BufferedChannel, Channel, Listener, TransportError
+
+BLOCK_HEADER = struct.Struct(">QIB")
+EOF_FLAG = 0x01
+
+#: Default stripe block size (bytes); GridFTP deployments of the era used
+#: 64 KiB-1 MiB blocks — 256 KiB matches the netsim profile.
+DEFAULT_BLOCK_SIZE = 262144
+
+
+class GridFTPServer:
+    """Serve published byte blobs over the striped protocol.
+
+    Parameters
+    ----------
+    control_listener:
+        Listener for control-channel connections.
+    data_listener_factory:
+        ``() -> (address_string, Listener)`` — allocates one data-channel
+        rendezvous point.  For :class:`~repro.transport.MemoryNetwork` this
+        registers a name; for TCP it binds an ephemeral port.
+    credential:
+        Shared host credential for the GSI-style handshake.
+    """
+
+    def __init__(
+        self,
+        control_listener: Listener,
+        data_listener_factory: Callable[[], tuple[str, Listener]],
+        credential: HostCredential,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        name: str = "gridftp",
+    ) -> None:
+        self._control_listener = control_listener
+        self._data_listener_factory = data_listener_factory
+        self._credential = credential
+        self._block_size = block_size
+        self._name = name
+        self._store: dict[str, bytes] = {}
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+
+    def publish(self, path: str, data: bytes) -> None:
+        """Make a blob retrievable under ``path``."""
+        self._store[path] = bytes(data)
+
+    def unpublish(self, path: str) -> None:
+        self._store.pop(path, None)
+
+    def start(self) -> "GridFTPServer":
+        self._running = True
+        self._thread = threading.Thread(target=self._accept_loop, name=self._name, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._control_listener.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "GridFTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                channel = self._control_listener.accept()
+            except TransportError:
+                return
+            threading.Thread(
+                target=self._serve_control,
+                args=(channel,),
+                name=f"{self._name}-ctrl",
+                daemon=True,
+            ).start()
+
+    def _serve_control(self, raw_channel: Channel) -> None:
+        channel = BufferedChannel(raw_channel)
+        try:
+            try:
+                server_handshake(channel, self._credential)
+            except (AuthenticationError, TransportError):
+                return
+            while True:
+                try:
+                    line = channel.recv_until(b"\n", max_bytes=4096)
+                except TransportError:
+                    return
+                command = str(line, "utf-8").strip()
+                if not command:
+                    continue
+                verb, _, rest = command.partition(" ")
+                verb = verb.upper()
+                if verb == "QUIT":
+                    channel.send_all(b"221 Goodbye\n")
+                    return
+                if verb == "SIZE":
+                    self._cmd_size(channel, rest)
+                elif verb == "RETR":
+                    self._cmd_retr(channel, rest)
+                else:
+                    channel.send_all(f"500 Unknown command {verb}\n".encode())
+        finally:
+            raw_channel.close()
+
+    # ------------------------------------------------------------------
+
+    def _cmd_size(self, channel: BufferedChannel, path: str) -> None:
+        data = self._store.get(path.strip())
+        if data is None:
+            channel.send_all(f"550 No such file {path.strip()}\n".encode())
+            return
+        channel.send_all(f"213 {len(data)}\n".encode())
+
+    def _cmd_retr(self, channel: BufferedChannel, rest: str) -> None:
+        parts = rest.rsplit(" ", 1)
+        if len(parts) != 2:
+            channel.send_all(b"501 Usage: RETR <path> <n_streams>\n")
+            return
+        path, streams_text = parts[0].strip(), parts[1]
+        try:
+            n_streams = int(streams_text)
+        except ValueError:
+            channel.send_all(f"501 Bad stream count {streams_text!r}\n".encode())
+            return
+        if not 1 <= n_streams <= 64:
+            channel.send_all(b"501 Stream count must be in [1, 64]\n")
+            return
+        data = self._store.get(path)
+        if data is None:
+            channel.send_all(f"550 No such file {path}\n".encode())
+            return
+
+        rendezvous = [self._data_listener_factory() for _ in range(n_streams)]
+        addresses = " ".join(addr for addr, _listener in rendezvous)
+        channel.send_all(f"150 {n_streams} {addresses}\n".encode())
+
+        senders: list[threading.Thread] = []
+        failures: list[Exception] = []
+        for stream_index, (_addr, listener) in enumerate(rendezvous):
+            thread = threading.Thread(
+                target=self._send_stream,
+                args=(listener, data, stream_index, n_streams, failures),
+                name=f"{self._name}-data-{stream_index}",
+                daemon=True,
+            )
+            thread.start()
+            senders.append(thread)
+        for thread in senders:
+            thread.join(timeout=60)
+        if failures:
+            channel.send_all(f"426 Transfer failed: {failures[0]}\n".encode())
+        else:
+            channel.send_all(b"226 Transfer complete\n")
+
+    def _send_stream(
+        self,
+        listener: Listener,
+        data: bytes,
+        stream_index: int,
+        n_streams: int,
+        failures: list,
+    ) -> None:
+        try:
+            channel = listener.accept()
+        except TransportError as exc:
+            failures.append(exc)
+            listener.close()
+            return
+        try:
+            block_size = self._block_size
+            n_blocks = max(1, -(-len(data) // block_size))
+            # round-robin deal: stream k sends blocks k, k+n, k+2n, ...
+            my_blocks = range(stream_index, n_blocks, n_streams)
+            sent_any = False
+            blocks = list(my_blocks)
+            for position, block_index in enumerate(blocks):
+                offset = block_index * block_size
+                payload = data[offset : offset + block_size]
+                flags = EOF_FLAG if position == len(blocks) - 1 else 0
+                header = BLOCK_HEADER.pack(offset, len(payload), flags)
+                channel.send_all(header + payload)
+                sent_any = True
+            if not sent_any:
+                channel.send_all(BLOCK_HEADER.pack(0, 0, EOF_FLAG))
+        except TransportError as exc:
+            failures.append(exc)
+        finally:
+            channel.close()
+            listener.close()

@@ -1,0 +1,113 @@
+"""Extension experiment: the LAN→WAN crossover as a continuous RTT sweep.
+
+Figures 5 and 6 are two points of an implicit curve: at 0.2 ms RTT the
+unified BXSA/TCP scheme wins and GridFTP parallelism hurts; at 5.75 ms the
+parallel streams win.  Somewhere in between, the per-stream window limit
+(``window / RTT``) falls below the path capacity and multi-stream transfer
+starts paying off — this sweep locates that crossover and verifies it
+matches the first-order prediction::
+
+    RTT* ≈ window / capacity        (here 24 KiB / 11.8 MB/s ≈ 2.1 ms)
+
+Everything else (auth cost, disk charges, measured CPU) is held at the
+Figure 5/6 configuration; only the link RTT varies, interpolating the
+paper's two testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
+from repro.harness.runners import (
+    SCHEME_BXSA_TCP,
+    SCHEME_SOAP_GRIDFTP,
+    run_scheme,
+)
+from repro.netsim import WAN
+from repro.workloads.lead import lead_dataset
+
+#: RTTs interpolating the paper's 0.2 ms LAN and 5.75 ms WAN (seconds).
+DEFAULT_RTTS = [0.0002, 0.0005, 0.001, 0.002, 0.004, 0.00575, 0.01]
+
+#: Figure 5/6's largest dataset: where bandwidth effects dominate.
+MODEL_SIZE = 5_591_040
+
+
+def predicted_crossover_rtt(profile=WAN) -> float:
+    """First-order prediction: the RTT where one window-limited stream can
+    no longer fill the path."""
+    return profile.per_stream_window / profile.capacity
+
+
+def run(rtts: list[float] | None = None, model_size: int = MODEL_SIZE, seed: int = 0) -> ExperimentResult:
+    rtts = rtts if rtts is not None else DEFAULT_RTTS
+    dataset = lead_dataset(model_size, seed)
+    series: dict[str, list[float]] = {SCHEME_BXSA_TCP: [], f"{SCHEME_SOAP_GRIDFTP}(16)": []}
+    for rtt in rtts:
+        profile = replace(WAN, name=f"rtt={rtt * 1e3:g}ms", rtt=rtt)
+        series[SCHEME_BXSA_TCP].append(
+            run_scheme(SCHEME_BXSA_TCP, dataset, profile, repeats=3).bandwidth_pairs_per_sec
+        )
+        series[f"{SCHEME_SOAP_GRIDFTP}(16)"].append(
+            run_scheme(
+                SCHEME_SOAP_GRIDFTP, dataset, profile, n_streams=16, repeats=3
+            ).bandwidth_pairs_per_sec
+        )
+
+    columns, rows = render_series_table(
+        "rtt (ms)", [f"{r * 1e3:g}" for r in rtts], series, value_format="{:.3g}"
+    )
+
+    bxsa = series[SCHEME_BXSA_TCP]
+    g16 = series[f"{SCHEME_SOAP_GRIDFTP}(16)"]
+    # measured crossover: first RTT where GridFTP(16) wins
+    crossover_index = next((i for i in range(len(rtts)) if g16[i] > bxsa[i]), None)
+    predicted = predicted_crossover_rtt()
+
+    checks = [
+        ShapeCheck(
+            "BXSA/TCP wins at the LAN end of the sweep",
+            g16[0] < bxsa[0],
+            f"at {rtts[0] * 1e3:g}ms: BXSA {bxsa[0] / 1e3:.0f}K vs 16str {g16[0] / 1e3:.0f}K",
+        ),
+        ShapeCheck(
+            "GridFTP(16) wins at the WAN end of the sweep",
+            g16[-1] > bxsa[-1],
+            f"at {rtts[-1] * 1e3:g}ms: BXSA {bxsa[-1] / 1e3:.0f}K vs 16str {g16[-1] / 1e3:.0f}K",
+        ),
+        ShapeCheck(
+            "a single crossover exists and sits near the window/capacity "
+            f"prediction ({predicted * 1e3:.1f}ms)",
+            crossover_index is not None
+            and rtts[max(crossover_index - 1, 0)] <= 4 * predicted
+            and rtts[crossover_index] >= predicted / 4,
+            (
+                f"measured between {rtts[crossover_index - 1] * 1e3:g}ms and "
+                f"{rtts[crossover_index] * 1e3:g}ms"
+                if crossover_index
+                else "no crossover observed"
+            ),
+        ),
+        ShapeCheck(
+            "BXSA/TCP degrades with RTT once window-limited: flat (within "
+            "noise) before the crossover, strictly falling after",
+            all(bxsa[i] >= bxsa[i + 1] * 0.93 for i in range(len(bxsa) - 1))
+            and bxsa[-1] < 0.5 * max(bxsa),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Extension B",
+        title=f"RTT sweep at model size {model_size}: where parallelism starts to pay",
+        columns=columns,
+        rows=rows,
+        checks=checks,
+        notes=[
+            "interpolates Figures 5 and 6 between the paper's two testbeds; "
+            "all non-RTT parameters held at the WAN profile",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

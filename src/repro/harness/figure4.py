@@ -1,0 +1,101 @@
+"""Figure 4: LAN message response time, small datasets (model size 0→1000).
+
+Paper's observations, each encoded as a shape check:
+
+* "SOAP over BXSA/TCP achieves superior performance over other schemes";
+* XML/HTTP "performs well when the message is fairly small, but as the
+  size of the message increases [...] is even more expensive than the
+  separated solution, namely SOAP with HTTP data channel" — a crossover;
+* SOAP+HTTP pays "two separated communication channels and extra disk
+  I/O" — a fixed offset above the unified schemes;
+* "The high response time by the SOAP with GridFTP data channel scheme is
+  due to the expensive authentication and the SSL handshake [...] GridFTP
+  is unsuitable for the small message cases" — a large flat floor.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
+from repro.harness.runners import (
+    SCHEME_BXSA_TCP,
+    SCHEME_SOAP_GRIDFTP,
+    SCHEME_SOAP_HTTP_CHANNEL,
+    SCHEME_XML_HTTP,
+    run_scheme,
+)
+from repro.netsim import LAN
+from repro.workloads.lead import lead_dataset
+
+#: The paper's x axis: model size 0 to 1000.
+DEFAULT_SIZES = [0, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+
+SCHEMES = [
+    SCHEME_BXSA_TCP,
+    SCHEME_XML_HTTP,
+    SCHEME_SOAP_HTTP_CHANNEL,
+    SCHEME_SOAP_GRIDFTP,
+]
+
+
+def run(sizes: list[int] | None = None, profile=LAN, seed: int = 0) -> ExperimentResult:
+    sizes = sizes if sizes is not None else DEFAULT_SIZES
+    series: dict[str, list[float]] = {scheme: [] for scheme in SCHEMES}
+    for size in sizes:
+        dataset = lead_dataset(size, seed)
+        for scheme in SCHEMES:
+            result = run_scheme(scheme, dataset, profile)
+            series[scheme].append(result.response_time * 1e6)  # microseconds
+
+    columns, rows = render_series_table(
+        "model size", sizes, series, value_format="{:.0f}"
+    )
+
+    last = {scheme: series[scheme][-1] for scheme in SCHEMES}
+    first_nonzero = {scheme: series[scheme][1 if len(sizes) > 1 else 0] for scheme in SCHEMES}
+    gridftp_span = max(series[SCHEME_SOAP_GRIDFTP]) / max(min(series[SCHEME_SOAP_GRIDFTP]), 1e-9)
+
+    checks = [
+        ShapeCheck(
+            "BXSA/TCP is the fastest scheme at every size",
+            all(
+                series[SCHEME_BXSA_TCP][i] <= min(series[s][i] for s in SCHEMES)
+                for i in range(len(sizes))
+            ),
+        ),
+        ShapeCheck(
+            "XML/HTTP beats the separated schemes at small sizes",
+            first_nonzero[SCHEME_XML_HTTP] < first_nonzero[SCHEME_SOAP_HTTP_CHANNEL]
+            and first_nonzero[SCHEME_XML_HTTP] < first_nonzero[SCHEME_SOAP_GRIDFTP],
+            f"{first_nonzero[SCHEME_XML_HTTP]:.0f}us vs "
+            f"{first_nonzero[SCHEME_SOAP_HTTP_CHANNEL]:.0f}us (HTTP) at n={sizes[1] if len(sizes) > 1 else sizes[0]}",
+        ),
+        ShapeCheck(
+            "XML/HTTP grows past SOAP+HTTP by model size 1000 (crossover)",
+            last[SCHEME_XML_HTTP] > last[SCHEME_SOAP_HTTP_CHANNEL],
+            f"{last[SCHEME_XML_HTTP]:.0f}us vs {last[SCHEME_SOAP_HTTP_CHANNEL]:.0f}us at n={sizes[-1]}",
+        ),
+        ShapeCheck(
+            "GridFTP is flat (auth-dominated: <1.15x across the sweep) and worst",
+            gridftp_span < 1.15
+            and all(
+                series[SCHEME_SOAP_GRIDFTP][i] >= max(series[s][i] for s in SCHEMES)
+                for i in range(len(sizes))
+            ),
+            f"span {gridftp_span:.2f}x, floor {min(series[SCHEME_SOAP_GRIDFTP]) / 1e3:.0f}ms",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Figure 4",
+        title=f"Message response time, small datasets ({profile.name}), microseconds",
+        columns=columns,
+        rows=rows,
+        checks=checks,
+        notes=[
+            "response time = measured CPU (this machine) + modelled wire time "
+            f"({profile.name}: rtt={profile.rtt * 1e3:g}ms)",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

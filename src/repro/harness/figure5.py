@@ -1,0 +1,150 @@
+"""Figure 5: LAN bandwidth with large datasets (model size 1365 → 5591040).
+
+The paper's sweep quadruples the model size from 1365 (16 KB of BXSA) to
+5591040 (64 MB) and reports bandwidth = model size / response time in
+(double,int) pairs per second.  Observations reproduced as shape checks:
+
+* "the SOAP over BXSA/TCP scheme still shows the best performance [...]
+  saturated at 960K pairs [...] almost reached the maximum transfer rate
+  for a single untuned TCP stream";
+* "The SOAP with HTTP data channel is a little bit slower [...] due to the
+  extra disk I/O enforced by the netCDF library";
+* "The SOAP with GridFTP data channel begins to match the above two
+  schemes; the overhead of the security is amortized as the message size
+  increases";
+* "over a LAN the parallelism in GridFTP provides little additional
+  benefit, and indeed somewhat degrades performance";
+* "SOAP over XML/HTTP scheme lost the game at the very beginning".
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
+from repro.harness.runners import (
+    SCHEME_BXSA_TCP,
+    SCHEME_SOAP_GRIDFTP,
+    SCHEME_SOAP_HTTP_CHANNEL,
+    SCHEME_XML_HTTP,
+    run_scheme,
+)
+from repro.netsim import LAN
+from repro.netsim.tcpmodel import steady_bandwidth
+from repro.workloads.lead import lead_dataset
+
+#: The paper's x axis: 1365 × 4^k up to 5591040 (16 KB → 64 MB of BXSA).
+DEFAULT_SIZES = [1365, 5460, 21840, 87360, 349440, 1397760, 5591040]
+
+#: Figure 5's six series.
+SERIES = [
+    (SCHEME_BXSA_TCP, {}),
+    (SCHEME_SOAP_HTTP_CHANNEL, {}),
+    (SCHEME_SOAP_GRIDFTP, {"n_streams": 1}),
+    (SCHEME_SOAP_GRIDFTP, {"n_streams": 4}),
+    (SCHEME_SOAP_GRIDFTP, {"n_streams": 16}),
+    (SCHEME_XML_HTTP, {}),
+]
+
+
+def _series_label(scheme: str, kwargs: dict) -> str:
+    if "n_streams" in kwargs:
+        return f"{scheme}({kwargs['n_streams']})"
+    return scheme
+
+
+def run(
+    sizes: list[int] | None = None,
+    profile=LAN,
+    seed: int = 0,
+    *,
+    xml_size_cap: int | None = None,
+) -> ExperimentResult:
+    """Regenerate the figure.  ``xml_size_cap`` optionally truncates the
+    (very slow, known-to-lose) XML/HTTP series at a given model size for
+    quicker runs; uncapped by default."""
+    sizes = sizes if sizes is not None else DEFAULT_SIZES
+    series: dict[str, list[float]] = {_series_label(s, k): [] for s, k in SERIES}
+    for size in sizes:
+        dataset = lead_dataset(size, seed)
+        for scheme, kwargs in SERIES:
+            label = _series_label(scheme, kwargs)
+            if (
+                scheme == SCHEME_XML_HTTP
+                and xml_size_cap is not None
+                and size > xml_size_cap
+            ):
+                continue
+            result = run_scheme(scheme, dataset, profile, **kwargs)
+            series[label].append(result.bandwidth_pairs_per_sec)
+
+    columns, rows = render_series_table(
+        "model size", sizes, series, value_format="{:.3g}"
+    )
+
+    bxsa = series[SCHEME_BXSA_TCP]
+    http_sep = series[SCHEME_SOAP_HTTP_CHANNEL]
+    g1 = series[f"{SCHEME_SOAP_GRIDFTP}(1)"]
+    g4 = series[f"{SCHEME_SOAP_GRIDFTP}(4)"]
+    g16 = series[f"{SCHEME_SOAP_GRIDFTP}(16)"]
+    xml = series[SCHEME_XML_HTTP]
+    stream_pairs_per_sec = steady_bandwidth(profile, 1) / 12.0
+
+    checks = [
+        ShapeCheck(
+            "BXSA/TCP is the best scheme at every size",
+            all(
+                bxsa[i] >= max(v[i] for v in (http_sep, g1, g4, g16))
+                and (i >= len(xml) or bxsa[i] >= xml[i])
+                for i in range(len(sizes))
+            ),
+        ),
+        ShapeCheck(
+            "BXSA/TCP saturates near the single-stream limit "
+            f"(paper: ~960K pairs/s; model limit {stream_pairs_per_sec / 1e3:.0f}K)",
+            bxsa[-1] >= 0.75 * stream_pairs_per_sec,
+            f"measured {bxsa[-1] / 1e3:.0f}K pairs/s at n={sizes[-1]}",
+        ),
+        ShapeCheck(
+            "SOAP+HTTP trails BXSA/TCP slightly at the large end (disk I/O)",
+            0.55 * bxsa[-1] <= http_sep[-1] < bxsa[-1],
+            f"{http_sep[-1] / 1e3:.0f}K vs {bxsa[-1] / 1e3:.0f}K pairs/s",
+        ),
+        ShapeCheck(
+            "GridFTP amortizes auth: its bandwidth rises steeply with size "
+            "and converges to SOAP+HTTP's neighbourhood (±15%) at 64 MB",
+            all(g1[i] <= g1[i + 1] * 1.10 for i in range(len(g1) - 1))
+            and 0.6 * http_sep[-1] <= g1[-1] <= 1.15 * http_sep[-1],
+            f"GridFTP(1) {g1[-1] / 1e3:.0f}K vs SOAP+HTTP {http_sep[-1] / 1e3:.0f}K",
+        ),
+        ShapeCheck(
+            "LAN parallelism does not help GridFTP (16 streams ≤ 1 stream)",
+            g16[-1] <= g1[-1] and g4[-1] <= 1.05 * g1[-1],
+            f"1str {g1[-1] / 1e3:.0f}K, 4str {g4[-1] / 1e3:.0f}K, 16str {g16[-1] / 1e3:.0f}K",
+        ),
+        ShapeCheck(
+            "XML/HTTP loses from the very beginning: far below the unified "
+            "and HTTP schemes everywhere, and worst overall once GridFTP's "
+            "fixed auth cost is amortized (≥ 87360)",
+            all(xml[i] < 0.5 * min(bxsa[i], http_sep[i]) for i in range(len(xml)))
+            and all(
+                xml[i] <= min(g1[i], g4[i], g16[i])
+                for i in range(len(xml))
+                if sizes[i] >= 87360
+            ),
+            f"XML {xml[-1] / 1e3:.1f}K pairs/s at its largest measured size",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Figure 5",
+        title=f"Invocation bandwidth, large datasets ({profile.name}), (double,int) pairs/second",
+        columns=columns,
+        rows=rows,
+        checks=checks,
+        notes=[
+            "bandwidth = model size / response time; response time = measured "
+            f"CPU + modelled wire time ({profile.name})",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,52 @@
+"""Wire-overhead accounting: exact framing bytes per protocol leg.
+
+Rather than guessing header sizes, these helpers *build* the real protocol
+messages with the project's own codecs and measure them — so the modelled
+wire time is fed the same byte counts the live stack puts on a channel.
+"""
+
+from __future__ import annotations
+
+from repro.transport.http.messages import HttpRequest, HttpResponse
+from repro.transport.tcp_binding import write_message
+
+
+class _CountingChannel:
+    def __init__(self) -> None:
+        self.sent = 0
+
+    def send_all(self, data: bytes) -> None:
+        self.sent += len(data)
+
+
+def tcp_message_bytes(payload_size: int, content_type: str) -> int:
+    """On-the-wire size of one TCP-binding SOAP message."""
+    sink = _CountingChannel()
+    write_message(sink, b"", content_type)  # header bytes are payload-independent
+    return sink.sent + payload_size
+
+
+def http_post_bytes(payload_size: int, content_type: str, target: str = "/soap") -> int:
+    """On-the-wire size of a SOAP POST request (headers built for real)."""
+    request = HttpRequest("POST", target)
+    request.headers.set("Host", "localhost")
+    request.headers.set("Content-Type", content_type)
+    request.headers.set("SOAPAction", '""')
+    request.headers.set("Content-Length", str(payload_size))
+    return len(request.to_bytes()) + payload_size
+
+
+def http_response_bytes(payload_size: int, content_type: str) -> int:
+    """On-the-wire size of an HTTP response carrying ``payload_size``."""
+    response = HttpResponse(200)
+    response.headers.set("Content-Type", content_type)
+    response.headers.set("Connection", "keep-alive")
+    response.headers.set("Content-Length", str(payload_size))
+    return len(response.to_bytes()) + payload_size
+
+
+def http_get_bytes(target: str, host: str = "datahost") -> int:
+    """On-the-wire size of the separated scheme's GET request."""
+    request = HttpRequest("GET", target)
+    request.headers.set("Host", host)
+    return len(request.to_bytes())

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment module produces an :class:`ExperimentResult` — an id, a
+headline, column labels, rows, and the list of *shape checks* (the
+qualitative claims from the paper the reproduction is expected to hold) —
+which renders to the fixed-width tables printed by the benchmarks and
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative expectation from the paper, evaluated on our data."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        line = f"  [{mark}] {self.description}"
+        if self.detail:
+            line += f" — {self.detail}"
+        return line
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table or figure plus its shape verdicts."""
+
+    experiment_id: str  #: e.g. "Table 1", "Figure 5"
+    title: str
+    columns: list[str]
+    rows: list[list[str]]
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(render_table(self.columns, self.rows))
+        if self.checks:
+            lines.append("shape checks vs the paper:")
+            lines.extend(check.render() for check in self.checks)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def render_table(columns: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width table with a header rule; all cells pre-stringified."""
+    table = [list(map(str, columns))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(columns))]
+
+    def fmt(row):
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    out = [fmt(table[0]), "  ".join("-" * w for w in widths)]
+    out.extend(fmt(row) for row in table[1:])
+    return "\n".join(out)
+
+
+def render_series_table(
+    x_label: str,
+    x_values: list,
+    series: dict[str, list[float]],
+    value_format: str = "{:.3g}",
+) -> tuple[list[str], list[list[str]]]:
+    """Figure data as (columns, rows): one x column + one column per curve."""
+    columns = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [str(x)]
+        for name in series:
+            value = series[name][i] if i < len(series[name]) else None
+            row.append("-" if value is None else value_format.format(value))
+        rows.append(row)
+    return columns, rows

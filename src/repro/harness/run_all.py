@@ -1,0 +1,129 @@
+"""Regenerate every experiment and write EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.harness.run_all [output-path]
+
+Runs Table 1 and Figures 4-6 with the paper's full parameter sweeps,
+prints each rendered result, and writes the paper-vs-measured record to
+``EXPERIMENTS.md`` (or the given path).
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+from repro.harness import (
+    extension_attachments,
+    extension_rtt,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+)
+from repro.harness.calibration import cpu_scale
+from repro.harness.report import ExperimentResult
+
+#: The paper's own numbers, quoted next to ours in the output.
+PAPER_CONTEXT = {
+    "Table 1": (
+        "(model size 1000): native 12000 B (0%), BXSA 12156 B (+1.3%), "
+        "netCDF 12268 B (+2.2%), XML 1.0 23896 B (+99.1%)."
+    ),
+    "Figure 4": (
+        "(LAN, 0.2 ms RTT): BXSA/TCP lowest and almost flat; XML/HTTP "
+        "cheap when tiny but rising past SOAP+HTTP before model size 1000; "
+        "SOAP+HTTP a fixed offset above the unified schemes; SOAP+GridFTP "
+        "flat near 0.25 s, dominated by authentication."
+    ),
+    "Figure 5": (
+        "(LAN): BXSA/TCP best throughout, saturating at ~960K pairs/s "
+        "(a single untuned TCP stream); SOAP+HTTP slightly lower (netCDF "
+        "disk I/O); GridFTP converging as auth amortizes, with parallel "
+        "streams slightly *hurting* on the LAN; XML/HTTP near zero."
+    ),
+    "Figure 6": (
+        "(WAN, 5.75 ms RTT): ordering partially flips — GridFTP's "
+        "16 parallel streams escape the single-stream window limit and win "
+        "at the large end, while BXSA/TCP and SOAP+HTTP sit together at the "
+        "single-stream ceiling."
+    ),
+    "Extension A": (
+        "(§6 footnote 1, asserted without measurement): the attachment "
+        "solution 'in terms of performance should be close to SOAP with "
+        "HTTP data channel'.  We test both packaging variants of the era."
+    ),
+    "Extension B": (
+        "(implicit in the paper): Figures 5 and 6 are two points of one curve; "
+        "the crossover RTT should sit near window/capacity."
+    ),
+}
+
+
+def run_all() -> list[ExperimentResult]:
+    results = [
+        table1.run(),
+        figure4.run(),
+        figure5.run(),
+        figure6.run(),
+        extension_attachments.run(),
+        extension_rtt.run(),
+    ]
+    return results
+
+
+def to_markdown(results: list[ExperimentResult]) -> str:
+    lines = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Regenerated with `python -m repro.harness.run_all` "
+        "(equivalently: `pytest benchmarks/ --benchmark-only`).",
+        "",
+        "Methodology: response time = **measured CPU** (real codecs, netCDF,",
+        "verification and file handling on this machine, median of repeats,",
+        f"scaled by the CPU-era factor {cpu_scale():g} — see",
+        "`repro/harness/calibration.py`) + **modelled wire/disk time**",
+        "(`repro.netsim`, parameterized with the paper's RTTs and era-",
+        "plausible capacities; every constant documented in",
+        "`repro/netsim/profiles.py`).  Absolute numbers are therefore not",
+        "comparable to the paper's testbed; the *shape checks* under each",
+        "table encode the comparisons that are.",
+        "",
+        f"Environment: Python {platform.python_version()}, {platform.machine()}.",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        lines.append("")
+        context = PAPER_CONTEXT.get(result.experiment_id)
+        if context:
+            lines.append(f"**Paper:** {context}")
+            lines.append("")
+        lines.append("**Measured:**")
+        lines.append("")
+        lines.append("```text")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append("")
+        verdict = "all shape checks PASS" if result.all_checks_pass else "SHAPE CHECK FAILURES — see above"
+        lines.append(f"**Verdict:** {verdict}.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    output = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
+    results = run_all()
+    for result in results:
+        print(result.render())
+        print()
+    markdown = to_markdown(results)
+    with open(output, "w") as fh:
+        fh.write(markdown)
+    print(f"wrote {output}")
+    return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

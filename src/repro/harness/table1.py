@@ -1,0 +1,90 @@
+"""Table 1: serialization size of the binary dataset, model size 1000.
+
+Paper's numbers::
+
+    Format                  Size (bytes)   Overhead
+    Native representation   12000          0%
+    BXSA                    12156          1.3%
+    netCDF                  12268          2.2%
+    XML 1.0                 23896          99.1%
+
+"XML encoding introduces 99% encoding overhead even if it is namespace
+free and uses the shortest [tag] name of each element in the array.
+Moreover the overhead of XML encoding is linearly proportional to the
+model size."  Both claims are checked.
+"""
+
+from __future__ import annotations
+
+from repro.bxsa.encoder import encode as bxsa_encode
+from repro.harness.report import ExperimentResult, ShapeCheck
+from repro.netcdf.writer import write_dataset_bytes
+from repro.workloads.lead import lead_dataset
+from repro.xmlcodec.serializer import serialize
+
+
+def measure_sizes(model_size: int, seed: int = 0) -> dict[str, int]:
+    """Serialized sizes of one dataset under every format."""
+    dataset = lead_dataset(model_size, seed)
+    doc = dataset.to_document()
+    return {
+        "Native representation": dataset.native_bytes,
+        "BXSA": len(bxsa_encode(doc)),
+        "netCDF": len(write_dataset_bytes(dataset.to_netcdf())),
+        # the paper's setup: namespace-free, shortest tag names, no types
+        "XML 1.0": len(serialize(doc, emit_types=False).encode()),
+    }
+
+
+def run(model_size: int = 1000, seed: int = 0) -> ExperimentResult:
+    sizes = measure_sizes(model_size, seed)
+    native = sizes["Native representation"]
+
+    def overhead(size: int) -> float:
+        return (size - native) / native
+
+    rows = [
+        [name, str(size), f"{overhead(size) * 100:.1f}%"]
+        for name, size in sizes.items()
+    ]
+
+    # linearity of XML overhead in model size
+    small = measure_sizes(max(10, model_size // 10), seed)
+    small_native = small["Native representation"]
+    small_ovh = (small["XML 1.0"] - small_native) / small_native
+    big_ovh = overhead(sizes["XML 1.0"])
+
+    checks = [
+        ShapeCheck(
+            "BXSA overhead is small single-digit % (paper: 1.3%)",
+            0.0 <= overhead(sizes["BXSA"]) < 0.05,
+            f"measured {overhead(sizes['BXSA']) * 100:.1f}%",
+        ),
+        ShapeCheck(
+            "netCDF overhead is small single-digit % (paper: 2.2%)",
+            0.0 <= overhead(sizes["netCDF"]) < 0.05,
+            f"measured {overhead(sizes['netCDF']) * 100:.1f}%",
+        ),
+        ShapeCheck(
+            "XML 1.0 overhead is ≈ +99% (band 60-140%)",
+            0.60 <= big_ovh <= 1.40,
+            f"measured {big_ovh * 100:.1f}%",
+        ),
+        ShapeCheck(
+            "XML overhead is ~linear in model size (ratio stable ±20%)",
+            abs(big_ovh - small_ovh) <= 0.2 * max(big_ovh, small_ovh),
+            f"{small_ovh * 100:.1f}% at n={max(10, model_size // 10)} vs "
+            f"{big_ovh * 100:.1f}% at n={model_size}",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Table 1",
+        title=f"Serialization size of the binary data set (model size = {model_size})",
+        columns=["Format", "Size (bytes)", "Overhead"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

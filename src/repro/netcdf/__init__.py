@@ -1,0 +1,33 @@
+"""A from-scratch netCDF-3 (classic format) reader and writer.
+
+The paper's "separated solution" stores binary data in netCDF files pulled
+over HTTP or GridFTP; this package implements the on-disk classic format
+(CDF-1, and CDF-2 64-bit offsets) well enough to round-trip the
+evaluation's datasets and anything similar: fixed-size dimensions,
+variables of the six external types, global and per-variable attributes.
+
+The unlimited (record) dimension is intentionally unsupported — the
+evaluation never uses it — and is rejected loudly on read rather than
+misparsed.
+
+The layout follows the classic format specification: a big-endian header
+(magic, dimension/attribute/variable lists with 4-byte-aligned names and
+values) followed by each variable's data at its recorded ``begin`` offset,
+padded to 4-byte boundaries.
+"""
+
+from repro.netcdf.errors import NetCDFError, NetCDFFormatError
+from repro.netcdf.model import Dataset, Variable
+from repro.netcdf.reader import read_dataset, read_dataset_bytes
+from repro.netcdf.writer import write_dataset, write_dataset_bytes
+
+__all__ = [
+    "Dataset",
+    "NetCDFError",
+    "NetCDFFormatError",
+    "Variable",
+    "read_dataset",
+    "read_dataset_bytes",
+    "write_dataset",
+    "write_dataset_bytes",
+]

@@ -1,0 +1,10 @@
+"""Exception hierarchy for the netCDF codec."""
+
+
+class NetCDFError(Exception):
+    """Base class for netCDF codec errors."""
+
+
+class NetCDFFormatError(NetCDFError):
+    """The byte stream is not a classic-format netCDF file this codec
+    supports (bad magic, truncation, unknown tags, record dimensions)."""

@@ -1,0 +1,76 @@
+"""Classic netCDF format constants and low-level helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netcdf.errors import NetCDFFormatError
+
+MAGIC = b"CDF"
+VERSION_CLASSIC = 1  # 32-bit offsets (CDF-1)
+VERSION_64BIT = 2  # 64-bit offsets (CDF-2)
+
+# header list tags
+ZERO = 0x00
+NC_DIMENSION = 0x0A
+NC_VARIABLE = 0x0B
+NC_ATTRIBUTE = 0x0C
+
+# external data types
+NC_BYTE = 1
+NC_CHAR = 2
+NC_SHORT = 3
+NC_INT = 4
+NC_FLOAT = 5
+NC_DOUBLE = 6
+
+#: nc_type → (numpy dtype [big-endian, as stored], element size)
+NC_DTYPES: dict[int, np.dtype] = {
+    NC_BYTE: np.dtype(">i1"),
+    NC_CHAR: np.dtype("S1"),
+    NC_SHORT: np.dtype(">i2"),
+    NC_INT: np.dtype(">i4"),
+    NC_FLOAT: np.dtype(">f4"),
+    NC_DOUBLE: np.dtype(">f8"),
+}
+
+_NC_TYPE_BY_KIND = {
+    "i1": NC_BYTE,
+    "u1": NC_BYTE,  # stored as signed bytes, classic-format convention
+    "i2": NC_SHORT,
+    "i4": NC_INT,
+    "f4": NC_FLOAT,
+    "f8": NC_DOUBLE,
+    "S1": NC_CHAR,
+}
+
+
+def nc_type_for_dtype(dtype) -> int:
+    """Map a numpy dtype to its external nc_type (width-widening where the
+    classic format lacks the exact type, e.g. i8 → error, u2 → NC_INT)."""
+    dt = np.dtype(dtype)
+    key = dt.kind + str(dt.itemsize) if dt.kind != "S" else "S1"
+    if key in _NC_TYPE_BY_KIND:
+        return _NC_TYPE_BY_KIND[key]
+    if key == "u2":
+        return NC_INT
+    raise NetCDFFormatError(
+        f"dtype {dt!r} has no classic netCDF external type (64-bit integers "
+        f"and unsigned 32/64-bit are not representable in CDF-1/2)"
+    )
+
+
+def element_size(nc_type: int) -> int:
+    try:
+        return NC_DTYPES[nc_type].itemsize
+    except KeyError:
+        raise NetCDFFormatError(f"unknown nc_type {nc_type}") from None
+
+
+def padded(nbytes: int) -> int:
+    """Round up to the 4-byte boundary the format requires."""
+    return (nbytes + 3) & ~3
+
+
+def pad_bytes(nbytes: int) -> bytes:
+    return b"\x00" * (padded(nbytes) - nbytes)

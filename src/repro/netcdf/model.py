@@ -1,0 +1,85 @@
+"""In-memory model of a classic netCDF dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netcdf.errors import NetCDFError
+
+
+@dataclass
+class Variable:
+    """One netCDF variable: named dimensions + attributes + data array.
+
+    ``data`` must have one axis per dimension name, matching the dataset's
+    dimension lengths.
+    """
+
+    name: str
+    dimensions: tuple[str, ...]
+    data: np.ndarray
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+
+class Dataset:
+    """A classic netCDF dataset: dimensions, global attributes, variables."""
+
+    def __init__(self) -> None:
+        self.dimensions: dict[str, int] = {}
+        self.attributes: dict[str, object] = {}
+        self.variables: dict[str, Variable] = {}
+
+    # ------------------------------------------------------------------
+
+    def create_dimension(self, name: str, length: int) -> None:
+        if name in self.dimensions:
+            raise NetCDFError(f"dimension {name!r} already exists")
+        if length is None or length <= 0:
+            raise NetCDFError(
+                f"dimension {name!r}: only fixed positive lengths are supported "
+                f"(the unlimited dimension is out of scope)"
+            )
+        self.dimensions[name] = int(length)
+
+    def create_variable(
+        self,
+        name: str,
+        data: np.ndarray,
+        dimensions: tuple[str, ...] | list[str],
+        attributes: dict[str, object] | None = None,
+    ) -> Variable:
+        """Add a variable, auto-creating any missing dimensions from its shape."""
+        if name in self.variables:
+            raise NetCDFError(f"variable {name!r} already exists")
+        arr = np.asarray(data)
+        dims = tuple(dimensions)
+        if arr.ndim != len(dims):
+            raise NetCDFError(
+                f"variable {name!r}: {arr.ndim}-D data with {len(dims)} dimensions"
+            )
+        for dim_name, axis_len in zip(dims, arr.shape):
+            if dim_name in self.dimensions:
+                if self.dimensions[dim_name] != axis_len:
+                    raise NetCDFError(
+                        f"variable {name!r}: axis {dim_name!r} has length "
+                        f"{axis_len}, dimension is {self.dimensions[dim_name]}"
+                    )
+            else:
+                self.create_dimension(dim_name, axis_len)
+        var = Variable(name, dims, arr, dict(attributes or {}))
+        self.variables[name] = var
+        return var
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Dataset dims={self.dimensions} "
+            f"vars={[v.name for v in self.variables.values()]}>"
+        )

@@ -1,0 +1,65 @@
+"""Labelled time accounting for hybrid measured+modelled experiments.
+
+A :class:`TimeBreakdown` accumulates named time segments — some measured
+with ``perf_counter`` around real code, some produced by the TCP model —
+and reports both the total and the per-label split, so every number in
+EXPERIMENTS.md can be decomposed (e.g. "how much of the XML/HTTP response
+time is float→ASCII conversion?").
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class TimeBreakdown:
+    """Ordered mapping of label → seconds, with measure/charge helpers."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def charge(self, label: str, seconds: float) -> None:
+        """Add modelled time under a label."""
+        if seconds < 0:
+            raise ValueError(f"negative time charge {seconds} for {label!r}")
+        self._segments[label] = self._segments.get(label, 0.0) + seconds
+
+    @contextmanager
+    def measure(self, label: str):
+        """Measure the wall time of a real code block under a label."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge(label, time.perf_counter() - start)
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        for label, seconds in other._segments.items():
+            self.charge(label, seconds)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        return sum(self._segments.values())
+
+    def get(self, label: str) -> float:
+        return self._segments.get(label, 0.0)
+
+    def items(self):
+        return list(self._segments.items())
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """A copy with every segment multiplied by ``factor`` (used to
+        average repeated measured runs)."""
+        out = TimeBreakdown()
+        for label, seconds in self._segments.items():
+            out._segments[label] = seconds * factor
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v * 1e3:.3f}ms" for k, v in self._segments.items())
+        return f"<TimeBreakdown total={self.total * 1e3:.3f}ms {parts}>"

@@ -1,0 +1,156 @@
+"""First-order TCP transfer-time model.
+
+The model captures the four effects the paper's Figures 4-6 hinge on:
+
+1. **propagation** — every exchange pays RTT-scale latency, so tiny
+   messages are latency-bound (Figure 4);
+2. **slow start** — the congestion window doubles each RTT from a small
+   initial value, so medium transfers do not instantly see full bandwidth;
+3. **window limit** — an untuned stream can never exceed ``window / RTT``,
+   the WAN ceiling single-stream schemes hit in Figure 6;
+4. **shared capacity & parallel streams** — n streams split the bottleneck
+   with a small efficiency loss, plus a receiver reorder ("seek") penalty
+   for striped transfers, which is why GridFTP parallelism *hurts* on the
+   LAN and *wins* on the WAN.
+
+All functions are pure: (profile, sizes) → seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.netsim.profiles import LinkProfile
+
+
+def steady_bandwidth(profile: LinkProfile, n_streams: int = 1) -> float:
+    """Per-stream steady-state bandwidth with ``n_streams`` sharing the path
+    (bytes/second)."""
+    if n_streams < 1:
+        raise ValueError("n_streams must be >= 1")
+    aggregate = profile.capacity * profile.parallel_efficiency ** (n_streams - 1)
+    return min(profile.window_limited_bandwidth, aggregate / n_streams)
+
+
+def aggregate_bandwidth(profile: LinkProfile, n_streams: int = 1) -> float:
+    """Total bandwidth across all streams (bytes/second)."""
+    return steady_bandwidth(profile, n_streams) * n_streams
+
+
+def connection_setup_time(profile: LinkProfile, connections: int = 1, *, serial: bool = False) -> float:
+    """TCP three-way handshake cost: 1 RTT before data can flow.
+
+    Parallel connections (GridFTP's data streams) are opened concurrently,
+    so they cost one RTT together unless ``serial=True``.
+    """
+    if connections < 1:
+        return 0.0
+    return profile.rtt * (connections if serial else 1)
+
+
+def _slow_start(profile: LinkProfile, target_bw: float) -> tuple[float, float]:
+    """(ramp time, bytes delivered during ramp) for one stream.
+
+    The congestion window starts at ``initial_cwnd_segments × MSS`` and
+    doubles every RTT until it covers ``target_bw × RTT``.
+    """
+    cwnd = profile.initial_cwnd_segments * profile.mss
+    target_window = target_bw * profile.rtt
+    if cwnd >= target_window:
+        return 0.0, 0.0
+    rounds = math.ceil(math.log2(target_window / cwnd))
+    # bytes sent in the doubling rounds: cwnd * (2^rounds - 1)
+    ramp_bytes = cwnd * (2**rounds - 1)
+    return rounds * profile.rtt, ramp_bytes
+
+
+def transfer_time(
+    profile: LinkProfile,
+    nbytes: int,
+    n_streams: int = 1,
+    *,
+    slow_start: bool = True,
+) -> float:
+    """One-way bulk transfer time: first byte sent → last byte received.
+
+    ``nbytes`` is the total payload, split evenly when ``n_streams > 1``.
+    Includes the trailing half-RTT of propagation; excludes connection
+    setup (see :func:`connection_setup_time`).
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    propagation = profile.rtt / 2
+    if nbytes == 0:
+        return propagation
+    per_stream = nbytes / n_streams
+    bw = steady_bandwidth(profile, n_streams)
+    if not slow_start:
+        return per_stream / bw + propagation
+    ramp_time, ramp_bytes = _slow_start(profile, bw)
+    if per_stream <= ramp_bytes:
+        # finishes inside the ramp: find the doubling round that covers it
+        cwnd = profile.initial_cwnd_segments * profile.mss
+        sent = 0.0
+        time = 0.0
+        while sent + cwnd < per_stream:
+            sent += cwnd
+            time += profile.rtt
+            cwnd *= 2
+        # partial final round at the current window's rate
+        time += (per_stream - sent) / (cwnd / profile.rtt)
+        return time + propagation
+    return ramp_time + (per_stream - ramp_bytes) / bw + propagation
+
+
+def striped_transfer_time(
+    profile: LinkProfile,
+    nbytes: int,
+    n_streams: int,
+    *,
+    receiver_disk=None,
+    slow_start: bool = True,
+) -> float:
+    """Striped (GridFTP MODE E-style) transfer with reorder accounting.
+
+    Blocks of ``profile.stripe_block_size`` are distributed round-robin
+    over ``n_streams``; with more than one stream a block arriving from
+    stream *k* is out of sequence with probability ``1 − 1/n``, and each
+    such arrival costs the receiver one backward seek
+    (``profile.reorder_seek_time``) — the effect [Allcock et al. 2005]
+    measured and the paper cites for GridFTP's LAN degradation.
+
+    ``receiver_disk`` (a :class:`~repro.netsim.profiles.DiskModel`) caps
+    throughput when the receiver must land the stripes in a file.
+    """
+    base = transfer_time(profile, nbytes, n_streams, slow_start=slow_start)
+    if n_streams > 1 and nbytes > 0:
+        n_blocks = max(1, math.ceil(nbytes / profile.stripe_block_size))
+        out_of_order = n_blocks * (1.0 - 1.0 / n_streams)
+        base += out_of_order * profile.reorder_seek_time
+    if receiver_disk is not None and nbytes > 0:
+        network_bw = aggregate_bandwidth(profile, n_streams)
+        if network_bw > receiver_disk.rate:
+            # disk becomes the bottleneck for the steady portion
+            base += nbytes / receiver_disk.rate - nbytes / network_bw
+    return base
+
+
+def request_response_time(
+    profile: LinkProfile,
+    request_bytes: int,
+    response_bytes: int,
+    *,
+    new_connection: bool = False,
+    slow_start: bool = True,
+) -> float:
+    """Wire time of one request-response exchange on one stream.
+
+    Server processing time is *not* included — the harness measures that
+    for real and adds it.
+    """
+    total = 0.0
+    if new_connection:
+        total += connection_setup_time(profile)
+    total += transfer_time(profile, request_bytes, slow_start=slow_start)
+    total += transfer_time(profile, response_bytes, slow_start=slow_start)
+    return total

@@ -1,0 +1,32 @@
+"""Example SOAP services used by the evaluation and the examples.
+
+* :mod:`~repro.services.verification` — the paper's test service: the
+  server verifies every value of the dataset and replies with the result,
+  in both the unified (data-in-message) and separated (URL-in-message)
+  styles;
+* :mod:`~repro.services.echo` — the minimal service the quickstart uses;
+* :mod:`~repro.services.eventing` — WS-Eventing-lite: publish/subscribe
+  with XPath-lite filters over one-way SOAP messages (Figure 3's layer).
+"""
+
+from repro.services.echo import echo_dispatcher
+from repro.services.eventing import EventSource, NotificationSink, Subscription
+from repro.services.verification import (
+    VerificationResult,
+    build_verification_dispatcher,
+    make_reference_request,
+    make_unified_request,
+    parse_verification_response,
+)
+
+__all__ = [
+    "EventSource",
+    "NotificationSink",
+    "Subscription",
+    "VerificationResult",
+    "build_verification_dispatcher",
+    "echo_dispatcher",
+    "make_reference_request",
+    "make_unified_request",
+    "parse_verification_response",
+]

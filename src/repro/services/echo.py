@@ -1,0 +1,18 @@
+"""The minimal echo service (quickstart example, engine smoke tests)."""
+
+from __future__ import annotations
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.envelope import SoapEnvelope
+from repro.xdm.builder import element
+
+
+def echo_dispatcher() -> Dispatcher:
+    """A dispatcher with one operation: Echo → EchoResponse (same children)."""
+    dispatcher = Dispatcher()
+
+    @dispatcher.operation("Echo")
+    def echo(request: SoapEnvelope):
+        return element("EchoResponse", *request.body_root.children)
+
+    return dispatcher

@@ -1,0 +1,163 @@
+"""The paper's verification service (§6), both solution styles.
+
+Unified solution (the paper, 1.): "The client constructs the binary data in
+the bXDM model, then sends both the request and the binary data in one SOAP
+request message to the server. [...] Once the server receives the message,
+it deserializes it into the bXDM model, verifies each value in the model,
+and sends the verification result back."
+
+Separated solution (the paper, 2.): "the client sends the request in a
+general SOAP request message, whose content is just the URL pointing to the
+netCDF file, to the server, which in turn downloads the netCDF file, reads
+and verifies the file and finally sends the verification result back."
+
+Faithful detail: the separated path spools the downloaded bytes to a real
+temporary file and reads it back through the netCDF reader, because "the
+netCDF library does not support reading the data directly from memory" —
+that extra disk round trip is part of what Figures 4-5 measure.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.envelope import SoapEnvelope
+from repro.core.fault import CLIENT_FAULT, SoapFault
+from repro.netcdf.reader import read_dataset
+from repro.workloads.lead import LeadDataset
+from repro.xdm.builder import element, leaf
+from repro.xdm.nodes import ElementNode
+from repro.xdm.path import children_named
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """The record the server sends back."""
+
+    count: int
+    valid: int
+    index_ok: bool
+    ok: bool
+    checksum: float
+
+    def to_element(self) -> ElementNode:
+        return element(
+            "VerifyResponse",
+            leaf("count", self.count, "int"),
+            leaf("valid", self.valid, "int"),
+            leaf("indexOk", self.index_ok, "boolean"),
+            leaf("ok", self.ok, "boolean"),
+            leaf("checksum", self.checksum, "double"),
+        )
+
+    @classmethod
+    def from_record(cls, record: dict) -> "VerificationResult":
+        return cls(
+            count=record["count"],
+            valid=record["valid"],
+            index_ok=record["index_ok"],
+            ok=record["ok"],
+            checksum=record["checksum"],
+        )
+
+
+def parse_verification_response(node: ElementNode) -> VerificationResult:
+    """Rebuild the result from a response body element."""
+
+    def one(name):
+        return children_named(node, name)[0].value
+
+    return VerificationResult(
+        count=one("count"),
+        valid=one("valid"),
+        index_ok=one("indexOk"),
+        ok=one("ok"),
+        checksum=one("checksum"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# request construction (client side)
+
+
+def make_unified_request(dataset: LeadDataset) -> SoapEnvelope:
+    """<VerifyData><d>…arrays…</d></VerifyData> — data inside the message."""
+    return SoapEnvelope.wrap(element("VerifyData", dataset.to_bxdm()))
+
+
+def make_reference_request(url: str, n_streams: int = 1) -> SoapEnvelope:
+    """<VerifyDataByReference><url>…</url></…> — the separated scheme."""
+    return SoapEnvelope.wrap(
+        element(
+            "VerifyDataByReference",
+            leaf("url", url, "string"),
+            leaf("streams", n_streams, "int"),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# server side
+
+
+def build_verification_dispatcher(
+    fetch_url: Callable[[str], bytes] | None = None,
+) -> Dispatcher:
+    """The service dispatcher.
+
+    ``fetch_url`` resolves separated-scheme URLs (see
+    :class:`~repro.datachannel.UrlResolver`); without it the
+    by-reference operation faults.
+    """
+    dispatcher = Dispatcher()
+
+    @dispatcher.operation("VerifyData")
+    def verify_unified(request: SoapEnvelope):
+        payload = children_named(request.body_root, "d")
+        if not payload:
+            raise SoapFault(CLIENT_FAULT, "VerifyData requires a <d> dataset element")
+        dataset = LeadDataset.from_bxdm(payload[0])
+        record = dataset.verify()
+        return VerificationResult.from_record(record).to_element()
+
+    @dispatcher.operation("VerifyDataByReference")
+    def verify_by_reference(request: SoapEnvelope):
+        if fetch_url is None:
+            raise SoapFault(
+                "soap:Server", "this deployment has no data channel configured"
+            )
+        url_nodes = children_named(request.body_root, "url")
+        if not url_nodes:
+            raise SoapFault(CLIENT_FAULT, "VerifyDataByReference requires <url>")
+        url = str(url_nodes[0].value)
+        blob = fetch_url(url)
+        dataset = _read_netcdf_via_tempfile(blob)
+        record = dataset.verify()
+        return VerificationResult.from_record(record).to_element()
+
+    return dispatcher
+
+
+def _read_netcdf_via_tempfile(blob: bytes) -> LeadDataset:
+    """Land the download in a real file and read it back (see module doc)."""
+    fd, path = tempfile.mkstemp(suffix=".nc", prefix="repro-fetch-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+        ds = read_dataset(path)
+    finally:
+        os.unlink(path)
+    try:
+        index = np.asarray(ds.variables["index"].data, dtype="i4")
+        values = np.asarray(ds.variables["values"].data, dtype="f8")
+    except KeyError as exc:
+        raise SoapFault(
+            CLIENT_FAULT, f"netCDF file lacks the expected variable: {exc}"
+        ) from exc
+    return LeadDataset(index, values)

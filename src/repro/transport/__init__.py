@@ -1,0 +1,50 @@
+"""Transport layer: channels, listeners and SOAP transport bindings.
+
+This package is the "Transportation Layer" of the paper's Figure 3.  It
+provides:
+
+* byte-stream **channels** over real TCP sockets (:mod:`~repro.transport.sockets`),
+  in-process pipes (:mod:`~repro.transport.memory`), and byte-counting
+  wrappers used by the experiment harness
+  (:class:`~repro.transport.instrument.InstrumentedChannel`);
+* the **TCP binding** — SOAP messages length-prefixed straight onto a
+  stream, the paper's ``TCPBinding`` ("just dump the serialization directly
+  to a TCP connection");
+* a from-scratch **HTTP/1.1** stack (:mod:`repro.transport.http`) and the
+  ``HttpBinding`` that POSTs SOAP messages over it.
+
+Bindings implement the four valid expressions of the paper's binding
+concept (§5.3): ``send_request`` / ``receive_response`` on the client side,
+``receive_request`` / ``send_response`` on the server side — here at the
+byte level, carrying a content-type tag so either encoding can ride either
+binding.
+"""
+
+from repro.transport.base import Channel, Listener, TransportClosed, TransportError
+from repro.transport.instrument import ChannelStats, InstrumentedChannel
+from repro.transport.memory import MemoryNetwork, memory_pipe
+from repro.transport.sockets import SocketChannel, TcpListener, connect_tcp
+from repro.transport.tcp_binding import (
+    TcpClientBinding,
+    TcpServerBinding,
+    read_message,
+    write_message,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "InstrumentedChannel",
+    "Listener",
+    "MemoryNetwork",
+    "SocketChannel",
+    "TcpClientBinding",
+    "TcpListener",
+    "TcpServerBinding",
+    "TransportClosed",
+    "TransportError",
+    "connect_tcp",
+    "memory_pipe",
+    "read_message",
+    "write_message",
+]

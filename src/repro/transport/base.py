@@ -1,0 +1,136 @@
+"""Channel and listener abstractions.
+
+A :class:`Channel` is a reliable, ordered duplex byte stream — the least
+common denominator of TCP sockets and in-memory pipes.  Everything above
+(HTTP, the TCP SOAP binding, GridFTP data streams) is written against this
+protocol, which is what lets the whole stack run identically over real
+sockets, in-process pipes, or instrumented/simulated links.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+class TransportError(Exception):
+    """Base class for transport-layer failures."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed the channel (or it was closed locally)."""
+
+
+@runtime_checkable
+class Channel(Protocol):
+    """A reliable duplex byte stream."""
+
+    def send_all(self, data: bytes) -> None:
+        """Send every byte of ``data`` (blocking)."""
+        ...
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        """Receive up to ``max_bytes``; empty bytes means orderly EOF."""
+        ...
+
+    def close(self) -> None:
+        """Close both directions; idempotent."""
+        ...
+
+
+@runtime_checkable
+class Listener(Protocol):
+    """Accepts inbound channel connections."""
+
+    def accept(self) -> Channel:
+        """Block until a peer connects; returns the server-side channel."""
+        ...
+
+    def close(self) -> None: ...
+
+
+def recv_exactly(channel: Channel, nbytes: int) -> bytes:
+    """Receive exactly ``nbytes`` from a channel or raise TransportClosed.
+
+    The workhorse of every framed protocol in this project.
+    """
+    if nbytes == 0:
+        return b""
+    chunks: list[bytes] = []
+    remaining = nbytes
+    while remaining > 0:
+        chunk = channel.recv(remaining)
+        if not chunk:
+            raise TransportClosed(
+                f"peer closed mid-message ({nbytes - remaining}/{nbytes} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class BufferedChannel:
+    """A channel wrapper with an internal read buffer.
+
+    Lets protocols that mix delimiter-framed sections with length-framed
+    bodies (HTTP) read in large chunks without losing bytes read past a
+    delimiter.  Writing passes straight through.
+    """
+
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
+        self._buf = bytearray()
+
+    # -- write side --------------------------------------------------
+
+    def send_all(self, data: bytes) -> None:
+        self._channel.send_all(data)
+
+    def close(self) -> None:
+        self._channel.close()
+
+    # -- read side ---------------------------------------------------
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        if self._buf:
+            out = bytes(self._buf[:max_bytes])
+            del self._buf[: len(out)]
+            return out
+        return self._channel.recv(max_bytes)
+
+    def recv_exactly(self, nbytes: int) -> bytes:
+        return recv_exactly(self, nbytes)
+
+    def recv_until(self, delimiter: bytes, max_bytes: int = 1 << 20) -> bytes:
+        """Read until ``delimiter``; returns data *including* it.
+
+        Bytes received past the delimiter stay buffered for later reads.
+        """
+        search_from = 0
+        while True:
+            idx = self._buf.find(delimiter, max(0, search_from - len(delimiter) + 1))
+            if idx >= 0:
+                end = idx + len(delimiter)
+                out = bytes(self._buf[:end])
+                del self._buf[:end]
+                return out
+            if len(self._buf) > max_bytes:
+                raise TransportError(f"delimiter not found within {max_bytes} bytes")
+            search_from = len(self._buf)
+            chunk = self._channel.recv(65536)
+            if not chunk:
+                raise TransportClosed("peer closed before delimiter")
+            self._buf.extend(chunk)
+
+    def at_eof_probe(self) -> bool:
+        """Non-destructive-ish EOF probe: true when a read returns EOF now.
+
+        Only safe between messages (any buffered bytes mean not-EOF; a
+        successful read is kept in the buffer).
+        """
+        if self._buf:
+            return False
+        chunk = self._channel.recv(65536)
+        if not chunk:
+            return True
+        self._buf.extend(chunk)
+        return False

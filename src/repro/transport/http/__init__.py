@@ -1,0 +1,32 @@
+"""A from-scratch HTTP/1.1 subset: message codec, client, server, binding.
+
+Implements exactly what the paper's evaluation needs from Apache/libcurl:
+request/response framing with ``Content-Length`` bodies, persistent
+connections (``Connection: keep-alive``/``close``), status codes, and
+``GET``/``POST``/``HEAD``.  No chunked transfer encoding, no TLS, no
+proxies — none of which the reproduced experiments exercise.
+"""
+
+from repro.transport.http.messages import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    read_request,
+    read_response,
+)
+from repro.transport.http.client import HttpClient
+from repro.transport.http.server import HttpServer
+from repro.transport.http.binding import HttpClientBinding, SOAP_XML_TYPE, SOAP_BXSA_TYPE
+
+__all__ = [
+    "HttpClient",
+    "HttpClientBinding",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "SOAP_BXSA_TYPE",
+    "SOAP_XML_TYPE",
+    "read_request",
+    "read_response",
+]

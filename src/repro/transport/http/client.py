@@ -1,0 +1,84 @@
+"""Minimal HTTP/1.1 client with persistent connections.
+
+Plays the role libcurl plays in the paper's separated scheme: the
+verification server uses it to pull netCDF files off the data channel, and
+the SOAP ``HttpBinding`` uses it to POST envelopes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.transport.base import BufferedChannel, Channel, TransportError
+from repro.transport.http.messages import HttpRequest, HttpResponse, read_response
+
+
+class HttpClient:
+    """One logical connection to one HTTP server.
+
+    ``connect`` is a zero-argument factory returning a fresh
+    :class:`~repro.transport.base.Channel`; the client reconnects lazily
+    when the server closed the previous connection.
+    """
+
+    def __init__(self, connect: Callable[[], Channel], host: str = "localhost") -> None:
+        self._connect = connect
+        self._host = host
+        self._channel: BufferedChannel | None = None
+
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        target: str,
+        *,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """Send one request, read one response (retrying once on a stale
+        persistent connection)."""
+        req = HttpRequest(method, target)
+        req.headers.set("Host", self._host)
+        for name, value in (headers or {}).items():
+            req.headers.set(name, value)
+        req.body = body
+
+        attempts = 2 if self._channel is not None else 1
+        for attempt in range(attempts):
+            channel = self._ensure_channel()
+            try:
+                channel.send_all(req.to_bytes())
+                response = read_response(channel)
+                break
+            except TransportError:
+                self._drop_channel()
+                if attempt == attempts - 1:
+                    raise
+        else:  # pragma: no cover - loop always breaks or raises
+            raise TransportError("unreachable")
+
+        if (response.headers.get("Connection") or "").lower() == "close":
+            self._drop_channel()
+        return response
+
+    def get(self, target: str, **kwargs) -> HttpResponse:
+        return self.request("GET", target, **kwargs)
+
+    def post(self, target: str, body: bytes, **kwargs) -> HttpResponse:
+        return self.request("POST", target, body=body, **kwargs)
+
+    def close(self) -> None:
+        self._drop_channel()
+
+    # ------------------------------------------------------------------
+
+    def _ensure_channel(self) -> BufferedChannel:
+        if self._channel is None:
+            self._channel = BufferedChannel(self._connect())
+        return self._channel
+
+    def _drop_channel(self) -> None:
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None

@@ -1,0 +1,172 @@
+"""HTTP/1.1 message framing: parse and serialize requests/responses.
+
+Headers are treated case-insensitively and stored with their original
+casing.  Bodies are delimited by ``Content-Length`` only (the subset the
+evaluation needs); a request/response without it has an empty body, except
+a response to a connection that will close, which may be length-by-EOF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transport.base import BufferedChannel, TransportError
+
+CRLF = b"\r\n"
+HEADER_END = b"\r\n\r\n"
+
+#: Reason phrases for the statuses this stack emits.
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(TransportError):
+    """Malformed HTTP traffic."""
+
+
+class _Headers:
+    """Ordered, case-insensitive header multimap (single-valued in practice)."""
+
+    def __init__(self, items: list[tuple[str, str]] | None = None) -> None:
+        self._items: list[tuple[str, str]] = list(items or [])
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        lname = name.lower()
+        for key, value in self._items:
+            if key.lower() == lname:
+                return value
+        return default
+
+    def set(self, name: str, value: str) -> None:
+        lname = name.lower()
+        for i, (key, _v) in enumerate(self._items):
+            if key.lower() == lname:
+                self._items[i] = (name, value)
+                return
+        self._items.append((name, value))
+
+    def items(self):
+        return list(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Headers({self._items!r})"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request with a fully-buffered body."""
+
+    method: str
+    target: str
+    headers: _Headers = field(default_factory=_Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def to_bytes(self) -> bytes:
+        self.headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.method} {self.target} {self.version}".encode("ascii")]
+        lines += [f"{k}: {v}".encode("latin-1") for k, v in self.headers.items()]
+        return CRLF.join(lines) + HEADER_END + self.body
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = (self.headers.get("Connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response with a fully-buffered body."""
+
+    status: int
+    headers: _Headers = field(default_factory=_Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    reason: str = ""
+
+    def to_bytes(self) -> bytes:
+        reason = self.reason or REASONS.get(self.status, "Unknown")
+        self.headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.version} {self.status} {reason}".encode("ascii")]
+        lines += [f"{k}: {v}".encode("latin-1") for k, v in self.headers.items()]
+        return CRLF.join(lines) + HEADER_END + self.body
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def _parse_headers(block: bytes) -> _Headers:
+    headers = _Headers()
+    for raw_line in block.split(CRLF):
+        if not raw_line:
+            continue
+        if raw_line[0:1] in (b" ", b"\t"):
+            raise HttpError("obsolete header folding is not supported")
+        name, sep, value = raw_line.partition(b":")
+        if not sep or not name:
+            raise HttpError(f"malformed header line {raw_line[:60]!r}")
+        headers._items.append(
+            (str(name, "latin-1").strip(), str(value, "latin-1").strip())
+        )
+    return headers
+
+
+def _read_body(channel: BufferedChannel, headers: _Headers) -> bytes:
+    if (headers.get("Transfer-Encoding") or "").lower() == "chunked":
+        raise HttpError("chunked transfer encoding is not supported")
+    raw_length = headers.get("Content-Length")
+    if raw_length is None:
+        return b""
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(f"bad Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise HttpError(f"negative Content-Length {length}")
+    return channel.recv_exactly(length)
+
+
+def read_request(channel: BufferedChannel) -> HttpRequest:
+    """Parse one request off a buffered channel."""
+    head = channel.recv_until(HEADER_END)
+    start_line, _, header_block = head[: -len(HEADER_END)].partition(CRLF)
+    parts = start_line.split(b" ")
+    if len(parts) != 3:
+        raise HttpError(f"malformed request line {start_line[:60]!r}")
+    method, target, version = (str(p, "latin-1") for p in parts)
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(f"unsupported HTTP version {version!r}")
+    headers = _parse_headers(header_block)
+    body = _read_body(channel, headers)
+    return HttpRequest(method, target, headers, body, version)
+
+
+def read_response(channel: BufferedChannel) -> HttpResponse:
+    """Parse one response off a buffered channel."""
+    head = channel.recv_until(HEADER_END)
+    start_line, _, header_block = head[: -len(HEADER_END)].partition(CRLF)
+    parts = start_line.split(b" ", 2)
+    if len(parts) < 2:
+        raise HttpError(f"malformed status line {start_line[:60]!r}")
+    version = str(parts[0], "latin-1")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(f"bad status code {parts[1]!r}") from None
+    reason = str(parts[2], "latin-1") if len(parts) == 3 else ""
+    headers = _parse_headers(header_block)
+    body = _read_body(channel, headers)
+    return HttpResponse(status, headers, body, version, reason)

@@ -1,0 +1,95 @@
+"""Threaded HTTP/1.1 server over any listener.
+
+One thread accepts; one thread per connection serves requests until the
+client stops keeping the connection alive.  The handler is a plain callable
+``HttpRequest -> HttpResponse`` — the SOAP dispatcher, the netCDF file
+server and the examples all plug in here.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.transport.base import BufferedChannel, Listener, TransportError
+from repro.transport.http.messages import HttpError, HttpRequest, HttpResponse, read_request
+
+
+class HttpServer:
+    """Serve ``handler`` over every connection accepted from ``listener``."""
+
+    def __init__(
+        self,
+        listener: Listener,
+        handler: Callable[[HttpRequest], HttpResponse],
+        *,
+        name: str = "http-server",
+    ) -> None:
+        self._listener = listener
+        self._handler = handler
+        self._name = name
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "HttpServer":
+        """Start the accept loop in a daemon thread; returns self."""
+        if self._running:
+            raise RuntimeError("server already running")
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=self._name, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting; existing connections finish their current request."""
+        self._running = False
+        self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "HttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                channel = self._listener.accept()
+            except TransportError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(BufferedChannel(channel),),
+                name=f"{self._name}-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, channel: BufferedChannel) -> None:
+        try:
+            while True:
+                try:
+                    request = read_request(channel)
+                except TransportError:
+                    return  # client went away between requests
+                try:
+                    response = self._handler(request)
+                except HttpError as exc:
+                    response = HttpResponse(400, body=str(exc).encode())
+                except Exception as exc:  # noqa: BLE001 - server must not die
+                    response = HttpResponse(500, body=f"{type(exc).__name__}: {exc}".encode())
+                keep = request.keep_alive
+                response.headers.set("Connection", "keep-alive" if keep else "close")
+                channel.send_all(response.to_bytes())
+                if not keep:
+                    return
+        finally:
+            channel.close()

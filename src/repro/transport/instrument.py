@@ -1,0 +1,57 @@
+"""Byte-accounting channel wrapper for the experiment harness.
+
+The harness separates *measured CPU time* from *modelled wire time*: code
+runs for real over in-memory pipes, while the network cost of every byte is
+computed afterwards from the traffic profile this wrapper records.  A
+:class:`ChannelStats` therefore captures exactly what the netsim TCP model
+needs — how many bytes went each way and in how many application-level
+bursts (each burst ≥ one round of packets ⇒ at least one RTT of pipelining
+structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ChannelStats:
+    """Traffic totals recorded by :class:`InstrumentedChannel`."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    sends: int = 0  #: number of send_all calls (application message bursts)
+    receives: int = 0  #: number of recv calls that returned data
+
+    def merge(self, other: "ChannelStats") -> None:
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.sends += other.sends
+        self.receives += other.receives
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+
+class InstrumentedChannel:
+    """Wrap any channel, counting bytes in both directions."""
+
+    def __init__(self, channel, stats: ChannelStats | None = None) -> None:
+        self._channel = channel
+        self.stats = stats if stats is not None else ChannelStats()
+
+    def send_all(self, data: bytes) -> None:
+        self._channel.send_all(data)
+        self.stats.bytes_sent += len(data)
+        self.stats.sends += 1
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        chunk = self._channel.recv(max_bytes)
+        if chunk:
+            self.stats.bytes_received += len(chunk)
+            self.stats.receives += 1
+        return chunk
+
+    def close(self) -> None:
+        self._channel.close()

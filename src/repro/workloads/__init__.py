@@ -1,0 +1,22 @@
+"""Workload generators for the evaluation.
+
+* :mod:`~repro.workloads.lead` — the paper's benchmark dataset: a LEAD-like
+  atmospheric sample reduced to an int32 index array plus a float64 value
+  array of equal length (the "model size");
+* :mod:`~repro.workloads.sensors` — the small-but-frequent message regime
+  the introduction motivates with wide-scale wireless sensor networks;
+* :mod:`~repro.workloads.datamining` — the large-binary-transfer regime
+  motivated with distributed data mining.
+"""
+
+from repro.workloads.lead import LeadDataset, lead_dataset
+from repro.workloads.sensors import SensorReading, sensor_stream
+from repro.workloads.datamining import feature_block
+
+__all__ = [
+    "LeadDataset",
+    "SensorReading",
+    "feature_block",
+    "lead_dataset",
+    "sensor_stream",
+]

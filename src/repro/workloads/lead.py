@@ -1,0 +1,127 @@
+"""The paper's benchmark dataset (§6): a LEAD-like atmospheric sample.
+
+"The binary data model we are using in the experiments was derived from a
+sample file used for LEAD project, and consists of atmospheric information,
+which depends on four parameters, namely time, y, x and height.  Basically
+the data set consists of two equal-size arrays: an array of 4-byte integers
+as the index and an array of double-precision, 8-byte floating point
+numbers to represent the dimension values."
+
+``model_size`` is the length of each array, exactly the paper's notation;
+the native representation is therefore ``model_size × 12`` bytes.
+
+Values are atmospheric-style quantities quantized to centi-units: Table 1's
+XML measurement (99 % overhead ⇒ ≈5 lexical characters per number) tells us
+the original sample's values printed short, as observational data does —
+full-precision random doubles would print 17 characters and triple the XML
+size, misrepresenting the paper's own workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netcdf.model import Dataset
+from repro.xdm.builder import array, element
+from repro.xdm.nodes import DocumentNode, ElementNode
+
+
+@dataclass(frozen=True)
+class LeadDataset:
+    """The two equal-size arrays; ``model_size == len(index) == len(values)``."""
+
+    index: np.ndarray  #: int32, shape (model_size,)
+    values: np.ndarray  #: float64, shape (model_size,)
+
+    def __post_init__(self) -> None:
+        if self.index.shape != self.values.shape:
+            raise ValueError("index and values must have equal length")
+
+    @property
+    def model_size(self) -> int:
+        return int(self.index.size)
+
+    @property
+    def native_bytes(self) -> int:
+        """Size of the native representation: model_size × (4 + 8)."""
+        return int(self.index.nbytes + self.values.nbytes)
+
+    # ------------------------------------------------------------------
+    # conversions to the systems under test
+
+    def to_bxdm(self) -> ElementNode:
+        """The unified-scheme payload: two ArrayElements, namespace-free
+        with one-character item names (the paper's Table 1 XML setup)."""
+        return element(
+            "d",
+            array("i", self.index, item_name="i"),
+            array("v", self.values, item_name="v"),
+        )
+
+    def to_document(self) -> DocumentNode:
+        return DocumentNode([self.to_bxdm()])
+
+    def to_netcdf(self) -> Dataset:
+        """The separated-scheme payload: a classic netCDF dataset."""
+        ds = Dataset()
+        ds.attributes["title"] = "LEAD-like atmospheric sample"
+        if self.model_size:
+            ds.create_dimension("model", self.model_size)
+            dims: tuple[str, ...] = ("model",)
+        else:
+            dims = ("model",)
+            ds.create_dimension("model", 1)  # classic format needs length ≥ 1
+            # zero-size datasets are only used for the zero point of Fig. 4,
+            # which short-circuits before serialization
+        ds.create_variable("index", self.index if self.model_size else np.zeros(1, "i4"), dims)
+        ds.create_variable("values", self.values if self.model_size else np.zeros(1, "f8"), dims)
+        return ds
+
+    @classmethod
+    def from_bxdm(cls, node: ElementNode) -> "LeadDataset":
+        from repro.xdm.path import children_named
+
+        index = children_named(node, "i")[0].values
+        values = children_named(node, "v")[0].values
+        return cls(np.asarray(index, dtype="i4"), np.asarray(values, dtype="f8"))
+
+    # ------------------------------------------------------------------
+
+    def verify(self) -> dict:
+        """The verification the paper's server performs on every value.
+
+        Vectorized checks: the index is the expected 0..n-1 ramp and every
+        value is inside the physically-plausible band the generator uses.
+        Returns a result record (all Python scalars) for the response
+        message.
+        """
+        n = self.model_size
+        index_ok = bool(np.array_equal(self.index, np.arange(n, dtype="i4")))
+        finite = np.isfinite(self.values)
+        in_range = (self.values >= _VALUE_LO) & (self.values <= _VALUE_HI)
+        valid = int(np.count_nonzero(finite & in_range))
+        return {
+            "count": n,
+            "valid": valid,
+            "index_ok": index_ok,
+            "ok": index_ok and valid == n,
+            "checksum": float(self.values.sum()),
+        }
+
+
+_VALUE_LO = -150.0
+_VALUE_HI = 1150.0
+
+
+def lead_dataset(model_size: int, seed: int = 0) -> LeadDataset:
+    """Generate a deterministic LEAD-like dataset of the given model size.
+
+    Values mimic the sample file's dimension values (temperatures/heights
+    in plausible ranges), quantized to 2 decimals — see module docstring.
+    """
+    rng = np.random.default_rng(seed)
+    index = np.arange(model_size, dtype="i4")
+    values = np.round(rng.uniform(0.0, 1000.0, model_size), 2)
+    return LeadDataset(index, values)

@@ -1,0 +1,121 @@
+"""Type codes and byte-order constants shared by the XBS and BXSA layers.
+
+XBS supports exactly the primitive types the paper enumerates (1/2/4/8-byte
+integers and 4/8-byte floats).  We additionally register the unsigned integer
+widths; BXSA uses ``UINT8`` for raw octet payloads (the counterpart of Fast
+Infoset's octet information item mentioned in the paper's related work).
+"""
+
+from __future__ import annotations
+
+import enum
+import sys
+
+import numpy as np
+
+#: Byte-order markers.  These values double as the 2-bit ``byte-order`` field
+#: of the BXSA Common Frame Prefix, so they must stay in ``{0, 1}``.
+LITTLE_ENDIAN = 0
+BIG_ENDIAN = 1
+
+#: The byte order of the running interpreter, expressed as one of the two
+#: markers above.
+NATIVE_ENDIAN = LITTLE_ENDIAN if sys.byteorder == "little" else BIG_ENDIAN
+
+_ENDIAN_CHAR = {LITTLE_ENDIAN: "<", BIG_ENDIAN: ">"}
+
+
+class TypeCode(enum.IntEnum):
+    """Wire identifiers for XBS primitive types.
+
+    The integer values appear on the wire (as the type-code byte of BXSA
+    leaf/array frames), so they are part of the format and must not be
+    renumbered.
+    """
+
+    INT8 = 0x01
+    INT16 = 0x02
+    INT32 = 0x03
+    INT64 = 0x04
+    UINT8 = 0x05
+    UINT16 = 0x06
+    UINT32 = 0x07
+    UINT64 = 0x08
+    FLOAT32 = 0x09
+    FLOAT64 = 0x0A
+    #: Not a numeric type: marks a UTF-8 string value (used by BXSA for
+    #: attribute and leaf values that carry text).  Strings are written as a
+    #: VLS byte count followed by the raw bytes, and are never padded.
+    STRING = 0x0B
+    #: A boolean stored as a single byte (0 or 1).
+    BOOL = 0x0C
+
+    @property
+    def size(self) -> int:
+        """Byte width of one value of this type (1 for STRING placeholders)."""
+        return _SIZES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self not in (TypeCode.STRING,)
+
+
+_SIZES = {
+    TypeCode.INT8: 1,
+    TypeCode.INT16: 2,
+    TypeCode.INT32: 4,
+    TypeCode.INT64: 8,
+    TypeCode.UINT8: 1,
+    TypeCode.UINT16: 2,
+    TypeCode.UINT32: 4,
+    TypeCode.UINT64: 8,
+    TypeCode.FLOAT32: 4,
+    TypeCode.FLOAT64: 8,
+    TypeCode.STRING: 1,
+    TypeCode.BOOL: 1,
+}
+
+_DTYPE_KIND = {
+    TypeCode.INT8: "i1",
+    TypeCode.INT16: "i2",
+    TypeCode.INT32: "i4",
+    TypeCode.INT64: "i8",
+    TypeCode.UINT8: "u1",
+    TypeCode.UINT16: "u2",
+    TypeCode.UINT32: "u4",
+    TypeCode.UINT64: "u8",
+    TypeCode.FLOAT32: "f4",
+    TypeCode.FLOAT64: "f8",
+    TypeCode.BOOL: "u1",
+}
+
+_CODE_BY_KIND = {kind: code for code, kind in _DTYPE_KIND.items() if code != TypeCode.BOOL}
+
+
+def dtype_for(code: TypeCode, byte_order: int = NATIVE_ENDIAN) -> np.dtype:
+    """Return the numpy dtype for a numeric type code in a given byte order.
+
+    Raises :class:`KeyError` for ``STRING``, which has no fixed-width dtype.
+    """
+    kind = _DTYPE_KIND[TypeCode(code)]
+    if kind.endswith("1"):
+        return np.dtype(kind)  # single-byte types have no byte order
+    return np.dtype(_ENDIAN_CHAR[byte_order] + kind)
+
+
+def type_code_for_dtype(dtype: np.dtype | type | str) -> TypeCode:
+    """Map a numpy dtype (or anything coercible to one) to its XBS type code.
+
+    Raises :class:`~repro.xbs.errors.XBSEncodeError` for dtypes XBS cannot
+    represent (e.g. complex, object, structured dtypes).
+    """
+    from repro.xbs.errors import XBSEncodeError
+
+    dt = np.dtype(dtype)
+    if dt.kind == "b":
+        return TypeCode.BOOL
+    key = dt.kind + str(dt.itemsize)
+    try:
+        return _CODE_BY_KIND[key]
+    except KeyError:
+        raise XBSEncodeError(f"dtype {dt!r} is not representable in XBS") from None

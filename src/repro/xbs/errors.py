@@ -1,0 +1,17 @@
+"""Exception hierarchy for the XBS serializer."""
+
+
+class XBSError(Exception):
+    """Base class for all XBS errors."""
+
+
+class XBSEncodeError(XBSError):
+    """Raised when a value cannot be represented in the XBS format."""
+
+
+class XBSDecodeError(XBSError):
+    """Raised when a byte stream is not a valid XBS encoding.
+
+    This covers truncated input, unknown type codes and malformed
+    variable-length integers.
+    """

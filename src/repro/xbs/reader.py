@@ -1,0 +1,192 @@
+"""Streaming XBS reader.
+
+The reader mirrors :class:`~repro.xbs.writer.XBSWriter` byte for byte: it
+tracks the same stream-relative alignment rule and exposes zero-copy numpy
+views over packed array payloads, which is the Python analogue of the paper's
+memory-mapped ArrayElement I/O.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.xbs.constants import (
+    _ENDIAN_CHAR,
+    NATIVE_ENDIAN,
+    TypeCode,
+    dtype_for,
+)
+from repro.xbs.errors import XBSDecodeError
+from repro.xbs.varint import decode_vls
+from repro.xbs.writer import _STRUCT_FMT
+
+
+class XBSReader:
+    """Consume an XBS byte stream produced by :class:`XBSWriter`.
+
+    Parameters
+    ----------
+    data:
+        The encoded bytes.  A ``memoryview`` is taken, so slices handed out
+        by :meth:`read_array` alias the caller's buffer rather than copying.
+    byte_order:
+        Must match the writer's byte order.  (BXSA records the order in each
+        frame's Common Frame Prefix and constructs readers accordingly.)
+    align:
+        Must match the writer's alignment setting.
+    base:
+        Stream offset of ``data[0]`` relative to the alignment origin.  BXSA
+        decodes frames from the middle of documents, so it passes the frame
+        payload's absolute offset here to keep alignment arithmetic correct.
+    """
+
+    def __init__(
+        self,
+        data,
+        byte_order: int = NATIVE_ENDIAN,
+        *,
+        align: bool = True,
+        base: int = 0,
+    ) -> None:
+        if byte_order not in (0, 1):
+            raise XBSDecodeError(f"invalid byte order {byte_order!r}")
+        self._data = memoryview(data)
+        self.byte_order = byte_order
+        self.align_enabled = align
+        self._base = base
+        self._pos = 0
+        self._endian_char = _ENDIAN_CHAR[byte_order]
+
+    # ------------------------------------------------------------------
+    # positioning
+
+    def tell(self) -> int:
+        """Current read offset within ``data`` (not including ``base``)."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def seek(self, pos: int) -> None:
+        if not 0 <= pos <= len(self._data):
+            raise XBSDecodeError(f"seek to {pos} outside stream of {len(self._data)} bytes")
+        self._pos = pos
+
+    def skip(self, nbytes: int) -> None:
+        self._require(nbytes)
+        self._pos += nbytes
+
+    def align(self, size: int) -> None:
+        """Skip the pad bytes the writer inserted before a ``size``-aligned value."""
+        if not self.align_enabled or size <= 1:
+            return
+        rem = (self._base + self._pos) % size
+        if rem:
+            self.skip(size - rem)
+
+    def _require(self, nbytes: int) -> None:
+        if self._pos + nbytes > len(self._data):
+            raise XBSDecodeError(
+                f"truncated stream: need {nbytes} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+
+    # ------------------------------------------------------------------
+    # scalar reads
+
+    def read_scalar(self, code: TypeCode):
+        """Read one scalar of the given type code as a Python int/float/str."""
+        code = TypeCode(code)
+        if code is TypeCode.STRING:
+            return self.read_string()
+        self.align(code.size)
+        self._require(code.size)
+        fmt = self._endian_char + _STRUCT_FMT[code]
+        (value,) = struct.unpack_from(fmt, self._data, self._pos)
+        self._pos += code.size
+        if code is TypeCode.BOOL:
+            return bool(value)
+        return value
+
+    def read_int8(self) -> int:
+        return self.read_scalar(TypeCode.INT8)
+
+    def read_int16(self) -> int:
+        return self.read_scalar(TypeCode.INT16)
+
+    def read_int32(self) -> int:
+        return self.read_scalar(TypeCode.INT32)
+
+    def read_int64(self) -> int:
+        return self.read_scalar(TypeCode.INT64)
+
+    def read_uint8(self) -> int:
+        return self.read_scalar(TypeCode.UINT8)
+
+    def read_uint16(self) -> int:
+        return self.read_scalar(TypeCode.UINT16)
+
+    def read_uint32(self) -> int:
+        return self.read_scalar(TypeCode.UINT32)
+
+    def read_uint64(self) -> int:
+        return self.read_scalar(TypeCode.UINT64)
+
+    def read_float32(self) -> float:
+        return self.read_scalar(TypeCode.FLOAT32)
+
+    def read_float64(self) -> float:
+        return self.read_scalar(TypeCode.FLOAT64)
+
+    # ------------------------------------------------------------------
+    # variable-size reads
+
+    def read_vls(self) -> int:
+        value, new_pos = decode_vls(self._data, self._pos)
+        self._pos = new_pos
+        return value
+
+    def read_bytes(self, nbytes: int) -> memoryview:
+        """Return a zero-copy view of the next ``nbytes`` bytes."""
+        self._require(nbytes)
+        view = self._data[self._pos : self._pos + nbytes]
+        self._pos += nbytes
+        return view
+
+    def read_string(self) -> str:
+        nbytes = self.read_vls()
+        raw = self.read_bytes(nbytes)
+        try:
+            return str(raw, "utf-8")
+        except UnicodeDecodeError as exc:
+            raise XBSDecodeError(f"invalid UTF-8 in string payload: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # array reads
+
+    def read_array(self, code: TypeCode, *, copy: bool = False) -> np.ndarray:
+        """Read a packed 1-D array written by :meth:`XBSWriter.write_array`.
+
+        Returns a numpy array in the *stream's* byte order.  By default the
+        array is a zero-copy view of the underlying buffer (read-only when
+        the buffer is); pass ``copy=True`` for an independent native-order
+        copy.
+        """
+        code = TypeCode(code)
+        if code is TypeCode.STRING:
+            raise XBSDecodeError("arrays of strings are not supported by XBS")
+        count = self.read_vls()
+        self.align(code.size)
+        nbytes = count * code.size
+        raw = self.read_bytes(nbytes)
+        dtype = dtype_for(code, self.byte_order)
+        arr = np.frombuffer(raw, dtype=dtype, count=count)
+        if copy:
+            return arr.astype(dtype.newbyteorder("="), copy=True)
+        return arr

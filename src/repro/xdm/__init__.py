@@ -1,0 +1,88 @@
+"""bXDM: the paper's scientific-data-friendly extension of the XDM data model.
+
+bXDM keeps the seven node kinds of the XQuery/XPath Data Model (Document,
+Element, Attribute, Namespace, Processing Instruction, Text, Comment) and
+refines Element with two subtypes designed for numeric data:
+
+* :class:`LeafElement` — an element whose content is a single *typed atomic
+  value* held in native machine form (a Python/numpy scalar), so that
+  serializers that understand types (BXSA) never pay the float↔ASCII
+  conversion the paper identifies as the SOAP bottleneck;
+* :class:`ArrayElement` — an element whose content is a packed 1-D numpy
+  array of one primitive type, the data-model counterpart of a netCDF
+  variable or a Fortran/C array.
+
+Everything above the data model (the SOAP engine, XPath-style queries, the
+WS-* layers in Figure 3 of the paper) is written against these classes and is
+therefore ignorant of whether a message was, or will be, serialized as
+textual XML 1.0 or as BXSA frames.
+"""
+
+from repro.xdm.errors import XDMError, XDMTypeError
+from repro.xdm.qname import QName, XMLNS_URI, XSD_URI, XSI_URI
+from repro.xdm.types import (
+    AtomicType,
+    atomic_type_for_code,
+    atomic_type_for_dtype,
+    atomic_type_for_xsd,
+    format_lexical,
+    parse_lexical,
+)
+from repro.xdm.nodes import (
+    ArrayElement,
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    NamespaceNode,
+    NodeKind,
+    PINode,
+    TextNode,
+)
+from repro.xdm.builder import TreeBuilder, array, comment, doc, element, leaf, pi, text
+from repro.xdm.compare import canonical_signature, deep_equal, explain_difference
+from repro.xdm.path import children_named, find_all, find_first, select
+from repro.xdm.visitor import Visitor, walk
+
+__all__ = [
+    "ArrayElement",
+    "AtomicType",
+    "AttributeNode",
+    "CommentNode",
+    "DocumentNode",
+    "ElementNode",
+    "LeafElement",
+    "NamespaceNode",
+    "NodeKind",
+    "PINode",
+    "QName",
+    "TextNode",
+    "TreeBuilder",
+    "Visitor",
+    "XDMError",
+    "XDMTypeError",
+    "XMLNS_URI",
+    "XSD_URI",
+    "XSI_URI",
+    "array",
+    "atomic_type_for_code",
+    "atomic_type_for_dtype",
+    "atomic_type_for_xsd",
+    "canonical_signature",
+    "children_named",
+    "comment",
+    "deep_equal",
+    "doc",
+    "element",
+    "explain_difference",
+    "find_all",
+    "find_first",
+    "format_lexical",
+    "leaf",
+    "parse_lexical",
+    "pi",
+    "select",
+    "text",
+    "walk",
+]

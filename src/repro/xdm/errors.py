@@ -1,0 +1,10 @@
+"""Exception hierarchy for the bXDM data model."""
+
+
+class XDMError(Exception):
+    """Base class for bXDM data-model errors."""
+
+
+class XDMTypeError(XDMError):
+    """Raised when a value does not fit the atomic type it is declared with,
+    or when an XML Schema type name / numpy dtype has no bXDM mapping."""

@@ -1,0 +1,367 @@
+"""bXDM node classes.
+
+The class hierarchy mirrors §3 of the paper: the seven XDM node kinds plus
+the two Element refinements (LeafElement, ArrayElement).  Nodes are plain
+mutable objects with ``__slots__``; trees own their children outright and
+carry no parent pointers (scope-sensitive operations such as namespace
+resolution are done by the walkers, which maintain an explicit ancestor
+stack — cheaper and simpler than back-links).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.xbs.constants import TypeCode
+from repro.xdm.errors import XDMError, XDMTypeError
+from repro.xdm.qname import QName
+from repro.xdm.types import (
+    AtomicType,
+    atomic_type_for_dtype,
+    atomic_type_for_xsd,
+    coerce_value,
+)
+
+
+class NodeKind(enum.Enum):
+    """The node kinds of bXDM.
+
+    ``LEAF_ELEMENT`` and ``ARRAY_ELEMENT`` are the paper's refinements of
+    ``ELEMENT``; everything else is standard XDM.
+    """
+
+    DOCUMENT = "document"
+    ELEMENT = "element"
+    LEAF_ELEMENT = "leaf-element"
+    ARRAY_ELEMENT = "array-element"
+    ATTRIBUTE = "attribute"
+    NAMESPACE = "namespace"
+    TEXT = "text"
+    COMMENT = "comment"
+    PI = "processing-instruction"
+
+
+class Node:
+    """Common base for all bXDM nodes."""
+
+    __slots__ = ()
+    kind: NodeKind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class NamespaceNode(Node):
+    """A namespace declaration (``xmlns:p="uri"`` or default ``xmlns="uri"``)."""
+
+    __slots__ = ("prefix", "uri")
+    kind = NodeKind.NAMESPACE
+
+    def __init__(self, prefix: str, uri: str) -> None:
+        self.prefix = prefix  #: "" for the default namespace
+        self.uri = uri
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, NamespaceNode)
+            and self.prefix == other.prefix
+            and self.uri == other.uri
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.uri))
+
+    def __repr__(self) -> str:
+        name = f"xmlns:{self.prefix}" if self.prefix else "xmlns"
+        return f"<NamespaceNode {name}={self.uri!r}>"
+
+
+class AttributeNode(Node):
+    """An attribute with an optionally *typed* value.
+
+    BXSA attribute slots carry a type code, so attributes can hold native
+    numerics just like leaf elements; textual XML always renders them through
+    the lexical form.  Untyped attributes default to ``xsd:string``.
+    """
+
+    __slots__ = ("name", "value", "atype")
+    kind = NodeKind.ATTRIBUTE
+
+    def __init__(self, name: QName | str, value, atype: AtomicType | str | None = None) -> None:
+        self.name = name if isinstance(name, QName) else QName.parse(name)
+        if atype is None:
+            atype = atomic_type_for_xsd("string") if isinstance(value, str) else _infer_type(value)
+        elif isinstance(atype, str):
+            atype = atomic_type_for_xsd(atype)
+        self.atype = atype
+        self.value = coerce_value(atype, value)
+
+    def __repr__(self) -> str:
+        return f"<AttributeNode {self.name}={self.value!r} ({self.atype.xsd_name})>"
+
+
+class TextNode(Node):
+    """A run of character data."""
+
+    __slots__ = ("text",)
+    kind = NodeKind.TEXT
+
+    def __init__(self, text: str) -> None:
+        if not isinstance(text, str):
+            raise XDMTypeError(f"TextNode requires str, got {type(text).__name__}")
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"<TextNode {self.text[:40]!r}>"
+
+
+class CommentNode(Node):
+    """An XML comment."""
+
+    __slots__ = ("text",)
+    kind = NodeKind.COMMENT
+
+    def __init__(self, text: str) -> None:
+        if "--" in text:
+            raise XDMError("XML comments must not contain '--'")
+        if text.endswith("-"):
+            raise XDMError("XML comments must not end with '-'")
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"<CommentNode {self.text[:40]!r}>"
+
+
+class PINode(Node):
+    """A processing instruction (``<?target data?>``)."""
+
+    __slots__ = ("target", "data")
+    kind = NodeKind.PI
+
+    def __init__(self, target: str, data: str = "") -> None:
+        if not target or target.lower() == "xml":
+            raise XDMError(f"invalid PI target {target!r}")
+        if "?>" in data:
+            raise XDMError("PI data must not contain '?>'")
+        self.target = target
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"<PINode {self.target} {self.data[:30]!r}>"
+
+
+class ElementNode(Node):
+    """A general (component) element: children are arbitrary nodes."""
+
+    __slots__ = ("name", "attributes", "namespaces", "children")
+    kind = NodeKind.ELEMENT
+
+    def __init__(
+        self,
+        name: QName | str,
+        *,
+        attributes: Iterable[AttributeNode] = (),
+        namespaces: Iterable[NamespaceNode] = (),
+        children: Iterable[Node] = (),
+    ) -> None:
+        self.name = name if isinstance(name, QName) else QName.parse(name)
+        self.attributes: list[AttributeNode] = list(attributes)
+        self.namespaces: list[NamespaceNode] = list(namespaces)
+        self.children: list[Node] = list(children)
+
+    # -- convenience accessors -------------------------------------------
+
+    def append(self, node: Node) -> Node:
+        """Append a child node and return it (chaining convenience)."""
+        self.children.append(node)
+        return node
+
+    def attribute(self, name: QName | str) -> AttributeNode | None:
+        """Find an attribute by QName (or by local name if unqualified)."""
+        if isinstance(name, str) and not name.startswith("{"):
+            for attr in self.attributes:
+                if attr.name.local == name:
+                    return attr
+            return None
+        qname = name if isinstance(name, QName) else QName.parse(name)
+        for attr in self.attributes:
+            if attr.name == qname:
+                return attr
+        return None
+
+    def set_attribute(self, name: QName | str, value, atype=None) -> AttributeNode:
+        """Add or replace an attribute; returns the attribute node."""
+        attr = AttributeNode(name, value, atype)
+        for i, existing in enumerate(self.attributes):
+            if existing.name == attr.name:
+                self.attributes[i] = attr
+                return attr
+        self.attributes.append(attr)
+        return attr
+
+    def declare_namespace(self, prefix: str, uri: str) -> NamespaceNode:
+        ns = NamespaceNode(prefix, uri)
+        self.namespaces.append(ns)
+        return ns
+
+    def elements(self) -> Iterator["ElementNode"]:
+        """Iterate child nodes that are elements (of any refinement)."""
+        for child in self.children:
+            if isinstance(child, ElementNode):
+                yield child
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes and typed leaves."""
+        from repro.xdm.types import format_lexical
+
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, TextNode):
+                parts.append(child.text)
+            elif isinstance(child, ElementNode):
+                parts.append(child.text_content())
+        if isinstance(self, LeafElement):
+            parts.append(format_lexical(self.atype, self.value))
+        elif isinstance(self, ArrayElement):
+            from repro.xdm.types import format_lexical as _fmt
+
+            parts.append(" ".join(_fmt(self.atype, v) for v in self.values))
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name.clark()} ({len(self.children)} children)>"
+
+
+class LeafElement(ElementNode):
+    """An element holding one typed atomic value in native machine form.
+
+    The Python analogue of the paper's ``LeafElement<T>``: ``atype`` plays
+    the template parameter's role and ``value`` is a Python/numpy scalar —
+    never a lexical string — so BXSA encoding is a fixed-width copy.
+    LeafElements have no children.
+    """
+
+    __slots__ = ("value", "atype")
+    kind = NodeKind.LEAF_ELEMENT
+
+    def __init__(
+        self,
+        name: QName | str,
+        value,
+        atype: AtomicType | str | None = None,
+        *,
+        attributes: Iterable[AttributeNode] = (),
+        namespaces: Iterable[NamespaceNode] = (),
+    ) -> None:
+        super().__init__(name, attributes=attributes, namespaces=namespaces)
+        if atype is None:
+            atype = _infer_type(value)
+        elif isinstance(atype, str):
+            atype = atomic_type_for_xsd(atype)
+        self.atype = atype
+        self.value = coerce_value(atype, value)
+
+    def append(self, node: Node) -> Node:
+        raise XDMError("LeafElement cannot have children")
+
+    def __repr__(self) -> str:
+        return f"<LeafElement {self.name.clark()}={self.value!r} ({self.atype.xsd_name})>"
+
+
+class ArrayElement(ElementNode):
+    """An element holding a packed 1-D array of one primitive type.
+
+    The Python analogue of ``ArrayElement<T>``: ``values`` is always a
+    C-contiguous 1-D numpy array whose dtype matches ``atype``, compatible
+    with zero-copy I/O (the paper's memory-mapped-file point) and with any
+    C/Fortran consumer.  ArrayElements have no children.
+    """
+
+    __slots__ = ("values", "atype", "item_name")
+    kind = NodeKind.ARRAY_ELEMENT
+
+    def __init__(
+        self,
+        name: QName | str,
+        values,
+        atype: AtomicType | str | None = None,
+        *,
+        attributes: Iterable[AttributeNode] = (),
+        namespaces: Iterable[NamespaceNode] = (),
+        item_name: str | None = None,
+    ) -> None:
+        super().__init__(name, attributes=attributes, namespaces=namespaces)
+        arr = np.asarray(values)
+        if atype is None:
+            atype = atomic_type_for_dtype(arr.dtype)
+        elif isinstance(atype, str):
+            atype = atomic_type_for_xsd(atype)
+        if atype.dtype is None:
+            raise XDMTypeError("ArrayElement requires a numeric or boolean atomic type")
+        if arr.ndim != 1:
+            raise XDMTypeError(f"ArrayElement values must be 1-D, got shape {arr.shape}")
+        self.atype = atype
+        self.values = np.ascontiguousarray(arr, dtype=atype.dtype)
+        #: Serialization hint only (not part of data-model equality): the
+        #: element name textual XML uses for each item of this array.
+        self.item_name = item_name
+
+    def append(self, node: Node) -> Node:
+        raise XDMError("ArrayElement cannot have children")
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArrayElement {self.name.clark()} "
+            f"[{self.values.size} x {self.atype.xsd_name}]>"
+        )
+
+
+class DocumentNode(Node):
+    """The document root: prolog nodes (comments/PIs) plus one root element."""
+
+    __slots__ = ("children",)
+    kind = NodeKind.DOCUMENT
+
+    def __init__(self, children: Iterable[Node] = ()) -> None:
+        self.children: list[Node] = list(children)
+
+    @property
+    def root(self) -> ElementNode:
+        """The document element.  Raises if the document has none."""
+        for child in self.children:
+            if isinstance(child, ElementNode):
+                return child
+        raise XDMError("document has no root element")
+
+    def append(self, node: Node) -> Node:
+        self.children.append(node)
+        return node
+
+    def __repr__(self) -> str:
+        return f"<DocumentNode ({len(self.children)} children)>"
+
+
+def _infer_type(value) -> AtomicType:
+    """Infer the atomic type of a Python/numpy scalar for untyped constructors."""
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return atomic_type_for_xsd("boolean")
+    if isinstance(value, str):
+        return atomic_type_for_xsd("string")
+    if isinstance(value, (float, np.floating)):
+        if isinstance(value, np.float32):
+            return atomic_type_for_xsd("float")
+        return atomic_type_for_xsd("double")
+    if isinstance(value, np.integer):
+        return atomic_type_for_dtype(value.dtype)
+    if isinstance(value, int):
+        # Smallest of int/long that fits, mirroring common databinding rules.
+        if -(2**31) <= value < 2**31:
+            return atomic_type_for_xsd("int")
+        return atomic_type_for_xsd("long")
+    raise XDMTypeError(f"cannot infer an atomic type for {type(value).__name__}")

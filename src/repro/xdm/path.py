@@ -1,0 +1,85 @@
+"""Small path-query helper over bXDM trees.
+
+Not XPath — just the slash-separated child steps the SOAP engine and the
+examples need (``"Envelope/Body/*"``), plus descendant searches by local
+name.  Because bXDM extends XDM, a full XPath 2.0 engine could sit here
+(§5.1 of the paper makes this point); this module implements the subset the
+reproduced system actually exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xdm.nodes import DocumentNode, ElementNode, LeafElement, ArrayElement, Node
+from repro.xdm.qname import QName
+
+
+def _child_elements(node: Node) -> Iterator[ElementNode]:
+    if isinstance(node, (DocumentNode, ElementNode)):
+        for child in node.children:
+            if isinstance(child, ElementNode):
+                yield child
+
+
+def _matches(element: ElementNode, step: str) -> bool:
+    if step == "*":
+        return True
+    if step.startswith("{"):
+        return element.name == QName.parse(step)
+    return element.name.local == step
+
+
+def select(node: Node, path: str) -> list[ElementNode]:
+    """Select elements by a slash-separated child path.
+
+    Each step is a local name, Clark-notation name (``{uri}local``), or
+    ``*``.  Steps match *child* elements; the search starts from the
+    children of ``node``.  Returns all matches in document order.
+    """
+    steps = [s for s in path.split("/") if s]
+    current: list[Node] = [node]
+    for step in steps:
+        nxt: list[ElementNode] = []
+        for item in current:
+            nxt.extend(c for c in _child_elements(item) if _matches(c, step))
+        current = nxt  # type: ignore[assignment]
+    return current  # type: ignore[return-value]
+
+
+def select_one(node: Node, path: str) -> ElementNode:
+    """Like :func:`select` but requires exactly one match."""
+    matches = select(node, path)
+    if len(matches) != 1:
+        raise LookupError(f"path {path!r} matched {len(matches)} elements, expected 1")
+    return matches[0]
+
+
+def children_named(node: Node, name: str) -> list[ElementNode]:
+    """Direct child elements whose local (or Clark) name matches."""
+    return [c for c in _child_elements(node) if _matches(c, name)]
+
+
+def find_first(node: Node, name: str) -> ElementNode | None:
+    """Depth-first search for the first descendant element by name."""
+    stack = list(reversed(list(_child_elements(node))))
+    while stack:
+        current = stack.pop()
+        if _matches(current, name):
+            return current
+        if not isinstance(current, (LeafElement, ArrayElement)):
+            stack.extend(reversed(list(_child_elements(current))))
+    return None
+
+
+def find_all(node: Node, name: str) -> list[ElementNode]:
+    """All descendant elements matching ``name``, in document order."""
+    out: list[ElementNode] = []
+    stack = list(reversed(list(_child_elements(node))))
+    while stack:
+        current = stack.pop()
+        if _matches(current, name):
+            out.append(current)
+        if not isinstance(current, (LeafElement, ArrayElement)):
+            stack.extend(reversed(list(_child_elements(current))))
+    return out

@@ -1,0 +1,190 @@
+"""The bXDM atomic-type registry.
+
+This module is the junction between the three type systems the paper's stack
+straddles:
+
+* **XML Schema** lexical types (``xsd:int``, ``xsd:double``, …) — what appears
+  in textual XML as ``xsi:type`` and what the SOAP encoding rules speak;
+* **XBS type codes** — the single-byte wire identifiers used by BXSA leaf and
+  array frames;
+* **numpy dtypes** — the native machine representation held by
+  :class:`~repro.xdm.nodes.LeafElement` / ``ArrayElement``.
+
+Keeping one registry for all three guarantees transcodability: a typed value
+can go bXDM → BXSA → bXDM → XML → bXDM and land on the same machine value
+(floats are re-serialized at full round-trip precision, the caveat §4.2 of
+the paper notes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xbs.constants import TypeCode
+from repro.xdm.errors import XDMTypeError
+from repro.xdm.qname import XSD_URI, QName
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicType:
+    """One primitive atomic type, linked across the three type systems."""
+
+    xsd_name: str  #: local name in the XML Schema namespace, e.g. ``"double"``
+    code: TypeCode  #: XBS wire type code
+    dtype: np.dtype | None  #: numpy storage dtype (None for xsd:string)
+
+    @property
+    def qname(self) -> QName:
+        return QName(self.xsd_name, XSD_URI, "xsd")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.dtype is not None and self.dtype.kind in "iuf"
+
+    def __repr__(self) -> str:
+        return f"AtomicType(xsd:{self.xsd_name})"
+
+
+def _at(xsd_name: str, code: TypeCode, dtype: str | None) -> AtomicType:
+    return AtomicType(xsd_name, code, np.dtype(dtype) if dtype else None)
+
+
+#: Every atomic type bXDM supports.  The paper's LeafElement<T>/ArrayElement<T>
+#: template parameter T ranges over exactly these (plus string for leaves).
+ATOMIC_TYPES: tuple[AtomicType, ...] = (
+    _at("byte", TypeCode.INT8, "i1"),
+    _at("short", TypeCode.INT16, "i2"),
+    _at("int", TypeCode.INT32, "i4"),
+    _at("long", TypeCode.INT64, "i8"),
+    _at("unsignedByte", TypeCode.UINT8, "u1"),
+    _at("unsignedShort", TypeCode.UINT16, "u2"),
+    _at("unsignedInt", TypeCode.UINT32, "u4"),
+    _at("unsignedLong", TypeCode.UINT64, "u8"),
+    _at("float", TypeCode.FLOAT32, "f4"),
+    _at("double", TypeCode.FLOAT64, "f8"),
+    _at("boolean", TypeCode.BOOL, "?"),
+    _at("string", TypeCode.STRING, None),
+)
+
+_BY_XSD = {t.xsd_name: t for t in ATOMIC_TYPES}
+_BY_CODE = {t.code: t for t in ATOMIC_TYPES}
+_BY_DTYPE = {t.dtype.str.lstrip("<>=|"): t for t in ATOMIC_TYPES if t.dtype is not None}
+
+#: Aliases accepted when reading xsi:type from foreign documents.
+_XSD_ALIASES = {"integer": "long", "decimal": "double", "hexBinary": "unsignedByte"}
+
+
+def atomic_type_for_xsd(name: str) -> AtomicType:
+    """Look up by XML Schema local name (``"int"``, ``"double"``, …)."""
+    name = _XSD_ALIASES.get(name, name)
+    try:
+        return _BY_XSD[name]
+    except KeyError:
+        raise XDMTypeError(f"no bXDM atomic type for xsd:{name}") from None
+
+
+def atomic_type_for_code(code: TypeCode) -> AtomicType:
+    """Look up by XBS wire type code."""
+    try:
+        return _BY_CODE[TypeCode(code)]
+    except (KeyError, ValueError):
+        raise XDMTypeError(f"no bXDM atomic type for type code {code!r}") from None
+
+
+def atomic_type_for_dtype(dtype) -> AtomicType:
+    """Look up by numpy dtype (byte order is ignored)."""
+    dt = np.dtype(dtype)
+    key = dt.str.lstrip("<>=|")
+    try:
+        return _BY_DTYPE[key]
+    except KeyError:
+        raise XDMTypeError(f"no bXDM atomic type for dtype {dt!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# lexical (textual XML) forms
+
+
+def format_lexical(atype: AtomicType, value) -> str:
+    """Render a typed value in its XML Schema lexical form.
+
+    Floats use Python's shortest-round-trip ``repr`` — this is the "full
+    precision" re-serialization the paper's transcodability section
+    describes — with the XSD special values ``INF``/``-INF``/``NaN``.
+    """
+    if atype.xsd_name == "string":
+        return str(value)
+    if atype.xsd_name == "boolean":
+        return "true" if value else "false"
+    if atype.dtype is not None and atype.dtype.kind == "f":
+        value = float(value)
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "INF" if value > 0 else "-INF"
+        return repr(value)
+    return str(int(value))
+
+
+def parse_lexical(atype: AtomicType, text: str):
+    """Parse an XML Schema lexical form into the native machine value.
+
+    Integers come back as Python ints (range-checked against the type's
+    width), floats as Python floats, booleans as bools, strings verbatim.
+    """
+    if atype.xsd_name == "string":
+        return text
+    stripped = text.strip()
+    if atype.xsd_name == "boolean":
+        if stripped in ("true", "1"):
+            return True
+        if stripped in ("false", "0"):
+            return False
+        raise XDMTypeError(f"invalid xsd:boolean lexical value {text!r}")
+    if atype.dtype is None:  # pragma: no cover - defensive
+        raise XDMTypeError(f"type {atype} has no lexical parser")
+    if atype.dtype.kind == "f":
+        if stripped == "INF":
+            return math.inf
+        if stripped == "-INF":
+            return -math.inf
+        if stripped == "NaN":
+            return math.nan
+        try:
+            return float(stripped)
+        except ValueError:
+            raise XDMTypeError(f"invalid xsd:{atype.xsd_name} lexical value {text!r}") from None
+    try:
+        value = int(stripped)
+    except ValueError:
+        raise XDMTypeError(f"invalid xsd:{atype.xsd_name} lexical value {text!r}") from None
+    info = np.iinfo(atype.dtype)
+    if not info.min <= value <= info.max:
+        raise XDMTypeError(f"{value} out of range for xsd:{atype.xsd_name}")
+    return value
+
+
+def coerce_value(atype: AtomicType, value):
+    """Validate/convert a Python value to the native form for ``atype``.
+
+    Used by LeafElement construction so a leaf always holds a value its
+    declared type can encode.
+    """
+    if atype.xsd_name == "string":
+        if not isinstance(value, str):
+            raise XDMTypeError(f"xsd:string leaf requires str, got {type(value).__name__}")
+        return value
+    if atype.xsd_name == "boolean":
+        return bool(value)
+    if atype.dtype is None:  # pragma: no cover - defensive
+        raise XDMTypeError(f"cannot coerce to {atype}")
+    if atype.dtype.kind == "f":
+        return float(value)
+    value = int(value)
+    info = np.iinfo(atype.dtype)
+    if not info.min <= value <= info.max:
+        raise XDMTypeError(f"{value} out of range for xsd:{atype.xsd_name}")
+    return value

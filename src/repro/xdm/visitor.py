@@ -1,0 +1,124 @@
+"""Visitor protocol over bXDM trees.
+
+§5.2 of the paper: "every encoder behaves as a generic visitor of the bXDM
+data model and generates the specific serialization during the visiting".
+Both the BXSA encoder and the textual XML serializer are implemented as
+:class:`Visitor` subclasses driven by :func:`walk`.
+
+The walker is iterative (explicit stack) rather than recursive, so deeply
+nested documents cannot blow the Python recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.xdm.errors import XDMError
+from repro.xdm.nodes import (
+    ArrayElement,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    Node,
+    PINode,
+    TextNode,
+)
+
+
+class Visitor:
+    """Base visitor; subclasses override the hooks they care about.
+
+    Element-like nodes get paired enter/leave calls; atoms (text, comment,
+    PI, leaf, array) get a single call.  Attributes and namespace nodes are
+    not visited separately — they are part of their element, matching BXSA's
+    frame granularity decision (§4.1).
+    """
+
+    def enter_document(self, node: DocumentNode) -> None: ...
+
+    def leave_document(self, node: DocumentNode) -> None: ...
+
+    def enter_element(self, node: ElementNode) -> None: ...
+
+    def leave_element(self, node: ElementNode) -> None: ...
+
+    def visit_leaf(self, node: LeafElement) -> None: ...
+
+    def visit_array(self, node: ArrayElement) -> None: ...
+
+    def visit_text(self, node: TextNode) -> None: ...
+
+    def visit_comment(self, node: CommentNode) -> None: ...
+
+    def visit_pi(self, node: PINode) -> None: ...
+
+
+_ENTER, _LEAVE = 0, 1
+
+
+def walk(node: Node, visitor: Visitor) -> None:
+    """Drive ``visitor`` over the tree rooted at ``node`` in document order."""
+    stack: list[tuple[int, Node]] = [(_ENTER, node)]
+    while stack:
+        action, current = stack.pop()
+        if action == _LEAVE:
+            if isinstance(current, DocumentNode):
+                visitor.leave_document(current)
+            else:
+                visitor.leave_element(current)  # type: ignore[arg-type]
+            continue
+        if isinstance(current, LeafElement):
+            visitor.visit_leaf(current)
+        elif isinstance(current, ArrayElement):
+            visitor.visit_array(current)
+        elif isinstance(current, DocumentNode):
+            visitor.enter_document(current)
+            stack.append((_LEAVE, current))
+            for child in reversed(current.children):
+                stack.append((_ENTER, child))
+        elif isinstance(current, ElementNode):
+            visitor.enter_element(current)
+            stack.append((_LEAVE, current))
+            for child in reversed(current.children):
+                stack.append((_ENTER, child))
+        elif isinstance(current, TextNode):
+            visitor.visit_text(current)
+        elif isinstance(current, CommentNode):
+            visitor.visit_comment(current)
+        elif isinstance(current, PINode):
+            visitor.visit_pi(current)
+        else:
+            raise XDMError(f"walk() cannot visit {type(current).__name__}")
+
+
+def iter_nodes(node: Node):
+    """Yield every node in document order (elements before their content)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (DocumentNode, ElementNode)) and not isinstance(
+            current, (LeafElement, ArrayElement)
+        ):
+            stack.extend(reversed(current.children))
+
+
+def count_nodes(node: Node) -> int:
+    """Total number of nodes in the tree (attributes/namespaces excluded)."""
+    return sum(1 for _ in iter_nodes(node))
+
+
+def tree_depth(node: Node) -> int:
+    """Maximum element nesting depth (document counts as depth 0)."""
+    best = 0
+    stack: list[tuple[Node, int]] = [(node, 0)]
+    while stack:
+        current, depth = stack.pop()
+        best = max(best, depth)
+        if isinstance(current, (DocumentNode, ElementNode)) and not isinstance(
+            current, (LeafElement, ArrayElement)
+        ):
+            for child in current.children:
+                stack.append((child, depth + 1))
+    return best

@@ -1,0 +1,37 @@
+"""Textual XML 1.0 codec for bXDM.
+
+This package is the ``XML 1.0`` leg of the paper's encoding layer (Figure 3):
+a from-scratch, namespace-aware XML parser and serializer that map between
+byte streams and bXDM trees.
+
+Typed values travel through ``xsi:type`` annotations, "as required by the
+SOAP encoding rule" (§4.2 of the paper): with ``emit_types=True`` (the
+default) a :class:`~repro.xdm.nodes.LeafElement` serializes as
+``<n xsi:type="xsd:int">5</n>`` and an ``ArrayElement`` as an item list with
+a ``bx:itemType`` annotation, so a schema-less reader can reconstruct the
+typed bXDM tree.  With ``emit_types=False`` the output is plain XML — the
+"schema assumed" mode the paper's Table 1 measures (namespace-free, shortest
+tag names).
+"""
+
+from repro.xmlcodec.errors import XMLError, XMLParseError, XMLSerializeError
+from repro.xmlcodec.escape import escape_attribute, escape_text, unescape
+from repro.xmlcodec.parser import XMLParser, parse_document, parse_fragment
+from repro.xmlcodec.serializer import XMLSerializer, serialize
+from repro.xmlcodec.typed import BX_URI, DEFAULT_ITEM_NAME
+
+__all__ = [
+    "BX_URI",
+    "DEFAULT_ITEM_NAME",
+    "XMLError",
+    "XMLParseError",
+    "XMLParser",
+    "XMLSerializeError",
+    "XMLSerializer",
+    "escape_attribute",
+    "escape_text",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "unescape",
+]

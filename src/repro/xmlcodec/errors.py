@@ -1,0 +1,23 @@
+"""Exception hierarchy for the textual XML codec."""
+
+
+class XMLError(Exception):
+    """Base class for XML codec errors."""
+
+
+class XMLParseError(XMLError):
+    """Raised for malformed or non-well-formed input.
+
+    Carries the byte/character offset where the problem was detected so the
+    caller can point at the offending spot in large documents.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class XMLSerializeError(XMLError):
+    """Raised when a bXDM tree cannot be rendered as textual XML."""

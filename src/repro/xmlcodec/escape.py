@@ -1,0 +1,88 @@
+"""Character escaping for XML text and attribute values.
+
+The hot path matters here: Table 1 and Figures 4-6 of the paper charge the
+textual encoding for exactly this kind of work, so escaping is implemented
+with ``str.translate``-free fast paths — the common case (nothing to escape)
+costs one containment scan and no allocation.
+"""
+
+from __future__ import annotations
+
+from repro.xmlcodec.errors import XMLParseError
+
+_TEXT_NEEDS = ("&", "<", ">")
+_ATTR_NEEDS = ("&", "<", ">", '"', "\n", "\t", "\r")
+
+_NAMED_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data (``&``, ``<``, and ``>`` for ``]]>`` safety)."""
+    if not any(c in value for c in _TEXT_NEEDS):
+        return value
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape a double-quoted attribute value, normalizing whitespace chars."""
+    if not any(c in value for c in _ATTR_NEEDS):
+        return value
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+        .replace("\r", "&#13;")
+    )
+
+
+def unescape(value: str, offset_base: int = 0) -> str:
+    """Expand entity and character references in parsed content.
+
+    Supports the five XML named entities and decimal/hex character
+    references.  Raises :class:`XMLParseError` for unknown or malformed
+    references (well-formedness requires it).
+    """
+    amp = value.find("&")
+    if amp < 0:
+        return value
+    out: list[str] = []
+    pos = 0
+    n = len(value)
+    while amp >= 0:
+        out.append(value[pos:amp])
+        semi = value.find(";", amp + 1, amp + 32)
+        if semi < 0:
+            raise XMLParseError("unterminated entity reference", offset_base + amp)
+        entity = value[amp + 1 : semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            try:
+                cp = int(entity[2:], 16)
+            except ValueError:
+                raise XMLParseError(f"bad character reference &{entity};", offset_base + amp)
+            out.append(_codepoint(cp, offset_base + amp))
+        elif entity.startswith("#"):
+            try:
+                cp = int(entity[1:])
+            except ValueError:
+                raise XMLParseError(f"bad character reference &{entity};", offset_base + amp)
+            out.append(_codepoint(cp, offset_base + amp))
+        else:
+            try:
+                out.append(_NAMED_ENTITIES[entity])
+            except KeyError:
+                raise XMLParseError(f"unknown entity &{entity};", offset_base + amp) from None
+        pos = semi + 1
+        amp = value.find("&", pos)
+    out.append(value[pos:])
+    return "".join(out)
+
+
+def _codepoint(cp: int, offset: int) -> str:
+    if not (0 <= cp <= 0x10FFFF) or (0xD800 <= cp <= 0xDFFF):
+        raise XMLParseError(f"character reference U+{cp:04X} out of range", offset)
+    if cp in (0x9, 0xA, 0xD) or 0x20 <= cp:
+        return chr(cp)
+    raise XMLParseError(f"control character U+{cp:04X} not allowed in XML", offset)

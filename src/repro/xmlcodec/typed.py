@@ -1,0 +1,56 @@
+"""The xsi:type convention linking textual XML to typed bXDM nodes.
+
+§4.2 of the paper: *"if the schema of the document is unavailable, the XML
+serialization of bXDM should contain the type information explicitly, as
+required by the SOAP encoding rule, otherwise we are not able to create the
+typed LeafElement in the bXDM model."*  This module pins down exactly what
+"explicitly" means for this implementation:
+
+* a **LeafElement** carries ``xsi:type="xsd:<name>"`` and its value in
+  lexical form as text content;
+* an **ArrayElement** carries ``xsi:type="bx:Array"`` plus
+  ``bx:itemType="xsd:<name>"`` and serializes each value as one child item
+  element (default name ``item``; the original item name survives a parse in
+  the element's ``item_name`` hint so re-serialization is faithful);
+* everything else is plain XML.
+
+``bx`` is this project's small extension namespace (:data:`BX_URI`); it plays
+the role a published schema would.
+"""
+
+from __future__ import annotations
+
+from repro.xdm.qname import QName, XSD_URI, XSI_URI
+
+#: Namespace of the bXDM extension attributes (array annotations).
+BX_URI = "urn:repro:bxdm"
+
+#: Attribute marking the xsi type of a typed element.
+XSI_TYPE = QName("type", XSI_URI, "xsi")
+
+#: xsi:type value used for array elements.
+ARRAY_TYPE = QName("Array", BX_URI, "bx")
+
+#: Attribute carrying the item type of an array element.
+BX_ITEM_TYPE = QName("itemType", BX_URI, "bx")
+
+#: Default element name for array items in textual XML.
+DEFAULT_ITEM_NAME = "item"
+
+#: Prefixes the serializer auto-declares when it needs them.
+WELL_KNOWN_PREFIXES = {
+    "xsd": XSD_URI,
+    "xsi": XSI_URI,
+    "bx": BX_URI,
+}
+
+
+def split_qname_text(value: str) -> tuple[str, str]:
+    """Split a QName-in-content lexical value (``prefix:local``) in two.
+
+    Returns ``(prefix, local)`` with an empty prefix for unprefixed names.
+    """
+    prefix, sep, local = value.partition(":")
+    if not sep:
+        return "", value
+    return prefix, local

@@ -1,0 +1,149 @@
+"""Shared hypothesis strategies generating random bXDM trees.
+
+Used by the XML, BXSA and transcodability property tests.  The generated
+trees stay inside the well-formed envelope both codecs promise to round-trip:
+no control characters, no adjacent text siblings, comments/PIs within the
+XML grammar's content rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+import hypothesis.extra.numpy as hnp
+
+from repro.xdm import (
+    ArrayElement,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    PINode,
+    QName,
+    TextNode,
+    atomic_type_for_xsd,
+)
+from repro.xdm.nodes import AttributeNode, NamespaceNode
+
+names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_\-]{0,7}", fullmatch=True)
+prefixes = st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,3}", fullmatch=True).filter(
+    lambda p: p.lower() not in ("xml", "xmlns")
+)
+uris = st.sampled_from(["urn:a", "urn:b", "urn:test/ns", "http://example.org/x"])
+
+# Text without control chars or surrogates; XML cannot carry Cc/Cs.
+safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1,
+    max_size=40,
+)
+
+comment_text = safe_text.filter(lambda s: "--" not in s and not s.endswith("-"))
+pi_data = safe_text.filter(lambda s: "?>" not in s)
+
+_NUMERIC_XSD = [
+    "byte",
+    "short",
+    "int",
+    "long",
+    "unsignedByte",
+    "unsignedShort",
+    "unsignedInt",
+    "unsignedLong",
+    "float",
+    "double",
+]
+
+
+@st.composite
+def qnames(draw) -> QName:
+    local = draw(names)
+    if draw(st.booleans()):
+        return QName(local, draw(uris), draw(prefixes))
+    return QName(local)
+
+
+@st.composite
+def leaf_values(draw):
+    xsd = draw(st.sampled_from(_NUMERIC_XSD + ["boolean", "string"]))
+    atype = atomic_type_for_xsd(xsd)
+    if xsd == "string":
+        return atype, draw(safe_text)
+    if xsd == "boolean":
+        return atype, draw(st.booleans())
+    if atype.dtype.kind == "f":
+        return atype, draw(st.floats(allow_nan=False, width=atype.dtype.itemsize * 8))
+    info = np.iinfo(atype.dtype)
+    return atype, draw(st.integers(int(info.min), int(info.max)))
+
+
+@st.composite
+def attributes(draw) -> list[AttributeNode]:
+    count = draw(st.integers(0, 3))
+    attrs: list[AttributeNode] = []
+    seen: set = set()
+    for _ in range(count):
+        name = draw(qnames())
+        if name in seen:
+            continue
+        seen.add(name)
+        attrs.append(AttributeNode(name, draw(safe_text)))
+    return attrs
+
+
+@st.composite
+def leaf_elements(draw) -> LeafElement:
+    atype, value = draw(leaf_values())
+    return LeafElement(draw(qnames()), value, atype, attributes=draw(attributes()))
+
+
+@st.composite
+def array_elements(draw) -> ArrayElement:
+    xsd = draw(st.sampled_from(_NUMERIC_XSD))
+    atype = atomic_type_for_xsd(xsd)
+    values = draw(
+        hnp.arrays(
+            dtype=atype.dtype,
+            shape=st.integers(0, 12),
+            elements={"allow_nan": False} if atype.dtype.kind == "f" else None,
+        )
+    )
+    return ArrayElement(
+        draw(qnames()), values, atype, attributes=draw(attributes())
+    )
+
+
+def _no_adjacent_text(children: list) -> list:
+    out: list = []
+    for child in children:
+        if isinstance(child, TextNode) and out and isinstance(out[-1], TextNode):
+            continue
+        out.append(child)
+    return out
+
+
+@st.composite
+def elements(draw, max_depth: int = 3) -> ElementNode:
+    kids_strategy = st.one_of(
+        leaf_elements(),
+        array_elements(),
+        safe_text.map(TextNode),
+        comment_text.map(CommentNode),
+        st.tuples(names.filter(lambda n: n.lower() != "xml"), pi_data).map(
+            lambda t: PINode(*t)
+        ),
+    )
+    if max_depth > 0:
+        kids_strategy = st.one_of(kids_strategy, elements(max_depth=max_depth - 1))
+    children = _no_adjacent_text(draw(st.lists(kids_strategy, max_size=4)))
+    node = ElementNode(draw(qnames()), attributes=draw(attributes()), children=children)
+    # occasionally add an explicit namespace declaration
+    if draw(st.booleans()):
+        node.namespaces.append(NamespaceNode(draw(prefixes), draw(uris)))
+    return node
+
+
+@st.composite
+def documents(draw) -> DocumentNode:
+    prolog = draw(st.lists(comment_text.map(CommentNode), max_size=2))
+    return DocumentNode(prolog + [draw(elements())])

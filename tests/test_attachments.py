@@ -1,0 +1,123 @@
+"""Tests for the SOAP-with-Attachments packaging and its extension
+experiment."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SoapEnvelope, XMLEncoding
+from repro.harness.extension_attachments import run_attachment
+from repro.netsim import LAN, WAN
+from repro.transport.attachments import (
+    Attachment,
+    AttachmentError,
+    SwaPackage,
+)
+from repro.workloads.lead import lead_dataset
+from repro.xdm import element, leaf
+
+
+def sample_package():
+    payload = XMLEncoding().encode(
+        SoapEnvelope.wrap(element("Op", leaf("ref", "cid:data", "string"))).to_document()
+    )
+    return SwaPackage(
+        payload,
+        "text/xml",
+        [
+            Attachment("data", b"\x00\x01\x02\xff" * 100),
+            Attachment("meta", b"{}", "application/json"),
+        ],
+    )
+
+
+class TestPackageCodec:
+    def test_roundtrip(self):
+        package = sample_package()
+        back = SwaPackage.from_bytes(package.to_bytes())
+        assert back.envelope_payload == package.envelope_payload
+        assert back.envelope_content_type == "text/xml"
+        assert len(back.attachments) == 2
+        assert back.attachment("data").data == package.attachments[0].data
+        assert back.attachment("meta").content_type == "application/json"
+
+    def test_cid_lookup(self):
+        package = sample_package()
+        assert package.attachment("cid:data").content_id == "data"
+        with pytest.raises(AttachmentError):
+            package.attachment("cid:absent")
+
+    def test_binary_payloads_travel_raw(self):
+        """CRLF and boundary-looking bytes inside parts must survive."""
+        tricky = b"\r\n--repro-swa-part\r\nContent-ID: <fake>\r\n\r\n" * 3
+        package = SwaPackage(b"<e/>", "text/xml", [Attachment("t", tricky)])
+        back = SwaPackage.from_bytes(package.to_bytes())
+        assert back.attachment("t").data == tricky
+
+    def test_empty_attachment_list(self):
+        package = SwaPackage(b"<e/>", "text/xml")
+        back = SwaPackage.from_bytes(package.to_bytes())
+        assert back.attachments == []
+
+    def test_first_part_must_be_envelope(self):
+        blob = sample_package().to_bytes()
+        # swap the envelope's content id
+        corrupted = blob.replace(b"<soap-envelope>", b"<not-the-envelope>", 1)
+        with pytest.raises(AttachmentError, match="first part"):
+            SwaPackage.from_bytes(corrupted)
+
+    def test_illegal_content_id_rejected(self):
+        package = SwaPackage(b"<e/>", "text/xml", [Attachment("a<b", b"x")])
+        with pytest.raises(AttachmentError):
+            package.to_bytes()
+
+    @pytest.mark.parametrize(
+        "mutilate",
+        [
+            lambda blob: blob[:10],  # truncated boundary
+            lambda blob: blob[:-10],  # missing terminator
+            lambda blob: b"junk" + blob,  # garbage prefix
+            lambda blob: blob.replace(b"Content-Length", b"Content-Wrong", 1),
+        ],
+    )
+    def test_malformed_packages_rejected(self, mutilate):
+        blob = sample_package().to_bytes()
+        with pytest.raises(AttachmentError):
+            SwaPackage.from_bytes(mutilate(blob))
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_fuzz_never_crashes(self, blob):
+        try:
+            SwaPackage.from_bytes(blob)
+        except AttachmentError:
+            pass
+
+    def test_size_overhead_is_small(self):
+        """Packaging overhead is headers-only — no payload re-encoding."""
+        data = np.arange(10_000, dtype="f8").tobytes()
+        package = SwaPackage(b"<e/>", "text/xml", [Attachment("d", data)])
+        assert len(package.to_bytes()) < len(data) + 512
+
+
+class TestAttachmentScheme:
+    @pytest.mark.parametrize("base64_mode", [False, True])
+    @pytest.mark.parametrize("profile", [LAN, WAN])
+    def test_runner_verifies_correctly(self, base64_mode, profile):
+        result = run_attachment(
+            lead_dataset(500), profile, base64_mode=base64_mode, repeats=1
+        )
+        assert result.response_time > 0
+        assert result.scheme.endswith("base64" if base64_mode else "raw")
+
+    def test_base64_inflates_wire(self):
+        dataset = lead_dataset(2000)
+        raw = run_attachment(dataset, LAN, repeats=1)
+        b64 = run_attachment(dataset, LAN, base64_mode=True, repeats=1)
+        assert b64.request_wire_bytes > raw.request_wire_bytes * 1.25
+
+    def test_raw_wire_near_native(self):
+        dataset = lead_dataset(2000)
+        result = run_attachment(dataset, LAN, repeats=1)
+        assert result.request_wire_bytes < dataset.native_bytes * 1.1 + 1024

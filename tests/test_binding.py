@@ -1,0 +1,231 @@
+"""Tests for the XML databinding layer (the paper's Figure 3 box)."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.binding import Array, BindingError, from_element, to_element
+from repro.bxsa import decode, encode
+from repro.xdm import LeafElement, element, leaf
+from repro.xmlcodec import parse_fragment, serialize
+
+
+@dataclass
+class Channel:
+    label: str
+    gain: float
+
+
+@dataclass
+class Reading:
+    station: int
+    tick: int
+    ok: bool
+    note: Optional[str]
+    samples: Array["f4"]
+    channels: List[Channel] = field(default_factory=list)
+
+
+def sample_reading() -> Reading:
+    return Reading(
+        station=7,
+        tick=99,
+        ok=True,
+        note="calibrated",
+        samples=np.linspace(0, 1, 9, dtype="f4"),
+        channels=[Channel("temp", 1.5), Channel("rh", 0.9)],
+    )
+
+
+class TestToElement:
+    def test_structure(self):
+        node = to_element(sample_reading())
+        assert node.name.local == "Reading"
+        names = [c.name.local for c in node.elements()]
+        assert names == ["station", "tick", "ok", "note", "samples", "channels", "channels"]
+
+    def test_field_types(self):
+        node = to_element(sample_reading())
+        station = next(c for c in node.elements() if c.name.local == "station")
+        assert isinstance(station, LeafElement)
+        assert station.atype.xsd_name == "long"
+        samples = next(c for c in node.elements() if c.name.local == "samples")
+        assert samples.atype.xsd_name == "float"
+
+    def test_optional_none_omitted(self):
+        reading = sample_reading()
+        reading.note = None
+        node = to_element(reading)
+        assert all(c.name.local != "note" for c in node.elements())
+
+    def test_custom_element_name(self):
+        assert to_element(sample_reading(), "r").name.local == "r"
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(BindingError):
+            to_element(object())
+
+    def test_none_required_rejected(self):
+        reading = sample_reading()
+        reading.tick = None
+        with pytest.raises(BindingError, match="tick"):
+            to_element(reading)
+
+    def test_wrong_type_rejected(self):
+        reading = sample_reading()
+        reading.station = "seven"
+        with pytest.raises(BindingError, match="station"):
+            to_element(reading)
+
+    def test_bool_not_accepted_as_int(self):
+        reading = sample_reading()
+        reading.station = True
+        with pytest.raises(BindingError, match="station"):
+            to_element(reading)
+
+    def test_int_promoted_to_float_field(self):
+        @dataclass
+        class P:
+            x: float
+
+        node = to_element(P(3))
+        assert next(node.elements()).value == 3.0
+
+    def test_2d_array_rejected(self):
+        reading = sample_reading()
+        reading.samples = np.zeros((2, 2), dtype="f4")
+        with pytest.raises(BindingError, match="1-D"):
+            to_element(reading)
+
+
+class TestFromElement:
+    def test_roundtrip_in_memory(self):
+        original = sample_reading()
+        back = from_element(Reading, to_element(original))
+        assert back.station == original.station
+        assert back.note == "calibrated"
+        assert back.channels == original.channels
+        np.testing.assert_array_equal(back.samples, original.samples)
+        assert back.samples.dtype == np.dtype("f4")
+
+    def test_roundtrip_through_bxsa(self):
+        original = sample_reading()
+        rebuilt = decode(encode(to_element(original)))
+        back = from_element(Reading, rebuilt)
+        assert back.station == original.station
+        assert back.channels == original.channels
+        np.testing.assert_array_equal(back.samples, original.samples)
+
+    def test_roundtrip_through_xml(self):
+        original = sample_reading()
+        rebuilt = parse_fragment(serialize(to_element(original)))
+        back = from_element(Reading, rebuilt)
+        assert back.channels[1].label == "rh"
+        np.testing.assert_array_equal(back.samples, original.samples)
+
+    def test_missing_required_field(self):
+        node = to_element(sample_reading())
+        node.children = [c for c in node.children if c.name.local != "tick"]
+        with pytest.raises(BindingError, match="Reading.tick"):
+            from_element(Reading, node)
+
+    def test_optional_missing_is_none(self):
+        reading = sample_reading()
+        reading.note = None
+        back = from_element(Reading, to_element(reading))
+        assert back.note is None
+
+    def test_unknown_child_rejected(self):
+        node = to_element(sample_reading())
+        node.children.append(leaf("extra", 1, "int"))
+        with pytest.raises(BindingError, match="extra"):
+            from_element(Reading, node)
+
+    def test_duplicate_scalar_rejected(self):
+        node = to_element(sample_reading())
+        node.children.append(leaf("tick", 100, "long"))
+        with pytest.raises(BindingError, match="2 elements"):
+            from_element(Reading, node)
+
+    def test_type_mismatch_rejected(self):
+        node = to_element(sample_reading())
+        for i, child in enumerate(node.children):
+            if child.name.local == "tick":
+                node.children[i] = leaf("tick", "not a number", "string")
+        with pytest.raises(BindingError, match="tick"):
+            from_element(Reading, node)
+
+    def test_array_where_leaf_expected(self):
+        @dataclass
+        class P:
+            x: float
+
+        node = element("P")
+        node.children.append(element("x"))  # component, not a leaf
+        with pytest.raises(BindingError, match="leaf"):
+            from_element(P, node)
+
+    def test_empty_list_field(self):
+        reading = sample_reading()
+        reading.channels = []
+        back = from_element(Reading, to_element(reading))
+        assert back.channels == []
+
+    def test_array_dtype_converted(self):
+        node = to_element(sample_reading())
+        # replace the f4 array with an f8 one of the same values
+        from repro.xdm import array as make_array
+
+        for i, child in enumerate(node.children):
+            if child.name.local == "samples":
+                node.children[i] = make_array("samples", np.linspace(0, 1, 9))
+        back = from_element(Reading, node)
+        assert back.samples.dtype == np.dtype("f4")
+
+
+class TestNested:
+    def test_deeply_nested(self):
+        @dataclass
+        class Leaf_:
+            v: int
+
+        @dataclass
+        class Mid:
+            inner: Leaf_
+
+        @dataclass
+        class Top:
+            mid: Mid
+            items: List[Leaf_]
+
+        top = Top(Mid(Leaf_(1)), [Leaf_(2), Leaf_(3)])
+        back = from_element(Top, decode(encode(to_element(top))))
+        assert back.mid.inner.v == 1
+        assert [i.v for i in back.items] == [2, 3]
+
+    def test_list_of_non_dataclass_rejected(self):
+        @dataclass
+        class Bad:
+            xs: List[int]
+
+        with pytest.raises(BindingError, match="dataclasses"):
+            to_element(Bad([1, 2]))
+
+    def test_unsupported_annotation(self):
+        @dataclass
+        class Bad:
+            x: dict
+
+        with pytest.raises(BindingError, match="unsupported"):
+            to_element(Bad({}))
+
+
+class TestArrayAnnotation:
+    def test_subscript_caches(self):
+        assert Array["f8"] is Array["f8"]
+        assert Array["f8"] is not Array["f4"]
+
+    def test_dtype_attached(self):
+        assert Array["i4"].dtype == np.dtype("i4")

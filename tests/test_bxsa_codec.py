@@ -1,0 +1,314 @@
+"""Unit tests for the BXSA encoder/decoder pair."""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import (
+    BXSADecodeError,
+    BXSAEncodeError,
+    FrameType,
+    decode,
+    decode_document,
+    encode,
+    pack_prefix_byte,
+    unpack_prefix_byte,
+)
+from repro.xbs import BIG_ENDIAN, LITTLE_ENDIAN
+from repro.xdm import (
+    ArrayElement,
+    LeafElement,
+    QName,
+    array,
+    comment,
+    deep_equal,
+    doc,
+    element,
+    explain_difference,
+    leaf,
+    pi,
+    text,
+)
+
+
+def rt(node, byte_order=LITTLE_ENDIAN):
+    blob = encode(node, byte_order)
+    out = decode(blob)
+    diff = explain_difference(node, out)
+    assert diff is None, diff
+    return blob, out
+
+
+class TestPrefixByte:
+    def test_pack_unpack(self):
+        for order in (LITTLE_ENDIAN, BIG_ENDIAN):
+            for ftype in FrameType:
+                packed = pack_prefix_byte(order, ftype)
+                assert unpack_prefix_byte(packed) == (order, ftype)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(BXSADecodeError):
+            unpack_prefix_byte(0x3F)
+
+    def test_reserved_order_rejected(self):
+        with pytest.raises(BXSADecodeError):
+            unpack_prefix_byte((2 << 6) | 1)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("order", [LITTLE_ENDIAN, BIG_ENDIAN])
+    def test_empty_element(self, order):
+        rt(element("r"), order)
+
+    def test_document_with_prolog(self):
+        rt(doc(comment("hello"), pi("target", "data"), element("r")))
+
+    def test_nested_elements_text(self):
+        rt(element("a", element("b", text("x")), element("c", comment("y"), pi("p"))))
+
+    @pytest.mark.parametrize("order", [LITTLE_ENDIAN, BIG_ENDIAN])
+    def test_typed_leaves(self, order):
+        rt(
+            element(
+                "r",
+                leaf("i8", -5, "byte"),
+                leaf("i16", -3000, "short"),
+                leaf("i32", -(2**30), "int"),
+                leaf("i64", 2**60, "long"),
+                leaf("u8", 250, "unsignedByte"),
+                leaf("u64", 2**63, "unsignedLong"),
+                leaf("f32", 1.5, "float"),
+                leaf("f64", 0.1 + 0.2, "double"),
+                leaf("b", True, "boolean"),
+                leaf("s", "héllo ☃", "string"),
+            ),
+            order,
+        )
+
+    @pytest.mark.parametrize("order", [LITTLE_ENDIAN, BIG_ENDIAN])
+    def test_arrays(self, order):
+        rt(
+            element(
+                "r",
+                array("d", np.linspace(0, 1, 100)),
+                array("i", np.arange(50, dtype="i4")),
+                array("u", np.array([0, 255], dtype="u1")),
+                array("empty", np.array([], dtype="f4")),
+            ),
+            order,
+        )
+
+    def test_float_specials(self):
+        rt(element("r", leaf("n", float("nan")), array("v", np.array([np.inf, -np.inf, np.nan]))))
+
+    def test_typed_attributes_fully_preserved(self):
+        node = element("r")
+        node.set_attribute("count", 7, "int")
+        node.set_attribute("scale", 2.5, "double")
+        node.set_attribute("label", "x", "string")
+        node.set_attribute("flag", True, "boolean")
+        _, out = rt(node)
+        assert out.attribute("count").atype.xsd_name == "int"
+        assert out.attribute("count").value == 7
+        assert out.attribute("flag").value is True
+
+    def test_item_name_hint_survives(self):
+        node = array("v", np.arange(3, dtype="f8"), item_name="val")
+        _, out = rt(node)
+        assert out.item_name == "val"
+
+    def test_deep_tree_no_recursion(self):
+        from repro.xdm import TreeBuilder
+
+        b = TreeBuilder()
+        for _ in range(4000):
+            b.start_element("n")
+        b.leaf("x", 1, "int")
+        for _ in range(4000):
+            b.end_element()
+        rt(b.document)
+
+    def test_wide_tree(self):
+        node = element("r", *[leaf(f"c{i}", i, "int") for i in range(500)])
+        rt(node)
+
+
+class TestNamespaces:
+    def test_declared_namespace_roundtrip(self):
+        node = element(
+            QName("Envelope", "urn:soap", "s"),
+            element(QName("Body", "urn:soap", "s")),
+            namespaces={"s": "urn:soap"},
+        )
+        _, out = rt(node)
+        assert out.name.uri == "urn:soap"
+        assert out.name.prefix == "s"  # prefix recovered from the symbol table
+
+    def test_parent_scope_reference(self):
+        inner = element(QName("c", "urn:x", "p"))
+        node = element(QName("r", "urn:x", "p"), inner, namespaces={"p": "urn:x"})
+        blob, out = rt(node)
+        # uri "urn:x" must appear exactly once in the encoding (tokenization)
+        assert blob.count(b"urn:x") == 1
+
+    def test_auto_declaration(self):
+        node = element(QName("r", "urn:auto"))
+        blob = encode(node)
+        out = decode(blob)
+        assert out.name.uri == "urn:auto"
+        # decoder materializes the auto-declaration
+        assert any(ns.uri == "urn:auto" for ns in out.namespaces)
+
+    def test_shadowing(self):
+        inner = element(QName("c", "urn:2", "p"), namespaces={"p": "urn:2"})
+        node = element(QName("r", "urn:1", "p"), inner, namespaces={"p": "urn:1"})
+        _, out = rt(node)
+        assert next(out.elements()).name.uri == "urn:2"
+
+    def test_default_namespace(self):
+        node = element(QName("r", "urn:d"), namespaces={"": "urn:d"})
+        rt(node)
+
+    def test_qualified_attributes(self):
+        node = element("r", namespaces={"m": "urn:meta"})
+        node.set_attribute(QName("id", "urn:meta", "m"), "x7")
+        _, out = rt(node)
+        assert out.attribute(QName("id", "urn:meta")).value == "x7"
+
+    def test_duplicate_prefix_rejected(self):
+        node = element("r")
+        node.declare_namespace("p", "urn:1")
+        node.declare_namespace("p", "urn:2")
+        with pytest.raises(BXSAEncodeError):
+            encode(node)
+
+    def test_duplicate_attribute_rejected(self):
+        from repro.xdm.nodes import AttributeNode
+
+        node = element("r")
+        node.attributes.append(AttributeNode("a", "1"))
+        node.attributes.append(AttributeNode("a", "2"))
+        with pytest.raises(BXSAEncodeError):
+            encode(node)
+
+
+class TestMixedEndianness:
+    def test_be_frame_embedded_in_le_document(self):
+        """Frames carry their own byte order, so splicing works (§4.1)."""
+        le_child = encode(leaf("x", 1, "int"), LITTLE_ENDIAN)
+        be_child = encode(array("v", np.arange(4, dtype="f8")), BIG_ENDIAN)
+        # hand-build a component element frame containing both
+        import repro.xbs.varint as varint
+
+        header = bytes([pack_prefix_byte(LITTLE_ENDIAN, FrameType.COMPONENT_ELEMENT)])
+        body = (
+            varint.encode_vls(0)  # N1: no namespace declarations
+            + varint.encode_vls(0)  # name ref: no namespace
+            + varint.encode_vls(1)
+            + b"r"  # local name "r"
+            + varint.encode_vls(0)  # N2: no attributes
+            + varint.encode_vls(2)  # two children
+            + le_child
+            + be_child
+        )
+        blob = header + varint.encode_vls(len(body)) + body
+        out = decode(blob)
+        kids = list(out.elements())
+        assert kids[0].value == 1
+        np.testing.assert_array_equal(np.asarray(kids[1].values, dtype="f8"), np.arange(4.0))
+
+    def test_big_endian_array_values_correct(self):
+        values = np.array([1.0, -2.5, 3e300])
+        blob = encode(array("v", values), BIG_ENDIAN)
+        out = decode(blob)
+        np.testing.assert_array_equal(np.asarray(out.values, dtype="f8"), values)
+
+
+class TestZeroCopy:
+    def test_array_is_view_by_default(self):
+        blob = encode(array("v", np.arange(64, dtype="f8")))
+        out = decode(blob)
+        assert isinstance(out, ArrayElement)
+        assert out.values.base is not None
+        assert not out.values.flags.writeable
+
+    def test_copy_mode_gives_writable_native(self):
+        blob = encode(array("v", np.arange(64, dtype="f8")), BIG_ENDIAN)
+        out = decode(blob, copy=True)
+        assert out.values.flags.writeable
+        assert out.values.dtype.isnative
+
+    def test_alignment_pad_present(self):
+        """Payload starts at a multiple of the item size within the body."""
+        from repro.bxsa import FrameScanner
+
+        blob = encode(doc(element("r", array("v", np.arange(8, dtype="f8")))))
+        # decode succeeds and values match regardless of surrounding offsets
+        out = decode_document(blob)
+        np.testing.assert_array_equal(
+            np.asarray(out.root.children[0].values), np.arange(8.0)
+        )
+
+
+class TestErrors:
+    def test_truncated_stream(self):
+        blob = encode(element("r", leaf("x", 1, "int")))
+        for cut in (1, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(BXSADecodeError):
+                decode(blob[:cut])
+
+    def test_trailing_garbage(self):
+        blob = encode(element("r")) + b"\x00"
+        with pytest.raises(BXSADecodeError):
+            decode(blob)
+
+    def test_size_field_lies(self):
+        blob = bytearray(encode(element("r", text("hello"))))
+        # inflate the root frame's size field (single-byte VLS)
+        blob[1] += 1
+        with pytest.raises(BXSADecodeError):
+            decode(bytes(blob) + b"\x00")
+
+    def test_unknown_frame_type(self):
+        with pytest.raises(BXSADecodeError):
+            decode(bytes([0x3E, 0x00]))
+
+    def test_bad_namespace_reference(self):
+        import repro.xbs.varint as varint
+
+        header = bytes([pack_prefix_byte(LITTLE_ENDIAN, FrameType.LEAF_ELEMENT)])
+        body = (
+            varint.encode_vls(0)  # no declarations
+            + varint.encode_vls(1)  # scope depth 1 (but table is empty)
+            + varint.encode_vls(0)
+            + varint.encode_vls(1)
+            + b"x"
+            + varint.encode_vls(0)  # no attributes
+            + bytes([3])  # INT32
+            + b"\x01\x00\x00\x00"
+        )
+        with pytest.raises(BXSADecodeError):
+            decode(header + varint.encode_vls(len(body)) + body)
+
+    def test_empty_input(self):
+        with pytest.raises(BXSADecodeError):
+            decode(b"")
+
+    def test_decode_document_requires_document(self):
+        blob = encode(element("r"))
+        with pytest.raises(BXSADecodeError):
+            decode_document(blob)
+
+
+class TestCompactness:
+    def test_binary_smaller_than_xml_for_arrays(self):
+        from repro.xmlcodec import serialize
+
+        node = element("r", array("v", np.random.default_rng(0).random(1000)))
+        blob = encode(node)
+        xml = serialize(node)
+        assert len(blob) < len(xml.encode()) / 1.8
+
+    def test_array_overhead_is_small(self):
+        values = np.arange(1000, dtype="f8")
+        blob = encode(array("v", values))
+        assert len(blob) < values.nbytes * 1.01 + 64

@@ -1,0 +1,183 @@
+"""Property-based tests for the BXSA codec and transcoding."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bxsa import (
+    BXSADecodeError,
+    FrameScanner,
+    bxsa_to_xml,
+    decode,
+    encode,
+    xml_to_bxsa,
+)
+from repro.xbs import BIG_ENDIAN, LITTLE_ENDIAN
+from repro.xdm import deep_equal, explain_difference
+
+from tests.strategies import documents, elements
+
+_settings = settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+orders = st.sampled_from([LITTLE_ENDIAN, BIG_ENDIAN])
+
+
+@given(documents(), orders)
+@_settings
+def test_roundtrip_exact(tree, order):
+    """BXSA round-trips are *exact* — namespace declarations included —
+    whenever every referenced namespace is declared or auto-declared."""
+    blob = encode(tree, order)
+    out = decode(blob)
+    # Auto-declarations make the decoded tree a superset; re-encode both and
+    # compare the stable forms.
+    blob2 = encode(out, order)
+    out2 = decode(blob2)
+    diff = explain_difference(out, out2)
+    assert diff is None, diff
+
+
+@given(documents(), orders)
+@_settings
+def test_roundtrip_data_model(tree, order):
+    out = decode(encode(tree, order))
+    diff = explain_difference(tree, out, ignore_ns_decls=True)
+    assert diff is None, diff
+
+
+@given(documents())
+@_settings
+def test_endianness_invariance(tree):
+    le = decode(encode(tree, LITTLE_ENDIAN))
+    be = decode(encode(tree, BIG_ENDIAN))
+    assert deep_equal(le, be, ignore_ns_decls=True)
+
+
+@given(documents())
+@_settings
+def test_scanner_agrees_with_decoder(tree):
+    blob = encode(tree)
+    s = FrameScanner(blob)
+    info = s.frame_at(0)
+    assert info.end == len(blob)
+    # every frame the scanner reports must decode cleanly, given its
+    # ancestors' namespace tables (QName refs may reach outer scopes)
+    for frame, ancestors in s.walk_with_ancestors(0):
+        s.decode_frame(frame.start, ancestors=ancestors)
+
+
+@given(documents())
+@_settings
+def test_transcode_binary_text_binary(tree):
+    blob = encode(tree)
+    xml = bxsa_to_xml(blob)
+    out = decode(xml_to_bxsa(xml))
+    original = decode(blob)
+    diff = explain_difference(original, out, ignore_ns_decls=True)
+    assert diff is None, f"{diff}\nXML: {xml[:400]}"
+
+
+@given(st.binary(max_size=200))
+@_settings
+def test_decoder_rejects_garbage_gracefully(blob):
+    """Random bytes either decode or raise BXSADecodeError — never crash."""
+    try:
+        decode(blob)
+    except BXSADecodeError:
+        pass
+
+
+@given(documents(), st.data())
+@_settings
+def test_truncation_always_detected(tree, data):
+    blob = encode(tree)
+    if len(blob) < 2:
+        return
+    cut = data.draw(st.integers(1, len(blob) - 1))
+    try:
+        node = decode(blob[:cut])
+    except BXSADecodeError:
+        return
+    # A truncated prefix can never decode to the full document.
+    raise AssertionError(f"truncated blob decoded silently to {node!r}")
+
+
+@given(documents(), orders)
+@_settings
+def test_stream_reader_agrees_with_tree_decoder(tree, order):
+    """Replaying the event stream into a tree builder reproduces exactly
+    what the tree decoder builds — the two consumption paths are one
+    semantics."""
+    from repro.bxsa.stream import BXSAStreamReader, EventKind
+    from repro.xdm.nodes import (
+        ArrayElement,
+        AttributeNode,
+        CommentNode,
+        DocumentNode,
+        ElementNode,
+        LeafElement,
+        PINode,
+        TextNode,
+    )
+
+    blob = encode(tree, order)
+    expected = decode(blob)
+
+    stack = []
+    root_holder = []
+
+    def attach(node):
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            root_holder.append(node)
+
+    for event in BXSAStreamReader(blob):
+        if event.kind is EventKind.START_DOCUMENT:
+            node = DocumentNode()
+            attach(node)
+            stack.append(node)
+        elif event.kind in (EventKind.END_DOCUMENT, EventKind.END_ELEMENT):
+            stack.pop()
+        elif event.kind is EventKind.START_ELEMENT:
+            node = ElementNode(
+                event.name,
+                attributes=list(event.attributes),
+                namespaces=list(event.namespaces),
+            )
+            attach(node)
+            stack.append(node)
+        elif event.kind is EventKind.LEAF:
+            attach(
+                LeafElement(
+                    event.name,
+                    event.value,
+                    event.atype,
+                    attributes=list(event.attributes),
+                    namespaces=list(event.namespaces),
+                )
+            )
+        elif event.kind is EventKind.ARRAY:
+            attach(
+                ArrayElement(
+                    event.name,
+                    event.values,
+                    event.atype,
+                    attributes=list(event.attributes),
+                    namespaces=list(event.namespaces),
+                    item_name=event.item_name,
+                )
+            )
+        elif event.kind is EventKind.TEXT:
+            attach(TextNode(event.text))
+        elif event.kind is EventKind.COMMENT:
+            attach(CommentNode(event.text))
+        elif event.kind is EventKind.PI:
+            attach(PINode(event.target, event.text))
+
+    (rebuilt,) = root_holder
+    diff = explain_difference(expected, rebuilt)
+    assert diff is None, diff

@@ -1,0 +1,127 @@
+"""Unit tests for the accelerated sequential access scanner (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import BXSADecodeError, FrameScanner, FrameType, encode
+from repro.xdm import array, comment, doc, element, leaf, pi, text
+
+
+def sample_blob():
+    tree = doc(
+        element(
+            "Envelope",
+            element(
+                "Body",
+                leaf("count", 3, "int"),
+                array("values", np.arange(1000, dtype="f8")),
+                element("meta", text("hello")),
+                comment("note"),
+                pi("t", "d"),
+            ),
+        )
+    )
+    return encode(tree)
+
+
+class TestScanner:
+    def test_frame_at_root(self):
+        blob = sample_blob()
+        info = FrameScanner(blob).frame_at(0)
+        assert info.frame_type is FrameType.DOCUMENT
+        assert info.end == len(blob)
+        assert info.total_size == len(blob)
+
+    def test_children_iteration(self):
+        s = FrameScanner(sample_blob())
+        root = s.frame_at(0)
+        envelope = next(s.children(0))
+        assert envelope.frame_type is FrameType.COMPONENT_ELEMENT
+        body = next(s.children(envelope.start))
+        kids = list(s.children(body.start))
+        assert [k.frame_type for k in kids] == [
+            FrameType.LEAF_ELEMENT,
+            FrameType.ARRAY_ELEMENT,
+            FrameType.COMPONENT_ELEMENT,
+            FrameType.COMMENT,
+            FrameType.PI,
+        ]
+
+    def test_child_count_without_decode(self):
+        s = FrameScanner(sample_blob())
+        envelope = next(s.children(0))
+        body = next(s.children(envelope.start))
+        assert s.child_count(body.start) == 5
+
+    def test_element_names_without_decode(self):
+        s = FrameScanner(sample_blob())
+        envelope = next(s.children(0))
+        assert s.element_name(envelope.start) == "Envelope"
+        body = next(s.children(envelope.start))
+        names = [
+            s.element_name(k.start)
+            for k in s.children(body.start)
+            if k.frame_type
+            in (FrameType.LEAF_ELEMENT, FrameType.ARRAY_ELEMENT, FrameType.COMPONENT_ELEMENT)
+        ]
+        assert names == ["count", "values", "meta"]
+
+    def test_find_child_named(self):
+        s = FrameScanner(sample_blob())
+        envelope = next(s.children(0))
+        body = next(s.children(envelope.start))
+        meta = s.find_child_named(body.start, "meta")
+        assert meta is not None
+        assert s.element_name(meta.start) == "meta"
+        assert s.find_child_named(body.start, "absent") is None
+
+    def test_nth_child_skips_siblings(self):
+        """Reaching child 2 must not decode the 8 KB array at child 1."""
+        s = FrameScanner(sample_blob())
+        envelope = next(s.children(0))
+        body = next(s.children(envelope.start))
+        third = s.child(body.start, 2)
+        node = s.decode_frame(third.start)
+        assert node.name.local == "meta"
+
+    def test_child_index_out_of_range(self):
+        s = FrameScanner(sample_blob())
+        with pytest.raises(IndexError):
+            s.child(0, 5)
+
+    def test_decode_frame_mid_document(self):
+        s = FrameScanner(sample_blob())
+        envelope = next(s.children(0))
+        body = next(s.children(envelope.start))
+        arr_info = s.child(body.start, 1)
+        node = s.decode_frame(arr_info.start)
+        np.testing.assert_array_equal(np.asarray(node.values), np.arange(1000.0))
+
+    def test_iter_frames_covers_everything(self):
+        s = FrameScanner(sample_blob())
+        types = [i.frame_type for i in s.iter_frames(0)]
+        assert types.count(FrameType.DOCUMENT) == 1
+        assert types.count(FrameType.COMPONENT_ELEMENT) == 3  # Envelope, Body, meta
+        assert types.count(FrameType.ARRAY_ELEMENT) == 1
+        assert types.count(FrameType.CHARACTER_DATA) == 1
+
+    def test_children_of_leaf_rejected(self):
+        blob = encode(leaf("x", 1, "int"))
+        with pytest.raises(BXSADecodeError):
+            list(FrameScanner(blob).children(0))
+
+    def test_element_name_of_text_rejected(self):
+        blob = encode(element("r", text("x")))
+        s = FrameScanner(blob)
+        kid = next(s.children(0))
+        with pytest.raises(BXSADecodeError):
+            s.element_name(kid.start)
+
+    def test_scan_cost_independent_of_array_size(self):
+        """Scanning headers must not touch array payloads (spot-check)."""
+        small = encode(element("r", array("v", np.arange(10, dtype="f8")), leaf("x", 1)))
+        big = encode(element("r", array("v", np.arange(100000, dtype="f8")), leaf("x", 1)))
+        for blob in (small, big):
+            s = FrameScanner(blob)
+            last = s.child(0, 1)
+            assert s.element_name(last.start) == "x"

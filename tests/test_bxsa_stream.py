@@ -1,0 +1,223 @@
+"""Tests for streaming BXSA (event writer + pull reader)."""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import decode, encode
+from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError
+from repro.bxsa.stream import BXSAStreamReader, BXSAStreamWriter, EventKind
+from repro.xdm import QName, array, comment, deep_equal, doc, element, leaf, pi, text
+
+
+def sample_document():
+    return doc(
+        comment("prolog"),
+        element(
+            "Envelope",
+            element(
+                "Body",
+                leaf("count", 3, "int"),
+                array("values", np.arange(5, dtype="f8"), item_name="v"),
+                element("meta", text("hello"), attributes={"id": "m1"}),
+            ),
+            namespaces={"s": "urn:soap"},
+        ),
+    )
+
+
+class TestWriter:
+    def test_stream_matches_tree_encoder(self):
+        """The stream writer must produce bytes the tree decoder accepts
+        and that reproduce the same data model."""
+        w = BXSAStreamWriter()
+        w.start_document()
+        w.comment("prolog")
+        w.start_element("Envelope", namespaces={"s": "urn:soap"})
+        w.start_element("Body")
+        w.leaf("count", 3, "int")
+        w.array("values", np.arange(5, dtype="f8"), item_name="v")
+        w.start_element("meta", attributes={"id": "m1"})
+        w.text("hello")
+        w.end_element()
+        w.end_element()
+        w.end_element()
+        blob = w.end_document()
+        assert deep_equal(decode(blob), sample_document())
+
+    def test_byte_identical_to_tree_encoder(self):
+        """For the same logical document the two encoders agree bytewise."""
+        tree = sample_document()
+        w = BXSAStreamWriter()
+        w.start_document()
+        w.comment("prolog")
+        w.start_element("Envelope", namespaces={"s": "urn:soap"})
+        w.start_element("Body")
+        w.leaf("count", 3, "int")
+        w.array("values", np.arange(5, dtype="f8"), item_name="v")
+        w.start_element("meta", attributes={"id": "m1"})
+        w.text("hello")
+        w.end_element()
+        w.end_element()
+        w.end_element()
+        assert w.end_document() == encode(tree)
+
+    def test_unbalanced_rejected(self):
+        w = BXSAStreamWriter().start_document()
+        w.start_element("a")
+        with pytest.raises(BXSAEncodeError, match="open"):
+            w.end_document()
+
+    def test_end_without_start(self):
+        w = BXSAStreamWriter().start_document()
+        with pytest.raises(BXSAEncodeError):
+            w.end_element()
+
+    def test_content_before_document_rejected(self):
+        with pytest.raises(BXSAEncodeError):
+            BXSAStreamWriter().leaf("x", 1)
+
+    def test_double_start_document(self):
+        w = BXSAStreamWriter().start_document()
+        with pytest.raises(BXSAEncodeError):
+            w.start_document()
+
+    def test_incremental_large_arrays_bounded_buffering(self):
+        """Chunks accumulate; payload views are not copied per level."""
+        w = BXSAStreamWriter().start_document()
+        w.start_element("batches")
+        blocks = [np.full(10_000, i, dtype="f8") for i in range(5)]
+        for i, block in enumerate(blocks):
+            w.array(f"b{i}", block)
+        w.end_element()
+        out = decode(w.end_document())
+        for i, child in enumerate(out.root.elements()):
+            np.testing.assert_array_equal(np.asarray(child.values), blocks[i])
+
+
+class TestReader:
+    def test_event_sequence(self):
+        blob = encode(sample_document())
+        kinds = [e.kind for e in BXSAStreamReader(blob)]
+        assert kinds == [
+            EventKind.START_DOCUMENT,
+            EventKind.COMMENT,
+            EventKind.START_ELEMENT,  # Envelope
+            EventKind.START_ELEMENT,  # Body
+            EventKind.LEAF,
+            EventKind.ARRAY,
+            EventKind.START_ELEMENT,  # meta
+            EventKind.TEXT,
+            EventKind.END_ELEMENT,
+            EventKind.END_ELEMENT,
+            EventKind.END_ELEMENT,
+            EventKind.END_DOCUMENT,
+        ]
+
+    def test_event_payloads(self):
+        blob = encode(sample_document())
+        events = list(BXSAStreamReader(blob))
+        leaf_event = next(e for e in events if e.kind is EventKind.LEAF)
+        assert leaf_event.name.local == "count"
+        assert leaf_event.value == 3
+        assert leaf_event.atype.xsd_name == "int"
+        array_event = next(e for e in events if e.kind is EventKind.ARRAY)
+        np.testing.assert_array_equal(np.asarray(array_event.values), np.arange(5.0))
+        assert array_event.item_name == "v"
+        start_meta = [e for e in events if e.kind is EventKind.START_ELEMENT][-1]
+        assert start_meta.attributes[0].value == "m1"
+
+    def test_depths(self):
+        blob = encode(sample_document())
+        events = list(BXSAStreamReader(blob))
+        leaf_event = next(e for e in events if e.kind is EventKind.LEAF)
+        assert leaf_event.depth == 2  # under Envelope/Body
+
+    def test_namespace_resolution_through_scopes(self):
+        inner = element(QName("c", "urn:x", "p"))
+        tree = element(QName("r", "urn:x", "p"), inner, namespaces={"p": "urn:x"})
+        events = list(BXSAStreamReader(encode(tree)))
+        starts = [e for e in events if e.kind is EventKind.START_ELEMENT]
+        assert [s.name.uri for s in starts] == ["urn:x", "urn:x"]
+
+    def test_empty_element_events(self):
+        blob = encode(element("solo"))
+        kinds = [e.kind for e in BXSAStreamReader(blob)]
+        assert kinds == [EventKind.START_ELEMENT, EventKind.END_ELEMENT]
+
+    def test_bare_leaf_frame(self):
+        blob = encode(leaf("x", 2.5))
+        events = list(BXSAStreamReader(blob))
+        assert len(events) == 1
+        assert events[0].value == 2.5
+
+    def test_pi_event(self):
+        blob = encode(element("r", pi("tgt", "data")))
+        pi_event = [e for e in BXSAStreamReader(blob)][1]
+        assert pi_event.kind is EventKind.PI
+        assert pi_event.target == "tgt"
+        assert pi_event.text == "data"
+
+    def test_truncated_stream_detected(self):
+        blob = encode(sample_document())
+        with pytest.raises(BXSADecodeError):
+            list(BXSAStreamReader(blob[: len(blob) - 3]))
+
+    def test_arrays_are_zero_copy(self):
+        blob = encode(element("r", array("v", np.arange(1000, dtype="f8"))))
+        array_event = next(
+            e for e in BXSAStreamReader(blob) if e.kind is EventKind.ARRAY
+        )
+        assert array_event.values.base is not None
+
+
+class TestStreamingUseCases:
+    def test_bounded_memory_aggregation(self):
+        """Sum a multi-megabyte message array-by-array, never building the
+        tree — the streaming consumption pattern the paper's scanner and
+        XBS heritage enable."""
+        w = BXSAStreamWriter().start_document()
+        w.start_element("readings")
+        expected = 0.0
+        for i in range(20):
+            block = np.arange(i, i + 5000, dtype="f8")
+            expected += float(block.sum())
+            w.array(f"r{i}", block)
+        w.end_element()
+        blob = w.end_document()
+
+        total = sum(
+            float(e.values.sum())
+            for e in BXSAStreamReader(blob)
+            if e.kind is EventKind.ARRAY
+        )
+        assert total == expected
+
+    def test_writer_reader_round_trip_via_events(self):
+        """Replaying a reader's events through a writer reproduces the
+        document (event-level transcoding)."""
+        original = encode(sample_document())
+        w = BXSAStreamWriter()
+        for event in BXSAStreamReader(original):
+            if event.kind is EventKind.START_DOCUMENT:
+                w.start_document()
+            elif event.kind is EventKind.END_DOCUMENT:
+                replayed = w.end_document()
+            elif event.kind is EventKind.START_ELEMENT:
+                w.start_element(
+                    event.name,
+                    attributes={a.name: a.value for a in event.attributes} or None,
+                    namespaces={n.prefix: n.uri for n in event.namespaces} or None,
+                )
+            elif event.kind is EventKind.END_ELEMENT:
+                w.end_element()
+            elif event.kind is EventKind.LEAF:
+                w.leaf(event.name, event.value, event.atype)
+            elif event.kind is EventKind.ARRAY:
+                w.array(event.name, event.values, event.atype, item_name=event.item_name)
+            elif event.kind is EventKind.TEXT:
+                w.text(event.text)
+            elif event.kind is EventKind.COMMENT:
+                w.comment(event.text)
+            elif event.kind is EventKind.PI:
+                w.pi(event.target, event.text)
+        assert deep_equal(decode(replayed), decode(original))

@@ -1,0 +1,94 @@
+"""Transcodability tests (§4.2): BXSA ↔ textual XML conversions."""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import bxsa_to_xml, decode, encode, xml_to_bxsa
+from repro.xdm import array, deep_equal, doc, element, explain_difference, leaf, text
+from repro.xmlcodec import parse_document, serialize
+
+
+class TestBinaryToTextToBinary:
+    """binary → text → binary must reproduce the original data model."""
+
+    def assert_stable(self, tree):
+        blob = encode(tree)
+        xml = bxsa_to_xml(blob)
+        blob2 = xml_to_bxsa(xml)
+        out = decode(blob2)
+        diff = explain_difference(tree, out, ignore_ns_decls=True)
+        assert diff is None, f"{diff}\nXML: {xml[:400]}"
+
+    def test_typed_payload(self):
+        self.assert_stable(
+            doc(
+                element(
+                    "data",
+                    leaf("n", 42, "int"),
+                    leaf("x", 0.1 + 0.2, "double"),
+                    array("v", np.linspace(0, 1, 9)),
+                )
+            )
+        )
+
+    def test_floats_survive_full_precision(self):
+        """The paper: floats are "converted to full precision" on the text
+        leg, so the binary value is preserved exactly."""
+        rng = np.random.default_rng(7)
+        values = rng.random(200) * 10.0 ** rng.integers(-300, 300, 200)
+        self.assert_stable(doc(element("d", array("v", values))))
+
+    def test_mixed_content(self):
+        self.assert_stable(
+            doc(element("r", text("pre"), leaf("x", 1, "int"), text("post")))
+        )
+
+
+class TestTextToBinaryToText:
+    """text → binary → text must reproduce the text (modulo the paper's
+    float-precision caveat, avoided here by using canonical float forms)."""
+
+    def assert_stable(self, xml):
+        blob = xml_to_bxsa(xml)
+        xml2 = bxsa_to_xml(blob)
+        # one more leg must be a fixpoint
+        assert bxsa_to_xml(xml_to_bxsa(xml2)) == xml2
+        # and the data models must agree
+        assert deep_equal(
+            parse_document(xml), parse_document(xml2), ignore_ns_decls=True
+        )
+
+    def test_plain_document(self):
+        self.assert_stable("<r><a>text</a><b attr='v'/><!--c--></r>")
+
+    def test_typed_document(self):
+        xsi = 'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+        xsd = 'xmlns:xsd="http://www.w3.org/2001/XMLSchema"'
+        self.assert_stable(f'<r {xsi} {xsd}><n xsi:type="xsd:int">5</n></r>')
+
+    def test_namespaced_document(self):
+        self.assert_stable('<s:Envelope xmlns:s="urn:soap"><s:Body>x</s:Body></s:Envelope>')
+
+    def test_non_canonical_float_rewritten(self):
+        """'1.50' becomes '1.5' — the documented full-precision caveat."""
+        xsi = 'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+        xsd = 'xmlns:xsd="http://www.w3.org/2001/XMLSchema"'
+        xml = f'<n {xsi} {xsd} xsi:type="xsd:double">1.50</n>'
+        xml2 = bxsa_to_xml(xml_to_bxsa(xml))
+        assert ">1.5</n>" in xml2
+        # and the value is unchanged
+        assert parse_document(xml2).root.value == 1.5
+
+
+class TestUntypedTranscodeCaveat:
+    def test_untyped_leg_degrades_types(self):
+        """Without xsi:type on the text leg, typed nodes cannot be rebuilt
+        (the paper's schema-unavailable caveat)."""
+        tree = doc(element("r", leaf("n", 5, "int")))
+        xml = bxsa_to_xml(encode(tree), emit_types=False)
+        rebuilt = decode(xml_to_bxsa(xml))
+        child = next(rebuilt.root.elements())
+        from repro.xdm import LeafElement
+
+        assert not isinstance(child, LeafElement)
+        assert child.text_content() == "5"

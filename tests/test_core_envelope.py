@@ -1,0 +1,168 @@
+"""Unit tests for the SOAP envelope model, faults and policy concepts."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BXSAEncoding,
+    PolicyConceptError,
+    SOAP_ENV_URI,
+    SoapEnvelope,
+    SoapFault,
+    XMLEncoding,
+    check_binding_client,
+    check_binding_server,
+    check_encoding_policy,
+    encoding_for_content_type,
+)
+from repro.xdm import array, deep_equal, element, leaf
+
+
+class TestEnvelope:
+    def test_roundtrip_via_document(self):
+        env = SoapEnvelope.wrap(element("Op", leaf("x", 1, "int")))
+        env.add_header(element("TraceId", attributes={"v": "abc"}))
+        doc = env.to_document()
+        back = SoapEnvelope.from_document(doc)
+        assert deep_equal(env.body_root, back.body_root)
+        assert back.header("TraceId").attribute("v").value == "abc"
+
+    def test_document_shape(self):
+        doc = SoapEnvelope.wrap(element("Op")).to_document()
+        root = doc.root
+        assert root.name.uri == SOAP_ENV_URI
+        assert root.name.local == "Envelope"
+        kids = [c.name.local for c in root.elements()]
+        assert kids == ["Body"]
+
+    def test_header_emitted_only_when_present(self):
+        doc = SoapEnvelope.wrap(element("Op"))
+        doc.add_header(element("H"))
+        kids = [c.name.local for c in doc.to_document().root.elements()]
+        assert kids == ["Header", "Body"]
+
+    def test_body_root_requires_element(self):
+        with pytest.raises(ValueError):
+            SoapEnvelope().body_root
+
+    @pytest.mark.parametrize(
+        "xml",
+        [
+            "<NotEnvelope/>",
+            f'<e:Envelope xmlns:e="{SOAP_ENV_URI}"/>',  # no Body
+            f'<e:Envelope xmlns:e="{SOAP_ENV_URI}"><e:Body/><e:Header/></e:Envelope>',
+            f'<e:Envelope xmlns:e="{SOAP_ENV_URI}"><e:Body/><e:Body/></e:Envelope>',
+            f'<e:Envelope xmlns:e="{SOAP_ENV_URI}"><e:Other/><e:Body/></e:Envelope>',
+        ],
+    )
+    def test_invalid_envelopes_rejected(self, xml):
+        from repro.xmlcodec import parse_document
+
+        with pytest.raises(ValueError):
+            SoapEnvelope.from_document(parse_document(xml))
+
+
+class TestFault:
+    def test_roundtrip(self):
+        fault = SoapFault("soap:Server", "boom", "stack details")
+        back = SoapFault.from_element(fault.to_element())
+        assert back.code == "soap:Server"
+        assert back.string == "boom"
+        assert back.detail == "stack details"
+
+    def test_find_in_body(self):
+        fault = SoapFault("soap:Client", "bad")
+        env = SoapEnvelope.wrap(fault.to_element())
+        assert SoapFault.find_in(env.body_children) is not None
+        assert SoapFault.find_in([element("NotAFault")]) is None
+
+    def test_is_exception(self):
+        with pytest.raises(SoapFault, match="boom"):
+            raise SoapFault("soap:Server", "boom")
+
+
+class TestEncodingPolicies:
+    @pytest.mark.parametrize("encoding", [XMLEncoding(), BXSAEncoding()])
+    def test_envelope_roundtrip(self, encoding):
+        env = SoapEnvelope.wrap(
+            element("Op", leaf("n", 5, "int"), array("v", np.arange(4.0)))
+        )
+        payload = encoding.encode(env.to_document())
+        assert isinstance(payload, bytes)
+        back = SoapEnvelope.from_document(encoding.decode(payload))
+        assert deep_equal(env.body_root, back.body_root, ignore_ns_decls=True)
+
+    def test_bxsa_much_smaller_for_arrays(self):
+        env = SoapEnvelope.wrap(
+            element("Op", array("v", np.random.default_rng(0).random(10000)))
+        )
+        doc = env.to_document()
+        xml_size = len(XMLEncoding().encode(doc))
+        bxsa_size = len(BXSAEncoding().encode(doc))
+        assert bxsa_size < xml_size / 3
+
+    def test_content_types(self):
+        assert XMLEncoding().content_type == "text/xml"
+        assert BXSAEncoding().content_type == "application/bxsa"
+
+    def test_lookup_by_content_type(self):
+        assert isinstance(encoding_for_content_type("text/xml"), XMLEncoding)
+        assert isinstance(encoding_for_content_type("application/bxsa"), BXSAEncoding)
+        assert isinstance(
+            encoding_for_content_type("text/xml; charset=utf-8"), XMLEncoding
+        )
+        with pytest.raises(ValueError):
+            encoding_for_content_type("application/json")
+
+
+class TestConcepts:
+    def test_valid_policies_pass(self):
+        check_encoding_policy(XMLEncoding())
+        check_encoding_policy(BXSAEncoding())
+
+    def test_missing_method_rejected(self):
+        class Half:
+            content_type = "x/y"
+
+            def encode(self, doc):
+                return b""
+
+        with pytest.raises(PolicyConceptError, match="decode"):
+            check_encoding_policy(Half())
+
+    def test_bad_content_type_rejected(self):
+        class Bad:
+            content_type = ""
+
+            def encode(self, doc):
+                return b""
+
+            def decode(self, payload):
+                return None
+
+        with pytest.raises(PolicyConceptError):
+            check_encoding_policy(Bad())
+
+    def test_binding_concepts(self):
+        class ClientOnly:
+            def send_request(self, p, c): ...
+
+            def receive_response(self): ...
+
+        check_binding_client(ClientOnly())
+        with pytest.raises(PolicyConceptError):
+            check_binding_server(ClientOnly())
+
+    def test_non_callable_rejected(self):
+        class Attr:
+            send_request = "nope"
+            receive_response = "nope"
+
+        with pytest.raises(PolicyConceptError):
+            check_binding_client(Attr())
+
+    def test_engine_checks_at_construction(self):
+        from repro.core import SoapEngine
+
+        with pytest.raises(PolicyConceptError):
+            SoapEngine(object(), object())

@@ -1,0 +1,179 @@
+"""Tests for the security policy — §5's "just add more policies" claim."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BXSAEncoding,
+    HmacSigningPolicy,
+    NullSecurity,
+    SECURITY_FAULT,
+    SecretKey,
+    SoapEngine,
+    SoapEnvelope,
+    SoapFault,
+    SoapTcpClient,
+    SoapTcpService,
+    XMLEncoding,
+    check_security_policy,
+)
+from repro.core.concepts import PolicyConceptError
+from repro.services import echo_dispatcher
+from repro.transport import MemoryNetwork
+from repro.xdm import array, element, leaf
+from repro.xdm.path import children_named
+
+
+@pytest.fixture()
+def key():
+    return SecretKey.generate()
+
+
+class TestSigningUnit:
+    def test_sign_adds_header(self, key):
+        env = SoapEnvelope.wrap(element("Op", leaf("x", 1, "int")))
+        HmacSigningPolicy(key).sign(env)
+        header = env.header("Signature")
+        assert header is not None
+        fields = {c.name.local for c in header.elements()}
+        assert fields == {"keyId", "algorithm", "value"}
+
+    def test_verify_accepts_own_signature(self, key):
+        policy = HmacSigningPolicy(key)
+        env = SoapEnvelope.wrap(element("Op", array("v", np.arange(10.0))))
+        policy.sign(env)
+        policy.verify(env)  # must not raise
+
+    def test_resigning_replaces_header(self, key):
+        policy = HmacSigningPolicy(key)
+        env = SoapEnvelope.wrap(element("Op"))
+        policy.sign(env)
+        policy.sign(env)
+        assert sum(1 for b in env.header_blocks if b.name.local == "Signature") == 1
+
+    def test_tampered_body_rejected(self, key):
+        policy = HmacSigningPolicy(key)
+        env = SoapEnvelope.wrap(element("Op", leaf("amount", 10, "int")))
+        policy.sign(env)
+        children_named(env.body_root, "amount")[0].value = 1_000_000
+        with pytest.raises(SoapFault, match="signature"):
+            policy.verify(env)
+
+    def test_wrong_key_rejected(self, key):
+        env = SoapEnvelope.wrap(element("Op"))
+        HmacSigningPolicy(key).sign(env)
+        other = HmacSigningPolicy(SecretKey.generate(key_id=key.key_id))
+        with pytest.raises(SoapFault):
+            other.verify(env)
+
+    def test_unknown_key_id_rejected(self, key):
+        env = SoapEnvelope.wrap(element("Op"))
+        HmacSigningPolicy(SecretKey.generate(key_id="other")).sign(env)
+        with pytest.raises(SoapFault, match="key id"):
+            HmacSigningPolicy(key).verify(env)
+
+    def test_unsigned_rejected_by_default(self, key):
+        with pytest.raises(SoapFault, match="not signed"):
+            HmacSigningPolicy(key).verify(SoapEnvelope.wrap(element("Op")))
+
+    def test_unsigned_tolerated_when_optional(self, key):
+        HmacSigningPolicy(key, require_signature=False).verify(
+            SoapEnvelope.wrap(element("Op"))
+        )
+
+    def test_signature_survives_reencoding(self, key):
+        """The MAC covers the data model, not the bytes: XML → bXDM → BXSA
+        → bXDM keeps it valid (the intermediary/transcoding property)."""
+        policy = HmacSigningPolicy(key)
+        env = SoapEnvelope.wrap(element("Op", array("v", np.arange(64.0))))
+        policy.sign(env)
+        for encoding in (XMLEncoding(), BXSAEncoding()):
+            rebuilt = SoapEnvelope.from_document(
+                encoding.decode(encoding.encode(env.to_document()))
+            )
+            policy.verify(rebuilt)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            SecretKey(b"short")
+
+    def test_concept_check(self, key):
+        check_security_policy(HmacSigningPolicy(key))
+        check_security_policy(NullSecurity())
+        with pytest.raises(PolicyConceptError):
+            check_security_policy(object())
+
+    def test_engine_rejects_bad_security_policy(self, key):
+        class FakeBinding:
+            def send_request(self, p, c): ...
+
+            def receive_response(self): ...
+
+        with pytest.raises(PolicyConceptError):
+            SoapEngine(XMLEncoding(), FakeBinding(), security=object())
+
+
+class TestSecuredService:
+    @pytest.mark.parametrize("encoding_cls", [XMLEncoding, BXSAEncoding])
+    def test_end_to_end_signed_exchange(self, key, encoding_cls):
+        net = MemoryNetwork()
+        security = HmacSigningPolicy(key)
+        with SoapTcpService(net.listen("sec"), echo_dispatcher(), security=security):
+            client = SoapTcpClient(
+                lambda: net.connect("sec"),
+                encoding=encoding_cls(),
+                security=HmacSigningPolicy(key),
+            )
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("x", 5, "int"))))
+            assert children_named(response.body_root, "x")[0].value == 5
+            client.close()
+
+    def test_unsigned_client_rejected(self, key):
+        net = MemoryNetwork()
+        with SoapTcpService(
+            net.listen("sec"), echo_dispatcher(), security=HmacSigningPolicy(key)
+        ):
+            client = SoapTcpClient(lambda: net.connect("sec"))
+            with pytest.raises(SoapFault, match=SECURITY_FAULT.replace("sec:", "")):
+                client.call(SoapEnvelope.wrap(element("Echo")))
+            client.close()
+
+    def test_wrong_key_client_rejected(self, key):
+        net = MemoryNetwork()
+        with SoapTcpService(
+            net.listen("sec"), echo_dispatcher(), security=HmacSigningPolicy(key)
+        ):
+            client = SoapTcpClient(
+                lambda: net.connect("sec"),
+                security=HmacSigningPolicy(SecretKey.generate(key_id=key.key_id)),
+            )
+            with pytest.raises(SoapFault):
+                client.call(SoapEnvelope.wrap(element("Echo")))
+            client.close()
+
+    def test_http_service_signed(self, key):
+        from repro.core import SoapHttpClient, SoapHttpService
+
+        net = MemoryNetwork()
+        with SoapHttpService(
+            net.listen("sech"), echo_dispatcher(), security=HmacSigningPolicy(key)
+        ):
+            client = SoapHttpClient(
+                lambda: net.connect("sech"), security=HmacSigningPolicy(key)
+            )
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("y", 2, "int"))))
+            assert children_named(response.body_root, "y")[0].value == 2
+            client.close()
+
+    def test_fault_responses_are_signed(self, key):
+        """Server faults remain verifiable by the client's policy."""
+        net = MemoryNetwork()
+        with SoapTcpService(
+            net.listen("sec"), echo_dispatcher(), security=HmacSigningPolicy(key)
+        ):
+            client = SoapTcpClient(
+                lambda: net.connect("sec"), security=HmacSigningPolicy(key)
+            )
+            with pytest.raises(SoapFault, match="no such operation"):
+                client.call(SoapEnvelope.wrap(element("Nope")))
+            client.close()

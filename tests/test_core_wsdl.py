@@ -1,0 +1,149 @@
+"""Tests for the WSDL-lite service descriptions (§2's flexibility claim)."""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import decode, encode
+from repro.core import BXSAEncoding, SoapEnvelope, SoapTcpService, XMLEncoding
+from repro.core.wsdl import ServiceDescription, WsdlError
+from repro.services import echo_dispatcher
+from repro.transport import MemoryNetwork
+from repro.xdm import element, leaf
+from repro.xdm.path import children_named
+from repro.xmlcodec import parse_document, serialize
+
+
+def sample_description(**overrides) -> ServiceDescription:
+    values = dict(
+        name="EchoService",
+        operations=("Echo",),
+        transport="tcp",
+        encoding_content_type="application/bxsa",
+        location="svc",
+    )
+    values.update(overrides)
+    return ServiceDescription(**values)
+
+
+class TestDescriptionDocument:
+    def test_roundtrip_via_xml(self):
+        desc = sample_description(operations=("Echo", "Sum"))
+        xml = serialize(desc.to_document())
+        back = ServiceDescription.from_document(parse_document(xml))
+        assert back == desc
+
+    def test_roundtrip_via_bxsa(self):
+        """The description itself rides either encoding — it is just bXDM."""
+        desc = sample_description(transport="http", http_target="/api/soap")
+        blob = encode(desc.to_document())
+        back = ServiceDescription.from_document(decode(blob))
+        assert back == desc
+
+    def test_document_declares_extension_attribute(self):
+        xml = serialize(sample_description().to_document())
+        assert "bx:encoding" in xml
+        assert 'transport="tcp"' in xml
+
+    def test_unsupported_transport_rejected(self):
+        with pytest.raises(WsdlError, match="transport"):
+            sample_description(transport="smtp")
+
+    def test_no_operations_rejected(self):
+        with pytest.raises(WsdlError, match="operation"):
+            sample_description(operations=())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda root: root.attributes.clear(),  # no service name
+            lambda root: root.children.__delitem__(0),  # no portType
+            lambda root: root.children.__delitem__(1),  # no binding
+            lambda root: root.children.__delitem__(2),  # no service/port
+        ],
+    )
+    def test_malformed_documents_rejected(self, mutate):
+        doc = sample_description().to_document()
+        mutate(doc.root)
+        with pytest.raises(WsdlError):
+            ServiceDescription.from_document(doc)
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(WsdlError, match="definitions"):
+            ServiceDescription.from_document(parse_document("<nope/>"))
+
+
+class TestClientFromDescription:
+    def test_tcp_client_uses_declared_encoding(self):
+        net = MemoryNetwork()
+        with SoapTcpService(net.listen("svc"), echo_dispatcher()):
+            desc = sample_description()  # declares application/bxsa over tcp
+            client = desc.make_client(lambda loc: (lambda: net.connect(loc)))
+            assert isinstance(client._encoding, BXSAEncoding)
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("x", 3, "int"))))
+            assert children_named(response.body_root, "x")[0].value == 3
+            client.close()
+
+    def test_http_client_from_description(self):
+        from repro.core import SoapHttpService
+
+        net = MemoryNetwork()
+        with SoapHttpService(net.listen("web"), echo_dispatcher(), target="/api"):
+            desc = sample_description(
+                transport="http",
+                location="web",
+                encoding_content_type="text/xml",
+                http_target="/api",
+            )
+            client = desc.make_client(lambda loc: (lambda: net.connect(loc)))
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("y", 4, "int"))))
+            assert children_named(response.body_root, "y")[0].value == 4
+            client.close()
+
+    def test_published_description_end_to_end(self):
+        """The realistic flow: server publishes its WSDL over HTTP; the
+        client fetches it, reads the declared binding, and connects with
+        exactly those policies — no hardcoded configuration."""
+        from repro.transport.http import HttpClient, HttpServer, HttpResponse
+
+        net = MemoryNetwork()
+        desc = sample_description(location="svc", encoding_content_type="application/bxsa")
+        wsdl_xml = serialize(desc.to_document(), xml_declaration=True).encode()
+
+        def serve_wsdl(request):
+            if request.target == "/service?wsdl":
+                resp = HttpResponse(200, body=wsdl_xml)
+                resp.headers.set("Content-Type", "text/xml")
+                return resp
+            return HttpResponse(404)
+
+        web = HttpServer(net.listen("meta"), serve_wsdl).start()
+        soap = SoapTcpService(net.listen("svc"), echo_dispatcher()).start()
+        try:
+            http = HttpClient(lambda: net.connect("meta"))
+            fetched = ServiceDescription.from_document(
+                parse_document(http.get("/service?wsdl").body)
+            )
+            http.close()
+            assert fetched == desc
+            client = fetched.make_client(lambda loc: (lambda: net.connect(loc)))
+            response = client.call(
+                SoapEnvelope.wrap(element("Echo", leaf("z", 9.5, "double")))
+            )
+            assert children_named(response.body_root, "z")[0].value == 9.5
+            client.close()
+        finally:
+            soap.stop()
+            web.stop()
+
+    def test_declared_compressed_encoding(self):
+        """A registered compressed policy is declarable like any other."""
+        from repro.core import DeflateEncoding
+
+        DeflateEncoding(XMLEncoding()).register()
+        net = MemoryNetwork()
+        with SoapTcpService(net.listen("svc"), echo_dispatcher()):
+            desc = sample_description(encoding_content_type="text/xml+deflate")
+            client = desc.make_client(lambda loc: (lambda: net.connect(loc)))
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("k", 1, "int"))))
+            assert children_named(response.body_root, "k")[0].value == 1
+            client.close()

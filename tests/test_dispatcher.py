@@ -1,0 +1,121 @@
+"""Focused tests for the dispatcher and RPC conveniences."""
+
+import pytest
+
+from repro.core import Dispatcher, ServiceProxy, SoapEnvelope, SoapFault, SoapTcpClient, SoapTcpService
+from repro.core.dispatcher import _coerce_envelope
+from repro.transport import MemoryNetwork
+from repro.xdm import QName, element, leaf, text
+from repro.xdm.path import children_named
+
+
+class TestRegistration:
+    def test_local_name_matches_any_namespace(self):
+        d = Dispatcher()
+        d.register("Op", lambda req: element("R"))
+        request = SoapEnvelope.wrap(element(QName("Op", "urn:any")))
+        assert d.dispatch(request).body_root.name.local == "R"
+
+    def test_qualified_registration_is_exact(self):
+        d = Dispatcher()
+        d.register("{urn:a}Op", lambda req: element("A"))
+        d.register("{urn:b}Op", lambda req: element("B"))
+        assert (
+            d.dispatch(SoapEnvelope.wrap(element(QName("Op", "urn:b")))).body_root.name.local
+            == "B"
+        )
+
+    def test_exact_match_beats_local(self):
+        d = Dispatcher()
+        d.register("Op", lambda req: element("local"))
+        d.register("{urn:a}Op", lambda req: element("exact"))
+        assert (
+            d.dispatch(SoapEnvelope.wrap(element(QName("Op", "urn:a")))).body_root.name.local
+            == "exact"
+        )
+        assert (
+            d.dispatch(SoapEnvelope.wrap(element("Op"))).body_root.name.local == "local"
+        )
+
+    def test_duplicate_registration_rejected(self):
+        d = Dispatcher()
+        d.register("Op", lambda req: None)
+        with pytest.raises(ValueError, match="already registered"):
+            d.register("Op", lambda req: None)
+
+    def test_operations_listing(self):
+        d = Dispatcher()
+        d.register("A", lambda req: None)
+        d.register("{urn:x}B", lambda req: None)
+        assert set(d.operations()) == {"A", "{urn:x}B"}
+
+    def test_decorator_returns_handler(self):
+        d = Dispatcher()
+
+        @d.operation("Op")
+        def handler(req):
+            return None
+
+        assert handler(SoapEnvelope()) is None  # still callable directly
+
+
+class TestDispatchSemantics:
+    def test_empty_body_is_client_fault(self):
+        d = Dispatcher()
+        with pytest.raises(SoapFault, match="soap:Client"):
+            d.dispatch(SoapEnvelope([text("just text")]))
+
+    def test_handler_returning_none_gives_empty_body(self):
+        d = Dispatcher()
+        d.register("Op", lambda req: None)
+        response = d.dispatch(SoapEnvelope.wrap(element("Op")))
+        assert response.body_children == []
+
+    def test_handler_returning_iterable(self):
+        d = Dispatcher()
+        d.register("Op", lambda req: [element("a"), element("b")])
+        response = d.dispatch(SoapEnvelope.wrap(element("Op")))
+        assert [c.name.local for c in response.body_children] == ["a", "b"]
+
+    def test_handler_returning_envelope_passthrough(self):
+        d = Dispatcher()
+        custom = SoapEnvelope.wrap(element("Custom"))
+        d.register("Op", lambda req: custom)
+        assert d.dispatch(SoapEnvelope.wrap(element("Op"))) is custom
+
+    def test_soap_fault_passes_through_unwrapped(self):
+        d = Dispatcher()
+
+        def handler(req):
+            raise SoapFault("soap:Client", "your fault", "details")
+
+        d.register("Op", handler)
+        with pytest.raises(SoapFault, match="your fault"):
+            d.dispatch(SoapEnvelope.wrap(element("Op")))
+
+    def test_coerce_envelope_variants(self):
+        assert _coerce_envelope(None).body_children == []
+        assert _coerce_envelope(element("x")).body_root.name.local == "x"
+        assert len(_coerce_envelope([element("a"), text("t")]).body_children) == 2
+
+
+class TestServiceProxy:
+    def test_invoke_with_headers(self):
+        net = MemoryNetwork()
+        d = Dispatcher()
+
+        @d.operation("WhoAmI")
+        def whoami(request: SoapEnvelope):
+            trace = request.header("TraceId")
+            return element(
+                "WhoAmIResponse",
+                leaf("trace", trace.attribute("v").value if trace else "", "string"),
+            )
+
+        with SoapTcpService(net.listen("svc"), d):
+            proxy = ServiceProxy(SoapTcpClient(lambda: net.connect("svc")))
+            result = proxy.invoke(
+                "WhoAmI", headers=(element("TraceId", attributes={"v": "t-42"}),)
+            )
+            assert children_named(result, "trace")[0].value == "t-42"
+            proxy.close()

@@ -1,0 +1,197 @@
+"""Tests for the WS-Eventing-lite layer (Figure 3's box above SOAP)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BXSAEncoding, SoapEnvelope, SoapFault, SoapTcpClient, SoapTcpService, XMLEncoding
+from repro.services.eventing import EventSource, NotificationSink
+from repro.transport import MemoryNetwork
+from repro.xdm import array, element, leaf
+from repro.xdm.path import children_named
+
+
+class Collector:
+    """Thread-safe event collector with a wait helper."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+        self._condition = threading.Condition()
+
+    def __call__(self, subscription_id, event) -> None:
+        with self._condition:
+            self.events.append((subscription_id, event))
+            self._condition.notify_all()
+
+    def wait_for(self, count: int, timeout: float = 5.0) -> list:
+        deadline = time.monotonic() + timeout
+        with self._condition:
+            while len(self.events) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise AssertionError(
+                        f"expected {count} events, got {len(self.events)}"
+                    )
+                self._condition.wait(remaining)
+            return list(self.events)
+
+
+@pytest.fixture()
+def world():
+    net = MemoryNetwork()
+    source = EventSource(net.connect)
+    service = SoapTcpService(net.listen("events"), source.dispatcher).start()
+    sinks: list[NotificationSink] = []
+
+    def make_sink(address: str, collector, encoding=None) -> NotificationSink:
+        sink = NotificationSink(net.listen(address), collector, encoding=encoding).start()
+        sinks.append(sink)
+        return sink
+
+    yield net, source, make_sink
+    for sink in sinks:
+        sink.stop()
+    service.stop()
+
+
+def subscribe(net, address, *, xpath_filter=None, content_type=None) -> str:
+    client = SoapTcpClient(lambda: net.connect("events"))
+    children = [leaf("address", address, "string")]
+    if xpath_filter:
+        children.append(leaf("filter", xpath_filter, "string"))
+    if content_type:
+        children.append(leaf("encoding", content_type, "string"))
+    response = client.call(SoapEnvelope.wrap(element("Subscribe", *children)))
+    client.close()
+    return str(children_named(response.body_root, "subscriptionId")[0].value)
+
+
+class TestSubscribePublish:
+    def test_single_subscriber_receives_event(self, world):
+        net, source, make_sink = world
+        collector = Collector()
+        make_sink("sink1", collector)
+        sub_id = subscribe(net, "sink1")
+        assert source.subscriber_count == 1
+
+        delivered = source.publish(element("reading", leaf("v", 42, "int")))
+        assert delivered == 1
+        events = collector.wait_for(1)
+        received_id, event = events[0]
+        assert received_id == sub_id
+        assert children_named(event, "v")[0].value == 42
+
+    def test_multiple_subscribers_fan_out(self, world):
+        net, source, make_sink = world
+        collectors = [Collector() for _ in range(3)]
+        for i, collector in enumerate(collectors):
+            make_sink(f"fan{i}", collector)
+            subscribe(net, f"fan{i}")
+        assert source.publish(element("tick")) == 3
+        for collector in collectors:
+            collector.wait_for(1)
+
+    def test_xpath_filter_selects_events(self, world):
+        net, source, make_sink = world
+        hot, cold = Collector(), Collector()
+        make_sink("hot", hot)
+        make_sink("cold", cold)
+        subscribe(net, "hot", xpath_filter='reading[@station="3"]')
+        subscribe(net, "cold", xpath_filter='reading[@station="5"]')
+
+        source.publish(element("reading", attributes={"station": "3"}))
+        source.publish(element("reading", attributes={"station": "3"}))
+        source.publish(element("reading", attributes={"station": "5"}))
+
+        assert len(hot.wait_for(2)) == 2
+        assert len(cold.wait_for(1)) == 1
+
+    def test_binary_payload_event_in_bxsa(self, world):
+        """A subscriber can ask for binary delivery of array payloads."""
+        net, source, make_sink = world
+        collector = Collector()
+        make_sink("bin", collector, encoding=BXSAEncoding())
+        subscribe(net, "bin", content_type="application/bxsa")
+        samples = np.arange(256, dtype="f8")
+        source.publish(element("burst", array("samples", samples)))
+        _sub, event = collector.wait_for(1)[0]
+        np.testing.assert_array_equal(
+            np.asarray(children_named(event, "samples")[0].values), samples
+        )
+
+    def test_unsubscribe_stops_delivery(self, world):
+        net, source, make_sink = world
+        collector = Collector()
+        make_sink("quit", collector)
+        sub_id = subscribe(net, "quit")
+
+        client = SoapTcpClient(lambda: net.connect("events"))
+        client.call(
+            SoapEnvelope.wrap(
+                element("Unsubscribe", leaf("subscriptionId", sub_id, "string"))
+            )
+        )
+        client.close()
+        assert source.subscriber_count == 0
+        assert source.publish(element("tick")) == 0
+
+    def test_unknown_unsubscribe_faults(self, world):
+        net, _source, _make_sink = world
+        client = SoapTcpClient(lambda: net.connect("events"))
+        with pytest.raises(SoapFault, match="unknown subscription"):
+            client.call(
+                SoapEnvelope.wrap(
+                    element("Unsubscribe", leaf("subscriptionId", "nope", "string"))
+                )
+            )
+        client.close()
+
+    def test_bad_filter_rejected_at_subscribe(self, world):
+        net, _source, _make_sink = world
+        client = SoapTcpClient(lambda: net.connect("events"))
+        with pytest.raises(SoapFault, match="bad filter"):
+            client.call(
+                SoapEnvelope.wrap(
+                    element(
+                        "Subscribe",
+                        leaf("address", "x", "string"),
+                        leaf("filter", "[[[", "string"),
+                    )
+                )
+            )
+        client.close()
+
+    def test_missing_address_rejected(self, world):
+        net, _source, _make_sink = world
+        client = SoapTcpClient(lambda: net.connect("events"))
+        with pytest.raises(SoapFault, match="address"):
+            client.call(SoapEnvelope.wrap(element("Subscribe")))
+        client.close()
+
+    def test_dead_sink_counts_failure_but_others_deliver(self, world):
+        net, source, make_sink = world
+        collector = Collector()
+        make_sink("alive", collector)
+        subscribe(net, "alive")
+        # subscribe an address nobody listens on
+        client = SoapTcpClient(lambda: net.connect("events"))
+        client.call(
+            SoapEnvelope.wrap(
+                element("Subscribe", leaf("address", "ghost", "string"))
+            )
+        )
+        client.close()
+
+        delivered = source.publish(element("tick"))
+        assert delivered == 1
+        assert source.delivery_failures == 1
+        collector.wait_for(1)
+
+    def test_source_shares_dispatcher_with_other_operations(self, world):
+        net, source, _make_sink = world
+        source.dispatcher.register("Ping", lambda req: element("Pong"))
+        client = SoapTcpClient(lambda: net.connect("events"))
+        assert client.call(SoapEnvelope.wrap(element("Ping"))).body_root.name.local == "Pong"
+        client.close()

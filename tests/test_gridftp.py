@@ -1,0 +1,178 @@
+"""Integration tests for the GridFTP-like striped transfer service."""
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+
+from repro.gridftp import (
+    AuthenticationError,
+    GridFTPClient,
+    GridFTPError,
+    GridFTPServer,
+    HostCredential,
+    client_handshake,
+    server_handshake,
+)
+from repro.transport import MemoryNetwork, memory_pipe
+
+
+@pytest.fixture()
+def grid():
+    """A running server + client factory over a memory network."""
+    net = MemoryNetwork()
+    credential = HostCredential.generate()
+    counter = itertools.count()
+
+    def data_listener_factory():
+        name = f"gftp-data-{next(counter)}"
+        return name, net.listen(name)
+
+    server = GridFTPServer(net.listen("gftp"), data_listener_factory, credential)
+    server.start()
+
+    def make_client(cred=credential):
+        return GridFTPClient(lambda: net.connect("gftp"), net.connect, cred)
+
+    yield server, make_client
+    server.stop()
+
+
+class TestAuth:
+    def test_mutual_handshake(self):
+        cred = HostCredential.generate()
+        a, b = memory_pipe()
+        import threading
+
+        keys = {}
+
+        def server():
+            keys["server"] = server_handshake(b, cred)
+
+        t = threading.Thread(target=server)
+        t.start()
+        keys["client"] = client_handshake(a, cred)
+        t.join(timeout=5)
+        assert keys["client"] == keys["server"]
+
+    def test_wrong_credential_rejected(self, grid):
+        _server, make_client = grid
+        with pytest.raises(AuthenticationError):
+            make_client(HostCredential.generate())
+
+    def test_round_trip_count_recorded(self, grid):
+        _server, make_client = grid
+        client = make_client()
+        assert client.stats.control_round_trips == 3  # handshake
+        client.quit()
+
+
+class TestTransfer:
+    def test_size_command(self, grid):
+        server, make_client = grid
+        server.publish("/data/a.nc", b"x" * 12345)
+        client = make_client()
+        assert client.size("/data/a.nc") == 12345
+        client.quit()
+
+    def test_missing_file(self, grid):
+        _server, make_client = grid
+        client = make_client()
+        with pytest.raises(GridFTPError, match="550"):
+            client.size("/nope")
+        with pytest.raises(GridFTPError, match="550"):
+            client.retrieve("/nope")
+        client.quit()
+
+    @pytest.mark.parametrize("n_streams", [1, 2, 4, 16])
+    def test_retrieve_integrity(self, grid, n_streams):
+        server, make_client = grid
+        payload = np.random.default_rng(n_streams).bytes(3_000_000)
+        server.publish("/blob", payload)
+        client = make_client()
+        out = client.retrieve("/blob", n_streams)
+        assert out == payload
+        assert client.stats.n_streams == n_streams
+        assert client.stats.data_bytes == len(payload)
+        client.quit()
+
+    def test_empty_file(self, grid):
+        server, make_client = grid
+        server.publish("/empty", b"")
+        client = make_client()
+        assert client.retrieve("/empty", 4) == b""
+        client.quit()
+
+    def test_file_smaller_than_block(self, grid):
+        server, make_client = grid
+        server.publish("/small", b"tiny payload")
+        client = make_client()
+        assert client.retrieve("/small", 4) == b"tiny payload"
+        client.quit()
+
+    def test_single_stream_is_in_order(self, grid):
+        server, make_client = grid
+        server.publish("/big", os.urandom(2_000_000))
+        client = make_client()
+        client.retrieve("/big", 1)
+        assert client.stats.out_of_order_blocks == 0
+        client.quit()
+
+    def test_parallel_streams_reorder(self, grid):
+        """With several streams, out-of-order arrivals are the norm —
+        the receiver seeks the paper's Figure 5 discussion describes."""
+        server, make_client = grid
+        server.publish("/big", os.urandom(8_000_000))
+        client = make_client()
+        client.retrieve("/big", 8)
+        assert client.stats.blocks_received == -(-8_000_000 // 262144)
+        assert client.stats.out_of_order_blocks > 0
+        client.quit()
+
+    def test_header_overhead_accounted(self, grid):
+        server, make_client = grid
+        server.publish("/b", b"z" * 1_000_000)
+        client = make_client()
+        client.retrieve("/b", 2)
+        assert client.stats.block_header_bytes >= client.stats.blocks_received * 13
+        assert client.stats.wire_bytes > client.stats.data_bytes
+        client.quit()
+
+    def test_multiple_transfers_one_session(self, grid):
+        server, make_client = grid
+        server.publish("/a", b"A" * 500_000)
+        server.publish("/b", b"B" * 500_000)
+        client = make_client()
+        assert client.retrieve("/a", 2) == b"A" * 500_000
+        assert client.retrieve("/b", 4) == b"B" * 500_000
+        client.quit()
+
+    def test_bad_stream_count(self, grid):
+        server, make_client = grid
+        server.publish("/x", b"x")
+        client = make_client()
+        with pytest.raises(GridFTPError, match="501"):
+            client.retrieve("/x", 100)
+        client.quit()
+
+    def test_unknown_command(self, grid):
+        _server, make_client = grid
+        client = make_client()
+        assert client._command("FEAT").startswith("500")
+        client.quit()
+
+    def test_netcdf_end_to_end(self, grid):
+        """The separated scheme's actual payload: a netCDF file."""
+        from repro.netcdf import Dataset, read_dataset_bytes, write_dataset_bytes
+
+        ds = Dataset()
+        ds.create_variable("values", np.linspace(0, 1, 50000), ("model",))
+        blob = write_dataset_bytes(ds)
+        server, make_client = grid
+        server.publish("/run1.nc", blob)
+        client = make_client()
+        fetched = client.retrieve("/run1.nc", 4)
+        out = read_dataset_bytes(fetched)
+        np.testing.assert_allclose(out.variables["values"].data, np.linspace(0, 1, 50000))
+        client.quit()

@@ -1,0 +1,175 @@
+"""Tests for the experiment harness (reduced sizes for speed)."""
+
+import os
+
+import pytest
+
+from repro.harness import table1
+from repro.harness.calibration import cpu_scale, DEFAULT_CPU_SCALE
+from repro.harness.overheads import (
+    http_get_bytes,
+    http_post_bytes,
+    http_response_bytes,
+    tcp_message_bytes,
+)
+from repro.harness.report import ExperimentResult, ShapeCheck, render_table
+from repro.harness.runners import (
+    SCHEME_BXSA_TCP,
+    SCHEME_SOAP_GRIDFTP,
+    SCHEME_SOAP_HTTP_CHANNEL,
+    SCHEME_XML_HTTP,
+    run_scheme,
+)
+from repro.netsim import LAN, WAN
+from repro.workloads.lead import lead_dataset
+
+
+class TestOverheads:
+    def test_tcp_framing_small_constant(self):
+        overhead = tcp_message_bytes(1000, "application/bxsa") - 1000
+        assert 10 <= overhead <= 40  # a handful of bytes, not an HTTP header
+
+    def test_http_overheads_exceed_tcp(self):
+        assert http_post_bytes(1000, "text/xml") > tcp_message_bytes(1000, "text/xml")
+
+    def test_http_get_is_small(self):
+        assert http_get_bytes("/run.nc") < 200
+
+    def test_response_headers_counted(self):
+        assert http_response_bytes(0, "text/xml") > 50
+
+
+class TestCalibration:
+    def test_default(self):
+        os.environ.pop("REPRO_CPU_SCALE", None)
+        assert cpu_scale() == DEFAULT_CPU_SCALE
+
+    def test_env_override(self):
+        os.environ["REPRO_CPU_SCALE"] = "2.5"
+        try:
+            assert cpu_scale() == 2.5
+        finally:
+            del os.environ["REPRO_CPU_SCALE"]
+
+    def test_invalid_rejected(self):
+        os.environ["REPRO_CPU_SCALE"] = "-1"
+        try:
+            with pytest.raises(ValueError):
+                cpu_scale()
+        finally:
+            del os.environ["REPRO_CPU_SCALE"]
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_experiment_render_includes_checks(self):
+        result = ExperimentResult(
+            "Table X",
+            "demo",
+            ["c"],
+            [["v"]],
+            checks=[ShapeCheck("always", True, "detail")],
+            notes=["a note"],
+        )
+        text = result.render()
+        assert "[PASS] always" in text
+        assert "note: a note" in text
+        assert result.all_checks_pass
+
+    def test_failed_check_renders_fail(self):
+        check = ShapeCheck("never", False)
+        assert "[FAIL]" in check.render()
+
+
+class TestSchemeRunners:
+    @pytest.mark.parametrize(
+        "scheme",
+        [SCHEME_BXSA_TCP, SCHEME_XML_HTTP, SCHEME_SOAP_HTTP_CHANNEL],
+    )
+    @pytest.mark.parametrize("profile", [LAN, WAN])
+    def test_runs_and_decomposes(self, scheme, profile):
+        result = run_scheme(scheme, lead_dataset(200), profile, repeats=1)
+        assert result.response_time > 0
+        assert result.model_size == 200
+        labels = dict(result.breakdown.items())
+        assert any(k.startswith("wire:") for k in labels)
+        assert result.request_wire_bytes > 0
+
+    def test_gridftp_runner_records_streams(self):
+        result = run_scheme(
+            SCHEME_SOAP_GRIDFTP, lead_dataset(500), LAN, n_streams=4, repeats=1
+        )
+        assert result.n_streams == 4
+        assert result.label.endswith("(4)")
+        assert result.breakdown.get("gsi crypto") > 0
+
+    def test_bxsa_beats_xml_on_cpu(self):
+        bxsa = run_scheme(SCHEME_BXSA_TCP, lead_dataset(2000), LAN, repeats=3)
+        xml = run_scheme(SCHEME_XML_HTTP, lead_dataset(2000), LAN, repeats=3)
+        assert bxsa.response_time < xml.response_time
+        assert bxsa.request_wire_bytes < xml.request_wire_bytes
+
+    def test_wan_slower_than_lan(self):
+        lan = run_scheme(SCHEME_BXSA_TCP, lead_dataset(5000), LAN, repeats=1)
+        wan = run_scheme(SCHEME_BXSA_TCP, lead_dataset(5000), WAN, repeats=1)
+        assert wan.response_time > lan.response_time
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            run_scheme("smoke-signals", lead_dataset(1), LAN)
+
+    def test_bandwidth_metric(self):
+        result = run_scheme(SCHEME_BXSA_TCP, lead_dataset(1000), LAN, repeats=1)
+        assert result.bandwidth_pairs_per_sec == pytest.approx(
+            1000 / result.response_time
+        )
+
+
+class TestTable1:
+    def test_all_checks_pass(self):
+        result = table1.run(model_size=1000)
+        assert result.all_checks_pass, result.render()
+
+    def test_rows_cover_all_formats(self):
+        result = table1.run(model_size=200)
+        formats = [row[0] for row in result.rows]
+        assert formats == ["Native representation", "BXSA", "netCDF", "XML 1.0"]
+
+    def test_sizes_scale_with_model_size(self):
+        small = table1.measure_sizes(100)
+        large = table1.measure_sizes(1000)
+        for fmt in small:
+            assert large[fmt] > small[fmt]
+
+
+class TestFiguresQuick:
+    """Reduced-size smoke runs of the figure harnesses (the full sweeps run
+    in benchmarks/)."""
+
+    def test_figure4_reduced(self):
+        from repro.harness import figure4
+
+        result = figure4.run(sizes=[0, 500, 1000])
+        assert result.experiment_id == "Figure 4"
+        assert len(result.rows) == 3
+        # fastest scheme check must hold even on the reduced sweep
+        assert result.checks[0].passed, result.render()
+
+    def test_figure5_reduced_with_xml_cap(self):
+        from repro.harness import figure5
+
+        result = figure5.run(sizes=[1365, 21840], xml_size_cap=1365)
+        xml_column = [row[-1] for row in result.rows]
+        assert xml_column[1] == "-"  # capped entries render as gaps
+
+    def test_figure6_reduced(self):
+        from repro.harness import figure6
+
+        result = figure6.run(sizes=[1365, 21840])
+        assert result.experiment_id == "Figure 6"
+        assert len(result.columns) == 6

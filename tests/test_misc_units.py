@@ -1,0 +1,220 @@
+"""Unit tests for smaller paths not exercised elsewhere."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.netcdf import NetCDFFormatError, read_dataset_bytes
+from repro.transport import MemoryNetwork, TransportError
+from repro.transport.http import HttpClient
+from repro.xbs import TypeCode, XBSDecodeError, XBSReader, XBSWriter
+from repro.xdm import TreeBuilder, element, leaf
+
+
+class TestXBSReaderNavigation:
+    def test_seek_and_tell(self):
+        w = XBSWriter()
+        w.write_int32(1)
+        w.write_int32(2)
+        r = XBSReader(w.getvalue())
+        assert r.read_int32() == 1
+        assert r.tell() == 4
+        r.seek(0)
+        assert r.read_int32() == 1
+        r.skip(4)
+        assert r.at_end()
+
+    def test_seek_out_of_range(self):
+        r = XBSReader(b"1234")
+        with pytest.raises(XBSDecodeError):
+            r.seek(5)
+        with pytest.raises(XBSDecodeError):
+            r.skip(5)
+
+    def test_remaining(self):
+        r = XBSReader(b"123456")
+        r.skip(2)
+        assert r.remaining == 4
+
+    def test_string_scalar_through_generic_api(self):
+        w = XBSWriter()
+        w.write_scalar(TypeCode.STRING, "via generic")
+        r = XBSReader(w.getvalue())
+        assert r.read_scalar(TypeCode.STRING) == "via generic"
+
+    def test_writer_invalid_byte_order(self):
+        from repro.xbs import XBSEncodeError
+
+        with pytest.raises(XBSEncodeError):
+            XBSWriter(byte_order=7)
+        with pytest.raises(XBSDecodeError):
+            XBSReader(b"", byte_order=7)
+
+
+class TestNetCDF64BitOffsets:
+    def _cdf2_blob(self) -> bytes:
+        """Hand-craft a minimal CDF-2 (64-bit offset) file: one dimension,
+        one int variable of two elements."""
+        out = bytearray()
+        out += b"CDF\x02"
+        out += struct.pack(">i", 0)  # numrecs
+        out += struct.pack(">ii", 0x0A, 1)  # dim list, 1 dim
+        out += struct.pack(">i", 1) + b"n\x00\x00\x00"  # name "n" padded
+        out += struct.pack(">i", 2)  # length 2
+        out += struct.pack(">ii", 0, 0)  # no global attributes
+        out += struct.pack(">ii", 0x0B, 1)  # var list, 1 var
+        out += struct.pack(">i", 1) + b"v\x00\x00\x00"  # name "v"
+        out += struct.pack(">i", 1)  # rank 1
+        out += struct.pack(">i", 0)  # dim id 0
+        out += struct.pack(">ii", 0, 0)  # no var attributes
+        out += struct.pack(">ii", 4, 8)  # NC_INT, vsize 8
+        begin_pos = len(out)
+        out += struct.pack(">q", 0)  # begin placeholder (8 bytes!)
+        struct.pack_into(">q", out, begin_pos, len(out))
+        out += struct.pack(">ii", 7, 9)  # the data
+        return bytes(out)
+
+    def test_cdf2_reader(self):
+        ds = read_dataset_bytes(self._cdf2_blob())
+        np.testing.assert_array_equal(ds.variables["v"].data, [7, 9])
+
+    def test_cdf2_truncated_begin(self):
+        blob = self._cdf2_blob()
+        with pytest.raises(NetCDFFormatError):
+            read_dataset_bytes(blob[:-10])
+
+
+class TestHttpExtras:
+    def test_head_request_on_data_channel(self):
+        from repro.datachannel import HttpDataChannel
+
+        net = MemoryNetwork()
+        channel = HttpDataChannel(net.listen("w"), lambda: net.connect("w")).start()
+        try:
+            channel.publish("f.nc", b"payload")
+            client = HttpClient(lambda: net.connect("w"))
+            response = client.request("HEAD", "/f.nc")
+            assert response.ok
+            assert response.body == b""
+            client.close()
+        finally:
+            channel.stop()
+
+    def test_unpublish_gives_404(self):
+        from repro.datachannel import HttpDataChannel
+        from repro.datachannel.base import DataChannelError
+
+        net = MemoryNetwork()
+        channel = HttpDataChannel(net.listen("w"), lambda: net.connect("w")).start()
+        try:
+            url = channel.publish("gone.nc", b"x")
+            channel.unpublish("gone.nc")
+            with pytest.raises(DataChannelError, match="404"):
+                channel.fetch(url)
+        finally:
+            channel.stop()
+
+    def test_post_to_file_channel_rejected(self):
+        from repro.datachannel import HttpDataChannel
+
+        net = MemoryNetwork()
+        channel = HttpDataChannel(net.listen("w"), lambda: net.connect("w")).start()
+        try:
+            client = HttpClient(lambda: net.connect("w"))
+            assert client.post("/x", b"data").status == 405
+            client.close()
+        finally:
+            channel.stop()
+
+
+class TestScannerExtras:
+    def test_namespace_table_of_non_element(self):
+        from repro.bxsa import FrameScanner, encode
+        from repro.xdm import doc
+
+        blob = encode(doc(element("r")))
+        assert FrameScanner(blob).namespace_table(0) == []
+
+    def test_namespace_table_of_element(self):
+        from repro.bxsa import FrameScanner, encode
+
+        node = element("r", namespaces={"p": "urn:x"})
+        scanner = FrameScanner(encode(node))
+        assert scanner.namespace_table(0) == [("p", "urn:x")]
+
+
+class TestEngineOneWay:
+    def test_one_way_send_over_pipe(self):
+        """The one-way MEP: fire a message, no response expected."""
+        from repro.core import BXSAEncoding, SoapEngine, SoapEnvelope
+        from repro.transport import memory_pipe
+        from repro.transport.tcp_binding import TcpClientBinding, TcpServerBinding
+
+        a, b = memory_pipe()
+        sender = SoapEngine(BXSAEncoding(), TcpClientBinding(a))
+        receiver = SoapEngine(BXSAEncoding(), TcpServerBinding(b))
+        nbytes = sender.send(SoapEnvelope.wrap(element("Notify", leaf("seq", 1, "int"))))
+        assert nbytes > 0
+        envelope, content_type = receiver.receive()
+        assert envelope.body_root.name.local == "Notify"
+        assert content_type == "application/bxsa"
+
+
+class TestBuilderExtras:
+    def test_builder_pi_and_current(self):
+        b = TreeBuilder()
+        assert b.current is b.document  # document is the initial focus
+        with b.element("r"):
+            b.pi("target", "data")
+            b.comment("note")
+        root = b.document.root
+        assert root.children[0].target == "target"
+
+    def test_element_context_manager_restores_on_exception(self):
+        b = TreeBuilder()
+        with pytest.raises(RuntimeError):
+            with b.element("a"):
+                raise RuntimeError("boom")
+        assert b.depth == 0  # the element was closed on the way out
+
+
+class TestWsdlExtras:
+    def test_make_client_unknown_encoding(self):
+        from repro.core.wsdl import ServiceDescription
+
+        desc = ServiceDescription(
+            name="S",
+            operations=("Op",),
+            transport="tcp",
+            encoding_content_type="application/x-unregistered",
+            location="x",
+        )
+        with pytest.raises(ValueError, match="no encoding policy"):
+            desc.make_client(lambda loc: (lambda: None))
+
+
+class TestGridFTPPathEdge:
+    def test_paths_with_spaces(self):
+        import itertools
+
+        from repro.gridftp import GridFTPClient, GridFTPServer, HostCredential
+        from repro.transport import MemoryNetwork
+
+        net = MemoryNetwork()
+        cred = HostCredential.generate()
+        counter = itertools.count()
+
+        def factory():
+            name = f"sp{next(counter)}"
+            return name, net.listen(name)
+
+        server = GridFTPServer(net.listen("spg"), factory, cred)
+        server.publish("/dir with spaces/file.nc", b"spaced payload")
+        server.start()
+        try:
+            client = GridFTPClient(lambda: net.connect("spg"), net.connect, cred)
+            assert client.retrieve("/dir with spaces/file.nc", 2) == b"spaced payload"
+            client.quit()
+        finally:
+            server.stop()

@@ -1,0 +1,209 @@
+"""Unit and property tests for the from-scratch netCDF-3 codec."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import hypothesis.extra.numpy as hnp
+
+from repro.netcdf import (
+    Dataset,
+    NetCDFError,
+    NetCDFFormatError,
+    read_dataset,
+    read_dataset_bytes,
+    write_dataset,
+    write_dataset_bytes,
+)
+
+
+def lead_like_dataset(n=100):
+    """The evaluation's dataset shape: an int index + double values."""
+    ds = Dataset()
+    ds.attributes["title"] = "LEAD-like atmospheric sample"
+    ds.attributes["version"] = np.int32(3)
+    ds.create_dimension("model", n)
+    ds.create_variable(
+        "index", np.arange(n, dtype="i4"), ("model",), {"units": "count"}
+    )
+    ds.create_variable(
+        "values",
+        np.linspace(250.0, 320.0, n),
+        ("model",),
+        {"units": "K", "valid_range": np.array([200.0, 350.0])},
+    )
+    return ds
+
+
+class TestRoundTrip:
+    def test_lead_like(self):
+        ds = lead_like_dataset()
+        out = read_dataset_bytes(write_dataset_bytes(ds))
+        assert out.dimensions == {"model": 100}
+        assert out.attributes["title"] == "LEAD-like atmospheric sample"
+        assert out.attributes["version"] == 3
+        np.testing.assert_array_equal(out.variables["index"].data, np.arange(100, dtype="i4"))
+        np.testing.assert_allclose(
+            out.variables["values"].data, np.linspace(250.0, 320.0, 100)
+        )
+        np.testing.assert_array_equal(
+            out.variables["values"].attributes["valid_range"], [200.0, 350.0]
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "sample.nc"
+        n = write_dataset(lead_like_dataset(), path)
+        assert path.stat().st_size == n
+        out = read_dataset(path)
+        assert set(out.variables) == {"index", "values"}
+
+    @pytest.mark.parametrize("dtype", ["i1", "i2", "i4", "f4", "f8"])
+    def test_all_external_types(self, dtype):
+        ds = Dataset()
+        data = np.arange(7).astype(dtype)
+        ds.create_variable("v", data, ("n",))
+        out = read_dataset_bytes(write_dataset_bytes(ds))
+        np.testing.assert_array_equal(out.variables["v"].data, data)
+        assert out.variables["v"].data.dtype == np.dtype(dtype)
+
+    def test_multidimensional(self):
+        ds = Dataset()
+        data = np.arange(24, dtype="f8").reshape(2, 3, 4)
+        ds.create_variable("cube", data, ("t", "y", "x"))
+        out = read_dataset_bytes(write_dataset_bytes(ds))
+        np.testing.assert_array_equal(out.variables["cube"].data, data)
+        assert out.variables["cube"].dimensions == ("t", "y", "x")
+
+    def test_scalar_variable(self):
+        ds = Dataset()
+        ds.create_variable("s", np.array(3.5), ())
+        out = read_dataset_bytes(write_dataset_bytes(ds))
+        assert float(out.variables["s"].data) == 3.5
+
+    def test_shared_dimension(self):
+        ds = Dataset()
+        ds.create_dimension("n", 5)
+        ds.create_variable("a", np.arange(5, dtype="i4"), ("n",))
+        ds.create_variable("b", np.arange(5, dtype="f8"), ("n",))
+        out = read_dataset_bytes(write_dataset_bytes(ds))
+        assert out.dimensions == {"n": 5}
+
+    def test_odd_sized_data_padded(self):
+        """i1 data of non-multiple-of-4 length exercises the pad rules."""
+        ds = Dataset()
+        ds.create_variable("a", np.arange(5, dtype="i1"), ("n",))
+        ds.create_variable("b", np.arange(3, dtype="i2"), ("m",))
+        out = read_dataset_bytes(write_dataset_bytes(ds))
+        np.testing.assert_array_equal(out.variables["a"].data, np.arange(5, dtype="i1"))
+        np.testing.assert_array_equal(out.variables["b"].data, np.arange(3, dtype="i2"))
+
+    def test_empty_dataset(self):
+        out = read_dataset_bytes(write_dataset_bytes(Dataset()))
+        assert out.dimensions == {}
+        assert out.variables == {}
+
+
+class TestFormatDetails:
+    def test_magic_and_version(self):
+        blob = write_dataset_bytes(lead_like_dataset())
+        assert blob[:3] == b"CDF"
+        assert blob[3] == 1
+
+    def test_header_overhead_is_small(self):
+        """Table 1 of the paper: netCDF overhead ≈ 2% at model size 1000."""
+        n = 1000
+        ds = Dataset()
+        ds.create_dimension("model", n)
+        ds.create_variable("index", np.arange(n, dtype="i4"), ("model",))
+        ds.create_variable("values", np.linspace(0, 1, n), ("model",))
+        blob = write_dataset_bytes(ds)
+        native = n * 12
+        overhead = (len(blob) - native) / native
+        assert overhead < 0.03
+
+    def test_big_endian_on_wire(self):
+        ds = Dataset()
+        ds.create_variable("v", np.array([1], dtype="i4"), ("n",))
+        blob = write_dataset_bytes(ds)
+        assert blob[-4:] == b"\x00\x00\x00\x01"
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(NetCDFFormatError, match="magic"):
+            read_dataset_bytes(b"HDF5 something")
+
+    def test_netcdf4_rejected_clearly(self):
+        with pytest.raises(NetCDFFormatError):
+            read_dataset_bytes(b"CDF\x05rest")
+
+    def test_truncated(self):
+        blob = write_dataset_bytes(lead_like_dataset())
+        with pytest.raises(NetCDFFormatError):
+            read_dataset_bytes(blob[: len(blob) // 2])
+
+    def test_unlimited_dimension_rejected(self):
+        import struct
+
+        # hand-craft a header with a zero-length (record) dimension
+        blob = (
+            b"CDF\x01"
+            + struct.pack(">i", 0)
+            + struct.pack(">ii", 0x0A, 1)
+            + struct.pack(">i", 4)
+            + b"time"
+            + struct.pack(">i", 0)  # length 0 = record dimension
+            + struct.pack(">ii", 0, 0)
+            + struct.pack(">ii", 0, 0)
+        )
+        with pytest.raises(NetCDFFormatError, match="unlimited"):
+            read_dataset_bytes(blob)
+
+    def test_int64_rejected_at_write(self):
+        ds = Dataset()
+        with pytest.raises(NetCDFFormatError):
+            ds.create_variable("v", np.arange(3, dtype="i8"), ("n",))
+            write_dataset_bytes(ds)
+
+    def test_dimension_length_mismatch(self):
+        ds = Dataset()
+        ds.create_dimension("n", 5)
+        with pytest.raises(NetCDFError):
+            ds.create_variable("v", np.arange(4, dtype="i4"), ("n",))
+
+    def test_duplicate_variable(self):
+        ds = Dataset()
+        ds.create_variable("v", np.arange(3, dtype="i4"), ("n",))
+        with pytest.raises(NetCDFError):
+            ds.create_variable("v", np.arange(3, dtype="i4"), ("n",))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["i1", "i2", "i4", "f4", "f8"]),
+            st.integers(0, 3),  # rank
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    st.data(),
+)
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_property_roundtrip(specs, data):
+    ds = Dataset()
+    for i, (dtype, rank) in enumerate(specs):
+        shape = tuple(data.draw(st.integers(1, 4)) for _ in range(rank))
+        arr = data.draw(
+            hnp.arrays(
+                np.dtype(dtype),
+                shape,
+                elements={"allow_nan": False} if dtype.startswith("f") else None,
+            )
+        )
+        dims = tuple(f"d{i}_{axis}" for axis in range(rank))
+        ds.create_variable(f"v{i}", arr, dims)
+    out = read_dataset_bytes(write_dataset_bytes(ds))
+    for name, var in ds.variables.items():
+        np.testing.assert_array_equal(out.variables[name].data, var.data)
+        assert out.variables[name].data.dtype == var.data.dtype

@@ -1,0 +1,182 @@
+"""Unit tests for the analytic TCP/disk model."""
+
+import math
+
+import pytest
+
+from repro.netsim import (
+    LAN,
+    WAN,
+    DiskModel,
+    LinkProfile,
+    TimeBreakdown,
+    connection_setup_time,
+    request_response_time,
+    steady_bandwidth,
+    striped_transfer_time,
+    transfer_time,
+)
+from repro.netsim.tcpmodel import aggregate_bandwidth
+
+
+class TestBandwidth:
+    def test_lan_capacity_limited(self):
+        """On the LAN the window allows far more than the wire: capacity wins."""
+        bw = steady_bandwidth(LAN, 1)
+        assert bw == pytest.approx(LAN.capacity)
+        assert LAN.window_limited_bandwidth > LAN.capacity
+
+    def test_wan_window_limited(self):
+        """On the WAN the untuned window is the binding constraint."""
+        bw = steady_bandwidth(WAN, 1)
+        assert bw == pytest.approx(WAN.per_stream_window / WAN.rtt)
+        assert bw < WAN.capacity
+
+    def test_wan_parallel_streams_scale(self):
+        """Parallel streams escape the per-stream window limit on the WAN
+        (bounded by the shared path capacity, not by 16x a single stream)."""
+        assert aggregate_bandwidth(WAN, 16) > 2 * aggregate_bandwidth(WAN, 1)
+        assert aggregate_bandwidth(WAN, 16) <= WAN.capacity
+
+    def test_lan_parallel_streams_do_not_help(self):
+        """A single LAN stream already fills the path; 16 only add overhead."""
+        assert aggregate_bandwidth(LAN, 16) < aggregate_bandwidth(LAN, 1)
+
+    def test_invalid_stream_count(self):
+        with pytest.raises(ValueError):
+            steady_bandwidth(LAN, 0)
+
+
+class TestTransferTime:
+    def test_zero_bytes_is_propagation_only(self):
+        assert transfer_time(LAN, 0) == pytest.approx(LAN.rtt / 2)
+
+    def test_monotone_in_size(self):
+        sizes = [0, 100, 10_000, 1_000_000, 100_000_000]
+        times = [transfer_time(LAN, s) for s in sizes]
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+    def test_large_transfer_approaches_steady_bandwidth(self):
+        nbytes = 512 * 1024 * 1024
+        t = transfer_time(LAN, nbytes)
+        effective = nbytes / t
+        assert effective == pytest.approx(steady_bandwidth(LAN, 1), rel=0.05)
+
+    def test_slow_start_penalty_visible_for_medium_transfers(self):
+        nbytes = 200_000
+        with_ss = transfer_time(WAN, nbytes, slow_start=True)
+        without = transfer_time(WAN, nbytes, slow_start=False)
+        assert with_ss > without
+
+    def test_slow_start_negligible_for_huge_transfers(self):
+        nbytes = 256 * 1024 * 1024
+        with_ss = transfer_time(WAN, nbytes, slow_start=True)
+        without = transfer_time(WAN, nbytes, slow_start=False)
+        assert with_ss == pytest.approx(without, rel=0.02)
+
+    def test_tiny_transfer_is_rtt_scale(self):
+        t = transfer_time(WAN, 500)
+        assert t < 3 * WAN.rtt
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(LAN, -1)
+
+
+class TestStripedTransfer:
+    def test_reorder_penalty_on_lan(self):
+        nbytes = 16 * 1024 * 1024
+        one = striped_transfer_time(LAN, nbytes, 1)
+        sixteen = striped_transfer_time(LAN, nbytes, 16)
+        assert sixteen > one  # the paper's LAN observation
+
+    def test_parallelism_wins_on_wan(self):
+        nbytes = 64 * 1024 * 1024
+        one = striped_transfer_time(WAN, nbytes, 1)
+        sixteen = striped_transfer_time(WAN, nbytes, 16)
+        assert sixteen < one / 2  # the paper's WAN observation
+
+    def test_disk_bottleneck_applies(self):
+        slow_disk = DiskModel(rate=2e6)
+        nbytes = 8 * 1024 * 1024
+        free = striped_transfer_time(WAN, nbytes, 16)
+        disked = striped_transfer_time(WAN, nbytes, 16, receiver_disk=slow_disk)
+        assert disked > free
+        assert disked >= nbytes / slow_disk.rate
+
+    def test_single_stream_has_no_reorder_penalty(self):
+        nbytes = 4 * 1024 * 1024
+        assert striped_transfer_time(LAN, nbytes, 1) == pytest.approx(
+            transfer_time(LAN, nbytes, 1)
+        )
+
+
+class TestRequestResponse:
+    def test_includes_both_directions_and_setup(self):
+        t = request_response_time(WAN, 1000, 1000, new_connection=True)
+        # handshake (1 RTT) + two transfers (≥ 0.5 RTT propagation each)
+        assert t >= 2 * WAN.rtt
+
+    def test_reused_connection_cheaper(self):
+        fresh = request_response_time(WAN, 1000, 1000, new_connection=True)
+        reused = request_response_time(WAN, 1000, 1000, new_connection=False)
+        assert fresh - reused == pytest.approx(WAN.rtt)
+
+    def test_connection_setup_serial(self):
+        assert connection_setup_time(WAN, 4, serial=True) == pytest.approx(4 * WAN.rtt)
+        assert connection_setup_time(WAN, 4) == pytest.approx(WAN.rtt)
+
+
+class TestProfiles:
+    def test_paper_rtts(self):
+        assert LAN.rtt == pytest.approx(0.2e-3)
+        assert WAN.rtt == pytest.approx(5.75e-3)
+
+    def test_wan_single_stream_plateau_matches_figure6(self):
+        """Figure 6's single-stream schemes plateau near 4 MB/s."""
+        bw = steady_bandwidth(WAN, 1)
+        assert 3e6 < bw < 6e6
+
+    def test_lan_single_stream_plateau_matches_figure5(self):
+        """Figure 5's BXSA/TCP saturates near 10-12 MB/s."""
+        bw = steady_bandwidth(LAN, 1)
+        assert 9e6 < bw < 13e6
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            LinkProfile(name="bad", rtt=0, capacity=1, per_stream_window=1)
+
+
+class TestTimeBreakdown:
+    def test_charge_and_total(self):
+        tb = TimeBreakdown()
+        tb.charge("net", 0.5)
+        tb.charge("cpu", 0.25)
+        tb.charge("net", 0.5)
+        assert tb.total == pytest.approx(1.25)
+        assert tb.get("net") == pytest.approx(1.0)
+
+    def test_measure_real_block(self):
+        import time
+
+        tb = TimeBreakdown()
+        with tb.measure("sleep"):
+            time.sleep(0.01)
+        assert tb.get("sleep") >= 0.009
+
+    def test_merge_and_scale(self):
+        a = TimeBreakdown()
+        a.charge("x", 1.0)
+        b = TimeBreakdown()
+        b.charge("x", 1.0)
+        b.charge("y", 2.0)
+        a.merge(b)
+        assert a.get("x") == 2.0
+        half = a.scaled(0.5)
+        assert half.get("y") == 1.0
+        assert a.get("y") == 2.0  # original untouched
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().charge("x", -1)

@@ -1,0 +1,297 @@
+"""Failure injection and fuzzing across the stack.
+
+These tests assert the failure *mode*, not just the absence of success:
+malformed input anywhere in the stack must surface as the documented
+exception type — never a crash, never a hang, and (server-side) never a
+dead service.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bxsa import BXSADecodeError
+from repro.core import (
+    BXSAEncoding,
+    SoapEnvelope,
+    SoapFault,
+    SoapTcpClient,
+    SoapTcpService,
+    XMLEncoding,
+)
+from repro.netcdf import NetCDFFormatError, read_dataset_bytes, write_dataset_bytes
+from repro.services import echo_dispatcher
+from repro.transport import (
+    MemoryNetwork,
+    TransportClosed,
+    TransportError,
+    memory_pipe,
+    write_message,
+)
+from repro.transport.base import BufferedChannel
+from repro.transport.http.messages import HttpError, read_request, read_response
+from repro.workloads.lead import lead_dataset
+from repro.xdm import element, leaf
+from repro.xmlcodec import XMLParseError, parse_document
+
+_fuzz = settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+
+class TestHttpFuzz:
+    @given(st.binary(min_size=1, max_size=300))
+    @_fuzz
+    def test_request_parser_never_crashes(self, blob):
+        a, b = memory_pipe()
+        a.send_all(blob)
+        a.close()
+        try:
+            read_request(BufferedChannel(b))
+        except (HttpError, TransportError):
+            pass
+
+    @given(st.binary(min_size=1, max_size=300))
+    @_fuzz
+    def test_response_parser_never_crashes(self, blob):
+        a, b = memory_pipe()
+        a.send_all(blob)
+        a.close()
+        try:
+            read_response(BufferedChannel(b))
+        except (HttpError, TransportError):
+            pass
+
+    @given(st.text(max_size=120).filter(lambda s: "\r\n" not in s))
+    @_fuzz
+    def test_almost_http_headers(self, junk):
+        a, b = memory_pipe()
+        a.send_all(f"GET / HTTP/1.1\r\n{junk}\r\n\r\n".encode("utf-8", "replace"))
+        a.close()
+        try:
+            read_request(BufferedChannel(b))
+        except (HttpError, TransportError):
+            pass
+
+
+class TestNetCDFFuzz:
+    @given(st.binary(max_size=400))
+    @_fuzz
+    def test_reader_never_crashes_on_garbage(self, blob):
+        try:
+            read_dataset_bytes(blob)
+        except NetCDFFormatError:
+            pass
+
+    @given(st.data())
+    @_fuzz
+    def test_bitflipped_valid_files(self, data):
+        """A valid file with one flipped header byte parses or rejects —
+        no exception type other than NetCDFFormatError escapes."""
+        blob = bytearray(write_dataset_bytes(lead_dataset(8).to_netcdf()))
+        # flip within the header region (data-region flips just change values)
+        position = data.draw(st.integers(0, min(120, len(blob) - 1)))
+        bit = data.draw(st.integers(0, 7))
+        blob[position] ^= 1 << bit
+        try:
+            read_dataset_bytes(bytes(blob))
+        except NetCDFFormatError:
+            pass
+        except (KeyError, ValueError, OverflowError, MemoryError) as exc:
+            raise AssertionError(f"leaked raw exception {type(exc).__name__}: {exc}")
+
+
+class TestXMLFuzz:
+    @given(st.text(max_size=200))
+    @_fuzz
+    def test_parser_never_crashes_on_text(self, junk):
+        try:
+            parse_document(junk)
+        except XMLParseError:
+            pass
+
+    @given(st.data())
+    @_fuzz
+    def test_mutated_valid_documents(self, data):
+        from repro.xmlcodec import serialize
+
+        xml = serialize(lead_dataset(4).to_document())
+        position = data.draw(st.integers(0, len(xml) - 1))
+        replacement = data.draw(st.characters(blacklist_categories=("Cs",)))
+        mutated = xml[:position] + replacement + xml[position + 1 :]
+        try:
+            parse_document(mutated)
+        except XMLParseError:
+            pass
+
+
+class TestEngineFailureInjection:
+    def setup_method(self):
+        self.net = MemoryNetwork()
+        self.service = SoapTcpService(self.net.listen("svc"), echo_dispatcher()).start()
+
+    def teardown_method(self):
+        self.service.stop()
+
+    def _healthy_call(self):
+        client = SoapTcpClient(lambda: self.net.connect("svc"), encoding=BXSAEncoding())
+        response = client.call(SoapEnvelope.wrap(element("Echo", leaf("x", 1, "int"))))
+        client.close()
+        assert response.body_root.name.local == "EchoResponse"
+
+    def test_garbage_bytes_do_not_kill_service(self):
+        channel = self.net.connect("svc")
+        channel.send_all(b"\x00\x01\x02 garbage that is not a framed message")
+        channel.close()
+        self._healthy_call()  # the service must still answer others
+
+    def test_valid_frame_bad_payload_returns_fault(self):
+        from repro.core import encoding_for_content_type
+        from repro.transport import read_message
+
+        channel = self.net.connect("svc")
+        write_message(channel, b"this is not BXSA", "application/bxsa")
+        payload, ctype = read_message(channel)
+        # the reply must be a decodable fault (in whatever encoding the
+        # server chose for the failure report)
+        fault_env = SoapEnvelope.from_document(
+            encoding_for_content_type(ctype).decode(payload)
+        )
+        fault = SoapFault.find_in(fault_env.body_children)
+        assert fault is not None
+        assert "decode" in SoapFault.from_element(fault).string
+        channel.close()
+        self._healthy_call()
+
+    def test_unsupported_content_type_faults_not_hangs(self):
+        from repro.transport import read_message
+
+        channel = self.net.connect("svc")
+        write_message(channel, b"{}", "application/json")
+        payload, ctype = read_message(channel)
+        # server cannot speak json; it answers with its default encoding
+        fault_env = SoapEnvelope.from_document(XMLEncoding().decode(payload))
+        assert SoapFault.find_in(fault_env.body_children) is not None
+        channel.close()
+
+    def test_client_disconnect_mid_request_keeps_service_alive(self):
+        channel = self.net.connect("svc")
+        # send half a message then vanish
+        payload = BXSAEncoding().encode(
+            SoapEnvelope.wrap(element("Echo")).to_document()
+        )
+        frame = bytearray()
+
+        class Capture:
+            def send_all(self, data):
+                frame.extend(data)
+
+        write_message(Capture(), payload, "application/bxsa")
+        channel.send_all(bytes(frame[: len(frame) // 2]))
+        channel.close()
+        self._healthy_call()
+
+    def test_truncated_response_raises_transport_closed(self):
+        """A server that dies mid-response must surface TransportClosed."""
+        net = MemoryNetwork()
+        listener = net.listen("half")
+
+        def evil_server():
+            channel = listener.accept()
+            from repro.transport import read_message
+
+            read_message(channel)  # consume the request
+            channel.send_all(b"\xb5\x0a")  # magic only, then die
+            channel.close()
+
+        thread = threading.Thread(target=evil_server, daemon=True)
+        thread.start()
+        client = SoapTcpClient(lambda: net.connect("half"), encoding=XMLEncoding())
+        with pytest.raises(TransportError):
+            client.call(SoapEnvelope.wrap(element("Echo")))
+        client.close()
+        thread.join(timeout=5)
+
+    def test_concurrent_clients_with_one_malicious(self):
+        errors = []
+
+        def good(n):
+            try:
+                client = SoapTcpClient(
+                    lambda: self.net.connect("svc"), encoding=BXSAEncoding()
+                )
+                for i in range(5):
+                    client.call(SoapEnvelope.wrap(element("Echo", leaf("i", i, "int"))))
+                client.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def bad():
+            channel = self.net.connect("svc")
+            channel.send_all(b"\xff" * 64)
+            channel.close()
+
+        threads = [threading.Thread(target=good, args=(n,)) for n in range(3)]
+        threads.append(threading.Thread(target=bad))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+
+
+class TestCrossEndian:
+    def test_big_endian_client_little_endian_server(self):
+        """A BE-encoding client interoperates with a host-order server —
+        BXSA's per-frame byte order at work through the whole stack."""
+        from repro.xbs import BIG_ENDIAN
+
+        net = MemoryNetwork()
+        with SoapTcpService(net.listen("svc"), echo_dispatcher()):
+            client = SoapTcpClient(
+                lambda: net.connect("svc"), encoding=BXSAEncoding(BIG_ENDIAN)
+            )
+            from repro.xdm import array
+            from repro.xdm.path import children_named
+
+            values = np.array([1.5, -2.25, 3e300])
+            response = client.call(
+                SoapEnvelope.wrap(element("Echo", array("v", values)))
+            )
+            echoed = children_named(response.body_root, "v")[0].values
+            np.testing.assert_array_equal(np.asarray(echoed, dtype="f8"), values)
+            client.close()
+
+
+class TestMmapDecode:
+    def test_decode_from_memory_mapped_file(self, tmp_path):
+        """The paper's ArrayElement memory-mapped I/O property: decode a
+        BXSA document straight from an mmap with zero-copy array views."""
+        import mmap
+
+        from repro.bxsa import decode, encode
+        from repro.xdm import array
+
+        values = np.arange(100_000, dtype="f8")
+        blob = encode(element("d", array("v", values)))
+        path = tmp_path / "doc.bxsa"
+        path.write_bytes(blob)
+
+        import gc
+
+        with open(path, "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            try:
+                node = decode(memoryview(mapped))
+                arr = node.children[0].values
+                # the array data lives in the mapping, not in a copy
+                assert arr.base is not None
+                np.testing.assert_array_equal(arr[:5], values[:5])
+                total = float(arr.sum())
+            finally:
+                # zero-copy views pin the mapping; drop them before closing
+                del arr, node
+                gc.collect()
+                mapped.close()
+        assert total == float(values.sum())

@@ -1,0 +1,170 @@
+"""Integration tests: the full separated scheme and unified scheme
+end-to-end — the four configurations of the paper's §6 experiments."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import BXSAEncoding, SoapTcpClient, SoapTcpService, XMLEncoding, SoapHttpClient, SoapHttpService
+from repro.datachannel import GridFTPDataChannel, HttpDataChannel, UrlResolver
+from repro.datachannel.base import DataChannelError
+from repro.netcdf import write_dataset_bytes
+from repro.services import (
+    build_verification_dispatcher,
+    make_reference_request,
+    make_unified_request,
+    parse_verification_response,
+)
+from repro.transport import MemoryNetwork
+from repro.workloads import lead_dataset
+
+
+@pytest.fixture()
+def world():
+    """One memory network hosting both data channels and the SOAP service."""
+    net = MemoryNetwork()
+    counter = itertools.count()
+
+    http_channel = HttpDataChannel(net.listen("web"), lambda: net.connect("web")).start()
+
+    def data_listener_factory():
+        name = f"gd{next(counter)}"
+        return name, net.listen(name)
+
+    gftp_channel = GridFTPDataChannel(
+        net.listen("gftp"),
+        data_listener_factory,
+        lambda: net.connect("gftp"),
+        net.connect,
+        n_streams=4,
+    ).start()
+
+    resolver = UrlResolver().register(http_channel).register(gftp_channel)
+    dispatcher = build_verification_dispatcher(fetch_url=resolver.fetch)
+    service = SoapTcpService(net.listen("soap"), dispatcher).start()
+
+    yield {
+        "net": net,
+        "http": http_channel,
+        "gftp": gftp_channel,
+        "service": service,
+    }
+    service.stop()
+    gftp_channel.stop()
+    http_channel.stop()
+
+
+def soap_client(net, encoding_cls):
+    return SoapTcpClient(lambda: net.connect("soap"), encoding=encoding_cls())
+
+
+class TestUnifiedScheme:
+    @pytest.mark.parametrize("encoding_cls", [XMLEncoding, BXSAEncoding])
+    def test_verify_in_message(self, world, encoding_cls):
+        dataset = lead_dataset(500)
+        client = soap_client(world["net"], encoding_cls)
+        response = client.call(make_unified_request(dataset))
+        result = parse_verification_response(response.body_root)
+        assert result.ok is True
+        assert result.count == 500
+        assert result.checksum == pytest.approx(float(dataset.values.sum()))
+        client.close()
+
+    def test_corrupted_data_detected_by_server(self, world):
+        dataset = lead_dataset(100)
+        dataset.values.setflags(write=True)
+        dataset.values[5] = np.inf
+        client = soap_client(world["net"], BXSAEncoding)
+        result = parse_verification_response(
+            client.call(make_unified_request(dataset)).body_root
+        )
+        assert result.ok is False
+        assert result.valid == 99
+        client.close()
+
+
+class TestSeparatedScheme:
+    def test_http_data_channel(self, world):
+        dataset = lead_dataset(1000)
+        blob = write_dataset_bytes(dataset.to_netcdf())
+        url = world["http"].publish("run/sample.nc", blob)
+        assert url.startswith("http://")
+
+        client = soap_client(world["net"], XMLEncoding)
+        response = client.call(make_reference_request(url))
+        result = parse_verification_response(response.body_root)
+        assert result.ok is True
+        assert result.count == 1000
+        client.close()
+
+    @pytest.mark.parametrize("n_streams", [1, 4])
+    def test_gridftp_data_channel(self, world, n_streams):
+        world["gftp"].n_streams = n_streams
+        dataset = lead_dataset(2000)
+        url = world["gftp"].publish("run2.nc", write_dataset_bytes(dataset.to_netcdf()))
+        assert url.startswith("gftp://")
+
+        client = soap_client(world["net"], XMLEncoding)
+        result = parse_verification_response(
+            client.call(make_reference_request(url, n_streams)).body_root
+        )
+        assert result.ok is True
+        assert result.count == 2000
+        assert world["gftp"].last_stats is not None
+        assert world["gftp"].last_stats.n_streams == n_streams
+        client.close()
+
+    def test_missing_file_becomes_fault(self, world):
+        from repro.core import SoapFault
+
+        client = soap_client(world["net"], XMLEncoding)
+        with pytest.raises(SoapFault):
+            client.call(make_reference_request("http://datahost/absent.nc"))
+        client.close()
+
+    def test_unknown_scheme_becomes_fault(self, world):
+        from repro.core import SoapFault
+
+        client = soap_client(world["net"], XMLEncoding)
+        with pytest.raises(SoapFault, match="scheme"):
+            client.call(make_reference_request("ftp://old/file.nc"))
+        client.close()
+
+    def test_control_message_is_small(self, world):
+        """The whole point of the separated scheme: the SOAP message stays
+        tiny regardless of data volume."""
+        url = world["http"].publish(
+            "big.nc", write_dataset_bytes(lead_dataset(100_000).to_netcdf())
+        )
+        envelope = make_reference_request(url)
+        payload = XMLEncoding().encode(envelope.to_document())
+        assert len(payload) < 1024
+
+
+class TestResolver:
+    def test_malformed_url(self):
+        with pytest.raises(DataChannelError):
+            UrlResolver().fetch("not-a-url")
+
+    def test_scheme_dispatch(self, world):
+        blob = write_dataset_bytes(lead_dataset(10).to_netcdf())
+        resolver = UrlResolver().register(world["http"])
+        url = world["http"].publish("x.nc", blob)
+        assert resolver.fetch(url) == blob
+        with pytest.raises(DataChannelError, match="scheme"):
+            resolver.fetch("gftp://gridhost/x.nc")
+
+
+class TestOverHttpBinding:
+    def test_unified_over_http(self, world):
+        """The paper's XML/HTTP configuration, full stack."""
+        net = world["net"]
+        dispatcher = build_verification_dispatcher()
+        with SoapHttpService(net.listen("soap-http"), dispatcher):
+            client = SoapHttpClient(lambda: net.connect("soap-http"), encoding=XMLEncoding())
+            result = parse_verification_response(
+                client.call(make_unified_request(lead_dataset(300))).body_root
+            )
+            assert result.ok is True
+            client.close()

@@ -1,0 +1,173 @@
+"""Unit and integration tests for the from-scratch HTTP stack."""
+
+import threading
+
+import pytest
+
+from repro.transport import MemoryNetwork, TcpListener, connect_tcp, memory_pipe
+from repro.transport.base import BufferedChannel
+from repro.transport.http import (
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    read_request,
+    read_response,
+)
+
+
+class TestMessageCodec:
+    def test_request_roundtrip(self):
+        req = HttpRequest("POST", "/soap")
+        req.headers.set("Content-Type", "text/xml")
+        req.body = b"<r/>"
+        a, b = memory_pipe()
+        a.send_all(req.to_bytes())
+        parsed = read_request(BufferedChannel(b))
+        assert parsed.method == "POST"
+        assert parsed.target == "/soap"
+        assert parsed.headers.get("content-type") == "text/xml"
+        assert parsed.body == b"<r/>"
+
+    def test_response_roundtrip(self):
+        resp = HttpResponse(200, body=b"hello")
+        a, b = memory_pipe()
+        a.send_all(resp.to_bytes())
+        parsed = read_response(BufferedChannel(b))
+        assert parsed.status == 200
+        assert parsed.reason == "OK"
+        assert parsed.body == b"hello"
+
+    def test_header_case_insensitive(self):
+        req = HttpRequest("GET", "/")
+        req.headers.set("X-Thing", "1")
+        assert req.headers.get("x-thing") == "1"
+        req.headers.set("x-THING", "2")
+        assert req.headers.get("X-Thing") == "2"
+        assert len([k for k, _ in req.headers.items() if k.lower() == "x-thing"]) == 1
+
+    def test_keep_alive_defaults(self):
+        assert HttpRequest("GET", "/").keep_alive is True
+        req = HttpRequest("GET", "/", version="HTTP/1.0")
+        assert req.keep_alive is False
+        req2 = HttpRequest("GET", "/")
+        req2.headers.set("Connection", "close")
+        assert req2.keep_alive is False
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GARBAGE\r\n\r\n",
+            b"GET /\r\n\r\n",  # missing version
+            b"GET / HTTP/2.0\r\n\r\n",  # unsupported version
+            b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ],
+    )
+    def test_malformed_requests_rejected(self, raw):
+        a, b = memory_pipe()
+        a.send_all(raw)
+        a.close()
+        with pytest.raises(HttpError):
+            read_request(BufferedChannel(b))
+
+    def test_body_requires_full_content_length(self):
+        from repro.transport import TransportClosed
+
+        a, b = memory_pipe()
+        a.send_all(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+        a.close()
+        with pytest.raises(TransportClosed):
+            read_request(BufferedChannel(b))
+
+
+def _echo_handler(request: HttpRequest) -> HttpResponse:
+    if request.target == "/missing":
+        return HttpResponse(404, body=b"not here")
+    if request.target == "/boom":
+        raise RuntimeError("handler exploded")
+    resp = HttpResponse(200, body=request.body or request.target.encode())
+    resp.headers.set("Content-Type", request.headers.get("Content-Type") or "text/plain")
+    return resp
+
+
+class TestClientServerOverMemory:
+    def setup_method(self):
+        self.net = MemoryNetwork()
+        self.server = HttpServer(self.net.listen("web"), _echo_handler).start()
+        self.client = HttpClient(lambda: self.net.connect("web"))
+
+    def teardown_method(self):
+        self.client.close()
+        self.server.stop()
+
+    def test_get(self):
+        resp = self.client.get("/hello")
+        assert resp.ok
+        assert resp.body == b"/hello"
+
+    def test_post_echo(self):
+        resp = self.client.post("/echo", b"payload bytes")
+        assert resp.body == b"payload bytes"
+
+    def test_persistent_connection_reused(self):
+        for i in range(5):
+            assert self.client.get(f"/r{i}").body == f"/r{i}".encode()
+
+    def test_404(self):
+        resp = self.client.get("/missing")
+        assert resp.status == 404
+        assert not resp.ok
+
+    def test_handler_exception_becomes_500(self):
+        resp = self.client.get("/boom")
+        assert resp.status == 500
+        assert b"handler exploded" in resp.body
+
+    def test_connection_close_honoured(self):
+        resp = self.client.request("GET", "/x", headers={"Connection": "close"})
+        assert resp.ok
+        # next request transparently reconnects
+        assert self.client.get("/y").ok
+
+    def test_concurrent_clients(self):
+        errors = []
+
+        def worker(n):
+            try:
+                client = HttpClient(lambda: self.net.connect("web"))
+                for i in range(10):
+                    resp = client.post("/w", f"{n}:{i}".encode())
+                    assert resp.body == f"{n}:{i}".encode()
+                client.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+
+    def test_large_body(self):
+        body = bytes(range(256)) * 4096  # 1 MiB
+        resp = self.client.post("/big", body)
+        assert resp.body == body
+
+
+class TestClientServerOverSockets:
+    def test_real_tcp_roundtrip(self):
+        listener = TcpListener()
+        port = listener.port
+        server = HttpServer(listener, _echo_handler).start()
+        try:
+            client = HttpClient(lambda: connect_tcp("127.0.0.1", port))
+            resp = client.post("/sock", b"over real tcp")
+            assert resp.body == b"over real tcp"
+            client.close()
+        finally:
+            server.stop()

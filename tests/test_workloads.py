@@ -1,0 +1,120 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import decode, encode
+from repro.netcdf import read_dataset_bytes, write_dataset_bytes
+from repro.workloads import lead_dataset, sensor_stream
+from repro.workloads.datamining import block_from_bxdm, block_to_bxdm, feature_block
+from repro.workloads.sensors import SensorReading
+from repro.xmlcodec import serialize
+
+
+class TestLeadDataset:
+    def test_deterministic(self):
+        a = lead_dataset(100, seed=7)
+        b = lead_dataset(100, seed=7)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert not np.array_equal(a.values, lead_dataset(100, seed=8).values)
+
+    def test_shapes_and_dtypes(self):
+        ds = lead_dataset(1000)
+        assert ds.model_size == 1000
+        assert ds.index.dtype == np.dtype("i4")
+        assert ds.values.dtype == np.dtype("f8")
+        assert ds.native_bytes == 12000
+
+    def test_bxdm_roundtrip(self):
+        from repro.workloads.lead import LeadDataset
+
+        ds = lead_dataset(64)
+        back = LeadDataset.from_bxdm(decode(encode(ds.to_bxdm())))
+        np.testing.assert_array_equal(back.index, ds.index)
+        np.testing.assert_array_equal(back.values, ds.values)
+
+    def test_netcdf_roundtrip(self):
+        ds = lead_dataset(64)
+        out = read_dataset_bytes(write_dataset_bytes(ds.to_netcdf()))
+        np.testing.assert_array_equal(out.variables["index"].data, ds.index)
+        np.testing.assert_array_equal(out.variables["values"].data, ds.values)
+
+    def test_verify_passes_on_generated(self):
+        record = lead_dataset(500).verify()
+        assert record["ok"] is True
+        assert record["valid"] == 500
+        assert record["index_ok"] is True
+
+    def test_verify_catches_corruption(self):
+        ds = lead_dataset(100)
+        ds.values.setflags(write=True)
+        ds.values[13] = 1e9  # out of physical range
+        record = ds.verify()
+        assert record["ok"] is False
+        assert record["valid"] == 99
+
+    def test_verify_catches_bad_index(self):
+        ds = lead_dataset(10)
+        ds.index.setflags(write=True)
+        ds.index[0] = 5
+        assert ds.verify()["index_ok"] is False
+
+    def test_values_print_short(self):
+        """Table 1 calibration: the XML lexical forms must be ≈5-7 chars,
+        like the LEAD sample's, not 17-char full-precision doubles."""
+        ds = lead_dataset(1000)
+        mean_len = np.mean([len(repr(v)) for v in ds.values.tolist()])
+        assert mean_len < 7.5
+
+    def test_table1_xml_overhead_band(self):
+        """XML 1.0 overhead at model size 1000 lands near the paper's 99 %."""
+        ds = lead_dataset(1000)
+        xml = serialize(ds.to_document(), emit_types=False).encode()
+        overhead = (len(xml) - ds.native_bytes) / ds.native_bytes
+        assert 0.6 < overhead < 1.4
+
+    def test_zero_model_size(self):
+        ds = lead_dataset(0)
+        assert ds.model_size == 0
+        assert ds.verify()["ok"] is True
+
+
+class TestSensors:
+    def test_stream_deterministic_and_small(self):
+        readings = list(sensor_stream(20, n_channels=8))
+        assert len(readings) == 20
+        assert readings[0].channels.dtype == np.dtype("f4")
+        blob = encode(readings[0].to_bxdm())
+        assert len(blob) < 256  # genuinely small messages
+
+    def test_bxdm_roundtrip(self):
+        reading = next(iter(sensor_stream(1)))
+        back = SensorReading.from_bxdm(decode(encode(reading.to_bxdm())))
+        assert back.station == reading.station
+        assert back.tick == reading.tick
+        np.testing.assert_array_equal(back.channels, reading.channels)
+
+    def test_station_round_robin(self):
+        stations = [r.station for r in sensor_stream(8, n_stations=4)]
+        assert stations == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestDataMining:
+    def test_block_roundtrip(self):
+        block = feature_block(50, 20, seed=3)
+        node = block_to_bxdm(block, block_id=9)
+        bid, back = block_from_bxdm(decode(encode(node)))
+        assert bid == 9
+        np.testing.assert_array_equal(back, block)
+
+    def test_shape_mismatch_detected(self):
+        node = block_to_bxdm(feature_block(4, 4))
+        from repro.xdm.path import children_named
+
+        children_named(node, "rows")[0].value = 5
+        with pytest.raises(ValueError):
+            block_from_bxdm(node)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            block_to_bxdm(np.zeros(5))

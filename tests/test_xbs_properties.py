@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the XBS layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import hypothesis.extra.numpy as hnp
+
+from repro.xbs import (
+    BIG_ENDIAN,
+    LITTLE_ENDIAN,
+    TypeCode,
+    XBSReader,
+    XBSWriter,
+    decode_vls,
+    encode_vls,
+    type_code_for_dtype,
+)
+
+uint64s = st.integers(min_value=0, max_value=2**64 - 1)
+orders = st.sampled_from([LITTLE_ENDIAN, BIG_ENDIAN])
+
+_NUMERIC_DTYPES = ["i1", "i2", "i4", "i8", "u1", "u2", "u4", "u8", "f4", "f8"]
+
+
+@given(uint64s)
+def test_vls_roundtrip(value):
+    decoded, offset = decode_vls(encode_vls(value))
+    assert decoded == value
+    assert offset == len(encode_vls(value))
+
+
+@given(st.lists(uint64s, max_size=20))
+def test_vls_concatenation_self_delimits(values):
+    blob = b"".join(encode_vls(v) for v in values)
+    out, pos = [], 0
+    while pos < len(blob):
+        v, pos = decode_vls(blob, pos)
+        out.append(v)
+    assert out == values
+
+
+@given(orders, st.sampled_from(_NUMERIC_DTYPES), st.data())
+def test_scalar_roundtrip(order, dtype_str, data):
+    dt = np.dtype(dtype_str)
+    code = type_code_for_dtype(dt)
+    if dt.kind == "f":
+        value = data.draw(st.floats(allow_nan=False, width=dt.itemsize * 8))
+    else:
+        info = np.iinfo(dt)
+        value = data.draw(st.integers(min_value=int(info.min), max_value=int(info.max)))
+    w = XBSWriter(order)
+    w.write_scalar(code, value)
+    r = XBSReader(w.getvalue(), order)
+    out = r.read_scalar(code)
+    if dt.kind == "f":
+        assert out == np.dtype(dt).type(value)
+    else:
+        assert out == value
+
+
+@given(orders, st.sampled_from(_NUMERIC_DTYPES), st.data())
+@settings(max_examples=60)
+def test_array_roundtrip(order, dtype_str, data):
+    arr = data.draw(
+        hnp.arrays(
+            dtype=np.dtype(dtype_str),
+            shape=st.integers(0, 64),
+            elements={"allow_nan": False} if dtype_str.startswith("f") else None,
+        )
+    )
+    w = XBSWriter(order)
+    w.write_array(arr)
+    r = XBSReader(w.getvalue(), order)
+    out = r.read_array(type_code_for_dtype(arr.dtype))
+    np.testing.assert_array_equal(out.astype(arr.dtype), arr)
+
+
+@given(orders, st.text(max_size=200))
+def test_string_roundtrip(order, text):
+    w = XBSWriter(order)
+    w.write_string(text)
+    r = XBSReader(w.getvalue(), order)
+    assert r.read_string() == text
+
+
+@given(st.data())
+@settings(max_examples=40)
+def test_mixed_sequence_roundtrip(data):
+    """A random interleaving of scalars, strings and arrays round-trips."""
+    order = data.draw(orders)
+    ops = data.draw(
+        st.lists(
+            st.sampled_from(["i32", "f64", "str", "arr"]),
+            max_size=12,
+        )
+    )
+    w = XBSWriter(order)
+    expected = []
+    for op in ops:
+        if op == "i32":
+            v = data.draw(st.integers(-(2**31), 2**31 - 1))
+            w.write_int32(v)
+            expected.append(("i32", v))
+        elif op == "f64":
+            v = data.draw(st.floats(allow_nan=False))
+            w.write_float64(v)
+            expected.append(("f64", v))
+        elif op == "str":
+            v = data.draw(st.text(max_size=30))
+            w.write_string(v)
+            expected.append(("str", v))
+        else:
+            v = data.draw(hnp.arrays(np.dtype("i8"), st.integers(0, 16)))
+            w.write_array(v)
+            expected.append(("arr", v))
+    r = XBSReader(w.getvalue(), order)
+    for kind, v in expected:
+        if kind == "i32":
+            assert r.read_int32() == v
+        elif kind == "f64":
+            assert r.read_float64() == v
+        elif kind == "str":
+            assert r.read_string() == v
+        else:
+            np.testing.assert_array_equal(r.read_array(TypeCode.INT64).astype("i8"), v)
+    assert r.at_end()
+
+
+@given(st.binary(max_size=64), orders)
+def test_reader_never_reads_past_end(blob, order):
+    """Arbitrary garbage either decodes or raises XBSDecodeError — no crashes."""
+    from repro.xbs import XBSDecodeError
+
+    r = XBSReader(blob, order)
+    try:
+        while not r.at_end():
+            r.read_vls()
+    except XBSDecodeError:
+        pass

@@ -1,0 +1,236 @@
+"""Unit tests for the XBS writer/reader pair."""
+
+import numpy as np
+import pytest
+
+from repro.xbs import (
+    BIG_ENDIAN,
+    LITTLE_ENDIAN,
+    TypeCode,
+    XBSDecodeError,
+    XBSEncodeError,
+    XBSReader,
+    XBSWriter,
+    dtype_for,
+    type_code_for_dtype,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("order", [LITTLE_ENDIAN, BIG_ENDIAN])
+    def test_int_roundtrip_all_widths(self, order):
+        w = XBSWriter(order)
+        w.write_int8(-7)
+        w.write_int16(-3000)
+        w.write_int32(-(2**30))
+        w.write_int64(-(2**62))
+        w.write_uint8(200)
+        w.write_uint16(60000)
+        w.write_uint32(2**31)
+        w.write_uint64(2**63)
+        r = XBSReader(w.getvalue(), order)
+        assert r.read_int8() == -7
+        assert r.read_int16() == -3000
+        assert r.read_int32() == -(2**30)
+        assert r.read_int64() == -(2**62)
+        assert r.read_uint8() == 200
+        assert r.read_uint16() == 60000
+        assert r.read_uint32() == 2**31
+        assert r.read_uint64() == 2**63
+        assert r.at_end()
+
+    def test_float_roundtrip(self):
+        w = XBSWriter()
+        w.write_float32(1.5)
+        w.write_float64(3.141592653589793)
+        r = XBSReader(w.getvalue())
+        assert r.read_float32() == 1.5
+        assert r.read_float64() == 3.141592653589793
+
+    def test_bool_roundtrip(self):
+        w = XBSWriter()
+        w.write_scalar(TypeCode.BOOL, True)
+        w.write_scalar(TypeCode.BOOL, False)
+        r = XBSReader(w.getvalue())
+        assert r.read_scalar(TypeCode.BOOL) is True
+        assert r.read_scalar(TypeCode.BOOL) is False
+
+    def test_range_check(self):
+        w = XBSWriter()
+        with pytest.raises(XBSEncodeError):
+            w.write_int8(128)
+        with pytest.raises(XBSEncodeError):
+            w.write_uint16(-1)
+        with pytest.raises(XBSEncodeError):
+            w.write_uint64(2**64)
+
+    def test_endianness_on_wire(self):
+        w_le = XBSWriter(LITTLE_ENDIAN)
+        w_le.write_uint32(0x01020304)
+        w_be = XBSWriter(BIG_ENDIAN)
+        w_be.write_uint32(0x01020304)
+        assert w_le.getvalue() == b"\x04\x03\x02\x01"
+        assert w_be.getvalue() == b"\x01\x02\x03\x04"
+
+
+class TestAlignment:
+    def test_pad_inserted_before_wider_type(self):
+        w = XBSWriter()
+        w.write_int8(1)  # offset 0..1
+        w.write_int32(2)  # must pad to offset 4
+        assert w.tell() == 8
+        r = XBSReader(w.getvalue())
+        assert r.read_int8() == 1
+        assert r.read_int32() == 2
+
+    def test_no_pad_when_aligned(self):
+        w = XBSWriter()
+        w.write_int32(1)
+        w.write_int32(2)
+        assert w.tell() == 8
+
+    def test_alignment_disabled(self):
+        w = XBSWriter(align=False)
+        w.write_int8(1)
+        w.write_int64(2)
+        assert w.tell() == 9
+        r = XBSReader(w.getvalue(), align=False)
+        assert r.read_int8() == 1
+        assert r.read_int64() == 2
+
+    def test_base_offset_preserves_alignment(self):
+        # Simulate a frame payload that starts at absolute offset 3.
+        w = XBSWriter()
+        w.write_bytes(b"abc")
+        start = w.tell()
+        w.write_int32(42)
+        data = w.getvalue()
+        r = XBSReader(data[start:], base=start)
+        assert r.read_int32() == 42
+
+
+class TestStringsAndBytes:
+    def test_string_roundtrip(self):
+        w = XBSWriter()
+        w.write_string("héllo ☃")
+        r = XBSReader(w.getvalue())
+        assert r.read_string() == "héllo ☃"
+
+    def test_empty_string(self):
+        w = XBSWriter()
+        w.write_string("")
+        r = XBSReader(w.getvalue())
+        assert r.read_string() == ""
+
+    def test_invalid_utf8_rejected(self):
+        w = XBSWriter()
+        w.write_vls(2)
+        w.write_bytes(b"\xff\xfe")
+        r = XBSReader(w.getvalue())
+        with pytest.raises(XBSDecodeError):
+            r.read_string()
+
+    def test_read_bytes_is_view(self):
+        buf = bytearray()
+        w = XBSWriter()
+        w.write_bytes(b"abcdef")
+        data = bytearray(w.getvalue())
+        r = XBSReader(data)
+        view = r.read_bytes(6)
+        data[0] = ord(b"z")
+        assert bytes(view) == b"zbcdef"
+
+
+class TestArrays:
+    @pytest.mark.parametrize("dtype", ["int8", "int16", "int32", "int64", "float32", "float64"])
+    @pytest.mark.parametrize("order", [LITTLE_ENDIAN, BIG_ENDIAN])
+    def test_roundtrip(self, dtype, order):
+        values = np.arange(17, dtype=dtype)
+        w = XBSWriter(order)
+        w.write_array(values)
+        r = XBSReader(w.getvalue(), order)
+        out = r.read_array(type_code_for_dtype(dtype))
+        np.testing.assert_array_equal(out.astype(dtype), values)
+
+    def test_empty_array(self):
+        w = XBSWriter()
+        w.write_array(np.array([], dtype="f8"))
+        r = XBSReader(w.getvalue())
+        out = r.read_array(TypeCode.FLOAT64)
+        assert out.size == 0
+
+    def test_zero_copy_view(self):
+        values = np.arange(8, dtype="f8")
+        w = XBSWriter()
+        w.write_array(values)
+        data = w.getvalue()
+        r = XBSReader(data)
+        out = r.read_array(TypeCode.FLOAT64)
+        # A view over an immutable bytes object is read-only and aliases it.
+        assert not out.flags.writeable
+        assert out.base is not None
+
+    def test_copy_requested(self):
+        values = np.arange(8, dtype="f8")
+        w = XBSWriter()
+        w.write_array(values)
+        r = XBSReader(w.getvalue())
+        out = r.read_array(TypeCode.FLOAT64, copy=True)
+        assert out.flags.writeable
+
+    def test_multidimensional_rejected(self):
+        w = XBSWriter()
+        with pytest.raises(XBSEncodeError):
+            w.write_array(np.zeros((2, 2)))
+
+    def test_mixed_byte_order_input_normalized(self):
+        values = np.arange(5, dtype=">f8")
+        w = XBSWriter(LITTLE_ENDIAN)
+        w.write_array(values)
+        r = XBSReader(w.getvalue(), LITTLE_ENDIAN)
+        out = r.read_array(TypeCode.FLOAT64)
+        np.testing.assert_array_equal(out.astype("f8"), values.astype("f8"))
+
+    def test_truncated_array_detected(self):
+        w = XBSWriter()
+        w.write_array(np.arange(10, dtype="f8"))
+        data = w.getvalue()[:-4]
+        r = XBSReader(data)
+        with pytest.raises(XBSDecodeError):
+            r.read_array(TypeCode.FLOAT64)
+
+    def test_interleaved_scalars_and_arrays(self):
+        w = XBSWriter()
+        w.write_uint8(9)
+        w.write_array(np.arange(3, dtype="i4"))
+        w.write_float64(2.5)
+        w.write_array(np.arange(4, dtype="f8") / 3.0)
+        r = XBSReader(w.getvalue())
+        assert r.read_uint8() == 9
+        np.testing.assert_array_equal(r.read_array(TypeCode.INT32), np.arange(3, dtype="i4"))
+        assert r.read_float64() == 2.5
+        np.testing.assert_allclose(r.read_array(TypeCode.FLOAT64), np.arange(4) / 3.0)
+        assert r.at_end()
+
+
+class TestTypeCodes:
+    def test_dtype_roundtrip(self):
+        for code in TypeCode:
+            if code is TypeCode.STRING:
+                continue
+            dt = dtype_for(code)
+            if code is TypeCode.BOOL:
+                continue  # BOOL maps onto u1 storage
+            assert type_code_for_dtype(dt) == code
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(XBSEncodeError):
+            type_code_for_dtype(np.complex128)
+
+    def test_sizes(self):
+        assert TypeCode.INT8.size == 1
+        assert TypeCode.FLOAT64.size == 8
+        assert TypeCode.UINT32.size == 4
+
+    def test_bool_dtype_maps_to_bool_code(self):
+        assert type_code_for_dtype(np.bool_) == TypeCode.BOOL

@@ -1,0 +1,67 @@
+"""Unit tests for the VLS variable-length integer encoding."""
+
+import pytest
+
+from repro.xbs import XBSDecodeError, XBSEncodeError, decode_vls, encode_vls, vls_length
+
+
+def test_zero_is_one_byte():
+    assert encode_vls(0) == b"\x00"
+    assert decode_vls(b"\x00") == (0, 1)
+
+
+def test_single_byte_boundary():
+    assert encode_vls(127) == b"\x7f"
+    assert decode_vls(b"\x7f") == (127, 1)
+
+
+def test_two_byte_boundary():
+    assert encode_vls(128) == b"\x80\x01"
+    assert decode_vls(b"\x80\x01") == (128, 2)
+
+
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 16383, 16384, 2**32, 2**63, 2**64 - 1])
+def test_roundtrip_known_values(value):
+    encoded = encode_vls(value)
+    assert len(encoded) == vls_length(value)
+    decoded, offset = decode_vls(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+def test_decode_with_offset():
+    data = b"\xff\xff" + encode_vls(300) + b"tail"
+    value, offset = decode_vls(data, 2)
+    assert value == 300
+    assert data[offset:] == b"tail"
+
+
+def test_negative_rejected():
+    with pytest.raises(XBSEncodeError):
+        encode_vls(-1)
+    with pytest.raises(XBSEncodeError):
+        vls_length(-1)
+
+
+def test_truncated_rejected():
+    with pytest.raises(XBSDecodeError):
+        decode_vls(b"\x80")
+    with pytest.raises(XBSDecodeError):
+        decode_vls(b"")
+
+
+def test_overlong_rejected():
+    with pytest.raises(XBSDecodeError):
+        decode_vls(b"\x80" * 10 + b"\x01")
+
+
+def test_non_canonical_zero_padding_rejected():
+    # 0x80 0x00 would also decode to 0 under a lax decoder.
+    with pytest.raises(XBSDecodeError):
+        decode_vls(b"\x80\x00")
+
+
+def test_continuation_bytes_set_correctly():
+    encoded = encode_vls(2**40)
+    assert all(b & 0x80 for b in encoded[:-1])
+    assert not encoded[-1] & 0x80

@@ -1,0 +1,227 @@
+"""Unit tests for bXDM nodes, QNames and the atomic type registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.xbs import TypeCode
+from repro.xdm import (
+    ArrayElement,
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    NamespaceNode,
+    NodeKind,
+    PINode,
+    QName,
+    TextNode,
+    XDMError,
+    XDMTypeError,
+    atomic_type_for_code,
+    atomic_type_for_dtype,
+    atomic_type_for_xsd,
+    format_lexical,
+    parse_lexical,
+)
+
+
+class TestQName:
+    def test_equality_ignores_prefix(self):
+        a = QName("Body", "urn:soap", "s")
+        b = QName("Body", "urn:soap", "env")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_uri(self):
+        assert QName("Body", "urn:a") != QName("Body", "urn:b")
+
+    def test_clark_roundtrip(self):
+        q = QName("x", "urn:test")
+        assert QName.parse(q.clark()) == q
+        assert QName.parse("plain") == QName("plain")
+
+    def test_empty_local_rejected(self):
+        with pytest.raises(ValueError):
+            QName("")
+
+    def test_str_uses_prefix(self):
+        assert str(QName("Body", "urn:soap", "s")) == "s:Body"
+        assert str(QName("Body", "urn:soap")) == "Body"
+
+
+class TestAtomicTypes:
+    def test_xsd_code_dtype_consistency(self):
+        for name in ["byte", "short", "int", "long", "float", "double", "boolean"]:
+            t = atomic_type_for_xsd(name)
+            assert atomic_type_for_code(t.code) is t
+            assert atomic_type_for_dtype(t.dtype) is t
+
+    def test_unknown_xsd_name(self):
+        with pytest.raises(XDMTypeError):
+            atomic_type_for_xsd("duration")
+
+    def test_aliases(self):
+        assert atomic_type_for_xsd("integer").xsd_name == "long"
+        assert atomic_type_for_xsd("decimal").xsd_name == "double"
+
+    def test_float_lexical_full_precision(self):
+        t = atomic_type_for_xsd("double")
+        value = 0.1 + 0.2
+        assert parse_lexical(t, format_lexical(t, value)) == value
+
+    def test_float_specials(self):
+        t = atomic_type_for_xsd("double")
+        assert format_lexical(t, math.inf) == "INF"
+        assert format_lexical(t, -math.inf) == "-INF"
+        assert format_lexical(t, math.nan) == "NaN"
+        assert parse_lexical(t, "INF") == math.inf
+        assert parse_lexical(t, "-INF") == -math.inf
+        assert math.isnan(parse_lexical(t, "NaN"))
+
+    def test_boolean_lexical(self):
+        t = atomic_type_for_xsd("boolean")
+        assert format_lexical(t, True) == "true"
+        assert parse_lexical(t, "1") is True
+        assert parse_lexical(t, "false") is False
+        with pytest.raises(XDMTypeError):
+            parse_lexical(t, "yes")
+
+    def test_int_range_check(self):
+        t = atomic_type_for_xsd("byte")
+        with pytest.raises(XDMTypeError):
+            parse_lexical(t, "200")
+        assert parse_lexical(t, " -128 ") == -128
+
+    def test_bad_lexical(self):
+        with pytest.raises(XDMTypeError):
+            parse_lexical(atomic_type_for_xsd("int"), "3.5")
+        with pytest.raises(XDMTypeError):
+            parse_lexical(atomic_type_for_xsd("double"), "abc")
+
+
+class TestLeafElement:
+    def test_type_inference(self):
+        assert LeafElement("a", 5).atype.xsd_name == "int"
+        assert LeafElement("a", 2**40).atype.xsd_name == "long"
+        assert LeafElement("a", 1.5).atype.xsd_name == "double"
+        assert LeafElement("a", True).atype.xsd_name == "boolean"
+        assert LeafElement("a", "hi").atype.xsd_name == "string"
+        assert LeafElement("a", np.float32(1.0)).atype.xsd_name == "float"
+        assert LeafElement("a", np.int16(3)).atype.xsd_name == "short"
+
+    def test_explicit_type_coerces(self):
+        node = LeafElement("a", 5, "double")
+        assert node.value == 5.0
+        assert isinstance(node.value, float)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(XDMTypeError):
+            LeafElement("a", 300, "byte")
+
+    def test_no_children(self):
+        node = LeafElement("a", 1)
+        with pytest.raises(XDMError):
+            node.append(TextNode("x"))
+
+    def test_kind(self):
+        assert LeafElement("a", 1).kind is NodeKind.LEAF_ELEMENT
+
+    def test_text_content_is_lexical(self):
+        assert LeafElement("a", 2.5).text_content() == "2.5"
+
+
+class TestArrayElement:
+    def test_values_packed_contiguous(self):
+        node = ArrayElement("a", [1, 2, 3], "int")
+        assert node.values.dtype == np.dtype("i4")
+        assert node.values.flags.c_contiguous
+
+    def test_dtype_inferred(self):
+        node = ArrayElement("a", np.arange(4, dtype="f4"))
+        assert node.atype.xsd_name == "float"
+
+    def test_2d_rejected(self):
+        with pytest.raises(XDMTypeError):
+            ArrayElement("a", np.zeros((2, 3)))
+
+    def test_string_type_rejected(self):
+        with pytest.raises(XDMTypeError):
+            ArrayElement("a", [1, 2], "string")
+
+    def test_len(self):
+        assert len(ArrayElement("a", np.arange(7))) == 7
+
+    def test_no_children(self):
+        with pytest.raises(XDMError):
+            ArrayElement("a", [1.0]).append(TextNode("x"))
+
+    def test_text_content_space_separated(self):
+        assert ArrayElement("a", [1, 2], "int").text_content() == "1 2"
+
+
+class TestElementNode:
+    def test_attribute_lookup_by_local(self):
+        e = ElementNode("e")
+        e.set_attribute("id", "x1")
+        assert e.attribute("id").value == "x1"
+        assert e.attribute("missing") is None
+
+    def test_set_attribute_replaces(self):
+        e = ElementNode("e")
+        e.set_attribute("id", "a")
+        e.set_attribute("id", "b")
+        assert len(e.attributes) == 1
+        assert e.attribute("id").value == "b"
+
+    def test_typed_attribute(self):
+        e = ElementNode("e")
+        e.set_attribute("n", 5, "int")
+        attr = e.attribute("n")
+        assert attr.value == 5
+        assert attr.atype.code == TypeCode.INT32
+
+    def test_elements_iterator_skips_text(self):
+        e = ElementNode("e", children=[TextNode("x"), ElementNode("c"), CommentNode("z")])
+        assert [c.name.local for c in e.elements()] == ["c"]
+
+    def test_nested_text_content(self):
+        e = ElementNode("e", children=[TextNode("a"), ElementNode("c", children=[TextNode("b")])])
+        assert e.text_content() == "ab"
+
+    def test_declare_namespace(self):
+        e = ElementNode("e")
+        e.declare_namespace("p", "urn:x")
+        assert NamespaceNode("p", "urn:x") in e.namespaces
+
+
+class TestDocumentNode:
+    def test_root(self):
+        d = DocumentNode([CommentNode("c"), ElementNode("r")])
+        assert d.root.name.local == "r"
+
+    def test_missing_root(self):
+        with pytest.raises(XDMError):
+            DocumentNode([CommentNode("c")]).root
+
+
+class TestMiscNodes:
+    def test_comment_double_dash_rejected(self):
+        with pytest.raises(XDMError):
+            CommentNode("a--b")
+
+    def test_pi_target_validation(self):
+        with pytest.raises(XDMError):
+            PINode("xml")
+        with pytest.raises(XDMError):
+            PINode("t", "a?>b")
+
+    def test_text_requires_str(self):
+        with pytest.raises(XDMTypeError):
+            TextNode(42)
+
+    def test_attribute_infers_numeric(self):
+        a = AttributeNode("n", 1.5)
+        assert a.atype.xsd_name == "double"

@@ -1,0 +1,135 @@
+"""Tests for the XPath-lite evaluator — the same query over either encoding."""
+
+import numpy as np
+import pytest
+
+from repro.bxsa import decode, encode
+from repro.xdm import array, doc, element, leaf, text
+from repro.xdm.xpath import XPathError, evaluate, evaluate_one, parse_path
+from repro.xmlcodec import parse_document, serialize
+
+
+@pytest.fixture()
+def tree():
+    return doc(
+        element(
+            "catalog",
+            element(
+                "book",
+                leaf("title", "Generic Programming", "string"),
+                leaf("year", 1998, "int"),
+                attributes={"id": "b1", "lang": "en"},
+            ),
+            element(
+                "book",
+                leaf("title", "Modern C++ Design", "string"),
+                leaf("year", 2001, "int"),
+                attributes={"id": "b2", "lang": "en"},
+            ),
+            element(
+                "journal",
+                element("book", leaf("title", "Nested", "string")),
+                attributes={"id": "j1"},
+            ),
+            array("ratings", np.array([5, 4, 5], dtype="i4")),
+        )
+    )
+
+
+class TestParsing:
+    def test_rejects_empty(self):
+        for bad in ("", "/", "//"):
+            with pytest.raises(XPathError):
+                parse_path(bad)
+
+    def test_rejects_bad_predicate(self):
+        with pytest.raises(XPathError):
+            parse_path("a[position() > 2]")
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(XPathError):
+            parse_path("a[0]")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(XPathError):
+            parse_path("a|b")
+
+    def test_steps_and_axes(self):
+        steps = parse_path("//a/b//c")
+        assert [s.descendant for s in steps] == [True, False, True]
+
+
+class TestEvaluation:
+    def test_child_path(self, tree):
+        titles = evaluate(tree, "catalog/book/title")
+        assert [t.value for t in titles] == ["Generic Programming", "Modern C++ Design"]
+
+    def test_leading_slash_equivalent(self, tree):
+        assert evaluate(tree, "/catalog/book") == evaluate(tree, "catalog/book")
+
+    def test_wildcard(self, tree):
+        assert len(evaluate(tree, "catalog/*")) == 4
+
+    def test_descendant_axis(self, tree):
+        books = evaluate(tree, "//book")
+        assert len(books) == 3  # includes the nested one
+
+    def test_descendant_then_child(self, tree):
+        titles = evaluate(tree, "//book/title")
+        assert len(titles) == 3
+
+    def test_positional_predicate(self, tree):
+        second = evaluate_one(tree, "catalog/book[2]")
+        assert second.attribute("id").value == "b2"
+
+    def test_attribute_presence(self, tree):
+        assert len(evaluate(tree, "catalog/*[@lang]")) == 2
+
+    def test_attribute_equality(self, tree):
+        found = evaluate_one(tree, '//book[@id="b2"]')
+        assert found.attribute("id").value == "b2"
+
+    def test_child_text_equality(self, tree):
+        found = evaluate_one(tree, '//book[title="Nested"]')
+        assert found.attribute("id") is None  # the nested one has no id
+
+    def test_chained_predicates(self, tree):
+        found = evaluate(tree, 'catalog/book[@lang="en"][1]')
+        assert len(found) == 1
+        assert found[0].attribute("id").value == "b1"
+
+    def test_no_match_is_empty(self, tree):
+        assert evaluate(tree, "//nothing") == []
+
+    def test_evaluate_one_requires_unique(self, tree):
+        with pytest.raises(LookupError):
+            evaluate_one(tree, "//book")
+
+    def test_typed_attribute_compared_lexically(self):
+        node = element("r", element("e", attributes={"n": 5}))
+        assert len(evaluate(node, 'e[@n="5"]')) == 1
+
+    def test_clark_nametest(self):
+        from repro.xdm import QName
+
+        tree2 = doc(element(QName("root", "urn:a"), element(QName("c", "urn:a"))))
+        assert len(evaluate(tree2, "{urn:a}root/{urn:a}c")) == 1
+        assert evaluate(tree2, "{urn:b}root/{urn:a}c") == []
+
+
+class TestSameQueryBothEncodings:
+    """§5.1: XDM-based processing runs over binary XML unchanged."""
+
+    QUERY = '//book[@lang="en"]/title'
+
+    def test_results_identical_after_either_wire_format(self, tree):
+        via_xml = parse_document(serialize(tree))
+        via_bxsa = decode(encode(tree))
+        for rebuilt in (via_xml, via_bxsa):
+            titles = [t.value for t in evaluate(rebuilt, self.QUERY)]
+            assert titles == ["Generic Programming", "Modern C++ Design"]
+
+    def test_array_elements_are_reachable(self, tree):
+        rebuilt = decode(encode(tree))
+        ratings = evaluate_one(rebuilt, "catalog/ratings")
+        np.testing.assert_array_equal(np.asarray(ratings.values), [5, 4, 5])

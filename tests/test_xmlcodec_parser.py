@@ -1,0 +1,273 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import numpy as np
+import pytest
+
+from repro.xdm import ArrayElement, CommentNode, ElementNode, LeafElement, PINode, TextNode
+from repro.xmlcodec import XMLParseError, parse_document, parse_fragment
+
+
+class TestBasics:
+    def test_minimal_document(self):
+        doc = parse_document("<r/>")
+        assert doc.root.name.local == "r"
+        assert doc.root.children == []
+
+    def test_xml_declaration(self):
+        doc = parse_document('<?xml version="1.0" encoding="UTF-8"?><r/>')
+        assert doc.root.name.local == "r"
+
+    def test_unsupported_encoding(self):
+        with pytest.raises(XMLParseError):
+            parse_document('<?xml version="1.0" encoding="UTF-16"?><r/>')
+
+    def test_utf8_bytes_with_bom(self):
+        doc = parse_document(b"\xef\xbb\xbf<r>caf\xc3\xa9</r>")
+        assert doc.root.children[0].text == "café"
+
+    def test_invalid_utf8_bytes(self):
+        with pytest.raises(XMLParseError):
+            parse_document(b"<r>\xff</r>")
+
+    def test_nested_elements_and_text(self):
+        doc = parse_document("<a><b>one</b><c>two</c></a>")
+        kids = list(doc.root.elements())
+        assert [k.name.local for k in kids] == ["b", "c"]
+        assert kids[0].children[0].text == "one"
+
+    def test_self_closing_with_attrs(self):
+        doc = parse_document('<a x="1" y="two"/>')
+        assert doc.root.attribute("x").value == "1"
+        assert doc.root.attribute("y").value == "two"
+
+    def test_comment_and_pi_in_prolog_and_content(self):
+        doc = parse_document("<!--c--><?p data?><r><!--in--><?q?></r>")
+        assert isinstance(doc.children[0], CommentNode)
+        assert isinstance(doc.children[1], PINode)
+        assert isinstance(doc.root.children[0], CommentNode)
+        assert isinstance(doc.root.children[1], PINode)
+        assert doc.root.children[1].data == ""
+
+    def test_cdata(self):
+        doc = parse_document("<r><![CDATA[a<b&c]]></r>")
+        assert doc.root.children[0].text == "a<b&c"
+
+    def test_cdata_merges_with_text(self):
+        doc = parse_document("<r>x<![CDATA[y]]>z</r>")
+        assert len(doc.root.children) == 1
+        assert doc.root.children[0].text == "xyz"
+
+    def test_entities_in_text_and_attr(self):
+        doc = parse_document('<r a="&lt;&amp;&quot;">&gt;&#65;&#x42;</r>')
+        assert doc.root.attribute("a").value == '<&"'
+        assert doc.root.children[0].text == ">AB"
+
+    def test_doctype_skipped(self):
+        doc = parse_document('<!DOCTYPE r SYSTEM "r.dtd"><r/>')
+        assert doc.root.name.local == "r"
+
+    def test_doctype_internal_subset_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document('<!DOCTYPE r [<!ENTITY e "x">]><r/>')
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<r>",  # unterminated
+            "<r></s>",  # mismatched end tag
+            "<r/><r/>",  # two roots
+            "text<r/>",  # text before root
+            "<r/>text",  # text after root
+            "<r a='1' a='2'/>",  # duplicate attribute
+            "<r a=1/>",  # unquoted attribute
+            "<r a='x'b='y'/>",  # missing whitespace between attributes
+            "<r>&undefined;</r>",  # unknown entity
+            "<r>&#xD800;</r>",  # surrogate char ref
+            "<r>&#2;</r>",  # control char ref
+            "<r><b></r></b>",  # improper nesting
+            "<r>]]></r>",  # bare CDATA end marker
+            "<r a='<'/>",  # '<' in attribute value
+            "<1r/>",  # name starts with digit
+            "</r>",  # end tag with no start
+            "",  # empty document
+            "   ",  # whitespace only
+            "<!-- a -- b --><r/>",  # double dash in comment
+            "<r><![CDATA[x</r>",  # unterminated CDATA
+            "<r xmlns:xmlns='urn:x'/>",  # reserved prefix declared
+            "<p:r/>",  # undeclared prefix
+            "<r p:a='1'/>",  # undeclared attribute prefix
+            "<r xmlns:p=''/>",  # empty URI for prefix
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(XMLParseError):
+            parse_document(bad)
+
+    def test_duplicate_expanded_attribute(self):
+        text = '<r xmlns:a="urn:x" xmlns:b="urn:x" a:id="1" b:id="2"/>'
+        with pytest.raises(XMLParseError):
+            parse_document(text)
+
+    def test_error_carries_offset(self):
+        try:
+            parse_document("<r>&nope;</r>")
+        except XMLParseError as exc:
+            assert exc.offset is not None
+        else:  # pragma: no cover
+            pytest.fail("expected XMLParseError")
+
+
+class TestNamespaces:
+    def test_prefix_resolution(self):
+        doc = parse_document('<p:r xmlns:p="urn:x"><p:c/></p:r>')
+        assert doc.root.name.uri == "urn:x"
+        assert next(doc.root.elements()).name.uri == "urn:x"
+
+    def test_default_namespace(self):
+        doc = parse_document('<r xmlns="urn:d"><c/></r>')
+        assert doc.root.name.uri == "urn:d"
+        assert next(doc.root.elements()).name.uri == "urn:d"
+
+    def test_default_namespace_not_for_attributes(self):
+        doc = parse_document('<r xmlns="urn:d" a="1"/>')
+        assert doc.root.attributes[0].name.uri == ""
+
+    def test_default_namespace_undeclared(self):
+        doc = parse_document('<r xmlns="urn:d"><c xmlns=""/></r>')
+        assert next(doc.root.elements()).name.uri == ""
+
+    def test_scope_shadowing(self):
+        doc = parse_document('<r xmlns:p="urn:1"><c xmlns:p="urn:2"><p:x/></c><p:y/></r>')
+        c = next(doc.root.elements())
+        assert next(c.elements()).name.uri == "urn:2"
+        y = list(doc.root.elements())[1]
+        assert y.name.uri == "urn:1"
+
+    def test_declarations_recorded_on_node(self):
+        doc = parse_document('<r xmlns:p="urn:1" xmlns="urn:d"/>')
+        decls = {(n.prefix, n.uri) for n in doc.root.namespaces}
+        assert decls == {("p", "urn:1"), ("", "urn:d")}
+
+    def test_prefix_hint_preserved(self):
+        doc = parse_document('<p:r xmlns:p="urn:x"/>')
+        assert doc.root.name.prefix == "p"
+
+
+class TestTypedParsing:
+    XSI = 'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+    XSD = 'xmlns:xsd="http://www.w3.org/2001/XMLSchema"'
+    BX = 'xmlns:bx="urn:repro:bxdm"'
+
+    def test_leaf_int(self):
+        doc = parse_document(f'<n {self.XSI} {self.XSD} xsi:type="xsd:int">42</n>')
+        node = doc.root
+        assert isinstance(node, LeafElement)
+        assert node.value == 42
+        assert node.atype.xsd_name == "int"
+        assert node.attribute("type") is None  # xsi:type consumed
+
+    def test_leaf_double_full_precision(self):
+        value = 0.1 + 0.2
+        doc = parse_document(f'<n {self.XSI} {self.XSD} xsi:type="xsd:double">{value!r}</n>')
+        assert doc.root.value == value
+
+    def test_leaf_string(self):
+        doc = parse_document(f'<n {self.XSI} {self.XSD} xsi:type="xsd:string">hi</n>')
+        assert isinstance(doc.root, LeafElement)
+        assert doc.root.value == "hi"
+
+    def test_leaf_empty_string(self):
+        doc = parse_document(f'<n {self.XSI} {self.XSD} xsi:type="xsd:string"/>')
+        assert doc.root.value == ""
+
+    def test_unknown_xsd_type_stays_untyped(self):
+        doc = parse_document(f'<n {self.XSI} {self.XSD} xsi:type="xsd:duration">P1D</n>')
+        assert isinstance(doc.root, ElementNode)
+        assert not isinstance(doc.root, LeafElement)
+        assert doc.root.attribute("type") is not None
+
+    def test_foreign_xsi_type_stays_untyped(self):
+        doc = parse_document(
+            f'<n {self.XSI} xmlns:o="urn:other" xsi:type="o:Thing">x</n>'
+        )
+        assert not isinstance(doc.root, LeafElement)
+
+    def test_typed_parsing_disabled(self):
+        doc = parse_document(
+            f'<n {self.XSI} {self.XSD} xsi:type="xsd:int">42</n>', typed=False
+        )
+        assert not isinstance(doc.root, LeafElement)
+
+    def test_bad_lexical_value_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document(f'<n {self.XSI} {self.XSD} xsi:type="xsd:int">4.5</n>')
+
+    def test_leaf_with_element_children_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document(f'<n {self.XSI} {self.XSD} xsi:type="xsd:int"><c/>4</n>')
+
+    def test_array(self):
+        text = (
+            f'<v {self.XSI} {self.XSD} {self.BX} xsi:type="bx:Array" '
+            f'bx:itemType="xsd:double"><d>1.5</d><d>2.5</d></v>'
+        )
+        doc = parse_document(text)
+        node = doc.root
+        assert isinstance(node, ArrayElement)
+        np.testing.assert_array_equal(node.values, [1.5, 2.5])
+        assert node.item_name == "d"
+        assert node.atype.xsd_name == "double"
+
+    def test_array_whitespace_between_items_ok(self):
+        text = (
+            f'<v {self.XSI} {self.XSD} {self.BX} xsi:type="bx:Array" '
+            f'bx:itemType="xsd:int">\n  <i>1</i>\n  <i>2</i>\n</v>'
+        )
+        node = parse_document(text).root
+        np.testing.assert_array_equal(node.values, [1, 2])
+
+    def test_empty_array(self):
+        text = (
+            f'<v {self.XSI} {self.XSD} {self.BX} xsi:type="bx:Array" '
+            f'bx:itemType="xsd:float"/>'
+        )
+        node = parse_document(text).root
+        assert isinstance(node, ArrayElement)
+        assert node.values.size == 0
+        assert node.atype.xsd_name == "float"
+
+    def test_array_missing_item_type_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document(f'<v {self.XSI} {self.BX} xsi:type="bx:Array"><i>1</i></v>')
+
+    def test_array_mixed_item_names_rejected(self):
+        text = (
+            f'<v {self.XSI} {self.XSD} {self.BX} xsi:type="bx:Array" '
+            f'bx:itemType="xsd:int"><a>1</a><b>2</b></v>'
+        )
+        with pytest.raises(XMLParseError):
+            parse_document(text)
+
+    def test_array_stray_text_rejected(self):
+        text = (
+            f'<v {self.XSI} {self.XSD} {self.BX} xsi:type="bx:Array" '
+            f'bx:itemType="xsd:int"><i>1</i>junk</v>'
+        )
+        with pytest.raises(XMLParseError):
+            parse_document(text)
+
+
+class TestFragment:
+    def test_parse_fragment(self):
+        node = parse_fragment("<a><b/></a>")
+        assert isinstance(node, ElementNode)
+
+    def test_fragment_trailing_garbage(self):
+        with pytest.raises(XMLParseError):
+            parse_fragment("<a/><b/>")
+
+    def test_fragment_must_be_element(self):
+        with pytest.raises(XMLParseError):
+            parse_fragment("<!--only a comment-->")

@@ -1,0 +1,49 @@
+"""Property-based round-trip tests for the textual XML codec."""
+
+from hypothesis import given, settings, HealthCheck
+
+from repro.xdm import deep_equal, explain_difference
+from repro.xmlcodec import parse_document, serialize
+
+from tests.strategies import documents, elements
+
+_settings = settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+@given(documents())
+@_settings
+def test_document_roundtrip(tree):
+    xml = serialize(tree)
+    parsed = parse_document(xml)
+    diff = explain_difference(tree, parsed, ignore_ns_decls=True)
+    assert diff is None, f"{diff}\nXML: {xml[:500]}"
+
+
+@given(elements())
+@_settings
+def test_element_roundtrip_via_fragment(node):
+    from repro.xmlcodec import parse_fragment
+
+    xml = serialize(node)
+    parsed = parse_fragment(xml)
+    assert deep_equal(node, parsed, ignore_ns_decls=True)
+
+
+@given(documents())
+@_settings
+def test_serialization_deterministic(tree):
+    assert serialize(tree) == serialize(tree)
+
+
+@given(documents())
+@_settings
+def test_double_roundtrip_fixpoint(tree):
+    """serialize∘parse is a fixpoint after one application."""
+    once = parse_document(serialize(tree))
+    xml1 = serialize(once)
+    twice = parse_document(xml1)
+    assert serialize(twice) == xml1
