@@ -3,10 +3,17 @@
 The clients pair one encoding policy with one binding over a channel
 factory, reconnecting lazily.  :class:`ServiceProxy` adds the RPC-flavoured
 sugar the examples use (operation element wrapping arguments).
+
+Retry semantics match the HTTP client's: a call is replayed after a
+transport failure only while no response bytes have been consumed, and —
+beyond the classic single stale-connection resend — only when the client
+was constructed with ``idempotent=True``.  Once the server has started
+answering, a replay could apply a non-idempotent operation twice.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from repro.core.engine import SoapEngine
@@ -15,12 +22,30 @@ from repro.core.policies import EncodingPolicy, XMLEncoding
 from repro.transport.base import Channel, TransportError
 from repro.transport.http.client import HttpClient
 from repro.transport.http.binding import HttpClientBinding
+from repro.transport.instrument import ChannelStats, InstrumentedChannel
+from repro.transport.resilience import Deadline, RetryPolicy, as_deadline, retry_call
 from repro.transport.tcp_binding import TcpClientBinding
 from repro.xdm.nodes import ElementNode, Node
 
+#: Default: one reconnect-and-resend, no backoff (the seed's behaviour,
+#: now gated on idempotency and consumed response bytes).
+DEFAULT_CALL_RETRY = RetryPolicy(max_attempts=2, base_backoff=0.0, jitter=0.0)
+
 
 class SoapTcpClient:
-    """SOAP over the raw TCP binding with a persistent connection."""
+    """SOAP over the raw TCP binding with a persistent connection.
+
+    Parameters
+    ----------
+    retry:
+        Attempt budget / backoff for reconnect-and-resend recovery.
+    idempotent:
+        Mark every call made through this client as safe to replay.
+        Without it, only the first attempt on a previously-used (possibly
+        stale) connection is retried — and never after response bytes.
+    deadline:
+        Default per-call budget in seconds (overridable per call).
+    """
 
     def __init__(
         self,
@@ -28,42 +53,78 @@ class SoapTcpClient:
         *,
         encoding: EncodingPolicy | None = None,
         security=None,
+        retry: RetryPolicy | None = None,
+        idempotent: bool = False,
+        deadline: float | None = None,
     ) -> None:
         self._connect = connect
         self._encoding = encoding if encoding is not None else XMLEncoding()
         self._security = security
+        self._retry = retry if retry is not None else DEFAULT_CALL_RETRY
+        self._idempotent = idempotent
+        self._deadline = deadline
+        self._rng = random.Random()
         self._engine: SoapEngine | None = None
         self._channel: Channel | None = None
+        self._stats: ChannelStats | None = None
 
-    def call(self, envelope: SoapEnvelope) -> SoapEnvelope:
-        attempts = 2 if self._engine is not None else 1
-        for attempt in range(attempts):
+    def call(
+        self, envelope: SoapEnvelope, *, deadline: float | Deadline | None = None
+    ) -> SoapEnvelope:
+        dl = as_deadline(deadline if deadline is not None else self._deadline)
+        state = {"consumed": False, "stale_start": self._engine is not None}
+
+        def attempt(_n: int) -> SoapEnvelope:
             engine = self._ensure_engine()
+            assert self._stats is not None
+            mark = self._stats.bytes_received
             try:
-                return engine.call(envelope)
+                return engine.call(envelope, deadline=dl)
             except TransportError:
+                if self._stats is not None and self._stats.bytes_received > mark:
+                    state["consumed"] = True
                 self.close()
-                if attempt == attempts - 1:
-                    raise
-        raise TransportError("unreachable")  # pragma: no cover
+                raise
+
+        def may_retry(_exc: BaseException, attempt_no: int) -> bool:
+            if state["consumed"]:
+                return False
+            if self._idempotent:
+                return True
+            # non-idempotent calls keep only the classic recovery: one
+            # resend when the first attempt hit a stale persistent
+            # connection and the server never started answering
+            return attempt_no == 1 and state["stale_start"]
+
+        return retry_call(
+            attempt, self._retry, deadline=dl, may_retry=may_retry, rng=self._rng
+        )
 
     def close(self) -> None:
         if self._channel is not None:
             self._channel.close()
             self._channel = None
             self._engine = None
+            self._stats = None
 
     def _ensure_engine(self) -> SoapEngine:
         if self._engine is None:
-            self._channel = self._connect()
+            instrumented = InstrumentedChannel(self._connect())
+            self._channel = instrumented
+            self._stats = instrumented.stats
             self._engine = SoapEngine(
-                self._encoding, TcpClientBinding(self._channel), self._security
+                self._encoding, TcpClientBinding(instrumented), self._security
             )
         return self._engine
 
 
 class SoapHttpClient:
-    """SOAP over the HTTP binding (persistent HTTP connection)."""
+    """SOAP over the HTTP binding (persistent HTTP connection).
+
+    ``idempotent`` marks the operations invoked through this client as
+    replayable, unlocking POST retries in the underlying HTTP client;
+    ``retry`` and ``deadline`` are threaded down to it.
+    """
 
     def __init__(
         self,
@@ -73,15 +134,27 @@ class SoapHttpClient:
         security=None,
         target: str = "/soap",
         host: str = "localhost",
+        retry: RetryPolicy | None = None,
+        idempotent: bool = False,
+        deadline: float | None = None,
     ) -> None:
-        self._http = HttpClient(connect, host=host)
-        self._encoding = encoding if encoding is not None else XMLEncoding()
+        self._http = HttpClient(connect, host=host, retry=retry)
+        self._deadline = deadline
         self._engine = SoapEngine(
-            self._encoding, HttpClientBinding(self._http, target), security
+            self._encoding_or_default(encoding),
+            HttpClientBinding(self._http, target, idempotent=idempotent),
+            security,
         )
 
-    def call(self, envelope: SoapEnvelope) -> SoapEnvelope:
-        return self._engine.call(envelope)
+    @staticmethod
+    def _encoding_or_default(encoding: EncodingPolicy | None) -> EncodingPolicy:
+        return encoding if encoding is not None else XMLEncoding()
+
+    def call(
+        self, envelope: SoapEnvelope, *, deadline: float | Deadline | None = None
+    ) -> SoapEnvelope:
+        dl = as_deadline(deadline if deadline is not None else self._deadline)
+        return self._engine.call(envelope, deadline=dl)
 
     def close(self) -> None:
         self._http.close()

@@ -19,6 +19,8 @@ BXSA/TCP) plus anything a user brings.
 
 from __future__ import annotations
 
+import random
+
 from repro.core.concepts import (
     check_binding_client,
     check_binding_server,
@@ -28,6 +30,13 @@ from repro.core.envelope import SoapEnvelope
 from repro.core.fault import SoapFault
 from repro.core.policies import EncodingPolicy, encoding_for_content_type
 from repro.core.security import check_security_policy
+from repro.transport.base import TransportError
+from repro.transport.resilience import (
+    DeadlineExceeded,
+    ResiliencePolicy,
+    as_deadline,
+    retry_call,
+)
 
 
 class SoapEngine:
@@ -49,6 +58,13 @@ class SoapEngine:
         from this engine's encoding is decoded with the matching shipped
         policy — the paper's engines negotiate per message hop.  Set False
         to force the configured encoding regardless of the tag.
+    resilience:
+        Optional :class:`~repro.transport.resilience.ResiliencePolicy`.
+        When set, :meth:`call` runs under its retry budget and default
+        deadline, and a transport failure that survives the budget is
+        degraded to a ``soap:Server`` fault instead of escaping as a raw
+        transport exception.  When unset (default), transport errors
+        propagate unchanged — the seed behaviour.
     """
 
     def __init__(
@@ -58,6 +74,7 @@ class SoapEngine:
         security=None,
         *,
         strict_content_type: bool = True,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         check_encoding_policy(encoding)
         if security is not None:
@@ -74,29 +91,69 @@ class SoapEngine:
         self.binding = binding
         self.security = security
         self.strict_content_type = strict_content_type
+        self.resilience = resilience
+        self._retry_rng = random.Random()
 
     # ------------------------------------------------------------------
     # client-side MEPs
 
-    def call(self, envelope: SoapEnvelope) -> SoapEnvelope:
+    def call(self, envelope: SoapEnvelope, *, deadline=None) -> SoapEnvelope:
         """Request-response: send, block for the reply, surface faults.
 
         A ``soap:Fault`` in the response body is raised as
         :class:`SoapFault`; anything else is returned as an envelope.
-        """
-        self.send(envelope)
-        return self.receive_response()
 
-    def send(self, envelope: SoapEnvelope) -> int:
+        ``deadline`` (seconds or a Deadline) bounds the whole exchange; it
+        defaults to the resilience policy's deadline when one is set.
+        With a resilience policy, transport failures are retried within
+        the policy's budget (replays only when the policy marks calls
+        idempotent) and an exhausted budget or blown deadline surfaces as
+        a ``soap:Server`` :class:`SoapFault` — graceful degradation.
+        """
+        res = self.resilience
+        if deadline is None and res is not None:
+            deadline = res.deadline
+        dl = as_deadline(deadline)
+        if res is None:
+            self.send(envelope, deadline=dl)
+            return self.receive_response(deadline=dl)
+
+        def attempt(_n: int) -> SoapEnvelope:
+            self.send(envelope, deadline=dl)
+            return self.receive_response(deadline=dl)
+
+        try:
+            return retry_call(
+                attempt,
+                res.retry,
+                deadline=dl,
+                may_retry=lambda _exc, _attempt: res.idempotent,
+                rng=self._retry_rng,
+            )
+        except (DeadlineExceeded, TransportError) as exc:
+            raise SoapFault(
+                "soap:Server", f"transport failure, degraded gracefully: {exc}"
+            ) from exc
+
+    def send(self, envelope: SoapEnvelope, *, deadline=None) -> int:
         """One-way send; returns the payload size in bytes."""
         if self.security is not None:
             self.security.sign(envelope)
         payload = self.encoding.encode(envelope.to_document())
-        self.binding.send_request(payload, self.encoding.content_type)
+        if deadline is None:
+            self.binding.send_request(payload, self.encoding.content_type)
+        else:
+            # only deadline-aware bindings are asked to honour one
+            self.binding.send_request(
+                payload, self.encoding.content_type, deadline=deadline
+            )
         return len(payload)
 
-    def receive_response(self) -> SoapEnvelope:
-        payload, content_type = self.binding.receive_response()
+    def receive_response(self, *, deadline=None) -> SoapEnvelope:
+        if deadline is None:
+            payload, content_type = self.binding.receive_response()
+        else:
+            payload, content_type = self.binding.receive_response(deadline=deadline)
         envelope = self._decode(payload, content_type)
         if self.security is not None:
             self.security.verify(envelope)

@@ -13,10 +13,11 @@ import tempfile
 from typing import Callable
 
 from repro.datachannel.base import DataChannelError, split_url
-from repro.transport.base import Channel, Listener
+from repro.transport.base import Channel, Listener, TransportError
 from repro.transport.http.client import HttpClient
 from repro.transport.http.messages import HttpRequest, HttpResponse
 from repro.transport.http.server import HttpServer
+from repro.transport.resilience import RetryPolicy
 
 
 class HttpDataChannel:
@@ -32,6 +33,11 @@ class HttpDataChannel:
         The host part baked into published URLs (labelling only).
     spool_dir:
         Directory for published files; a temp dir is created if omitted.
+    retry:
+        Retry policy for fetches (GETs are idempotent, so lossy links are
+        survivable within the attempt budget).
+    fetch_deadline:
+        Default per-fetch budget in seconds (None = unbounded).
     """
 
     scheme = "http"
@@ -43,9 +49,13 @@ class HttpDataChannel:
         *,
         authority: str = "datahost",
         spool_dir=None,
+        retry: RetryPolicy | None = None,
+        fetch_deadline: float | None = None,
     ) -> None:
         self._authority = authority
         self._connect = connect
+        self._retry = retry
+        self._fetch_deadline = fetch_deadline
         if spool_dir is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-http-spool-")
             self._spool = pathlib.Path(self._tmp.name)
@@ -88,11 +98,16 @@ class HttpDataChannel:
         if path is not None:
             path.unlink(missing_ok=True)
 
-    def fetch(self, url: str) -> bytes:
+    def fetch(self, url: str, *, deadline: float | None = None) -> bytes:
         _authority, target = split_url(url, "http")
-        client = HttpClient(self._connect, host=self._authority)
+        client = HttpClient(self._connect, host=self._authority, retry=self._retry)
         try:
-            response = client.get(target)
+            response = client.get(
+                target,
+                deadline=deadline if deadline is not None else self._fetch_deadline,
+            )
+        except TransportError as exc:
+            raise DataChannelError(f"GET {url} failed: {exc}") from exc
         finally:
             client.close()
         if not response.ok:

@@ -28,7 +28,7 @@ from repro.gridftp.auth import (
     server_handshake,
 )
 from repro.gridftp.client import GridFTPClient, TransferStats
-from repro.gridftp.errors import GridFTPError
+from repro.gridftp.errors import GridFTPError, StripeTimeout
 from repro.gridftp.server import GridFTPServer
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "GridFTPError",
     "GridFTPServer",
     "HostCredential",
+    "StripeTimeout",
     "TransferStats",
     "client_handshake",
     "server_handshake",

@@ -20,9 +20,10 @@ from repro.gridftp.auth import (
     HostCredential,
     client_handshake,
 )
-from repro.gridftp.errors import GridFTPError
+from repro.gridftp.errors import GridFTPError, StripeTimeout
 from repro.gridftp.server import BLOCK_HEADER, EOF_FLAG
 from repro.transport.base import BufferedChannel, Channel, recv_exactly
+from repro.transport.resilience import Deadline, as_deadline
 
 
 @dataclass
@@ -53,6 +54,11 @@ class GridFTPClient:
         ``(address_string) -> Channel`` for each advertised data channel.
     credential:
         Shared host credential; must match the server's.
+    stripe_timeout:
+        Ceiling in seconds on waiting for the stripe workers of one
+        retrieval; a worker still alive past it raises
+        :class:`~repro.gridftp.errors.StripeTimeout` instead of silently
+        returning a buffer with holes.
     """
 
     def __init__(
@@ -60,9 +66,12 @@ class GridFTPClient:
         connect_control: Callable[[], Channel],
         connect_data: Callable[[str], Channel],
         credential: HostCredential,
+        *,
+        stripe_timeout: float = 60.0,
     ) -> None:
         self._connect_data = connect_data
         self._credential = credential
+        self._stripe_timeout = stripe_timeout
         self.stats = TransferStats()
         self._control = BufferedChannel(connect_control())
         client_handshake(self._control, credential)
@@ -95,8 +104,13 @@ class GridFTPClient:
     # ------------------------------------------------------------------
     # retrieval
 
-    def retrieve(self, path: str, n_streams: int = 1) -> bytes:
-        """Fetch ``path`` over ``n_streams`` parallel data channels."""
+    def retrieve(self, path: str, n_streams: int = 1, *, deadline=None) -> bytes:
+        """Fetch ``path`` over ``n_streams`` parallel data channels.
+
+        ``deadline`` (seconds or a Deadline) tightens the stripe-worker
+        wait below :attr:`stripe_timeout` when it expires sooner.
+        """
+        dl = as_deadline(deadline)
         size = self.size(path)
         reply = self._command(f"RETR {path} {n_streams}")
         code, _, rest = reply.partition(" ")
@@ -150,8 +164,23 @@ class GridFTPClient:
         ]
         for thread in threads:
             thread.start()
+        wait = Deadline.after(self._stripe_timeout)
         for thread in threads:
-            thread.join(timeout=60)
+            budget = wait.remaining()
+            if dl is not None:
+                budget = min(budget, dl.remaining())
+            thread.join(timeout=max(0.0, budget))
+        stalled = [thread for thread in threads if thread.is_alive()]
+        if stalled:
+            # a join timeout must never be swallowed: the buffer may have
+            # holes where the stalled stripes were supposed to land
+            raise StripeTimeout(
+                f"{len(stalled)}/{len(threads)} stripe workers still running "
+                f"after {self._stripe_timeout:.1f}s; "
+                f"{self.stats.blocks_received} blocks "
+                f"({self.stats.data_bytes}/{size} bytes) landed",
+                stats=self.stats,
+            )
 
         final = str(self._control.recv_until(b"\n", max_bytes=4096), "utf-8").strip()
         self.stats.control_round_trips += 1  # the 226 completion line

@@ -3,3 +3,16 @@
 
 class GridFTPError(Exception):
     """Base class for control- and data-channel protocol errors."""
+
+
+class StripeTimeout(GridFTPError):
+    """A stripe worker failed to finish within the allowed time.
+
+    Carries the partial-transfer state observed at the timeout on
+    :attr:`stats` (a :class:`~repro.gridftp.client.TransferStats`), so
+    callers can report how much of the file actually landed.
+    """
+
+    def __init__(self, message: str, *, stats=None) -> None:
+        super().__init__(message)
+        self.stats = stats

@@ -37,13 +37,26 @@ SCHEMES = [
 ]
 
 
-def run(sizes: list[int] | None = None, profile=LAN, seed: int = 0) -> ExperimentResult:
+def run(
+    sizes: list[int] | None = None,
+    profile=LAN,
+    seed: int = 0,
+    *,
+    fault_profile=None,
+    fault_seed: int = 0,
+) -> ExperimentResult:
+    """``fault_profile`` (a :class:`~repro.netsim.faults.FaultProfile`)
+    replays each exchange live over a lossy link and folds the recovery
+    cost into the reported times; see EXPERIMENTS.md."""
     sizes = sizes if sizes is not None else DEFAULT_SIZES
     series: dict[str, list[float]] = {scheme: [] for scheme in SCHEMES}
     for size in sizes:
         dataset = lead_dataset(size, seed)
         for scheme in SCHEMES:
-            result = run_scheme(scheme, dataset, profile)
+            result = run_scheme(
+                scheme, dataset, profile,
+                fault_profile=fault_profile, fault_seed=fault_seed,
+            )
             series[scheme].append(result.response_time * 1e6)  # microseconds
 
     columns, rows = render_series_table(

@@ -57,10 +57,13 @@ def run(
     seed: int = 0,
     *,
     xml_size_cap: int | None = None,
+    fault_profile=None,
+    fault_seed: int = 0,
 ) -> ExperimentResult:
     """Regenerate the figure.  ``xml_size_cap`` optionally truncates the
     (very slow, known-to-lose) XML/HTTP series at a given model size for
-    quicker runs; uncapped by default."""
+    quicker runs; uncapped by default.  ``fault_profile`` replays each
+    exchange live over a lossy link (see EXPERIMENTS.md)."""
     sizes = sizes if sizes is not None else DEFAULT_SIZES
     series: dict[str, list[float]] = {_series_label(s, k): [] for s, k in SERIES}
     for size in sizes:
@@ -73,7 +76,11 @@ def run(
                 and size > xml_size_cap
             ):
                 continue
-            result = run_scheme(scheme, dataset, profile, **kwargs)
+            result = run_scheme(
+                scheme, dataset, profile,
+                fault_profile=fault_profile, fault_seed=fault_seed,
+                **kwargs,
+            )
             series[label].append(result.bandwidth_pairs_per_sec)
 
     columns, rows = render_series_table(

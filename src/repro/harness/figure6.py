@@ -45,13 +45,26 @@ def _series_label(scheme: str, kwargs: dict) -> str:
     return scheme
 
 
-def run(sizes: list[int] | None = None, profile=WAN, seed: int = 0) -> ExperimentResult:
+def run(
+    sizes: list[int] | None = None,
+    profile=WAN,
+    seed: int = 0,
+    *,
+    fault_profile=None,
+    fault_seed: int = 0,
+) -> ExperimentResult:
+    """``fault_profile`` replays each exchange live over a lossy link and
+    folds the recovery cost into the reported times (see EXPERIMENTS.md)."""
     sizes = sizes if sizes is not None else DEFAULT_SIZES
     series: dict[str, list[float]] = {_series_label(s, k): [] for s, k in SERIES}
     for size in sizes:
         dataset = lead_dataset(size, seed)
         for scheme, kwargs in SERIES:
-            result = run_scheme(scheme, dataset, profile, **kwargs)
+            result = run_scheme(
+                scheme, dataset, profile,
+                fault_profile=fault_profile, fault_seed=fault_seed,
+                **kwargs,
+            )
             series[_series_label(scheme, kwargs)].append(result.bandwidth_pairs_per_sec)
 
     columns, rows = render_series_table(

@@ -92,6 +92,16 @@ def to_markdown(results: list[ExperimentResult]) -> str:
         "",
         f"Environment: Python {platform.python_version()}, {platform.machine()}.",
         "",
+        "Lossy-link replays: every figure accepts a `fault_profile` — e.g.",
+        "`figure4.run(fault_profile=FLAKY_LAN, fault_seed=1)` with",
+        "`from repro.netsim.faults import FLAKY_LAN` — which re-runs each",
+        "exchange *live* through a seeded fault-injecting channel (connection",
+        "resets, truncated sends, stalls, slow reads; see",
+        "`repro/netsim/faults.py`) with bounded retries, and charges the",
+        "observed recovery attempts as extra wire time (`wire: fault",
+        "retries` in the breakdown).  The tables below are the lossless",
+        "baseline.",
+        "",
     ]
     for result in results:
         lines.append(f"## {result.experiment_id}: {result.title}")

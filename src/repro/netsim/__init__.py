@@ -19,6 +19,17 @@ a wider backbone that only parallel streams can fill.  Parameters are plain
 dataclass fields — every number is visible, documented and ablatable.
 """
 
+from repro.netsim.faults import (
+    FLAKY_LAN,
+    LOSSLESS,
+    LOSSY_WAN,
+    FaultProfile,
+    FaultSchedule,
+    FaultingChannel,
+    InjectedFault,
+    InjectedReset,
+    faulty_connect,
+)
 from repro.netsim.profiles import LAN, WAN, DiskModel, LinkProfile
 from repro.netsim.tcpmodel import (
     connection_setup_time,
@@ -31,10 +42,19 @@ from repro.netsim.clock import TimeBreakdown
 
 __all__ = [
     "DiskModel",
+    "FLAKY_LAN",
+    "FaultProfile",
+    "FaultSchedule",
+    "FaultingChannel",
+    "InjectedFault",
+    "InjectedReset",
     "LAN",
+    "LOSSLESS",
+    "LOSSY_WAN",
     "LinkProfile",
     "TimeBreakdown",
     "WAN",
+    "faulty_connect",
     "connection_setup_time",
     "request_response_time",
     "steady_bandwidth",

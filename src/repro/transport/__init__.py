@@ -23,6 +23,17 @@ binding.
 from repro.transport.base import Channel, Listener, TransportClosed, TransportError
 from repro.transport.instrument import ChannelStats, InstrumentedChannel
 from repro.transport.memory import MemoryNetwork, memory_pipe
+from repro.transport.resilience import (
+    NO_RETRY,
+    Deadline,
+    DeadlineChannel,
+    DeadlineExceeded,
+    ResiliencePolicy,
+    RetryBudgetExhausted,
+    RetryPolicy,
+    as_deadline,
+    retry_call,
+)
 from repro.transport.sockets import SocketChannel, TcpListener, connect_tcp
 from repro.transport.tcp_binding import (
     TcpClientBinding,
@@ -34,9 +45,18 @@ from repro.transport.tcp_binding import (
 __all__ = [
     "Channel",
     "ChannelStats",
+    "Deadline",
+    "DeadlineChannel",
+    "DeadlineExceeded",
     "InstrumentedChannel",
     "Listener",
     "MemoryNetwork",
+    "NO_RETRY",
+    "ResiliencePolicy",
+    "RetryBudgetExhausted",
+    "RetryPolicy",
+    "as_deadline",
+    "retry_call",
     "SocketChannel",
     "TcpClientBinding",
     "TcpListener",

@@ -20,7 +20,13 @@ SOAP_BXSA_TYPE = "application/bxsa"
 
 
 class HttpClientBinding:
-    """Client half of the binding concept over HTTP POST."""
+    """Client half of the binding concept over HTTP POST.
+
+    ``idempotent`` marks the SOAP operations sent through this binding as
+    safe to replay: it unlocks the HTTP client's reconnect-and-resend
+    recovery for the POSTs that carry them (a POST is otherwise never
+    retried — see :mod:`repro.transport.http.client`).
+    """
 
     name = "http"
 
@@ -30,18 +36,26 @@ class HttpClientBinding:
         target: str = "/soap",
         *,
         soap_action: str = "",
+        idempotent: bool = False,
     ) -> None:
         self._client = client
         self._target = target
         self._soap_action = soap_action
+        self._idempotent = idempotent
         self._pending: HttpResponse | None = None
 
-    def send_request(self, payload: bytes, content_type: str) -> int:
+    def send_request(self, payload: bytes, content_type: str, *, deadline=None) -> int:
         headers = {"Content-Type": content_type, "SOAPAction": f'"{self._soap_action}"'}
-        self._pending = self._client.post(self._target, payload, headers=headers)
+        self._pending = self._client.post(
+            self._target,
+            payload,
+            headers=headers,
+            idempotent=self._idempotent or None,
+            deadline=deadline,
+        )
         return len(payload)
 
-    def receive_response(self) -> tuple[bytes, str]:
+    def receive_response(self, *, deadline=None) -> tuple[bytes, str]:
         if self._pending is None:
             raise TransportError("receive_response before send_request")
         response, self._pending = self._pending, None

@@ -3,14 +3,38 @@
 Plays the role libcurl plays in the paper's separated scheme: the
 verification server uses it to pull netCDF files off the data channel, and
 the SOAP ``HttpBinding`` uses it to POST envelopes.
+
+Failure semantics (the part the seed got wrong): a request is re-sent
+after a :class:`~repro.transport.base.TransportError` only when **both**
+hold — the request is idempotent (by method, or explicitly marked per
+call), and *no response bytes were consumed* before the failure.  Once any
+response byte has been read the server has demonstrably processed the
+request, and replaying a non-idempotent POST would apply it twice.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from repro.transport.base import BufferedChannel, Channel, TransportError
 from repro.transport.http.messages import HttpRequest, HttpResponse, read_response
+from repro.transport.instrument import ChannelStats, InstrumentedChannel
+from repro.transport.resilience import (
+    Deadline,
+    DeadlineChannel,
+    RetryPolicy,
+    as_deadline,
+    retry_call,
+)
+
+#: Methods that are idempotent by definition (RFC 9110 §9.2.2); POST and
+#: PATCH requests retry only when the caller marks the call idempotent.
+IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE", "OPTIONS", "TRACE"})
+
+#: Default policy: one reconnect-and-resend, no backoff — the classic
+#: stale-persistent-connection recovery, now gated on idempotency.
+DEFAULT_HTTP_RETRY = RetryPolicy(max_attempts=2, base_backoff=0.0, jitter=0.0)
 
 
 class HttpClient:
@@ -18,13 +42,25 @@ class HttpClient:
 
     ``connect`` is a zero-argument factory returning a fresh
     :class:`~repro.transport.base.Channel`; the client reconnects lazily
-    when the server closed the previous connection.
+    when the server closed the previous connection.  ``retry`` shapes the
+    reconnect-and-resend behaviour for calls that are allowed to retry.
     """
 
-    def __init__(self, connect: Callable[[], Channel], host: str = "localhost") -> None:
+    def __init__(
+        self,
+        connect: Callable[[], Channel],
+        host: str = "localhost",
+        *,
+        retry: RetryPolicy | None = None,
+        retry_rng: random.Random | None = None,
+    ) -> None:
         self._connect = connect
         self._host = host
+        self._retry = retry if retry is not None else DEFAULT_HTTP_RETRY
+        self._rng = retry_rng if retry_rng is not None else random.Random()
         self._channel: BufferedChannel | None = None
+        self._shim: DeadlineChannel | None = None
+        self._stats: ChannelStats | None = None
 
     # ------------------------------------------------------------------
 
@@ -35,28 +71,57 @@ class HttpClient:
         *,
         body: bytes = b"",
         headers: dict[str, str] | None = None,
+        idempotent: bool | None = None,
+        deadline: float | Deadline | None = None,
+        retry: RetryPolicy | None = None,
     ) -> HttpResponse:
-        """Send one request, read one response (retrying once on a stale
-        persistent connection)."""
+        """Send one request, read one response, under the retry policy.
+
+        ``idempotent`` defaults by method (:data:`IDEMPOTENT_METHODS`);
+        pass ``True`` to mark an individually-safe POST (e.g. a SOAP
+        operation known to be read-only) as replayable.  ``deadline``
+        bounds the whole call — connect, retries and backoff included.
+        """
+        if idempotent is None:
+            idempotent = method.upper() in IDEMPOTENT_METHODS
+        policy = retry if retry is not None else self._retry
+        dl = as_deadline(deadline)
+
         req = HttpRequest(method, target)
         req.headers.set("Host", self._host)
         for name, value in (headers or {}).items():
             req.headers.set(name, value)
         req.body = body
+        wire = req.to_bytes()
 
-        attempts = 2 if self._channel is not None else 1
-        for attempt in range(attempts):
+        consumed = {"response_bytes": False}
+
+        def attempt(_n: int) -> HttpResponse:
             channel = self._ensure_channel()
+            assert self._shim is not None and self._stats is not None
+            self._shim.deadline = dl
             try:
-                channel.send_all(req.to_bytes())
-                response = read_response(channel)
-                break
+                channel.send_all(wire)
+                mark = self._stats.bytes_received
+                try:
+                    return read_response(channel)
+                except TransportError:
+                    if self._stats.bytes_received > mark:
+                        consumed["response_bytes"] = True
+                    raise
             except TransportError:
                 self._drop_channel()
-                if attempt == attempts - 1:
-                    raise
-        else:  # pragma: no cover - loop always breaks or raises
-            raise TransportError("unreachable")
+                raise
+            finally:
+                if self._shim is not None:
+                    self._shim.deadline = None
+
+        def may_retry(_exc: BaseException, _attempt: int) -> bool:
+            return idempotent and not consumed["response_bytes"]
+
+        response = retry_call(
+            attempt, policy, deadline=dl, may_retry=may_retry, rng=self._rng
+        )
 
         if (response.headers.get("Connection") or "").lower() == "close":
             self._drop_channel()
@@ -75,10 +140,15 @@ class HttpClient:
 
     def _ensure_channel(self) -> BufferedChannel:
         if self._channel is None:
-            self._channel = BufferedChannel(self._connect())
+            instrumented = InstrumentedChannel(self._connect())
+            self._stats = instrumented.stats
+            self._shim = DeadlineChannel(instrumented)
+            self._channel = BufferedChannel(self._shim)
         return self._channel
 
     def _drop_channel(self) -> None:
         if self._channel is not None:
             self._channel.close()
             self._channel = None
+            self._shim = None
+            self._stats = None

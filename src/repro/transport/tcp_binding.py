@@ -21,6 +21,7 @@ from __future__ import annotations
 import struct
 
 from repro.transport.base import Channel, TransportError, recv_exactly
+from repro.transport.resilience import DeadlineChannel, as_deadline
 
 _MAGIC = b"\xb5\x0a"
 _MAX_CONTENT_TYPE = 255
@@ -56,18 +57,31 @@ def read_message(channel: Channel) -> tuple[bytes, str]:
 
 
 class TcpClientBinding:
-    """Client half of the binding concept: send_request / receive_response."""
+    """Client half of the binding concept: send_request / receive_response.
+
+    Both operations accept an optional ``deadline`` (seconds or a
+    :class:`~repro.transport.resilience.Deadline`), enforced at every
+    channel read/write of the framed message.
+    """
 
     name = "tcp"
 
     def __init__(self, channel: Channel) -> None:
         self._channel = channel
+        self._shim = DeadlineChannel(channel)
 
-    def send_request(self, payload: bytes, content_type: str) -> int:
-        return write_message(self._channel, payload, content_type)
+    def send_request(self, payload: bytes, content_type: str, *, deadline=None) -> int:
+        return write_message(self._bounded(deadline), payload, content_type)
 
-    def receive_response(self) -> tuple[bytes, str]:
-        return read_message(self._channel)
+    def receive_response(self, *, deadline=None) -> tuple[bytes, str]:
+        return read_message(self._bounded(deadline))
+
+    def _bounded(self, deadline) -> Channel:
+        dl = as_deadline(deadline)
+        if dl is None:
+            return self._channel
+        self._shim.deadline = dl
+        return self._shim
 
     def close(self) -> None:
         self._channel.close()

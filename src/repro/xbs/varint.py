@@ -70,5 +70,10 @@ def decode_vls(data, offset: int = 0) -> tuple[int, int]:
         if not byte & 0x80:
             if byte == 0 and pos - offset > 1:
                 raise XBSDecodeError("non-canonical VLS encoding (padded zero)")
+            if value > 0xFFFFFFFFFFFFFFFF:
+                # 10 bytes carry up to 70 payload bits; the frame-size
+                # domain is unsigned 64-bit, so the excess must be rejected
+                # rather than silently accepted as a >2^64 "size"
+                raise XBSDecodeError(f"VLS value {value} exceeds the unsigned 64-bit range")
             return value, pos
         shift += 7

@@ -10,17 +10,25 @@ from __future__ import annotations
 
 from repro.xmlcodec.errors import XMLParseError
 
-_TEXT_NEEDS = ("&", "<", ">")
+_TEXT_NEEDS = ("&", "<", ">", "\r")
 _ATTR_NEEDS = ("&", "<", ">", '"', "\n", "\t", "\r")
 
 _NAMED_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
 
 
 def escape_text(value: str) -> str:
-    """Escape character data (``&``, ``<``, and ``>`` for ``]]>`` safety)."""
+    """Escape character data (``&``, ``<``, ``>`` for ``]]>`` safety, and
+    ``\\r`` as ``&#13;`` — a bare carriage return in character data would
+    otherwise be normalized to ``\\n`` by any conforming XML parser,
+    corrupting round-tripped string payloads)."""
     if not any(c in value for c in _TEXT_NEEDS):
         return value
-    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace("\r", "&#13;")
+    )
 
 
 def escape_attribute(value: str) -> str:

@@ -295,3 +295,440 @@ class TestMmapDecode:
                 gc.collect()
                 mapped.close()
         assert total == float(values.sum())
+
+
+# ---------------------------------------------------------------------------
+# fault injection & resilience (PR 1)
+
+
+class TestFaultScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        from repro.netsim.faults import FaultProfile, FaultSchedule
+
+        profile = FaultProfile(
+            name="mix", reset_rate=0.2, truncate_rate=0.1, stall_rate=0.1, slow_read_rate=0.2
+        )
+        a, b = FaultSchedule(profile, seed=42), FaultSchedule(profile, seed=42)
+        for schedule in (a, b):
+            for _ in range(200):
+                schedule.next_send_fault()
+                schedule.next_recv_fault()
+        assert a.injected == b.injected
+        assert a.faults_injected == b.faults_injected
+
+    def test_different_seed_different_schedule(self):
+        from repro.netsim.faults import FaultProfile, FaultSchedule
+
+        profile = FaultProfile(name="r", reset_rate=0.3)
+        draws = []
+        for seed in (1, 2):
+            schedule = FaultSchedule(profile, seed=seed)
+            draws.append([schedule.next_recv_fault() for _ in range(100)])
+        assert draws[0] != draws[1]
+
+    def test_max_faults_budget_guarantees_clean_tail(self):
+        from repro.netsim.faults import FaultProfile, FaultSchedule
+
+        schedule = FaultSchedule(FaultProfile(name="always", reset_rate=1.0, max_faults=3))
+        faults = [schedule.next_recv_fault() for _ in range(10)]
+        assert faults[:3] == ["reset"] * 3 and faults[3:] == [None] * 7
+
+    def test_lossless_profile_never_faults(self):
+        from repro.netsim.faults import LOSSLESS, FaultSchedule
+
+        schedule = FaultSchedule(LOSSLESS, seed=0)
+        assert all(
+            schedule.next_send_fault() is None and schedule.next_recv_fault() is None
+            for _ in range(100)
+        )
+
+
+class TestFaultingChannel:
+    def test_reset_on_send_closes_and_raises(self):
+        from repro.netsim.faults import FaultProfile, FaultSchedule, FaultingChannel, InjectedReset
+
+        a, b = memory_pipe()
+        schedule = FaultSchedule(FaultProfile(name="r", reset_rate=1.0, max_faults=1))
+        faulty = FaultingChannel(a, schedule)
+        with pytest.raises(InjectedReset):
+            faulty.send_all(b"hello")
+        # the peer observes a close, exactly like a real RST-then-EOF
+        assert b.recv() == b""
+
+    def test_truncate_delivers_prefix_then_closes(self):
+        from repro.netsim.faults import FaultProfile, FaultSchedule, FaultingChannel, InjectedFault
+
+        a, b = memory_pipe()
+        schedule = FaultSchedule(FaultProfile(name="t", truncate_rate=1.0, max_faults=1))
+        faulty = FaultingChannel(a, schedule)
+        with pytest.raises(InjectedFault):
+            faulty.send_all(b"0123456789")
+        delivered = b.recv()
+        assert 0 < len(delivered) < 10 and b"0123456789".startswith(delivered)
+
+    def test_injected_faults_are_transport_errors(self):
+        from repro.netsim.faults import InjectedFault, InjectedReset
+
+        assert issubclass(InjectedFault, TransportError)
+        assert issubclass(InjectedReset, TransportClosed)
+
+
+class TestResilientSoapInvoke:
+    """The ISSUE's acceptance gate: a BXSA/TCP and an HTTP-binding SOAP
+    invoke each complete under an injected connection-reset schedule,
+    within a bounded retry budget."""
+
+    RESETS = 2
+
+    def _profile(self):
+        from repro.netsim.faults import FaultProfile
+
+        return FaultProfile(name="resets", reset_rate=1.0, max_faults=self.RESETS)
+
+    def _retry(self):
+        from repro.transport import RetryPolicy
+
+        return RetryPolicy(max_attempts=self.RESETS + 2, base_backoff=0.0, jitter=0.0)
+
+    def test_bxsa_tcp_invoke_survives_resets(self):
+        from repro.netsim.faults import FaultSchedule, faulty_connect
+
+        net = MemoryNetwork()
+        with SoapTcpService(net.listen("svc"), echo_dispatcher(), encoding=BXSAEncoding()):
+            schedule = FaultSchedule(self._profile(), seed=3)
+            connects = []
+            def connect():
+                connects.append(1)
+                return net.connect("svc")
+            client = SoapTcpClient(
+                faulty_connect(connect, schedule),
+                encoding=BXSAEncoding(),
+                retry=self._retry(),
+                idempotent=True,
+            )
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("x", 7, "int"))))
+            client.close()
+        assert response.body_root.name.local == "EchoResponse"
+        assert schedule.faults_injected == self.RESETS
+        assert len(connects) <= self.RESETS + 2  # bounded, not unbounded reconnects
+
+    def test_http_binding_invoke_survives_resets(self):
+        from repro.core.service import SoapHttpService
+        from repro.core.client import SoapHttpClient
+        from repro.netsim.faults import FaultSchedule, faulty_connect
+
+        net = MemoryNetwork()
+        with SoapHttpService(net.listen("svc"), echo_dispatcher(), encoding=XMLEncoding()):
+            schedule = FaultSchedule(self._profile(), seed=3)
+            connects = []
+            def connect():
+                connects.append(1)
+                return net.connect("svc")
+            client = SoapHttpClient(
+                faulty_connect(connect, schedule),
+                encoding=XMLEncoding(),
+                retry=self._retry(),
+                idempotent=True,
+            )
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("x", 7, "int"))))
+            client.close()
+        assert response.body_root.name.local == "EchoResponse"
+        assert schedule.faults_injected == self.RESETS
+        assert len(connects) <= self.RESETS + 2
+
+    def test_exhausted_budget_surfaces_typed_error(self):
+        from repro.netsim.faults import FaultProfile, FaultSchedule, faulty_connect
+        from repro.transport import RetryBudgetExhausted, RetryPolicy
+
+        net = MemoryNetwork()
+        with SoapTcpService(net.listen("svc"), echo_dispatcher(), encoding=BXSAEncoding()):
+            schedule = FaultSchedule(FaultProfile(name="dead", reset_rate=1.0), seed=0)
+            client = SoapTcpClient(
+                faulty_connect(lambda: net.connect("svc"), schedule),
+                encoding=BXSAEncoding(),
+                retry=RetryPolicy(max_attempts=3, base_backoff=0.0, jitter=0.0),
+                idempotent=True,
+            )
+            with pytest.raises(RetryBudgetExhausted) as info:
+                client.call(SoapEnvelope.wrap(element("Echo")))
+            client.close()
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, TransportError)
+
+    def test_engine_resilience_degrades_to_soap_fault(self):
+        """With a ResiliencePolicy installed, exhausted transport retries
+        surface as a SOAP fault — graceful degradation, not a raw error."""
+        from repro.core.engine import SoapEngine
+        from repro.netsim.faults import FaultProfile, FaultSchedule, faulty_connect
+        from repro.transport import ResiliencePolicy, RetryPolicy
+        from repro.transport.tcp_binding import TcpClientBinding
+
+        net = MemoryNetwork()
+        net.listen("void")  # accepts, but resets happen before any byte
+        schedule = FaultSchedule(FaultProfile(name="dead", reset_rate=1.0), seed=0)
+        connect = faulty_connect(lambda: net.connect("void"), schedule)
+        engine = SoapEngine(
+            BXSAEncoding(),
+            TcpClientBinding(connect()),
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=2, base_backoff=0.0), idempotent=True
+            ),
+        )
+        with pytest.raises(SoapFault) as info:
+            engine.call(SoapEnvelope.wrap(element("Echo")))
+        assert "degraded gracefully" in str(info.value)
+
+
+class TestDuplicatePostRegression:
+    """The PR's headline bugfix: a non-idempotent POST must never be
+    applied twice, even when the server resets after applying it."""
+
+    def _first_post_then_reset_server(self, net, applied, answer_second=True):
+        """Applies the first POST, then resets with zero response bytes.
+        If ``answer_second``, a second connection gets a 200."""
+        listener = net.listen("web")
+
+        def serve():
+            channel = listener.accept()
+            request = read_request(BufferedChannel(channel))
+            applied.append(request.body)  # state change happens HERE
+            channel.close()  # reset before any response byte
+            if not answer_second:
+                return
+            try:
+                channel = listener.accept()
+            except TransportError:
+                return
+            request = read_request(BufferedChannel(channel))
+            applied.append(request.body)
+            from repro.transport.http.messages import HttpResponse
+
+            channel.send_all(HttpResponse(200, body=b"ok").to_bytes())
+            channel.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return thread
+
+    def test_non_idempotent_post_never_replayed(self):
+        from repro.transport.http.client import HttpClient
+
+        net = MemoryNetwork()
+        applied = []
+        self._first_post_then_reset_server(net, applied)
+        connects = []
+
+        def connect():
+            connects.append(1)
+            return net.connect("web")
+
+        client = HttpClient(connect)
+        with pytest.raises(TransportError):
+            client.request("POST", "/apply", body=b"debit $100")
+        client.close()
+        assert applied == [b"debit $100"]  # applied exactly once
+        assert len(connects) == 1  # and never even re-sent
+
+    def test_idempotent_marked_post_retries_and_succeeds(self):
+        from repro.transport.http.client import HttpClient
+
+        net = MemoryNetwork()
+        applied = []
+        self._first_post_then_reset_server(net, applied)
+        client = HttpClient(lambda: net.connect("web"))
+        response = client.request("POST", "/apply", body=b"put k=v", idempotent=True)
+        client.close()
+        assert response.ok and response.body == b"ok"
+        assert applied == [b"put k=v", b"put k=v"]  # replay was declared safe
+
+    def test_post_with_response_bytes_consumed_never_retried(self):
+        """Even an idempotent-marked POST must not be replayed once any
+        response byte has been read (the reply may have committed)."""
+        from repro.transport.http.client import HttpClient
+
+        net = MemoryNetwork()
+        applied = []
+        listener = net.listen("web")
+
+        def serve():
+            channel = listener.accept()
+            request = read_request(BufferedChannel(channel))
+            applied.append(request.body)
+            channel.send_all(b"HTTP/1.1 2")  # partial status line, then die
+            channel.close()
+
+        threading.Thread(target=serve, daemon=True).start()
+        client = HttpClient(lambda: net.connect("web"))
+        with pytest.raises(TransportError):
+            client.request("POST", "/apply", body=b"x", idempotent=True)
+        client.close()
+        assert applied == [b"x"]
+
+
+class TestStripeTimeout:
+    def test_stalled_stripe_worker_raises_not_hangs(self):
+        """A data channel that never delivers EOF must surface
+        StripeTimeout with partial-transfer state — not silently return a
+        buffer with holes (the old behaviour)."""
+        import itertools
+
+        from repro.gridftp import GridFTPClient, GridFTPServer, HostCredential, StripeTimeout
+
+        net = MemoryNetwork()
+        counter = itertools.count()
+
+        def data_listener_factory():
+            name = f"d{next(counter)}"
+            return name, net.listen(name)
+
+        credential = HostCredential.generate()
+        server = GridFTPServer(net.listen("g"), data_listener_factory, credential)
+        server.publish("/f.bin", b"\xab" * 4096)
+        server.start()
+        try:
+            # connect the data channel somewhere nobody ever writes: the
+            # worker blocks forever waiting for its first block header
+            def blackhole_connect(_address):
+                a, _b = memory_pipe()
+                return a
+
+            client = GridFTPClient(
+                lambda: net.connect("g"),
+                blackhole_connect,
+                credential,
+                stripe_timeout=0.2,
+            )
+            with pytest.raises(StripeTimeout) as info:
+                client.retrieve("/f.bin", 1)
+            assert info.value.stats is not None
+            assert info.value.stats.blocks_received == 0
+            assert "1/1 stripe workers" in str(info.value)
+        finally:
+            server.stop()
+
+
+class TestFaultRecoveryProperties:
+    """Property: under ANY seeded fault schedule, an invoke either
+    completes (faults absorbed within the retry budget) or raises a typed
+    error — never a hang, never an unknown exception type."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_tcp_invoke_recovers_or_raises_typed(self, seed):
+        from repro.netsim.faults import FaultProfile, FaultSchedule, faulty_connect
+        from repro.transport import RetryBudgetExhausted, RetryPolicy
+
+        profile = FaultProfile(
+            name="mix",
+            reset_rate=0.25,
+            truncate_rate=0.15,
+            slow_read_rate=0.2,
+            stall_rate=0.1,
+            stall_seconds=0.001,
+        )
+        net = MemoryNetwork()
+        with SoapTcpService(net.listen("svc"), echo_dispatcher(), encoding=BXSAEncoding()):
+            schedule = FaultSchedule(profile, seed=seed)
+            client = SoapTcpClient(
+                faulty_connect(lambda: net.connect("svc"), schedule),
+                encoding=BXSAEncoding(),
+                retry=RetryPolicy(max_attempts=4, base_backoff=0.0, jitter=0.0),
+                idempotent=True,
+            )
+            try:
+                response = client.call(SoapEnvelope.wrap(element("Echo", leaf("x", 1, "int"))))
+                assert response.body_root.name.local == "EchoResponse"
+            except (RetryBudgetExhausted, TransportError):
+                pass  # typed surrender is acceptable; anything else fails
+            finally:
+                client.close()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bounded_fault_count_always_recovers(self, seed):
+        """With the fault budget strictly below the retry budget, the
+        invoke MUST succeed — recovery is guaranteed, not probabilistic."""
+        from repro.netsim.faults import FaultProfile, FaultSchedule, faulty_connect
+        from repro.transport import RetryPolicy
+
+        profile = FaultProfile(name="bounded", reset_rate=1.0, max_faults=2)
+        net = MemoryNetwork()
+        with SoapTcpService(net.listen("svc"), echo_dispatcher(), encoding=BXSAEncoding()):
+            schedule = FaultSchedule(profile, seed=seed)
+            client = SoapTcpClient(
+                faulty_connect(lambda: net.connect("svc"), schedule),
+                encoding=BXSAEncoding(),
+                retry=RetryPolicy(max_attempts=4, base_backoff=0.0, jitter=0.0),
+                idempotent=True,
+            )
+            response = client.call(SoapEnvelope.wrap(element("Echo", leaf("x", 1, "int"))))
+            client.close()
+        assert response.body_root.name.local == "EchoResponse"
+
+
+class TestDeadlines:
+    def test_deadline_channel_raises_on_expired_budget(self):
+        from repro.transport import Deadline, DeadlineChannel, DeadlineExceeded
+
+        a, b = memory_pipe()
+        shim = DeadlineChannel(a, Deadline.after(0.0))
+        with pytest.raises(DeadlineExceeded):
+            shim.recv()
+        b.close()
+
+    def test_call_deadline_beats_dribbling_server(self):
+        """A server that dribbles a byte at a time and never finishes: the
+        per-call deadline turns an unbounded wait into DeadlineExceeded.
+        (Deadlines are enforced at operation boundaries, so progress —
+        however slow — is what gives the check its opportunities.)"""
+        import time as _time
+
+        from repro.transport import DeadlineExceeded
+
+        net = MemoryNetwork()
+        listener = net.listen("tarpit")
+
+        def tarpit():
+            import struct
+
+            channel = listener.accept()
+            from repro.transport import read_message
+
+            read_message(channel)  # consume the request, then stall
+            # a valid frame header promising a megabyte...
+            ctag = b"text/xml"
+            channel.send_all(b"\xb5\x0a" + bytes((len(ctag),)) + ctag + struct.pack(">I", 1 << 20))
+            for _ in range(1000):  # ...delivered one byte at a time (~10s, far past the deadline)
+                try:
+                    channel.send_all(b"x")
+                except TransportError:
+                    return
+                _time.sleep(0.01)
+
+        threading.Thread(target=tarpit, daemon=True).start()
+        client = SoapTcpClient(lambda: net.connect("tarpit"), encoding=XMLEncoding())
+        start = _time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            client.call(SoapEnvelope.wrap(element("Echo")), deadline=0.15)
+        assert _time.monotonic() - start < 5.0  # bounded, nowhere near a hang
+        client.close()
+
+    def test_deadline_never_retried(self):
+        """DeadlineExceeded is terminal: retrying past a blown budget
+        would only blow it further."""
+        from repro.transport import Deadline, DeadlineExceeded, RetryPolicy, retry_call
+
+        attempts = []
+
+        def op(n):
+            attempts.append(n)
+            raise DeadlineExceeded("budget gone")
+
+        with pytest.raises(DeadlineExceeded):
+            retry_call(
+                op,
+                RetryPolicy(max_attempts=5, base_backoff=0.0),
+                deadline=Deadline.after(10.0),
+                retryable=lambda exc: True,
+            )
+        assert attempts == [1]

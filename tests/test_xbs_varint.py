@@ -65,3 +65,15 @@ def test_continuation_bytes_set_correctly():
     encoded = encode_vls(2**40)
     assert all(b & 0x80 for b in encoded[:-1])
     assert not encoded[-1] & 0x80
+
+
+def test_value_above_uint64_rejected():
+    """10 bytes can carry 70 payload bits; anything past 2^64-1 is not a
+    size and must be rejected, not wrapped or silently accepted."""
+    for value in (2**64, 2**64 + 1, 2**69):
+        with pytest.raises(XBSDecodeError, match="64-bit"):
+            decode_vls(encode_vls(value))
+
+
+def test_uint64_max_still_accepted():
+    assert decode_vls(encode_vls(2**64 - 1)) == (2**64 - 1, 10)

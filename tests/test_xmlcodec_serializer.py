@@ -41,6 +41,14 @@ class TestEscaping:
             assert unescape(escape_text(s)) == s
             assert unescape(escape_attribute(s)) == s
 
+    def test_text_carriage_return_escaped(self):
+        """A bare \\r in character data is normalized to \\n by conforming
+        parsers; it must ship as a character reference to round-trip."""
+        assert escape_text("a\rb") == "a&#13;b"
+        assert escape_text("a\r\nb") == "a&#13;\nb"
+        for s in ["\r", "line1\rline2", "crlf\r\nend", "&\r<"]:
+            assert unescape(escape_text(s)) == s
+
 
 class TestSerializeBasics:
     def test_empty_element_self_closes(self):
