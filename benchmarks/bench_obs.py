@@ -1,0 +1,84 @@
+"""Overhead benchmarks for the repro.obs instrumentation layer.
+
+The acceptance bar: with tracing *disabled* (the default null recorder),
+the instrumented BXSA encode hot path must stay within 5% of the raw
+encoder — the figures' measured-CPU numbers may not move because the
+library grew observability hooks.
+"""
+
+import pytest
+
+from repro import obs
+from repro.bxsa.encoder import encode as raw_bxsa_encode
+from repro.core.policies import BXSAEncoding
+from repro.harness.measure import median_seconds, timed_median
+from repro.workloads.lead import lead_dataset
+
+from benchmarks.conftest import quick_mode
+
+pytestmark = pytest.mark.bench
+
+SIZE = 5_000 if quick_mode() else 87_360
+#: Overhead bound on the disabled path (acceptance criterion: < 5%).
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+@pytest.fixture(scope="module")
+def document():
+    return lead_dataset(SIZE).to_document()
+
+
+def _median_runtime(fn, repeats=15):
+    seconds, _ = timed_median(fn, repeats, scale=False)
+    return seconds
+
+
+class TestDisabledOverhead:
+    def test_null_recorder_is_active_by_default(self):
+        assert obs.get_recorder() is obs.NULL_RECORDER
+
+    def test_bxsa_encode_overhead_under_5_percent(self, document):
+        """Instrumented policy encode vs the raw encoder, tracing off.
+
+        Interleaved measurement rounds cancel slow drift (thermal, GC);
+        the medians of the per-round medians are compared.
+        """
+        policy = BXSAEncoding()
+        raw, instrumented = [], []
+        for _ in range(5):
+            raw.append(_median_runtime(lambda: raw_bxsa_encode(document)))
+            instrumented.append(_median_runtime(lambda: policy.encode(document)))
+        raw_s = median_seconds(raw)
+        inst_s = median_seconds(instrumented)
+        overhead = inst_s / raw_s - 1.0
+        print(
+            f"\nbxsa encode n={SIZE}: raw {raw_s * 1e6:.1f}us, "
+            f"instrumented {inst_s * 1e6:.1f}us, overhead {overhead * 100:+.2f}%"
+        )
+        assert overhead < MAX_DISABLED_OVERHEAD, (
+            f"disabled-path overhead {overhead * 100:.2f}% exceeds "
+            f"{MAX_DISABLED_OVERHEAD * 100:.0f}%"
+        )
+
+    def test_disabled_span_site_costs_nanoseconds(self, benchmark):
+        def instrumented_noop():
+            with obs.span("bench.noop") as sp:
+                sp.set("k", 1)
+
+        benchmark(instrumented_noop)
+
+
+class TestEnabledPath:
+    def test_bxsa_encode_while_recording(self, benchmark, document):
+        """The enabled path is allowed to cost more — this pins how much."""
+        policy = BXSAEncoding()
+        with obs.recording(obs.TraceRecorder()):
+            benchmark(policy.encode, document)
+
+    def test_span_open_close_while_recording(self, benchmark):
+        with obs.recording(obs.TraceRecorder()) as rec:
+            def one_span():
+                with rec.span("bench.span"):
+                    pass
+
+            benchmark(one_span)

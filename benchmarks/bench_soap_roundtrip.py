@@ -9,7 +9,6 @@ import pytest
 
 from repro.core import (
     BXSAEncoding,
-    SoapEnvelope,
     SoapTcpClient,
     SoapTcpService,
     XMLEncoding,

@@ -1,7 +1,6 @@
 """Regenerates Table 1 (serialization sizes) and benchmarks the encoders
 behind each of its rows at the paper's model size of 1000."""
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import spool_result

@@ -184,7 +184,9 @@ class BXSADecoder:
                 raise BXSADecodeError("array frames cannot hold strings")
             item_name, pos = read_string(data, pos)
             count, pos = read_vls(data, pos)
-            if pos >= len(data):
+            # validate the pad byte against this frame's end, not the whole
+            # buffer: a truncated Size must not read the next frame's bytes
+            if pos >= end:
                 raise BXSADecodeError(f"truncated array frame at offset {pos}")
             pad = data[pos]
             pos += 1 + pad

@@ -20,7 +20,6 @@ from repro.bxsa.constants import FrameType
 from repro.bxsa.errors import BXSADecodeError
 from repro.bxsa.frames import (
     read_frame_prefix,
-    read_name_ref,
     read_string,
     read_vls,
     skip_element_header,

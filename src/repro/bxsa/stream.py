@@ -28,6 +28,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.bxsa.constants import FrameType, pack_prefix_byte
 from repro.bxsa.encoder import BXSAEncoder
 from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError
@@ -176,7 +177,9 @@ class BXSAStreamWriter:
         placeholder, mark, n_children, _ = self._open.pop()
         self._patch(placeholder, mark, n_children, FrameType.DOCUMENT, b"")
         self._finished = True
-        return b"".join(self._chunks)
+        out = b"".join(self._chunks)
+        obs.counter("bxsa.stream.bytes_written").add(len(out))
+        return out
 
     def _patch(self, placeholder, mark, n_children, frame_type, header) -> None:
         children_len = self._nbytes - mark
@@ -259,6 +262,15 @@ class BXSAStreamReader:
 
     def events(self) -> Iterator[StreamEvent]:
         """Yield the event stream for the frame at the start offset."""
+        count = 0
+        for event in self._events():
+            count += 1
+            yield event
+        # metrics land once per document, not per event, so the pull loop
+        # costs nothing extra whether or not a recorder is active
+        obs.counter("bxsa.stream.events_read").add(count)
+
+    def _events(self) -> Iterator[StreamEvent]:
         scopes = ScopeStack()
         # stack of (remaining children, frame end, is_element, name|None)
         stack: list[list] = []
@@ -266,6 +278,14 @@ class BXSAStreamReader:
         pos = self._pos
         while True:
             byte_order, frame_type, body, end = read_frame_prefix(data, pos)
+            if stack and end > stack[-1][1]:
+                # a child whose Size reaches past its container would hand
+                # the consumer bytes belonging to the *next* frame; a pull
+                # parser must refuse before yielding the event
+                raise BXSADecodeError(
+                    f"frame at offset {pos} ends at {end}, overrunning its "
+                    f"enclosing frame's end {stack[-1][1]}"
+                )
             depth = sum(1 for entry in stack if entry[2])
 
             if frame_type is FrameType.DOCUMENT:
@@ -310,6 +330,8 @@ class BXSAStreamReader:
                 scopes.pop()
                 code, body = read_type_code(data, body)
                 value, body = read_scalar_value(data, body, code, byte_order)
+                if body > end:
+                    raise BXSADecodeError("leaf value overruns its frame")
                 yield StreamEvent(
                     EventKind.LEAF,
                     name=name,
@@ -328,7 +350,10 @@ class BXSAStreamReader:
                     raise BXSADecodeError("array frames cannot hold strings")
                 item_name, body = read_string(data, body)
                 count, body = read_vls(data, body)
-                if body >= len(data):
+                # the pad byte must live inside *this* frame: validating
+                # against len(data) would read the next frame's bytes when
+                # the Size field was truncated
+                if body >= end:
                     raise BXSADecodeError("truncated array frame")
                 pad = data[body]
                 body += 1 + pad

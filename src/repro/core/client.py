@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from repro import obs
 from repro.core.engine import SoapEngine
 from repro.core.envelope import SoapEnvelope
 from repro.core.policies import EncodingPolicy, XMLEncoding
@@ -96,9 +97,10 @@ class SoapTcpClient:
             # connection and the server never started answering
             return attempt_no == 1 and state["stale_start"]
 
-        return retry_call(
-            attempt, self._retry, deadline=dl, may_retry=may_retry, rng=self._rng
-        )
+        with obs.span("client.call", kind="logical", binding="tcp"):
+            return retry_call(
+                attempt, self._retry, deadline=dl, may_retry=may_retry, rng=self._rng
+            )
 
     def close(self) -> None:
         if self._channel is not None:
@@ -154,7 +156,8 @@ class SoapHttpClient:
         self, envelope: SoapEnvelope, *, deadline: float | Deadline | None = None
     ) -> SoapEnvelope:
         dl = as_deadline(deadline if deadline is not None else self._deadline)
-        return self._engine.call(envelope, deadline=dl)
+        with obs.span("client.call", kind="logical", binding="http"):
+            return self._engine.call(envelope, deadline=dl)
 
     def close(self) -> None:
         self._http.close()

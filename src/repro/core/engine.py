@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 
+from repro import obs
 from repro.core.concepts import (
     check_binding_client,
     check_binding_server,
@@ -114,53 +115,60 @@ class SoapEngine:
         if deadline is None and res is not None:
             deadline = res.deadline
         dl = as_deadline(deadline)
-        if res is None:
-            self.send(envelope, deadline=dl)
-            return self.receive_response(deadline=dl)
+        with obs.span(
+            "soap.call", kind="logical", binding=getattr(self.binding, "name", "?")
+        ):
+            if res is None:
+                self.send(envelope, deadline=dl)
+                return self.receive_response(deadline=dl)
 
-        def attempt(_n: int) -> SoapEnvelope:
-            self.send(envelope, deadline=dl)
-            return self.receive_response(deadline=dl)
+            def attempt(_n: int) -> SoapEnvelope:
+                self.send(envelope, deadline=dl)
+                return self.receive_response(deadline=dl)
 
-        try:
-            return retry_call(
-                attempt,
-                res.retry,
-                deadline=dl,
-                may_retry=lambda _exc, _attempt: res.idempotent,
-                rng=self._retry_rng,
-            )
-        except (DeadlineExceeded, TransportError) as exc:
-            raise SoapFault(
-                "soap:Server", f"transport failure, degraded gracefully: {exc}"
-            ) from exc
+            try:
+                return retry_call(
+                    attempt,
+                    res.retry,
+                    deadline=dl,
+                    may_retry=lambda _exc, _attempt: res.idempotent,
+                    rng=self._retry_rng,
+                )
+            except (DeadlineExceeded, TransportError) as exc:
+                raise SoapFault(
+                    "soap:Server", f"transport failure, degraded gracefully: {exc}"
+                ) from exc
 
     def send(self, envelope: SoapEnvelope, *, deadline=None) -> int:
         """One-way send; returns the payload size in bytes."""
-        if self.security is not None:
-            self.security.sign(envelope)
-        payload = self.encoding.encode(envelope.to_document())
-        if deadline is None:
-            self.binding.send_request(payload, self.encoding.content_type)
-        else:
-            # only deadline-aware bindings are asked to honour one
-            self.binding.send_request(
-                payload, self.encoding.content_type, deadline=deadline
-            )
-        return len(payload)
+        with obs.span("soap.send", kind="logical") as sp:
+            if self.security is not None:
+                self.security.sign(envelope)
+            payload = self.encoding.encode(envelope.to_document())
+            sp.set("bytes", len(payload))
+            if deadline is None:
+                self.binding.send_request(payload, self.encoding.content_type)
+            else:
+                # only deadline-aware bindings are asked to honour one
+                self.binding.send_request(
+                    payload, self.encoding.content_type, deadline=deadline
+                )
+            return len(payload)
 
     def receive_response(self, *, deadline=None) -> SoapEnvelope:
-        if deadline is None:
-            payload, content_type = self.binding.receive_response()
-        else:
-            payload, content_type = self.binding.receive_response(deadline=deadline)
-        envelope = self._decode(payload, content_type)
-        if self.security is not None:
-            self.security.verify(envelope)
-        fault_element = SoapFault.find_in(envelope.body_children)
-        if fault_element is not None:
-            raise SoapFault.from_element(fault_element)
-        return envelope
+        with obs.span("soap.receive", kind="logical") as sp:
+            if deadline is None:
+                payload, content_type = self.binding.receive_response()
+            else:
+                payload, content_type = self.binding.receive_response(deadline=deadline)
+            sp.set("bytes", len(payload))
+            envelope = self._decode(payload, content_type)
+            if self.security is not None:
+                self.security.verify(envelope)
+            fault_element = SoapFault.find_in(envelope.body_children)
+            if fault_element is not None:
+                raise SoapFault.from_element(fault_element)
+            return envelope
 
     # ------------------------------------------------------------------
     # server-side MEPs
@@ -168,10 +176,11 @@ class SoapEngine:
     def receive(self) -> tuple[SoapEnvelope, str]:
         """Receive one request; returns (envelope, wire content type)."""
         payload, content_type = self.binding.receive_request()
-        envelope = self._decode(payload, content_type)
-        if self.security is not None:
-            self.security.verify(envelope)
-        return envelope, content_type
+        with obs.span("soap.receive_request", kind="logical", bytes=len(payload)):
+            envelope = self._decode(payload, content_type)
+            if self.security is not None:
+                self.security.verify(envelope)
+            return envelope, content_type
 
     def reply(self, envelope: SoapEnvelope, content_type: str | None = None) -> int:
         """Send a response, re-encoding to ``content_type`` when given.
@@ -183,11 +192,13 @@ class SoapEngine:
         if content_type is not None and self.strict_content_type:
             if content_type.split(";")[0].strip() != encoding.content_type:
                 encoding = encoding_for_content_type(content_type)
-        if self.security is not None:
-            self.security.sign(envelope)
-        payload = encoding.encode(envelope.to_document())
-        self.binding.send_response(payload, encoding.content_type)
-        return len(payload)
+        with obs.span("soap.reply", kind="logical") as sp:
+            if self.security is not None:
+                self.security.sign(envelope)
+            payload = encoding.encode(envelope.to_document())
+            sp.set("bytes", len(payload))
+            self.binding.send_response(payload, encoding.content_type)
+            return len(payload)
 
     def reply_fault(self, fault: SoapFault, content_type: str | None = None) -> int:
         """Send a fault envelope."""

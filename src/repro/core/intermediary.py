@@ -18,7 +18,6 @@ import threading
 from typing import Callable
 
 from repro.core.engine import SoapEngine
-from repro.core.envelope import SoapEnvelope
 from repro.core.fault import SoapFault
 from repro.core.policies import EncodingPolicy
 from repro.transport.base import Channel, Listener, TransportError

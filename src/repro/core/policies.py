@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+from repro import obs
 from repro.bxsa.decoder import decode as bxsa_decode
 from repro.bxsa.encoder import BXSAEncoder
 from repro.xbs.constants import NATIVE_ENDIAN
@@ -50,10 +51,22 @@ class XMLEncoding:
         self.emit_types = emit_types
 
     def encode(self, document: DocumentNode) -> bytes:
-        return self._serializer.run_bytes(document)
+        # hot path: guard on the recorder so the disabled cost is one
+        # attribute check, not a context-manager round trip
+        recorder = obs.get_recorder()
+        if not recorder.enabled:
+            return self._serializer.run_bytes(document)
+        with recorder.span("xml.encode") as sp:
+            payload = self._serializer.run_bytes(document)
+            sp.set("bytes", len(payload))
+            return payload
 
     def decode(self, payload: bytes) -> DocumentNode:
-        return parse_document(payload, typed=True)
+        recorder = obs.get_recorder()
+        if not recorder.enabled:
+            return parse_document(payload, typed=True)
+        with recorder.span("xml.decode", bytes=len(payload)):
+            return parse_document(payload, typed=True)
 
     def __repr__(self) -> str:
         return f"XMLEncoding(emit_types={self.emit_types})"
@@ -76,10 +89,23 @@ class BXSAEncoding:
         self.copy = copy
 
     def encode(self, document: DocumentNode) -> bytes:
-        return self._encoder.encode(document)
+        # hot path: guard on the recorder so the disabled cost is one
+        # attribute check, not a context-manager round trip
+        recorder = obs.get_recorder()
+        if not recorder.enabled:
+            return self._encoder.encode(document)
+        with recorder.span("bxsa.encode") as sp:
+            payload = self._encoder.encode(document)
+            sp.set("bytes", len(payload))
+            return payload
 
     def decode(self, payload: bytes) -> DocumentNode:
-        node = bxsa_decode(payload, copy=self.copy)
+        recorder = obs.get_recorder()
+        if not recorder.enabled:
+            node = bxsa_decode(payload, copy=self.copy)
+        else:
+            with recorder.span("bxsa.decode", bytes=len(payload)):
+                node = bxsa_decode(payload, copy=self.copy)
         if not isinstance(node, DocumentNode):
             node = DocumentNode([node])
         return node

@@ -27,7 +27,7 @@ compressed ones — can be declared.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.client import SoapHttpClient, SoapTcpClient

@@ -12,9 +12,10 @@ harness needs to model wire time.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.gridftp.auth import (
     GSI_HANDSHAKE_ROUND_TRIPS,
     HostCredential,
@@ -111,81 +112,105 @@ class GridFTPClient:
         wait below :attr:`stripe_timeout` when it expires sooner.
         """
         dl = as_deadline(deadline)
-        size = self.size(path)
-        reply = self._command(f"RETR {path} {n_streams}")
-        code, _, rest = reply.partition(" ")
-        if code != "150":
-            raise GridFTPError(f"RETR failed: {reply}")
-        fields = rest.split()
-        advertised = int(fields[0])
-        addresses = fields[1:]
-        if advertised != n_streams or len(addresses) != n_streams:
-            raise GridFTPError(f"server advertised {advertised} streams, asked {n_streams}")
+        recorder = obs.get_recorder()
+        with recorder.span(
+            "gridftp.retrieve", kind="logical", path=path, streams=n_streams
+        ) as retrieve_span:
+            size = self.size(path)
+            reply = self._command(f"RETR {path} {n_streams}")
+            code, _, rest = reply.partition(" ")
+            if code != "150":
+                raise GridFTPError(f"RETR failed: {reply}")
+            fields = rest.split()
+            advertised = int(fields[0])
+            addresses = fields[1:]
+            if advertised != n_streams or len(addresses) != n_streams:
+                raise GridFTPError(
+                    f"server advertised {advertised} streams, asked {n_streams}"
+                )
 
-        buffer = bytearray(size)
-        cursor_lock = threading.Lock()
-        state = {"cursor": 0}
-        self.stats.n_streams = n_streams
-        errors: list[Exception] = []
+            buffer = bytearray(size)
+            cursor_lock = threading.Lock()
+            state = {"cursor": 0}
+            self.stats.n_streams = n_streams
+            errors: list[Exception] = []
 
-        def pull(address: str) -> None:
-            try:
-                channel = self._connect_data(address)
-            except Exception as exc:  # noqa: BLE001 - collected below
-                errors.append(exc)
-                return
-            try:
-                while True:
-                    header = recv_exactly(channel, BLOCK_HEADER.size)
-                    offset, length, flags = BLOCK_HEADER.unpack(header)
-                    payload = recv_exactly(channel, length) if length else b""
-                    if offset + length > size:
-                        raise GridFTPError(
-                            f"block [{offset}, {offset + length}) beyond file of {size}"
-                        )
-                    with cursor_lock:
-                        if length:
-                            if offset != state["cursor"]:
-                                self.stats.out_of_order_blocks += 1
-                            buffer[offset : offset + length] = payload
-                            state["cursor"] = offset + length
-                            self.stats.blocks_received += 1
-                            self.stats.data_bytes += length
-                        self.stats.block_header_bytes += BLOCK_HEADER.size
-                    if flags & EOF_FLAG:
+            def pull(index: int, address: str) -> None:
+                # the worker thread adopts the retrieval as its explicit
+                # parent — span nesting survives the thread boundary
+                with recorder.span(
+                    "gridftp.stripe",
+                    kind="cpu",
+                    parent=retrieve_span,
+                    stripe=index,
+                    address=address,
+                ) as stripe_span:
+                    blocks = bytes_landed = 0
+                    try:
+                        channel = self._connect_data(address)
+                    except Exception as exc:  # noqa: BLE001 - collected below
+                        errors.append(exc)
                         return
-            except Exception as exc:  # noqa: BLE001
-                errors.append(exc)
-            finally:
-                channel.close()
+                    try:
+                        while True:
+                            header = recv_exactly(channel, BLOCK_HEADER.size)
+                            offset, length, flags = BLOCK_HEADER.unpack(header)
+                            payload = recv_exactly(channel, length) if length else b""
+                            if offset + length > size:
+                                raise GridFTPError(
+                                    f"block [{offset}, {offset + length}) beyond file of {size}"
+                                )
+                            with cursor_lock:
+                                if length:
+                                    if offset != state["cursor"]:
+                                        self.stats.out_of_order_blocks += 1
+                                        obs.counter("gridftp.out_of_order_blocks").add()
+                                    buffer[offset : offset + length] = payload
+                                    state["cursor"] = offset + length
+                                    self.stats.blocks_received += 1
+                                    self.stats.data_bytes += length
+                                    blocks += 1
+                                    bytes_landed += length
+                                self.stats.block_header_bytes += BLOCK_HEADER.size
+                            if flags & EOF_FLAG:
+                                return
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                    finally:
+                        stripe_span.set("blocks", blocks).set("bytes", bytes_landed)
+                        channel.close()
 
-        threads = [
-            threading.Thread(target=pull, args=(addr,), daemon=True) for addr in addresses
-        ]
-        for thread in threads:
-            thread.start()
-        wait = Deadline.after(self._stripe_timeout)
-        for thread in threads:
-            budget = wait.remaining()
-            if dl is not None:
-                budget = min(budget, dl.remaining())
-            thread.join(timeout=max(0.0, budget))
-        stalled = [thread for thread in threads if thread.is_alive()]
-        if stalled:
-            # a join timeout must never be swallowed: the buffer may have
-            # holes where the stalled stripes were supposed to land
-            raise StripeTimeout(
-                f"{len(stalled)}/{len(threads)} stripe workers still running "
-                f"after {self._stripe_timeout:.1f}s; "
-                f"{self.stats.blocks_received} blocks "
-                f"({self.stats.data_bytes}/{size} bytes) landed",
-                stats=self.stats,
+            threads = [
+                threading.Thread(target=pull, args=(i, addr), daemon=True)
+                for i, addr in enumerate(addresses)
+            ]
+            for thread in threads:
+                thread.start()
+            wait = Deadline.after(self._stripe_timeout)
+            for thread in threads:
+                budget = wait.remaining()
+                if dl is not None:
+                    budget = min(budget, dl.remaining())
+                thread.join(timeout=max(0.0, budget))
+            stalled = [thread for thread in threads if thread.is_alive()]
+            if stalled:
+                # a join timeout must never be swallowed: the buffer may have
+                # holes where the stalled stripes were supposed to land
+                raise StripeTimeout(
+                    f"{len(stalled)}/{len(threads)} stripe workers still running "
+                    f"after {self._stripe_timeout:.1f}s; "
+                    f"{self.stats.blocks_received} blocks "
+                    f"({self.stats.data_bytes}/{size} bytes) landed",
+                    stats=self.stats,
+                )
+
+            final = str(self._control.recv_until(b"\n", max_bytes=4096), "utf-8").strip()
+            self.stats.control_round_trips += 1  # the 226 completion line
+            if errors:
+                raise GridFTPError(f"data stream failed: {errors[0]}")
+            if not final.startswith("226"):
+                raise GridFTPError(f"transfer did not complete: {final}")
+            retrieve_span.set("bytes", size).set(
+                "out_of_order_blocks", self.stats.out_of_order_blocks
             )
-
-        final = str(self._control.recv_until(b"\n", max_bytes=4096), "utf-8").strip()
-        self.stats.control_round_trips += 1  # the 226 completion line
-        if errors:
-            raise GridFTPError(f"data stream failed: {errors[0]}")
-        if not final.startswith("226"):
-            raise GridFTPError(f"transfer did not complete: {final}")
-        return bytes(buffer)
+            return bytes(buffer)

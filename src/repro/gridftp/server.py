@@ -27,7 +27,6 @@ import threading
 from typing import Callable
 
 from repro.gridftp.auth import AuthenticationError, HostCredential, server_handshake
-from repro.gridftp.errors import GridFTPError
 from repro.transport.base import BufferedChannel, Channel, Listener, TransportError
 
 BLOCK_HEADER = struct.Struct(">QIB")

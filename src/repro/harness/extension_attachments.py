@@ -31,12 +31,12 @@ import numpy as np
 from repro.core.envelope import SoapEnvelope
 from repro.core.policies import XMLEncoding
 from repro.harness import overheads
+from repro.harness.measure import timed_median
 from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
 from repro.harness.runners import (
     SCHEME_BXSA_TCP,
     SCHEME_SOAP_HTTP_CHANNEL,
     SchemeResult,
-    _measure_median,
     _repeats_for,
     run_scheme,
 )
@@ -94,7 +94,7 @@ def run_attachment(
         )
         return package.to_bytes()
 
-    t, package_bytes = _measure_median(build_package, repeats)
+    t, package_bytes = timed_median(build_package, repeats)
     tb.charge("client package", t)
 
     # -- wire: one POST carrying the package ----------------------------
@@ -118,7 +118,7 @@ def run_attachment(
         )
         return rebuilt.verify()
 
-    t, record = _measure_median(serve, repeats)
+    t, record = timed_median(serve, repeats)
     tb.charge("server unpack+verify", t)
     if not record["ok"] or record["count"] != dataset.model_size:
         raise AssertionError(f"verification failed: {record}")
@@ -131,9 +131,9 @@ def run_attachment(
     def encode_response():
         return encoding.encode(result_env.to_document())
 
-    t, response_payload = _measure_median(encode_response, repeats)
+    t, response_payload = timed_median(encode_response, repeats)
     tb.charge("server encode", t)
-    t, _ = _measure_median(
+    t, _ = timed_median(
         lambda: SoapEnvelope.from_document(encoding.decode(response_payload)), repeats
     )
     tb.charge("client decode", t)

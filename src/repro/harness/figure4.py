@@ -15,6 +15,7 @@ Paper's observations, each encoded as a shape check:
 
 from __future__ import annotations
 
+from repro.harness.measure import traced_run
 from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
 from repro.harness.runners import (
     SCHEME_BXSA_TCP,
@@ -44,18 +45,26 @@ def run(
     *,
     fault_profile=None,
     fault_seed: int = 0,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     """``fault_profile`` (a :class:`~repro.netsim.faults.FaultProfile`)
     replays each exchange live over a lossy link and folds the recovery
-    cost into the reported times; see EXPERIMENTS.md."""
+    cost into the reported times; ``trace_dir`` writes one span-tree JSON
+    per exchange (the ``--trace-out`` knob); see EXPERIMENTS.md."""
     sizes = sizes if sizes is not None else DEFAULT_SIZES
     series: dict[str, list[float]] = {scheme: [] for scheme in SCHEMES}
     for size in sizes:
         dataset = lead_dataset(size, seed)
         for scheme in SCHEMES:
-            result = run_scheme(
-                scheme, dataset, profile,
-                fault_profile=fault_profile, fault_seed=fault_seed,
+            result = traced_run(
+                trace_dir,
+                f"figure4-{scheme}-n{size}",
+                lambda: run_scheme(
+                    scheme, dataset, profile,
+                    fault_profile=fault_profile, fault_seed=fault_seed,
+                ),
+                figure="figure4", scheme=scheme, model_size=size,
+                profile=profile.name,
             )
             series[scheme].append(result.response_time * 1e6)  # microseconds
 
@@ -111,4 +120,13 @@ def run(
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Regenerate Figure 4.")
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="write one span-tree JSON per exchange into DIR",
+    )
+    print(run(trace_dir=parser.parse_args().trace_out).render())

@@ -19,6 +19,7 @@ The paper's sweep quadruples the model size from 1365 (16 KB of BXSA) to
 
 from __future__ import annotations
 
+from repro.harness.measure import traced_run
 from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
 from repro.harness.runners import (
     SCHEME_BXSA_TCP,
@@ -59,6 +60,7 @@ def run(
     xml_size_cap: int | None = None,
     fault_profile=None,
     fault_seed: int = 0,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     """Regenerate the figure.  ``xml_size_cap`` optionally truncates the
     (very slow, known-to-lose) XML/HTTP series at a given model size for
@@ -76,10 +78,16 @@ def run(
                 and size > xml_size_cap
             ):
                 continue
-            result = run_scheme(
-                scheme, dataset, profile,
-                fault_profile=fault_profile, fault_seed=fault_seed,
-                **kwargs,
+            result = traced_run(
+                trace_dir,
+                f"figure5-{label}-n{size}",
+                lambda: run_scheme(
+                    scheme, dataset, profile,
+                    fault_profile=fault_profile, fault_seed=fault_seed,
+                    **kwargs,
+                ),
+                figure="figure5", scheme=label, model_size=size,
+                profile=profile.name,
             )
             series[label].append(result.bandwidth_pairs_per_sec)
 
@@ -154,4 +162,13 @@ def run(
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Regenerate Figure 5.")
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="write one span-tree JSON per exchange into DIR",
+    )
+    print(run(trace_dir=parser.parse_args().trace_out).render())

@@ -17,6 +17,7 @@ shape checks:
 
 from __future__ import annotations
 
+from repro.harness.measure import traced_run
 from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
 from repro.harness.runners import (
     SCHEME_BXSA_TCP,
@@ -52,6 +53,7 @@ def run(
     *,
     fault_profile=None,
     fault_seed: int = 0,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     """``fault_profile`` replays each exchange live over a lossy link and
     folds the recovery cost into the reported times (see EXPERIMENTS.md)."""
@@ -60,12 +62,19 @@ def run(
     for size in sizes:
         dataset = lead_dataset(size, seed)
         for scheme, kwargs in SERIES:
-            result = run_scheme(
-                scheme, dataset, profile,
-                fault_profile=fault_profile, fault_seed=fault_seed,
-                **kwargs,
+            label = _series_label(scheme, kwargs)
+            result = traced_run(
+                trace_dir,
+                f"figure6-{label}-n{size}",
+                lambda: run_scheme(
+                    scheme, dataset, profile,
+                    fault_profile=fault_profile, fault_seed=fault_seed,
+                    **kwargs,
+                ),
+                figure="figure6", scheme=label, model_size=size,
+                profile=profile.name,
             )
-            series[_series_label(scheme, kwargs)].append(result.bandwidth_pairs_per_sec)
+            series[label].append(result.bandwidth_pairs_per_sec)
 
     columns, rows = render_series_table(
         "model size", sizes, series, value_format="{:.3g}"
@@ -130,4 +139,13 @@ def run(
 
 
 if __name__ == "__main__":
-    print(run().render())
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Regenerate Figure 6.")
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="write one span-tree JSON per exchange into DIR",
+    )
+    print(run(trace_dir=parser.parse_args().trace_out).render())

@@ -1,0 +1,104 @@
+"""Measurement substrate shared by the experiment harness.
+
+Two concerns live here so the scheme runners stay about *what* to measure,
+not *how*:
+
+* :func:`timed_median` / :func:`median_seconds` — repeat-and-take-median
+  timing on the calibrated 2006 clock.  The median of an even number of
+  samples is the average of the two middle values; the seed's
+  ``times[len(times) // 2]`` picked the upper middle one, biasing every
+  even-repeat measurement toward its slower half.
+* :func:`traced_run` — run one harness exchange under a fresh
+  :class:`~repro.obs.TraceRecorder` and write the resulting span tree as
+  JSON, so ``--trace-out`` can decompose each reported number into the
+  measured-CPU and modelled-wire spans that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.harness.calibration import cpu_scale
+
+
+def median_seconds(samples: Sequence[float]) -> float:
+    """Median of timing samples.
+
+    An even count averages the two middle samples — returning the upper
+    middle one (the seed behaviour) is biased high, and the bias is worst
+    exactly where medians matter: small, noisy sample counts.
+    """
+    if not samples:
+        raise ValueError("median of no samples")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def timed_median(fn: Callable[[], object], repeats: int, *, scale: bool = True):
+    """Run ``fn`` ``repeats`` times; returns (median seconds, last result).
+
+    The first (unmeasured) call excludes first-touch page faults and
+    allocator growth.  With ``scale`` the median is multiplied by
+    :func:`~repro.harness.calibration.cpu_scale` so measured CPU segments
+    live on the same 2006 clock as the modelled wire segments.  Each
+    measured duration also feeds the ``harness.sample_seconds`` histogram
+    of the active recorder.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    fn()  # warmup
+    hist = obs.histogram("harness.sample_seconds")
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        hist.observe(elapsed)
+    median = median_seconds(times)
+    return (median * cpu_scale() if scale else median), result
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", str(text)).strip("-") or "exchange"
+
+
+def traced_run(trace_dir, name: str, fn: Callable[[], object], **meta):
+    """Run ``fn`` under a fresh recorder; write its span tree to a file.
+
+    With ``trace_dir`` falsy this is exactly ``fn()`` — the no-op recorder
+    stays installed and the instrumented code paths cost two function
+    calls per site.  Otherwise the whole exchange runs inside a root
+    ``exchange`` span (every :meth:`TimeBreakdown.charge
+    <repro.netsim.clock.TimeBreakdown.charge>` accounting span and every
+    library span nests under it) and the tree lands in
+    ``<trace_dir>/<name>.json`` with ``meta`` embedded.  When ``fn``
+    returns a :class:`~repro.harness.runners.SchemeResult`-shaped object,
+    the reported total is stamped on the root span so consumers can
+    reconcile the tree against the figure's numbers without re-deriving
+    them.
+    """
+    if not trace_dir:
+        return fn()
+    recorder = obs.TraceRecorder()
+    with obs.recording(recorder):
+        with recorder.span("exchange", kind="logical", **meta) as root:
+            result = fn()
+            breakdown = getattr(result, "breakdown", None)
+            if breakdown is not None:
+                root.set("reported_total_seconds", breakdown.total)
+            repeats = getattr(result, "repeats", None)
+            if repeats:
+                root.set("repeats", repeats)
+    os.makedirs(trace_dir, exist_ok=True)
+    path = os.path.join(trace_dir, _slug(name) + ".json")
+    obs.write_trace(path, recorder, meta=meta)
+    return result

@@ -34,7 +34,7 @@ from repro.gridftp.errors import GridFTPError
 from repro.gridftp.server import GridFTPServer
 from repro.gridftp.auth import HostCredential
 from repro.harness import overheads
-from repro.harness.calibration import cpu_scale
+from repro.harness.measure import median_seconds, timed_median
 from repro.netcdf.writer import write_dataset_bytes
 from repro.netsim import (
     DiskModel,
@@ -88,6 +88,8 @@ class SchemeResult:
     fault_retries: int = 0
     #: Faults the schedule injected during the replay.
     faults_injected: int = 0
+    #: Timing repeats each measured CPU segment was medianed over.
+    repeats: int = 1
 
     @property
     def response_time(self) -> float:
@@ -115,22 +117,9 @@ def _repeats_for(model_size: int) -> int:
     return 3
 
 
-def _measure_median(fn, repeats: int):
-    """Run ``fn`` ``repeats`` times; returns (median seconds, last result).
-
-    The median is scaled by :func:`~repro.harness.calibration.cpu_scale`
-    so measured CPU segments live on the same 2006 clock as the modelled
-    wire segments (see :mod:`repro.harness.calibration`).
-    """
-    fn()  # warmup: exclude first-touch page faults and allocator growth
-    times = []
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - start)
-    times.sort()
-    return times[len(times) // 2] * cpu_scale(), result
+#: Timing now lives in :mod:`repro.harness.measure`; the old name stays
+#: importable for code grown against the seed's private helper.
+_measure_median = timed_median
 
 
 # ---------------------------------------------------------------------------
@@ -262,28 +251,28 @@ def run_unified(
 
     request_env = make_unified_request(dataset)
 
-    t, request_payload = _measure_median(
+    t, request_payload = timed_median(
         lambda: encoding.encode(request_env.to_document()), repeats
     )
-    tb.charge("client encode", t)
+    tb.charge("client encode", t, repeats=repeats)
 
-    t, decoded = _measure_median(
+    t, decoded = timed_median(
         lambda: SoapEnvelope.from_document(encoding.decode(request_payload)), repeats
     )
-    tb.charge("server decode", t)
+    tb.charge("server decode", t, repeats=repeats)
 
-    t, response_env = _measure_median(lambda: dispatcher.dispatch(decoded), repeats)
-    tb.charge("server verify", t)
+    t, response_env = timed_median(lambda: dispatcher.dispatch(decoded), repeats)
+    tb.charge("server verify", t, repeats=repeats)
 
-    t, response_payload = _measure_median(
+    t, response_payload = timed_median(
         lambda: encoding.encode(response_env.to_document()), repeats
     )
-    tb.charge("server encode", t)
+    tb.charge("server encode", t, repeats=repeats)
 
-    t, response = _measure_median(
+    t, response = timed_median(
         lambda: SoapEnvelope.from_document(encoding.decode(response_payload)), repeats
     )
-    tb.charge("client decode", t)
+    tb.charge("client decode", t, repeats=repeats)
     result = parse_verification_response(response.body_root)
     if not result.ok or result.count != dataset.model_size:
         raise AssertionError(f"verification failed: {result}")
@@ -324,6 +313,7 @@ def run_unified(
         response_wire_bytes=resp_wire,
         fault_retries=fault_retries,
         faults_injected=faults_injected,
+        repeats=repeats,
     )
 
 
@@ -338,14 +328,14 @@ def _control_exchange_wire(profile: LinkProfile, url: str, tb: TimeBreakdown, re
     """
     encoding = XMLEncoding()
     request_env = make_reference_request(url)
-    t, request_payload = _measure_median(
+    t, request_payload = timed_median(
         lambda: encoding.encode(request_env.to_document()), repeats
     )
-    tb.charge("client encode", t)
-    t, _decoded = _measure_median(
+    tb.charge("client encode", t, repeats=repeats)
+    t, _decoded = timed_median(
         lambda: SoapEnvelope.from_document(encoding.decode(request_payload)), repeats
     )
-    tb.charge("server decode", t)
+    tb.charge("server decode", t, repeats=repeats)
 
     req_wire = overheads.http_post_bytes(len(request_payload), encoding.content_type)
     tb.charge("wire: connect", connection_setup_time(profile))
@@ -354,14 +344,14 @@ def _control_exchange_wire(profile: LinkProfile, url: str, tb: TimeBreakdown, re
 
 
 def _respond_and_charge(encoding, result_env, profile, tb, repeats) -> int:
-    t, response_payload = _measure_median(
+    t, response_payload = timed_median(
         lambda: encoding.encode(result_env.to_document()), repeats
     )
-    tb.charge("server encode", t)
-    t, _ = _measure_median(
+    tb.charge("server encode", t, repeats=repeats)
+    t, _ = timed_median(
         lambda: SoapEnvelope.from_document(encoding.decode(response_payload)), repeats
     )
-    tb.charge("client decode", t)
+    tb.charge("client decode", t, repeats=repeats)
     resp_wire = overheads.http_response_bytes(len(response_payload), encoding.content_type)
     tb.charge("wire: response", transfer_time(profile, resp_wire))
     return resp_wire
@@ -373,8 +363,8 @@ def _netcdf_publish(dataset: LeadDataset, tb: TimeBreakdown, disk: DiskModel, re
     The file is really written (CPU measured); the period-disk cost of the
     write is charged from the disk model.
     """
-    t, blob = _measure_median(lambda: write_dataset_bytes(dataset.to_netcdf()), repeats)
-    tb.charge("client netCDF encode", t)
+    t, blob = timed_median(lambda: write_dataset_bytes(dataset.to_netcdf()), repeats)
+    tb.charge("client netCDF encode", t, repeats=repeats)
 
     def spool():
         fd, path = tempfile.mkstemp(suffix=".nc", prefix="repro-pub-")
@@ -382,8 +372,8 @@ def _netcdf_publish(dataset: LeadDataset, tb: TimeBreakdown, disk: DiskModel, re
             fh.write(blob)
         return path
 
-    t, path = _measure_median(spool, repeats)
-    tb.charge("client spool (cpu)", t)
+    t, path = timed_median(spool, repeats)
+    tb.charge("client spool (cpu)", t, repeats=repeats)
     tb.charge("disk: client write", disk.write_time(len(blob)))
     return blob, path
 
@@ -410,8 +400,8 @@ def _verify_fetched(
         fetched = _read_netcdf_via_tempfile(blob)
         return VerificationResult.from_record(fetched.verify())
 
-    t, result = _measure_median(step, repeats)
-    tb.charge("server netCDF read+verify", t)
+    t, result = timed_median(step, repeats)
+    tb.charge("server netCDF read+verify", t, repeats=repeats)
     tb.charge("disk: server write (excess)", disk.overlapped_excess(len(blob), download_bandwidth))
     tb.charge("disk: server read", disk.read_time(len(blob)))
     # the classic netCDF format cannot hold zero-length fixed dimensions, so
@@ -483,6 +473,7 @@ def run_separated_http(
         data_wire_bytes=file_wire,
         fault_retries=fault_retries,
         faults_injected=faults_injected,
+        repeats=repeats,
     )
 
 
@@ -562,10 +553,13 @@ def run_separated_gridftp(
                         retryable=lambda exc: isinstance(exc, (GridFTPError, TransportError)),
                     )
                 times.append(time.perf_counter() - start)
-            times.sort()
             # deliberately unscaled: this wall time is Python thread/queue
             # overhead of running the live protocol, not era CPU work
-            tb.charge("gridftp transfer (python overhead)", times[len(times) // 2])
+            tb.charge(
+                "gridftp transfer (python overhead)",
+                median_seconds(times),
+                repeats=iterations,
+            )
         finally:
             server.stop()
         assert fetched == blob
@@ -613,6 +607,7 @@ def run_separated_gridftp(
         n_streams=n_streams,
         fault_retries=fault_retries,
         faults_injected=faults_injected,
+        repeats=repeats,
     )
 
 

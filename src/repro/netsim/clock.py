@@ -5,12 +5,31 @@ with ``perf_counter`` around real code, some produced by the TCP model —
 and reports both the total and the per-label split, so every number in
 EXPERIMENTS.md can be decomposed (e.g. "how much of the XML/HTTP response
 time is float→ASCII conversion?").
+
+Every charge is also reported to the active :mod:`repro.obs` recorder as
+an *accounting span* (attribute ``segment: true``), so the modelled wire
+time and the measured CPU time of one exchange land in a single trace.
+The span kind follows the label convention the runners already use:
+``wire: ...`` → ``wire``, ``disk: ...`` → ``disk``, everything else →
+``cpu``.  Summing the accounting spans of an exchange reproduces
+:attr:`TimeBreakdown.total` exactly — the reconciliation the harness's
+``--trace-out`` output is tested against.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+
+from repro import obs
+
+
+def _kind_for(label: str) -> str:
+    if label.startswith("wire:"):
+        return "wire"
+    if label.startswith("disk:"):
+        return "disk"
+    return "cpu"
 
 
 class TimeBreakdown:
@@ -21,11 +40,17 @@ class TimeBreakdown:
 
     # ------------------------------------------------------------------
 
-    def charge(self, label: str, seconds: float) -> None:
-        """Add modelled time under a label."""
+    def charge(self, label: str, seconds: float, **attributes) -> None:
+        """Add modelled (or pre-measured) time under a label.
+
+        ``attributes`` are attached to the accounting span emitted into
+        the active trace (e.g. ``repeats=5`` from the harness's median
+        measurement).
+        """
         if seconds < 0:
             raise ValueError(f"negative time charge {seconds} for {label!r}")
         self._segments[label] = self._segments.get(label, 0.0) + seconds
+        obs.charge(label, seconds, kind=_kind_for(label), segment=True, **attributes)
 
     @contextmanager
     def measure(self, label: str):
@@ -37,8 +62,13 @@ class TimeBreakdown:
             self.charge(label, time.perf_counter() - start)
 
     def merge(self, other: "TimeBreakdown") -> None:
+        # no accounting spans here: the other breakdown's charges were
+        # already reported when they happened; re-emitting would double
+        # count the segments in the trace
         for label, seconds in other._segments.items():
-            self.charge(label, seconds)
+            if seconds < 0:
+                raise ValueError(f"negative time charge {seconds} for {label!r}")
+            self._segments[label] = self._segments.get(label, 0.0) + seconds
 
     # ------------------------------------------------------------------
 
@@ -60,6 +90,6 @@ class TimeBreakdown:
             out._segments[label] = seconds * factor
         return out
 
-    def __repr__(self) -> str:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v * 1e3:.3f}ms" for k, v in self._segments.items())
         return f"<TimeBreakdown total={self.total * 1e3:.3f}ms {parts}>"

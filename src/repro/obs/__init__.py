@@ -1,0 +1,102 @@
+"""``repro.obs`` — zero-dependency tracing and metrics for the whole stack.
+
+The paper's argument rests on *decomposed* cost accounting: CPU time per
+encoding phase versus modelled wire time per scheme (Figures 4–6, Table 1).
+This package is the one substrate every layer reports into:
+
+* **Spans** (:mod:`repro.obs.trace`) — named, nested time segments with
+  monotonic timestamps, attributes and point events.  Spans nest through a
+  thread-local context; a worker thread joins a parent trace by passing the
+  parent span explicitly (the GridFTP stripe workers do this).
+* **Accounting spans** — zero-duration spans carrying ``seconds`` charged
+  from a model rather than measured from a clock.  The netsim
+  :class:`~repro.netsim.TimeBreakdown` emits one per charge, so modelled
+  wire time and measured CPU time land in one unified trace.
+* **Counters and histograms** (:mod:`repro.obs.metrics`) — mergeable
+  aggregates for quantities that are not time segments (bytes, retries,
+  out-of-order blocks).
+* **Export** (:mod:`repro.obs.export`) — a JSON span-tree document (golden
+  schema ``repro.obs.trace/1``) and flamegraph-friendly folded stacks.
+
+Recording is opt-in per process: the module-level active recorder defaults
+to :data:`NULL_RECORDER`, whose every operation is a no-op returning shared
+singletons — the disabled-path cost of an instrumented call site is two
+attribute lookups and a no-op context manager, negligible against any real
+encode/decode (``benchmarks/bench_obs.py`` keeps this honest).
+
+Usage::
+
+    from repro import obs
+
+    with obs.recording() as recorder:
+        with obs.span("exchange", kind="logical", scheme="soap-bxsa-tcp"):
+            ...instrumented code runs here...
+    trace = recorder.export()          # JSON-ready dict
+
+Call sites inside the library always go through the module-level helpers
+(:func:`span`, :func:`event`, :func:`charge`, :func:`counter`,
+:func:`histogram`) so they observe whatever recorder is active when they
+run — including from worker threads.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import folded_stacks, trace_dict, write_trace
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    SpanEvent,
+    TraceRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Span",
+    "SpanEvent",
+    "TraceRecorder",
+    "charge",
+    "counter",
+    "event",
+    "folded_stacks",
+    "get_recorder",
+    "histogram",
+    "recording",
+    "set_recorder",
+    "span",
+    "trace_dict",
+    "write_trace",
+]
+
+
+def span(name: str, kind: str = "cpu", parent=None, **attributes):
+    """Open a span on the active recorder (no-op context when disabled)."""
+    return get_recorder().span(name, kind=kind, parent=parent, **attributes)
+
+
+def event(name: str, **attributes) -> None:
+    """Attach a point event to the active recorder's current span."""
+    get_recorder().event(name, **attributes)
+
+
+def charge(name: str, seconds: float, kind: str = "wire", parent=None, **attributes) -> None:
+    """Record an accounting span: ``seconds`` charged, not measured."""
+    get_recorder().charge(name, seconds, kind=kind, parent=parent, **attributes)
+
+
+def counter(name: str):
+    """The active recorder's counter ``name`` (no-op sink when disabled)."""
+    return get_recorder().counter(name)
+
+
+def histogram(name: str):
+    """The active recorder's histogram ``name`` (no-op sink when disabled)."""
+    return get_recorder().histogram(name)

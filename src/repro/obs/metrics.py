@@ -1,0 +1,160 @@
+"""Counters and histograms with well-defined merge semantics.
+
+The harness runs many exchanges (threads, repeats, schemes) and wants one
+aggregate view; services running in worker threads each hold a registry
+that the host merges on shutdown.  Merge rules:
+
+* counter + counter — values add;
+* histogram + histogram — per-bucket counts add; count/total add;
+  min/max combine; **bucket bounds must match** (merging differently
+  bucketed histograms silently mixing scales is exactly the measurement
+  bug this layer exists to prevent — it raises instead);
+* name collisions across kinds (a counter merged onto a histogram) raise.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+
+#: Default histogram bounds: log-spaced from 1 µs to ~100 s, suitable for
+#: the latency ranges the harness observes (seconds as floats).
+DEFAULT_BOUNDS = tuple(10.0 ** (e / 2.0) for e in range(-12, 5))
+
+
+class Counter:
+    """A monotonically increasing (well, signed-add) scalar."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n=1) -> None:
+        with self._lock:
+            self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        if not isinstance(other, Counter):
+            raise TypeError(f"cannot merge {type(other).__name__} into Counter {self.name!r}")
+        self.add(other.value)
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution of observed values.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final bucket
+    is the overflow.  Tracks count/total/min/max exactly regardless of
+    bucketing.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, bounds=None) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted: {self.bounds}")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if not isinstance(other, Histogram):
+            raise TypeError(f"cannot merge {type(other).__name__} into Histogram {self.name!r}")
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ "
+                f"({len(self.bounds)} vs {len(other.bounds)} bounds) — refusing to mix scales"
+            )
+        with self._lock:
+            for i, n in enumerate(other.counts):
+                self.counts[i] += n
+            self.count += other.count
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, bounds))
+
+    def _get_or_create(self, name, kind, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(instrument).__name__}"
+                )
+            return instrument
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (same-name instruments merge)."""
+        with other._lock:
+            items = list(other._instruments.items())
+        for name, instrument in items:
+            if isinstance(instrument, Counter):
+                self.counter(name).merge(instrument)
+            else:
+                self.histogram(name, instrument.bounds).merge(instrument)
+
+    def snapshot(self) -> dict:
+        """``{"counters": {...}, "histograms": {...}}`` (JSON-ready)."""
+        with self._lock:
+            items = list(self._instruments.items())
+        counters = {}
+        histograms = {}
+        for name, instrument in sorted(items):
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.snapshot()
+            else:
+                histograms[name] = instrument.snapshot()
+        return {"counters": counters, "histograms": histograms}

@@ -1,0 +1,324 @@
+"""Spans, recorders and the thread-local trace context.
+
+Design constraints, in order:
+
+1. **Disabled must be free.**  Every instrumented call site in the library
+   runs on hot paths the paper benchmarks.  The :data:`NULL_RECORDER`
+   answers every operation with a shared singleton and no allocation, so
+   ``with obs.span(...)`` costs a couple of plain function calls when no
+   one is recording.
+2. **Threads are first-class.**  The GridFTP stripe workers, the service
+   hosts and the fault-injection replays all run code on worker threads.
+   The *current span* is thread-local (each thread nests its own spans);
+   the recorder's span list is shared under a lock; a worker adopts a
+   parent from another thread by passing ``parent=`` explicitly.
+3. **Two time domains.**  Measured spans carry monotonic
+   ``perf_counter`` start/end stamps.  Accounting spans (made by
+   :meth:`TraceRecorder.charge`) carry a modelled duration in
+   ``modelled_seconds`` and zero wall width — the netsim clock uses these
+   so modelled wire time and measured CPU time coexist in one tree,
+   distinguishable by inspection.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Span kinds used across the library.  Free-form strings are accepted;
+#: these are the conventional taxonomy (see DESIGN.md).
+SPAN_KINDS = ("cpu", "wire", "disk", "logical")
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span (e.g. one retry attempt)."""
+
+    name: str
+    time: float
+    attributes: dict = field(default_factory=dict)
+
+
+class Span:
+    """One named time segment.  Mutable until its recorder finishes it."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "span_id",
+        "parent_id",
+        "thread",
+        "start",
+        "end",
+        "modelled_seconds",
+        "attributes",
+        "events",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        attributes: dict,
+        thread: str = "",
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread = thread
+        self.start = start
+        self.end: float | None = None
+        self.modelled_seconds: float | None = None
+        self.attributes = attributes
+        self.events: list[SpanEvent] = []
+
+    # -- annotation ----------------------------------------------------
+
+    def set(self, key: str, value) -> "Span":
+        """Attach/overwrite one attribute."""
+        self.attributes[key] = value
+        return self
+
+    def add_event(self, name: str, at: float, **attributes) -> None:
+        self.events.append(SpanEvent(name, at, attributes))
+
+    # -- time ----------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        """Measured wall duration (0.0 while open or for accounting spans)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def seconds(self) -> float:
+        """The span's reportable duration: modelled if charged, else wall."""
+        if self.modelled_seconds is not None:
+            return self.modelled_seconds
+        return self.wall_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        src = "modelled" if self.modelled_seconds is not None else "measured"
+        return f"<Span #{self.span_id} {self.name!r} kind={self.kind} {src} {self.seconds * 1e3:.3f}ms>"
+
+
+# ---------------------------------------------------------------------------
+# the recording recorder
+
+
+class TraceRecorder:
+    """Collects spans, events, counters and histograms for one trace.
+
+    Thread-safe: spans may be opened/closed concurrently from any number
+    of threads.  Each thread nests spans on its own stack; cross-thread
+    parentage is explicit (``span(..., parent=parent_span)``).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.spans: list[Span] = []
+        #: Events recorded while no span was current on the calling thread.
+        self.orphan_events: list[SpanEvent] = []
+        self.metrics = MetricsRegistry()
+        self._local = threading.local()
+
+    # -- context plumbing ----------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _open(self, name: str, kind: str, parent, attributes: dict) -> Span:
+        stack = self._stack()
+        if parent is not None:
+            parent_id = getattr(parent, "span_id", None)
+        else:
+            parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            span = Span(
+                name,
+                kind,
+                span_id,
+                parent_id,
+                self._clock(),
+                attributes,
+                thread=threading.current_thread().name,
+            )
+            self.spans.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack()
+        # tolerate exotic exits (a generator span finalized on another
+        # thread): remove the span wherever it sits instead of corrupting
+        # the nesting of unrelated spans
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+
+    # -- public API -----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, kind: str = "cpu", parent=None, **attributes) -> Iterator[Span]:
+        """Open a span; closes (stamps ``end``) when the block exits."""
+        sp = self._open(name, kind, parent, attributes)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.attributes.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self._close(sp)
+
+    def charge(
+        self, name: str, seconds: float, kind: str = "wire", parent=None, **attributes
+    ) -> Span:
+        """Record an accounting span of modelled duration ``seconds``."""
+        sp = self._open(name, kind, parent, attributes)
+        sp.modelled_seconds = float(seconds)
+        self._close(sp)
+        sp.end = sp.start  # zero wall width: the time is charged, not spent
+        return sp
+
+    def event(self, name: str, **attributes) -> None:
+        """Attach a point event to the calling thread's current span."""
+        now = self._clock()
+        current = self.current_span()
+        if current is not None:
+            current.add_event(name, now, **attributes)
+        else:
+            with self._lock:
+                self.orphan_events.append(SpanEvent(name, now, attributes))
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def histogram(self, name: str, bounds=None):
+        return self.metrics.histogram(name, bounds)
+
+    def export(self, meta: dict | None = None) -> dict:
+        """The trace as a JSON-ready dict (see :mod:`repro.obs.export`)."""
+        from repro.obs.export import trace_dict
+
+        return trace_dict(self, meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# the disabled recorder
+
+
+class _NullSpan:
+    """Shared do-nothing span/context manager for the disabled path."""
+
+    __slots__ = ()
+    span_id = None
+    events: tuple = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key, value) -> "_NullSpan":
+        return self
+
+    def add_event(self, name, at, **attributes) -> None:
+        pass
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/histogram."""
+
+    __slots__ = ()
+
+    def add(self, n=1) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRecorder:
+    """Recorder whose every operation is a no-op (the default)."""
+
+    enabled = False
+
+    def span(self, name, kind="cpu", parent=None, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def charge(self, name, seconds, kind="wire", parent=None, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name, **attributes) -> None:
+        pass
+
+    def counter(self, name) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, bounds=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def current_span(self) -> None:
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+# ---------------------------------------------------------------------------
+# the active recorder (process-global; worker threads see it too)
+
+_active: TraceRecorder | NullRecorder = NULL_RECORDER
+
+
+def get_recorder():
+    """The recorder instrumented call sites report to right now."""
+    return _active
+
+
+def set_recorder(recorder):
+    """Install ``recorder`` (None → disable); returns the previous one."""
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(recorder: TraceRecorder | None = None) -> Iterator[TraceRecorder]:
+    """Activate a recorder for the block (a fresh one by default)."""
+    recorder = recorder if recorder is not None else TraceRecorder()
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

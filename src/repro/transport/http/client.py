@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from repro import obs
 from repro.transport.base import BufferedChannel, Channel, TransportError
 from repro.transport.http.messages import HttpRequest, HttpResponse, read_response
 from repro.transport.instrument import ChannelStats, InstrumentedChannel
@@ -119,9 +120,13 @@ class HttpClient:
         def may_retry(_exc: BaseException, _attempt: int) -> bool:
             return idempotent and not consumed["response_bytes"]
 
-        response = retry_call(
-            attempt, policy, deadline=dl, may_retry=may_retry, rng=self._rng
-        )
+        with obs.span(
+            "http.request", kind="cpu", method=method, target=target, bytes=len(wire)
+        ) as sp:
+            response = retry_call(
+                attempt, policy, deadline=dl, may_retry=may_retry, rng=self._rng
+            )
+            sp.set("status", response.status)
 
         if (response.headers.get("Connection") or "").lower() == "close":
             self._drop_channel()

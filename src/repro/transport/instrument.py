@@ -11,7 +11,7 @@ structure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -21,7 +21,11 @@ class ChannelStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     sends: int = 0  #: number of send_all calls (application message bursts)
-    receives: int = 0  #: number of recv calls that returned data
+    #: Number of contiguous runs of data-returning recv calls.  One logical
+    #: response read in many 64 KiB chunks is one application-level burst,
+    #: not one per chunk — the per-burst RTT structure in the TCP model
+    #: depends on this (a run ends when the application sends again).
+    receives: int = 0
 
     def merge(self, other: "ChannelStats") -> None:
         self.bytes_sent += other.bytes_sent
@@ -40,9 +44,11 @@ class InstrumentedChannel:
     def __init__(self, channel, stats: ChannelStats | None = None) -> None:
         self._channel = channel
         self.stats = stats if stats is not None else ChannelStats()
+        self._in_recv_run = False
 
     def send_all(self, data: bytes) -> None:
         self._channel.send_all(data)
+        self._in_recv_run = False
         self.stats.bytes_sent += len(data)
         self.stats.sends += 1
 
@@ -50,7 +56,9 @@ class InstrumentedChannel:
         chunk = self._channel.recv(max_bytes)
         if chunk:
             self.stats.bytes_received += len(chunk)
-            self.stats.receives += 1
+            if not self._in_recv_run:
+                self.stats.receives += 1
+                self._in_recv_run = True
         return chunk
 
     def close(self) -> None:

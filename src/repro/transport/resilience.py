@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.transport.base import Channel, TransportError
 
 
@@ -204,6 +205,9 @@ def retry_call(
             if may_retry is not None and not may_retry(exc, attempt):
                 raise
             if attempt >= policy.max_attempts:
+                obs.event(
+                    "retry.exhausted", attempts=attempt, error=type(exc).__name__
+                )
                 if attempt == 1:
                     raise
                 raise RetryBudgetExhausted(
@@ -216,6 +220,15 @@ def retry_call(
                     raise DeadlineExceeded(
                         f"deadline would expire during backoff after attempt {attempt}"
                     ) from exc
+            # the retry is happening: record the failed attempt and the
+            # backoff it cost on the enclosing span
+            obs.event(
+                "retry.attempt",
+                attempt=attempt,
+                error=type(exc).__name__,
+                backoff=pause,
+            )
+            obs.counter("resilience.retries").add()
             if pause:
                 sleep(pause)
     raise AssertionError("unreachable")  # pragma: no cover

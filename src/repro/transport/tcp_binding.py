@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import struct
 
+from repro import obs
 from repro.transport.base import Channel, TransportError, recv_exactly
 from repro.transport.resilience import DeadlineChannel, as_deadline
 
@@ -35,25 +36,28 @@ def write_message(channel: Channel, payload: bytes, content_type: str) -> int:
     if not 0 < len(ctag) <= _MAX_CONTENT_TYPE:
         raise TransportError(f"content type {content_type!r} not encodable")
     header = _MAGIC + bytes((len(ctag),)) + ctag + struct.pack(">I", len(payload))
-    channel.send_all(header + payload)
+    with obs.span("tcp.write", kind="cpu", bytes=len(header) + len(payload)):
+        channel.send_all(header + payload)
     return len(header) + len(payload)
 
 
 def read_message(channel: Channel) -> tuple[bytes, str]:
     """Read one framed message; returns (payload, content_type)."""
-    magic = recv_exactly(channel, 2)
-    if magic != _MAGIC:
-        raise TransportError(f"bad magic {magic!r} on TCP binding stream")
-    (ctype_len,) = recv_exactly(channel, 1)
-    ctag = recv_exactly(channel, ctype_len)
-    (length,) = struct.unpack(">I", recv_exactly(channel, 4))
-    if length > MAX_MESSAGE_BYTES:
-        raise TransportError(f"message of {length} bytes exceeds limit")
-    payload = recv_exactly(channel, length)
-    try:
-        return payload, str(ctag, "ascii")
-    except UnicodeDecodeError as exc:
-        raise TransportError(f"invalid content-type tag: {exc}") from exc
+    with obs.span("tcp.read", kind="cpu") as sp:
+        magic = recv_exactly(channel, 2)
+        if magic != _MAGIC:
+            raise TransportError(f"bad magic {magic!r} on TCP binding stream")
+        (ctype_len,) = recv_exactly(channel, 1)
+        ctag = recv_exactly(channel, ctype_len)
+        (length,) = struct.unpack(">I", recv_exactly(channel, 4))
+        if length > MAX_MESSAGE_BYTES:
+            raise TransportError(f"message of {length} bytes exceeds limit")
+        payload = recv_exactly(channel, length)
+        sp.set("bytes", len(payload))
+        try:
+            return payload, str(ctag, "ascii")
+        except UnicodeDecodeError as exc:
+            raise TransportError(f"invalid content-type tag: {exc}") from exc
 
 
 class TcpClientBinding:

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.xdm.nodes import (
     ArrayElement,
-    AttributeNode,
     CommentNode,
     DocumentNode,
     ElementNode,

@@ -11,11 +11,10 @@ stack — cheaper and simpler than back-links).
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.xbs.constants import TypeCode
 from repro.xdm.errors import XDMError, XDMTypeError
 from repro.xdm.qname import QName
 from repro.xdm.types import (
@@ -147,7 +146,11 @@ class PINode(Node):
         if "?>" in data:
             raise XDMError("PI data must not contain '?>'")
         self.target = target
-        self.data = data
+        # Leading whitespace is part of the target/data separator in XML
+        # (the Infoset excludes it from PI content), so it cannot survive
+        # a serialize/parse round trip; normalize it away up front so the
+        # textual and binary codecs agree on one canonical value.
+        self.data = data.lstrip(" \t\r\n")
 
     def __repr__(self) -> str:
         return f"<PINode {self.target} {self.data[:30]!r}>"

@@ -11,8 +11,6 @@ nested documents cannot blow the Python recursion limit.
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.xdm.errors import XDMError
 from repro.xdm.nodes import (
     ArrayElement,

@@ -29,12 +29,12 @@ from repro.xdm.nodes import (
     PINode,
     TextNode,
 )
-from repro.xdm.qname import QName, XML_URI, XMLNS_URI, XSD_URI
+from repro.xdm.qname import QName, XML_URI, XSD_URI
 from repro.xdm.types import atomic_type_for_xsd, parse_lexical
 from repro.xdm.errors import XDMTypeError
 from repro.xmlcodec.errors import XMLParseError
 from repro.xmlcodec.escape import unescape
-from repro.xmlcodec.typed import ARRAY_TYPE, BX_ITEM_TYPE, BX_URI, XSI_TYPE, split_qname_text
+from repro.xmlcodec.typed import ARRAY_TYPE, BX_ITEM_TYPE, XSI_TYPE, split_qname_text
 
 _NAME_RE = re.compile(r"[^\W\d][\w.\-]*", re.UNICODE)
 _WS = " \t\r\n"

@@ -22,7 +22,6 @@ from repro.xdm.nodes import (
     ArrayElement,
     AttributeNode,
     CommentNode,
-    DocumentNode,
     ElementNode,
     LeafElement,
     Node,

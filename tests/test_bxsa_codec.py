@@ -16,11 +16,9 @@ from repro.bxsa import (
 from repro.xbs import BIG_ENDIAN, LITTLE_ENDIAN
 from repro.xdm import (
     ArrayElement,
-    LeafElement,
     QName,
     array,
     comment,
-    deep_equal,
     doc,
     element,
     explain_difference,
@@ -239,8 +237,6 @@ class TestZeroCopy:
 
     def test_alignment_pad_present(self):
         """Payload starts at a multiple of the item size within the body."""
-        from repro.bxsa import FrameScanner
-
         blob = encode(doc(element("r", array("v", np.arange(8, dtype="f8")))))
         # decode succeeds and values match regardless of surrounding offsets
         out = decode_document(blob)

@@ -1,5 +1,6 @@
 """Property-based tests for the BXSA codec and transcoding."""
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -14,7 +15,9 @@ from repro.bxsa import (
 from repro.xbs import BIG_ENDIAN, LITTLE_ENDIAN
 from repro.xdm import deep_equal, explain_difference
 
-from tests.strategies import documents, elements
+from tests.strategies import documents
+
+pytestmark = pytest.mark.slow
 
 _settings = settings(
     max_examples=60,
@@ -114,7 +117,6 @@ def test_stream_reader_agrees_with_tree_decoder(tree, order):
     from repro.bxsa.stream import BXSAStreamReader, EventKind
     from repro.xdm.nodes import (
         ArrayElement,
-        AttributeNode,
         CommentNode,
         DocumentNode,
         ElementNode,

@@ -221,3 +221,77 @@ class TestStreamingUseCases:
             elif event.kind is EventKind.PI:
                 w.pi(event.target, event.text)
         assert deep_equal(decode(replayed), decode(original))
+
+
+class TestAdversarialTruncation:
+    """Frames whose Size field lies must fail loudly, never read beyond
+    their own end (the seed validated the array pad byte against the whole
+    buffer, so a truncated Size silently consumed the next frame's bytes)."""
+
+    def bare_array_blob(self) -> bytes:
+        return bytes(encode(array("v", np.arange(2, dtype="f8"))))
+
+    def truncate_size(self, blob: bytes, new_size: int) -> bytes:
+        # single-byte VLS Size sits right after the one prefix byte
+        assert blob[1] < 0x80, "fixture assumes a single-byte Size"
+        return blob[:1] + bytes([new_size]) + blob[2:]
+
+    def test_stream_reader_rejects_pad_byte_outside_frame(self):
+        blob = self.bare_array_blob()
+        # shrink Size so the frame ends exactly where the pad byte sits;
+        # the pad position is still inside the *buffer* (trailing bytes
+        # remain), which is what fooled the len(data) check
+        bad = self.truncate_size(blob, 8)
+        with pytest.raises(BXSADecodeError, match="truncated array frame"):
+            list(BXSAStreamReader(bad))
+
+    def test_tree_decoder_rejects_pad_byte_outside_frame(self):
+        from repro.bxsa import decode
+
+        bad = self.truncate_size(self.bare_array_blob(), 8)
+        with pytest.raises(BXSADecodeError, match="truncated array frame"):
+            decode(bad)
+
+    def test_array_payload_must_stay_inside_frame(self):
+        blob = self.bare_array_blob()
+        # leave room for the pad byte but not the 16-byte payload
+        bad = self.truncate_size(blob, 12)
+        with pytest.raises(BXSADecodeError, match="overruns its frame"):
+            list(BXSAStreamReader(bad))
+
+    def test_child_overrunning_container_fails_before_yielding(self):
+        """A child frame whose Size spills past its enclosing frame's end
+        must raise *before* the event is handed to the consumer — a pull
+        parser that has already yielded cannot take the event back."""
+        blob = bytearray(encode(doc(element("r", leaf("x", 1, "int")))))
+        # find the leaf frame: document prefix+size+count, element
+        # prefix+size+header+count, then the leaf's prefix and Size bytes
+        from repro.bxsa.frames import (
+            read_frame_prefix,
+            read_name_ref,
+            read_string,
+            read_vls,
+        )
+
+        _, _, body, _ = read_frame_prefix(blob, 0)
+        _, p = read_vls(blob, body)  # document child count
+        _, _, ebody, _ = read_frame_prefix(blob, p)
+        _, q = read_vls(blob, ebody)  # element: n namespaces
+        _, _, q = read_name_ref(blob, q)
+        _, q = read_string(blob, q)
+        _, q = read_vls(blob, q)  # n attributes
+        _, q = read_vls(blob, q)  # element child count
+        assert blob[q + 1] < 0x7F
+        blob[q + 1] += 1  # inflate the leaf's Size past its container
+        bad = bytes(blob) + b"\x00" * 8  # keep the lie inside the buffer
+
+        events = []
+        with pytest.raises(BXSADecodeError, match="overrunning its enclosing"):
+            for event in BXSAStreamReader(bad):
+                events.append(event.kind)
+        assert EventKind.LEAF not in events
+
+    def test_honest_truncation_still_detected(self):
+        blob = self.bare_array_blob()
+        with pytest.raises(BXSADecodeError):
+            list(BXSAStreamReader(blob[:-3]))

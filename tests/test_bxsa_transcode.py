@@ -1,11 +1,10 @@
 """Transcodability tests (§4.2): BXSA ↔ textual XML conversions."""
 
 import numpy as np
-import pytest
 
 from repro.bxsa import bxsa_to_xml, decode, encode, xml_to_bxsa
 from repro.xdm import array, deep_equal, doc, element, explain_difference, leaf, text
-from repro.xmlcodec import parse_document, serialize
+from repro.xmlcodec import parse_document
 
 
 class TestBinaryToTextToBinary:

@@ -17,7 +17,7 @@ from repro.core import (
     XMLEncoding,
 )
 from repro.transport import MemoryNetwork
-from repro.xdm import ArrayElement, array, deep_equal, element, leaf
+from repro.xdm import ArrayElement, array, element, leaf
 from repro.xdm.path import children_named
 
 

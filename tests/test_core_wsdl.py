@@ -1,6 +1,5 @@
 """Tests for the WSDL-lite service descriptions (§2's flexibility claim)."""
 
-import numpy as np
 import pytest
 
 from repro.bxsa import decode, encode

@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import BXSAEncoding, SoapEnvelope, SoapFault, SoapTcpClient, SoapTcpService, XMLEncoding
+from repro.core import BXSAEncoding, SoapEnvelope, SoapFault, SoapTcpClient, SoapTcpService
 from repro.services.eventing import EventSource, NotificationSink
 from repro.transport import MemoryNetwork
 from repro.xdm import array, element, leaf

@@ -173,3 +173,114 @@ class TestFiguresQuick:
         result = figure6.run(sizes=[1365, 21840])
         assert result.experiment_id == "Figure 6"
         assert len(result.columns) == 6
+
+
+class TestMeasurementSubstrate:
+    def test_median_odd_samples(self):
+        from repro.harness.measure import median_seconds
+
+        assert median_seconds([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_samples_averages_the_middle_pair(self):
+        """The seed returned the *upper* middle sample for even counts —
+        every even-repeat measurement was biased toward its slower half."""
+        from repro.harness.measure import median_seconds
+
+        assert median_seconds([1.0, 2.0, 3.0, 4.0]) == 2.5
+        assert median_seconds([4.0, 1.0]) == 2.5  # unsorted input
+
+    def test_median_rejects_empty(self):
+        from repro.harness.measure import median_seconds
+
+        with pytest.raises(ValueError):
+            median_seconds([])
+
+    def test_timed_median_runs_and_scales(self, monkeypatch):
+        from repro.harness import measure
+
+        monkeypatch.setenv("REPRO_CPU_SCALE", "2.0")
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            return "result"
+
+        seconds, result = measure.timed_median(fn, 4)
+        assert result == "result"
+        assert calls["n"] == 5  # warmup + 4 measured
+        assert seconds > 0
+
+    def test_timed_median_rejects_zero_repeats(self):
+        from repro.harness.measure import timed_median
+
+        with pytest.raises(ValueError):
+            timed_median(lambda: None, 0)
+
+    def test_legacy_alias_still_importable(self):
+        from repro.harness.measure import timed_median
+        from repro.harness.runners import _measure_median
+
+        assert _measure_median is timed_median
+
+
+class TestTraceOut:
+    """The --trace-out knob: per-exchange span trees that reconcile."""
+
+    def test_traced_run_noop_without_directory(self):
+        from repro import obs
+        from repro.harness.measure import traced_run
+
+        assert traced_run(None, "x", lambda: 42) == 42
+        assert obs.get_recorder() is obs.NULL_RECORDER
+
+    def test_figure4_trace_out_reconciles(self, tmp_path):
+        import json
+
+        from repro.harness import figure4
+
+        figure4.run(sizes=[0], trace_dir=str(tmp_path))
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 4  # one per scheme
+        for path in files:
+            doc = json.loads(path.read_text())
+            assert doc["schema"] == "repro.obs.trace/1"
+            assert doc["meta"]["figure"] == "figure4"
+            root = doc["spans"][0]
+            assert root["name"] == "exchange"
+            assert root["attributes"]["repeats"] >= 1
+
+            def walk(node):
+                yield node
+                for child in node["children"]:
+                    yield from walk(child)
+
+            segments = [
+                n for n in walk(root) if n["attributes"].get("segment")
+            ]
+            assert segments, path.name
+            assert all(n["modelled"] for n in segments)
+            total = sum(n["seconds"] for n in segments)
+            # the span tree must reconcile exactly with the reported
+            # CPU + wire total the figure printed
+            reported = root["attributes"]["reported_total_seconds"]
+            assert total == pytest.approx(reported, rel=0, abs=1e-12)
+
+    def test_trace_captures_measured_library_spans(self, tmp_path):
+        import json
+
+        from repro.harness import figure4
+
+        figure4.run(sizes=[100], trace_dir=str(tmp_path))
+        doc = json.loads(
+            (tmp_path / "figure4-soap-bxsa-tcp-n100.json").read_text()
+        )
+
+        def walk(node):
+            yield node
+            for child in node["children"]:
+                yield from walk(child)
+
+        names = {n["name"] for n in walk(doc["spans"][0])}
+        # measured codec spans and modelled wire segments share one tree
+        assert "bxsa.encode" in names and "bxsa.decode" in names
+        assert "wire: request" in names and "client encode" in names

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.netcdf import NetCDFFormatError, read_dataset_bytes
-from repro.transport import MemoryNetwork, TransportError
+from repro.transport import MemoryNetwork
 from repro.transport.http import HttpClient
 from repro.xbs import TypeCode, XBSDecodeError, XBSReader, XBSWriter
 from repro.xdm import TreeBuilder, element, leaf

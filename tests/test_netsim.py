@@ -1,7 +1,5 @@
 """Unit tests for the analytic TCP/disk model."""
 
-import math
-
 import pytest
 
 from repro.netsim import (

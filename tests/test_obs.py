@@ -1,0 +1,425 @@
+"""Tests for the repro.obs tracing/metrics subsystem.
+
+Covers the contract surface the rest of the library leans on: span
+nesting (including across the threaded GridFTP stripe workers),
+counter/histogram merge semantics, the no-op disabled path, and the
+golden-file shape of the exported trace JSON.
+"""
+
+import itertools
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.gridftp import GridFTPClient, GridFTPServer, HostCredential
+from repro.obs import (
+    NULL_RECORDER,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    TraceRecorder,
+    folded_stacks,
+    get_recorder,
+    recording,
+    set_recorder,
+    trace_dict,
+    write_trace,
+)
+from repro.transport import MemoryNetwork
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "obs_trace.json")
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by ``step``."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_on_one_thread(self):
+        rec = TraceRecorder()
+        with rec.span("outer") as outer:
+            with rec.span("inner") as inner:
+                assert rec.current_span() is inner
+            assert rec.current_span() is outer
+        assert rec.current_span() is None
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_explicit_parent_overrides_stack(self):
+        rec = TraceRecorder()
+        with rec.span("a") as a:
+            pass
+        with rec.span("b"):
+            with rec.span("adopted", parent=a) as adopted:
+                pass
+        assert adopted.parent_id == a.span_id
+
+    def test_exception_marks_span_and_propagates(self):
+        rec = TraceRecorder()
+        with pytest.raises(ValueError):
+            with rec.span("bad"):
+                raise ValueError("boom")
+        (span,) = rec.spans
+        assert span.attributes["error"] == "ValueError"
+        assert span.end is not None
+
+    def test_charge_makes_zero_wall_accounting_span(self):
+        rec = TraceRecorder()
+        with rec.span("exchange"):
+            sp = rec.charge("wire: request", 0.125, segment=True)
+        assert sp.modelled_seconds == 0.125
+        assert sp.seconds == 0.125
+        assert sp.wall_seconds == 0.0
+        assert sp.parent_id == rec.spans[0].span_id
+
+    def test_events_attach_to_current_span_or_orphans(self):
+        rec = TraceRecorder()
+        rec.event("lost", n=1)
+        with rec.span("s") as sp:
+            rec.event("found", n=2)
+        assert [e.name for e in rec.orphan_events] == ["lost"]
+        assert [e.name for e in sp.events] == ["found"]
+        assert sp.events[0].attributes == {"n": 2}
+
+    def test_timestamps_are_monotonic_via_injected_clock(self):
+        clock = FakeClock()
+        rec = TraceRecorder(clock=clock)
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        a, b = rec.spans
+        assert a.start < b.start < b.end < a.end
+
+
+class TestThreadedStripeWorkers:
+    """Span nesting/ordering under the real GridFTP stripe threads."""
+
+    @pytest.fixture()
+    def grid(self):
+        net = MemoryNetwork()
+        credential = HostCredential.generate()
+        counter = itertools.count()
+
+        def data_listener_factory():
+            name = f"obs-data-{next(counter)}"
+            return name, net.listen(name)
+
+        server = GridFTPServer(net.listen("obs-gftp"), data_listener_factory, credential)
+        server.start()
+        yield server, lambda: GridFTPClient(
+            lambda: net.connect("obs-gftp"), net.connect, credential
+        )
+        server.stop()
+
+    def test_stripe_spans_adopt_cross_thread_parent(self, grid):
+        server, make_client = grid
+        blob = bytes(range(256)) * 64
+        server.publish("/blob", blob)
+        with recording(TraceRecorder()) as rec:
+            client = make_client()
+            assert client.retrieve("/blob", 4) == blob
+            client.quit()
+        retrieves = [s for s in rec.spans if s.name == "gridftp.retrieve"]
+        stripes = [s for s in rec.spans if s.name == "gridftp.stripe"]
+        assert len(retrieves) == 1
+        assert len(stripes) == 4
+        (retrieve,) = retrieves
+        assert all(s.parent_id == retrieve.span_id for s in stripes)
+        # workers really ran on other threads, and their spans closed
+        # inside the retrieval's window
+        assert any(s.thread != retrieve.thread for s in stripes)
+        assert all(s.end is not None for s in stripes)
+        assert all(retrieve.start <= s.start and s.end <= retrieve.end for s in stripes)
+        assert {s.attributes["stripe"] for s in stripes} == {0, 1, 2, 3}
+        assert sum(s.attributes["bytes"] for s in stripes) == len(blob)
+
+    def test_stripe_spans_nest_in_exported_tree(self, grid):
+        server, make_client = grid
+        server.publish("/x", b"payload" * 100)
+        with recording(TraceRecorder()) as rec:
+            client = make_client()
+            client.retrieve("/x", 2)
+            client.quit()
+        doc = trace_dict(rec)
+        roots = {node["name"]: node for node in doc["spans"]}
+        retrieve = roots["gridftp.retrieve"]
+        assert [c["name"] for c in retrieve["children"]].count("gridftp.stripe") == 2
+
+    def test_concurrent_unrelated_spans_do_not_cross_nest(self):
+        rec = TraceRecorder()
+        barrier = threading.Barrier(2)
+        ids = {}
+
+        def work(label):
+            barrier.wait()
+            with rec.span(label) as sp:
+                with rec.span(f"{label}.child") as child:
+                    ids[label] = (sp.span_id, child.parent_id)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        for label, (span_id, child_parent) in ids.items():
+            assert child_parent == span_id  # each thread nests on its own stack
+
+
+class TestMetrics:
+    def test_counter_add_and_merge(self):
+        a, b = Counter("c"), Counter("c")
+        a.add()
+        a.add(4)
+        b.add(10)
+        a.merge(b)
+        assert a.snapshot() == 15
+
+    def test_counter_rejects_foreign_merge(self):
+        with pytest.raises(TypeError):
+            Counter("c").merge(Histogram("h"))
+
+    def test_histogram_observe_and_stats(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["counts"] == [1, 1, 1]
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_histogram_merge_adds_buckets(self):
+        a = Histogram("h", bounds=(1.0,))
+        b = Histogram("h", bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        b.observe(0.25)
+        a.merge(b)
+        assert a.count == 3
+        assert a.counts == [2, 1]
+        assert a.min == 0.25 and a.max == 2.0
+
+    def test_histogram_merge_refuses_different_bounds(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError, match="refusing to mix scales"):
+            a.merge(b)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_registry_get_or_create_and_kind_collision(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").add(1)
+        b.counter("n").add(2)
+        b.counter("only-b").add(7)
+        b.histogram("lat", bounds=(1.0,)).observe(0.5)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"] == {"n": 3, "only-b": 7}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_merge_is_thread_safe_under_contention(self):
+        h = Histogram("h", bounds=(1.0,))
+
+        def hammer():
+            for _ in range(1000):
+                h.observe(0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert h.count == 4000
+        assert h.counts == [4000, 0]
+
+
+class TestNullRecorderPath:
+    def test_default_recorder_is_null(self):
+        assert get_recorder() is NULL_RECORDER
+        assert not NULL_RECORDER.enabled
+
+    def test_disabled_facade_calls_are_inert(self):
+        with obs.span("anything", kind="wire", whatever=1) as sp:
+            assert sp.set("k", "v") is sp  # chainable no-op
+            sp.add_event("e", 0.0)
+        obs.event("nothing")
+        obs.charge("wire: x", 1.0)
+        obs.counter("c").add(5)
+        obs.histogram("h").observe(1.0)
+        assert get_recorder() is NULL_RECORDER  # nothing was installed
+
+    def test_null_span_is_shared_singleton(self):
+        a = NULL_RECORDER.span("a")
+        b = NULL_RECORDER.charge("b", 1.0)
+        assert a is b
+        assert a.span_id is None
+
+    def test_recording_installs_and_restores(self):
+        rec = TraceRecorder()
+        with recording(rec) as active:
+            assert active is rec
+            assert get_recorder() is rec
+            with obs.span("visible"):
+                pass
+        assert get_recorder() is NULL_RECORDER
+        assert [s.name for s in rec.spans] == ["visible"]
+
+    def test_recording_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with recording():
+                raise RuntimeError
+        assert get_recorder() is NULL_RECORDER
+
+    def test_set_recorder_none_disables(self):
+        previous = set_recorder(TraceRecorder())
+        try:
+            assert get_recorder().enabled
+            set_recorder(None)
+            assert get_recorder() is NULL_RECORDER
+        finally:
+            set_recorder(previous)
+
+    def test_worker_threads_see_the_active_recorder(self):
+        seen = {}
+
+        def worker():
+            seen["recorder"] = get_recorder()
+
+        with recording(TraceRecorder()) as rec:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join(timeout=5)
+        assert seen["recorder"] is rec
+
+
+def build_reference_trace() -> TraceRecorder:
+    """The fixed exchange pinned by the golden file (deterministic clock)."""
+    rec = TraceRecorder(clock=FakeClock(0.001))
+    with rec.span("exchange", kind="logical", scheme="soap-bxsa-tcp", model_size=100):
+        with rec.span("bxsa.encode") as sp:
+            sp.set("bytes", 1234)
+        rec.charge("client encode", 0.002, kind="cpu", segment=True, repeats=7)
+        rec.charge("wire: request", 0.0005, kind="wire", segment=True)
+        with rec.span("soap.receive", kind="logical"):
+            rec.event("retry.attempt", attempt=1, error="TransportClosed", backoff=0.0)
+    rec.counter("resilience.retries").add(1)
+    rec.histogram("harness.sample_seconds", bounds=(0.001, 0.01)).observe(0.002)
+    return rec
+
+
+class TestExport:
+    def test_golden_trace_document(self):
+        """The exported JSON document must match the committed golden file
+        byte-for-byte (schema ``repro.obs.trace/1`` is a stable surface)."""
+        document = trace_dict(build_reference_trace(), meta={"figure": "golden"})
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        assert document == golden
+
+    def test_write_trace_round_trips(self, tmp_path):
+        path = tmp_path / "t.json"
+        written = write_trace(str(path), build_reference_trace(), meta={"figure": "golden"})
+        assert json.loads(path.read_text()) == written
+
+    def test_schema_and_relative_timestamps(self):
+        doc = trace_dict(build_reference_trace())
+        assert doc["schema"] == "repro.obs.trace/1"
+        root = doc["spans"][0]
+        assert root["start"] == 0.0  # relative to earliest span
+        assert doc["meta"]["t0"] > 0.0  # raw origin preserved
+        assert root["name"] == "exchange"
+        names = [c["name"] for c in root["children"]]
+        assert names == ["bxsa.encode", "client encode", "wire: request", "soap.receive"]
+
+    def test_accounting_vs_measured_distinction(self):
+        doc = trace_dict(build_reference_trace())
+        children = {c["name"]: c for c in doc["spans"][0]["children"]}
+        assert children["client encode"]["modelled"] is True
+        assert "wall_seconds" not in children["client encode"]
+        assert children["bxsa.encode"]["modelled"] is False
+        assert children["bxsa.encode"]["wall_seconds"] > 0
+
+    def test_folded_stacks(self):
+        rec = TraceRecorder(clock=FakeClock(0.001))
+        with rec.span("root"):
+            with rec.span("leaf"):
+                pass
+        lines = folded_stacks(rec)
+        assert any(line.startswith("root;leaf ") for line in lines)
+        assert any(line.startswith("root ") for line in lines)
+        # self time is never negative
+        assert all(int(line.rsplit(" ", 1)[1]) >= 0 for line in lines)
+
+    def test_orphan_parent_promoted_to_root(self):
+        rec = TraceRecorder()
+        with rec.span("parent"):
+            with rec.span("child"):
+                pass
+        rec.spans = [s for s in rec.spans if s.name == "child"]
+        doc = trace_dict(rec)
+        assert [n["name"] for n in doc["spans"]] == ["child"]
+
+
+class TestRetryObservability:
+    def test_retry_attempts_become_span_events(self):
+        from repro.transport.base import TransportError
+        from repro.transport.resilience import RetryPolicy, retry_call
+
+        calls = {"n": 0}
+
+        def flaky(_attempt):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransportError("flap")
+            return "ok"
+
+        with recording(TraceRecorder()) as rec:
+            with rec.span("op") as sp:
+                result = retry_call(
+                    flaky, RetryPolicy(max_attempts=5, base_backoff=0.0, jitter=0.0)
+                )
+        assert result == "ok"
+        attempts = [e for e in sp.events if e.name == "retry.attempt"]
+        assert [e.attributes["attempt"] for e in attempts] == [1, 2]
+        assert rec.metrics.counter("resilience.retries").value == 2
+
+    def test_exhausted_budget_emits_terminal_event(self):
+        from repro.transport.base import TransportError
+        from repro.transport.resilience import (
+            RetryBudgetExhausted,
+            RetryPolicy,
+            retry_call,
+        )
+
+        def always_fails(_attempt):
+            raise TransportError("down")
+
+        with recording(TraceRecorder()) as rec:
+            with rec.span("op") as sp:
+                with pytest.raises(RetryBudgetExhausted):
+                    retry_call(
+                        always_fails,
+                        RetryPolicy(max_attempts=2, base_backoff=0.0, jitter=0.0),
+                    )
+        assert [e.name for e in sp.events] == ["retry.attempt", "retry.exhausted"]
+        assert sp.events[-1].attributes == {"attempts": 2, "error": "TransportError"}

@@ -13,7 +13,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.bxsa import BXSADecodeError
 from repro.core import (
     BXSAEncoding,
     SoapEnvelope,

@@ -243,3 +243,39 @@ class TestInstrumentation:
         s1.merge(s2)
         assert s1.bytes_sent == 11
         assert s1.total_bytes == 18
+
+    def test_chunked_reader_counts_one_burst(self):
+        """A reader draining one message in many small recv() calls is one
+        receive burst, not one per chunk (the seed inflated the count)."""
+        a, b = memory_pipe()
+        ib = InstrumentedChannel(b)
+        a.send_all(b"0123456789")
+        chunks = []
+        while len(b"".join(chunks)) < 10:
+            chunks.append(ib.recv(3))  # 4 chunked reads of one message
+        assert b"".join(chunks) == b"0123456789"
+        assert ib.stats.bytes_received == 10
+        assert ib.stats.receives == 1
+
+    def test_send_breaks_the_recv_run(self):
+        """Request/response turns still count one burst per response."""
+        a, b = memory_pipe()
+        ib = InstrumentedChannel(b)
+        for payload in (b"first-reply", b"second-reply"):
+            a.send_all(payload)
+            ib.send_all(b"req")  # the turn-taking boundary
+            got = b""
+            while len(got) < len(payload):
+                got += ib.recv(4)
+            assert got == payload
+        assert ib.stats.receives == 2
+        assert ib.stats.sends == 2
+
+    def test_empty_recv_does_not_start_a_burst(self):
+        a, b = memory_pipe()
+        ib = InstrumentedChannel(b)
+        a.send_all(b"x")
+        a.close()
+        assert ib.recv() == b"x"
+        assert ib.recv() == b""  # EOF
+        assert ib.stats.receives == 1

@@ -20,7 +20,6 @@ from repro.xdm import (
     find_all,
     find_first,
     leaf,
-    pi,
     select,
     text,
     walk,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bxsa import decode, encode
-from repro.xdm import array, doc, element, leaf, text
+from repro.xdm import array, doc, element, leaf
 from repro.xdm.xpath import XPathError, evaluate, evaluate_one, parse_path
 from repro.xmlcodec import parse_document, serialize
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.xdm import ArrayElement, CommentNode, ElementNode, LeafElement, PINode, TextNode
+from repro.xdm import ArrayElement, CommentNode, ElementNode, LeafElement, PINode
 from repro.xmlcodec import XMLParseError, parse_document, parse_fragment
 
 

@@ -1,11 +1,14 @@
 """Property-based round-trip tests for the textual XML codec."""
 
-from hypothesis import given, settings, HealthCheck
+import pytest
+from hypothesis import HealthCheck, given, settings
 
 from repro.xdm import deep_equal, explain_difference
 from repro.xmlcodec import parse_document, serialize
 
 from tests.strategies import documents, elements
+
+pytestmark = pytest.mark.slow
 
 _settings = settings(
     max_examples=60,

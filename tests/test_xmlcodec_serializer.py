@@ -4,12 +4,10 @@ import numpy as np
 import pytest
 
 from repro.xdm import (
-    ArrayElement,
     LeafElement,
     QName,
     array,
     comment,
-    deep_equal,
     doc,
     element,
     explain_difference,
@@ -64,6 +62,14 @@ class TestSerializeBasics:
     def test_comment_and_pi(self):
         out = serialize(doc(comment("c"), element("r", pi("t", "d"))))
         assert out == "<!--c--><r><?t d?></r>"
+
+    def test_whitespace_only_pi_data_normalized(self):
+        """Leading PI-data whitespace is the XML target/data separator —
+        it cannot round-trip, so the model strips it at construction."""
+        node = pi("t", "  ")
+        assert node.data == ""
+        assert serialize(element("r", node)) == "<r><?t?></r>"
+        assert pi("t", "  d ").data == "d "
 
     def test_xml_declaration(self):
         out = serialize(doc(element("r")), xml_declaration=True)
