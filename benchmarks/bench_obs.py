@@ -43,7 +43,9 @@ class TestDisabledOverhead:
         Interleaved measurement rounds cancel slow drift (thermal, GC);
         the medians of the per-round medians are compared.
         """
-        policy = BXSAEncoding()
+        # session=False keeps both sides on the stateless encoder — this
+        # test isolates instrumentation overhead, not warm-plan replay
+        policy = BXSAEncoding(session=False)
         raw, instrumented = [], []
         for _ in range(5):
             raw.append(_median_runtime(lambda: raw_bxsa_encode(document)))

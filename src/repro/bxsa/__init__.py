@@ -26,6 +26,7 @@ from repro.bxsa.decoder import BXSADecoder, decode, decode_document
 from repro.bxsa.encoder import BXSAEncoder, encode, encode_document
 from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError, BXSAError
 from repro.bxsa.scanner import FrameInfo, FrameScanner
+from repro.bxsa.session import CodecSession, SessionStats
 from repro.bxsa.stream import BXSAStreamReader, BXSAStreamWriter, EventKind, StreamEvent
 from repro.bxsa.transcode import bxsa_to_xml, xml_to_bxsa
 
@@ -39,9 +40,11 @@ __all__ = [
     "BXSAEncodeError",
     "BXSAEncoder",
     "BXSAError",
+    "CodecSession",
     "FrameInfo",
     "FrameScanner",
     "FrameType",
+    "SessionStats",
     "bxsa_to_xml",
     "decode",
     "decode_document",

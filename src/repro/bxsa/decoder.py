@@ -49,6 +49,22 @@ def decode(data, offset: int = 0, *, copy: bool = False) -> Node:
 
     Trailing bytes after the first top-level frame are rejected; use
     :class:`BXSADecoder` directly to pull consecutive frames from a stream.
+
+    Aliasing contract for ``copy=False`` (the default):
+
+    * Every *materialized* value — scalar leaf values, attribute values,
+      strings, QNames, namespace tables, text/comment/PI content — is fully
+      converted to independent Python objects during the decode pass.
+      Mutating or releasing the source buffer afterwards cannot corrupt
+      them.
+    * :class:`~repro.xdm.nodes.ArrayElement` payloads are the one
+      exception: ``node.values`` is a zero-copy ``numpy`` view **aliasing
+      the source buffer**.  If the source is writable (e.g. a
+      ``bytearray``), mutating it mutates the decoded array in place — and
+      writing through the array mutates the buffer; if the source is
+      immutable ``bytes``, the view is read-only.  Callers that outlive or
+      recycle the receive buffer must pass ``copy=True`` (independent,
+      writable, native-order arrays) or copy the arrays they keep.
     """
     decoder = BXSADecoder(data, offset, copy=copy)
     node = decoder.read_node()
@@ -79,7 +95,19 @@ class _Container:
 
 class BXSADecoder:
     """Streaming decoder: repeated :meth:`read_node` calls pull consecutive
-    top-level frames (the TCP binding uses this for message framing)."""
+    top-level frames (the TCP binding uses this for message framing).
+
+    ``copy=False`` decodes array payloads as zero-copy views over ``data``;
+    see :func:`decode` for the exact aliasing contract.
+
+    ``string_cache`` / ``qname_cache`` are optional intern tables (usually
+    owned by a :class:`~repro.bxsa.session.CodecSession`) mapping raw
+    UTF-8 bytes → ``str`` and ``(local, uri, prefix)`` → ``QName``.  They
+    only apply to *names* (namespace prefixes/URIs, element and attribute
+    local names), which repeat heavily across same-shaped messages; value
+    strings are never interned.  Passing shared dicts across decoders is
+    safe because both cached types are immutable.
+    """
 
     def __init__(
         self,
@@ -88,6 +116,8 @@ class BXSADecoder:
         *,
         copy: bool = False,
         outer_tables: list[list[tuple[str, str]]] | None = None,
+        string_cache: dict[bytes, str] | None = None,
+        qname_cache: dict[tuple, QName] | None = None,
     ) -> None:
         self.data = memoryview(data) if not isinstance(data, memoryview) else data
         self.pos = offset
@@ -98,6 +128,8 @@ class BXSADecoder:
         #: in isolation but only *decodable* with their scope chain, a
         #: direct consequence of §4.1's tokenization.
         self.outer_tables = list(outer_tables or [])
+        self._string_cache = string_cache
+        self._qname_cache = qname_cache
 
     def at_end(self) -> bool:
         return self.pos >= len(self.data)
@@ -250,18 +282,18 @@ class BXSADecoder:
         n1, pos = read_vls(data, pos)
         table: list[tuple[str, str]] = []
         for _ in range(n1):
-            prefix, pos = read_string(data, pos)
-            uri, pos = read_string(data, pos)
+            prefix, pos = self._read_name_string(pos)
+            uri, pos = self._read_name_string(pos)
             table.append((prefix, uri))
         scopes.push(table)
         depth, index, pos = read_name_ref(data, pos)
-        local, pos = read_string(data, pos)
+        local, pos = self._read_name_string(pos)
         name = self._make_qname(local, depth, index, scopes)
         n2, pos = read_vls(data, pos)
         attrs: list[AttributeNode] = []
         for _ in range(n2):
             a_depth, a_index, pos = read_name_ref(data, pos)
-            a_local, pos = read_string(data, pos)
+            a_local, pos = self._read_name_string(pos)
             code, pos = read_type_code(data, pos)
             value, pos = read_scalar_value(data, pos, code, byte_order)
             qname = self._make_qname(a_local, a_depth, a_index, scopes)
@@ -271,8 +303,38 @@ class BXSADecoder:
                 raise BXSADecodeError(str(exc)) from exc
         return name, attrs, table, pos
 
+    def _read_name_string(self, pos: int) -> tuple[str, int]:
+        """Read a name-position string, interning through the session cache."""
+        cache = self._string_cache
+        if cache is None:
+            return read_string(self.data, pos)
+        data = self.data
+        length, pos = read_vls(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise BXSADecodeError(f"truncated string at offset {pos}")
+        raw = bytes(data[pos:end])
+        cached = cache.get(raw)
+        if cached is not None:
+            return cached, end
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise BXSADecodeError(f"invalid UTF-8 at offset {pos}: {exc}") from exc
+        cache[raw] = text
+        return text, end
+
     def _make_qname(self, local: str, depth: int, index: int, scopes: ScopeStack) -> QName:
         if depth == 0:
-            return QName(local)
-        prefix, uri = scopes.resolve(depth, index)
-        return QName(local, uri, prefix)
+            uri = prefix = ""
+        else:
+            prefix, uri = scopes.resolve(depth, index)
+        cache = self._qname_cache
+        if cache is None:
+            return QName(local, uri, prefix)
+        key = (local, uri, prefix)
+        name = cache.get(key)
+        if name is None:
+            name = QName(local, uri, prefix)
+            cache[key] = name
+        return name

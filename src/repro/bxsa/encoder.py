@@ -13,16 +13,14 @@ the encoding-efficiency half of the paper's thesis.
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from repro.bxsa.constants import FrameType, pack_prefix_byte
 from repro.bxsa.errors import BXSAEncodeError
 from repro.bxsa.namespaces import ScopeStack, declarations_of
 from repro.xbs.constants import _ENDIAN_CHAR, NATIVE_ENDIAN, TypeCode, dtype_for
+from repro.xbs.structcache import struct_for
 from repro.xbs.varint import encode_vls
-from repro.xbs.writer import _STRUCT_FMT
 from repro.xdm.nodes import (
     ArrayElement,
     AttributeNode,
@@ -244,7 +242,7 @@ class BXSAEncoder:
             return out + self._string(value)
         if code is TypeCode.BOOL:
             return out + (b"\x01" if value else b"\x00")
-        return out + struct.pack(self._endian_char + _STRUCT_FMT[code], value)
+        return out + struct_for(self.byte_order, code).pack(value)
 
     def _leaf_frame(self, node: LeafElement, scopes: ScopeStack) -> None:
         scopes.push(self._own_table(node))

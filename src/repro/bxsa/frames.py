@@ -9,14 +9,12 @@ structures at the same speed the decoder *parses* them.
 
 from __future__ import annotations
 
-import struct
-
 from repro.bxsa.constants import FrameType, unpack_prefix_byte
 from repro.bxsa.errors import BXSADecodeError
-from repro.xbs.constants import _ENDIAN_CHAR, TypeCode
+from repro.xbs.constants import TypeCode
 from repro.xbs.errors import XBSDecodeError
+from repro.xbs.structcache import struct_for
 from repro.xbs.varint import decode_vls
-from repro.xbs.writer import _STRUCT_FMT
 
 
 def read_vls(data, pos: int) -> tuple[int, int]:
@@ -82,8 +80,7 @@ def read_scalar_value(data, pos: int, code: TypeCode, byte_order: int):
     size = code.size
     if pos + size > len(data):
         raise BXSADecodeError(f"truncated {code.name} value at offset {pos}")
-    fmt = _ENDIAN_CHAR[byte_order] + _STRUCT_FMT[code]
-    (value,) = struct.unpack_from(fmt, data, pos)
+    (value,) = struct_for(byte_order, code).unpack_from(data, pos)
     if code is TypeCode.BOOL:
         value = bool(value)
     return value, pos + size

@@ -94,6 +94,12 @@ class SoapEngine:
         self.strict_content_type = strict_content_type
         self.resilience = resilience
         self._retry_rng = random.Random()
+        # Per-engine cache of negotiated policies.  Content-type mismatch
+        # used to instantiate a fresh policy per message, which defeated
+        # every cross-message codec optimization (compiled plans, interned
+        # names) on the negotiation path; a long-lived engine now holds one
+        # warm policy per foreign content type it has spoken.
+        self._negotiated: dict[str, EncodingPolicy] = {}
 
     # ------------------------------------------------------------------
     # client-side MEPs
@@ -191,7 +197,7 @@ class SoapEngine:
         encoding = self.encoding
         if content_type is not None and self.strict_content_type:
             if content_type.split(";")[0].strip() != encoding.content_type:
-                encoding = encoding_for_content_type(content_type)
+                encoding = self._negotiated_policy(content_type)
         with obs.span("soap.reply", kind="logical") as sp:
             if self.security is not None:
                 self.security.sign(envelope)
@@ -206,13 +212,22 @@ class SoapEngine:
 
     # ------------------------------------------------------------------
 
+    def _negotiated_policy(self, content_type: str) -> EncodingPolicy:
+        """A held policy for a foreign content type (created on first use)."""
+        base = content_type.split(";")[0].strip().lower()
+        policy = self._negotiated.get(base)
+        if policy is None:
+            policy = encoding_for_content_type(content_type)
+            self._negotiated[base] = policy
+        return policy
+
     def _decode(self, payload: bytes, content_type: str) -> SoapEnvelope:
         encoding = self.encoding
         if self.strict_content_type:
             base = content_type.split(";")[0].strip()
             if base != encoding.content_type:
                 try:
-                    encoding = encoding_for_content_type(content_type)
+                    encoding = self._negotiated_policy(content_type)
                 except ValueError as exc:
                     raise SoapFault("soap:Client", str(exc)) from exc
         try:

@@ -14,6 +14,7 @@ from typing import Protocol, runtime_checkable
 from repro import obs
 from repro.bxsa.decoder import decode as bxsa_decode
 from repro.bxsa.encoder import BXSAEncoder
+from repro.bxsa.session import CodecSession
 from repro.xbs.constants import NATIVE_ENDIAN
 from repro.xdm.nodes import DocumentNode
 from repro.xmlcodec.parser import parse_document
@@ -47,17 +48,26 @@ class XMLEncoding:
     content_type = XML_CONTENT_TYPE
 
     def __init__(self, *, emit_types: bool = True) -> None:
-        self._serializer = XMLSerializer(emit_types=emit_types)
         self.emit_types = emit_types
+        self._serializer: XMLSerializer | None = None
+
+    def _get_serializer(self) -> XMLSerializer:
+        # lazy create + hold: policies are constructed on negotiation paths
+        # where the codec may never be used for this direction
+        serializer = self._serializer
+        if serializer is None:
+            serializer = self._serializer = XMLSerializer(emit_types=self.emit_types)
+        return serializer
 
     def encode(self, document: DocumentNode) -> bytes:
         # hot path: guard on the recorder so the disabled cost is one
         # attribute check, not a context-manager round trip
+        serializer = self._get_serializer()
         recorder = obs.get_recorder()
         if not recorder.enabled:
-            return self._serializer.run_bytes(document)
+            return serializer.run_bytes(document)
         with recorder.span("xml.encode") as sp:
-            payload = self._serializer.run_bytes(document)
+            payload = serializer.run_bytes(document)
             sp.set("bytes", len(payload))
             return payload
 
@@ -79,39 +89,80 @@ class BXSAEncoding:
     the received buffer — the receive path stays allocation-free for bulk
     data, which is where the unified scheme's large-message throughput
     comes from.
+
+    ``session=True`` (default) backs the policy with a long-lived
+    :class:`~repro.bxsa.session.CodecSession`: repeated same-shape messages
+    hit compiled encode plans and interned decode-side name tables.  The
+    wire bytes are identical either way (the session self-verifies; see its
+    module docstring) — ``session=False`` exists for *measurement*, so the
+    benchmark harness can keep timing the cold per-message codec cost that
+    Figures 4-6 report rather than warm-plan replay.
     """
 
     content_type = BXSA_CONTENT_TYPE
 
-    def __init__(self, byte_order: int = NATIVE_ENDIAN, *, copy: bool = False) -> None:
-        self._encoder = BXSAEncoder(byte_order)
+    def __init__(
+        self,
+        byte_order: int = NATIVE_ENDIAN,
+        *,
+        copy: bool = False,
+        session: bool = True,
+    ) -> None:
         self.byte_order = byte_order
         self.copy = copy
+        self.session = session
+        # lazy create + hold (previously an encoder was built eagerly even
+        # on negotiation paths that only ever decode)
+        self._session: CodecSession | None = None
+        self._encoder: BXSAEncoder | None = None
+
+    def _get_session(self) -> CodecSession:
+        codec = self._session
+        if codec is None:
+            codec = self._session = CodecSession(self.byte_order)
+        return codec
+
+    def _get_encoder(self) -> BXSAEncoder:
+        encoder = self._encoder
+        if encoder is None:
+            encoder = self._encoder = BXSAEncoder(self.byte_order)
+        return encoder
+
+    @property
+    def codec_session(self) -> CodecSession | None:
+        """The live session (``None`` in cold mode or before first use)."""
+        return self._session if self.session else None
 
     def encode(self, document: DocumentNode) -> bytes:
         # hot path: guard on the recorder so the disabled cost is one
         # attribute check, not a context-manager round trip
+        codec = self._get_session() if self.session else self._get_encoder()
         recorder = obs.get_recorder()
         if not recorder.enabled:
-            return self._encoder.encode(document)
+            return codec.encode(document)
         with recorder.span("bxsa.encode") as sp:
-            payload = self._encoder.encode(document)
+            payload = codec.encode(document)
             sp.set("bytes", len(payload))
             return payload
+
+    def _decode_node(self, payload: bytes):
+        if self.session:
+            return self._get_session().decode(payload, copy=self.copy)
+        return bxsa_decode(payload, copy=self.copy)
 
     def decode(self, payload: bytes) -> DocumentNode:
         recorder = obs.get_recorder()
         if not recorder.enabled:
-            node = bxsa_decode(payload, copy=self.copy)
+            node = self._decode_node(payload)
         else:
             with recorder.span("bxsa.decode", bytes=len(payload)):
-                node = bxsa_decode(payload, copy=self.copy)
+                node = self._decode_node(payload)
         if not isinstance(node, DocumentNode):
             node = DocumentNode([node])
         return node
 
     def __repr__(self) -> str:
-        return f"BXSAEncoding(byte_order={self.byte_order})"
+        return f"BXSAEncoding(byte_order={self.byte_order}, session={self.session})"
 
 
 #: Extensible content-type → policy-factory registry.  The two shipped

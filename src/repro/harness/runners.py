@@ -244,7 +244,13 @@ def run_unified(
     link (seeded by ``fault_seed``) and charges the extra wire time each
     recovery retry would have cost on ``profile``.
     """
-    encoding = BXSAEncoding() if encoding_name == "bxsa" else XMLEncoding()
+    # session=False: the harness measures the *cold* per-message codec cost
+    # (Figures 4-6 time each encode/decode as a standalone message); a warm
+    # CodecSession would turn timed_median's repeats into plan replays and
+    # silently change what the figures report.
+    encoding = (
+        BXSAEncoding(session=False) if encoding_name == "bxsa" else XMLEncoding()
+    )
     repeats = repeats if repeats is not None else _repeats_for(dataset.model_size)
     dispatcher = build_verification_dispatcher()
     tb = TimeBreakdown()

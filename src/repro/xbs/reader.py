@@ -8,8 +8,6 @@ memory-mapped ArrayElement I/O.
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from repro.xbs.constants import (
@@ -19,8 +17,8 @@ from repro.xbs.constants import (
     dtype_for,
 )
 from repro.xbs.errors import XBSDecodeError
+from repro.xbs.structcache import struct_for, struct_for_run
 from repro.xbs.varint import decode_vls
-from repro.xbs.writer import _STRUCT_FMT
 
 
 class XBSReader:
@@ -107,12 +105,34 @@ class XBSReader:
             return self.read_string()
         self.align(code.size)
         self._require(code.size)
-        fmt = self._endian_char + _STRUCT_FMT[code]
-        (value,) = struct.unpack_from(fmt, self._data, self._pos)
+        (value,) = struct_for(self.byte_order, code).unpack_from(self._data, self._pos)
         self._pos += code.size
         if code is TypeCode.BOOL:
             return bool(value)
         return value
+
+    def read_scalars(self, code: TypeCode, count: int) -> tuple:
+        """Read a homogeneous run written by :meth:`XBSWriter.write_scalars`.
+
+        One bulk ``unpack_from`` over a zero-copy view of the stream; the
+        result is a tuple of Python scalars in stream order.  Alignment is
+        consumed once up front, mirroring the writer's single align.
+        """
+        code = TypeCode(code)
+        if code is TypeCode.STRING:
+            raise XBSDecodeError("read_scalars cannot read STRING runs")
+        if count < 0:
+            raise XBSDecodeError(f"negative run count {count}")
+        if count == 0:
+            return ()
+        self.align(code.size)
+        run = struct_for_run(self.byte_order, code, count)
+        self._require(run.size)
+        values = run.unpack_from(self._data, self._pos)
+        self._pos += run.size
+        if code is TypeCode.BOOL:
+            return tuple(bool(v) for v in values)
+        return values
 
     def read_int8(self) -> int:
         return self.read_scalar(TypeCode.INT8)

@@ -1,0 +1,62 @@
+"""Compiled ``struct.Struct`` cache shared by the XBS and BXSA hot paths.
+
+``struct.pack(fmt, v)`` re-parses the format string on every call; the
+compiled :class:`struct.Struct` object parses it once and then packs through
+a C fast path.  The set of scalar formats is tiny and fixed — one per
+``(byte order, type code)`` pair — so the singles cache is a plain dict
+populated eagerly at import.  Homogeneous *runs* (``<1365d`` and friends,
+used by the bulk ``write_scalars``/``read_scalars`` paths) are unbounded in
+principle, so they go through an LRU instead.
+
+Everything here is pure lookup: no locking is needed because dict reads and
+``lru_cache`` calls are safe under the GIL, and all cached objects are
+immutable once created.
+"""
+
+from __future__ import annotations
+
+import struct
+from functools import lru_cache
+
+from repro.xbs.constants import _ENDIAN_CHAR, TypeCode
+
+#: struct format character per type code (BOOL travels as an unsigned byte).
+STRUCT_FMT = {
+    TypeCode.INT8: "b",
+    TypeCode.INT16: "h",
+    TypeCode.INT32: "i",
+    TypeCode.INT64: "q",
+    TypeCode.UINT8: "B",
+    TypeCode.UINT16: "H",
+    TypeCode.UINT32: "I",
+    TypeCode.UINT64: "Q",
+    TypeCode.FLOAT32: "f",
+    TypeCode.FLOAT64: "d",
+    TypeCode.BOOL: "B",
+}
+
+#: (byte_order, TypeCode) -> compiled single-value Struct.  Eagerly built:
+#: 2 orders × 11 codes, all of which real documents hit quickly anyway.
+_SINGLES: dict[tuple[int, TypeCode], struct.Struct] = {
+    (order, code): struct.Struct(endian_char + fmt)
+    for order, endian_char in _ENDIAN_CHAR.items()
+    for code, fmt in STRUCT_FMT.items()
+}
+
+
+def struct_for(byte_order: int, code: TypeCode) -> struct.Struct:
+    """The compiled Struct for one scalar of ``code`` in ``byte_order``.
+
+    Raises :class:`KeyError` for ``STRING``, which has no fixed-width format.
+    """
+    return _SINGLES[(byte_order, code)]
+
+
+@lru_cache(maxsize=512)
+def struct_for_run(byte_order: int, code: TypeCode, count: int) -> struct.Struct:
+    """A compiled Struct for a homogeneous run of ``count`` scalars.
+
+    Backs the bulk ``pack_into``/``unpack_from`` paths; the LRU bounds the
+    cache against pathological workloads that sweep many distinct lengths.
+    """
+    return struct.Struct(_ENDIAN_CHAR[byte_order] + str(count) + STRUCT_FMT[code])

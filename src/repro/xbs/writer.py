@@ -13,8 +13,6 @@ ArrayElement is designed around.
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from repro.xbs.constants import (
@@ -25,6 +23,7 @@ from repro.xbs.constants import (
     type_code_for_dtype,
 )
 from repro.xbs.errors import XBSEncodeError
+from repro.xbs.structcache import STRUCT_FMT, struct_for, struct_for_run
 from repro.xbs.varint import encode_vls
 
 _INT_RANGES = {
@@ -38,19 +37,8 @@ _INT_RANGES = {
     TypeCode.UINT64: (0, 2**64 - 1),
 }
 
-_STRUCT_FMT = {
-    TypeCode.INT8: "b",
-    TypeCode.INT16: "h",
-    TypeCode.INT32: "i",
-    TypeCode.INT64: "q",
-    TypeCode.UINT8: "B",
-    TypeCode.UINT16: "H",
-    TypeCode.UINT32: "I",
-    TypeCode.UINT64: "Q",
-    TypeCode.FLOAT32: "f",
-    TypeCode.FLOAT64: "d",
-    TypeCode.BOOL: "B",
-}
+#: Legacy alias; the format table now lives in :mod:`repro.xbs.structcache`.
+_STRUCT_FMT = STRUCT_FMT
 
 
 class XBSWriter:
@@ -65,15 +53,33 @@ class XBSWriter:
         When ``True`` (the default, matching the XBS spec) each multi-byte
         number is padded to a multiple of its size relative to stream start.
         BXSA turns this off for frame-header fields, which are byte-packed.
+    buffer:
+        Optional ``bytearray`` to accumulate into.  Passing a pooled buffer
+        (cleared via :meth:`reset`) lets a long-lived producer amortize the
+        allocation across messages; the writer takes ownership while active.
     """
 
-    def __init__(self, byte_order: int = NATIVE_ENDIAN, *, align: bool = True) -> None:
+    def __init__(
+        self,
+        byte_order: int = NATIVE_ENDIAN,
+        *,
+        align: bool = True,
+        buffer: bytearray | None = None,
+    ) -> None:
         if byte_order not in (0, 1):
             raise XBSEncodeError(f"invalid byte order {byte_order!r}")
         self.byte_order = byte_order
         self.align_enabled = align
-        self._buf = bytearray()
+        self._buf = buffer if buffer is not None else bytearray()
         self._endian_char = _ENDIAN_CHAR[byte_order]
+
+    def reset(self) -> None:
+        """Clear the accumulated stream, keeping the underlying buffer.
+
+        ``bytearray`` keeps (a fraction of) its allocation across clears, so
+        a pooled writer re-used per message skips most of the regrow cost.
+        """
+        del self._buf[:]
 
     # ------------------------------------------------------------------
     # positioning
@@ -116,7 +122,39 @@ class XBSWriter:
         else:
             value = float(value)
         self.align(code.size)
-        self._buf.extend(struct.pack(self._endian_char + _STRUCT_FMT[code], value))
+        self._buf.extend(struct_for(self.byte_order, code).pack(value))
+
+    def write_scalars(self, code: TypeCode, values) -> None:
+        """Write a homogeneous run of scalars with one bulk ``pack_into``.
+
+        Byte-identical to calling :meth:`write_scalar` once per value: the
+        stream is aligned once up front, and since every item is exactly
+        ``code.size`` bytes the per-item alignment of the scalar path is a
+        no-op after the first item.  The values are range-checked/coerced
+        with the same rules as :meth:`write_scalar`.
+        """
+        code = TypeCode(code)
+        if code is TypeCode.STRING:
+            raise XBSEncodeError("write_scalars cannot write STRING runs")
+        values = list(values)
+        if not values:
+            return
+        if code in _INT_RANGES:
+            lo, hi = _INT_RANGES[code]
+            values = [int(v) for v in values]
+            for v in values:
+                if not lo <= v <= hi:
+                    raise XBSEncodeError(f"{v} out of range for {code.name}")
+        elif code is TypeCode.BOOL:
+            values = [1 if v else 0 for v in values]
+        else:
+            values = [float(v) for v in values]
+        self.align(code.size)
+        buf = self._buf
+        offset = len(buf)
+        run = struct_for_run(self.byte_order, code, len(values))
+        buf.extend(bytes(run.size))
+        run.pack_into(buf, offset, *values)
 
     def write_int8(self, value: int) -> None:
         self.write_scalar(TypeCode.INT8, value)

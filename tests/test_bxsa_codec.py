@@ -308,3 +308,56 @@ class TestCompactness:
         values = np.arange(1000, dtype="f8")
         blob = encode(array("v", values))
         assert len(blob) < values.nbytes * 1.01 + 64
+
+
+class TestCopyFalseAliasing:
+    """The exact ``decode(..., copy=False)`` aliasing contract (see the
+    :func:`repro.bxsa.decode` docstring): everything except array payloads
+    is fully materialized, array payloads alias the source buffer."""
+
+    def _tree(self):
+        return doc(
+            element(
+                QName("root", "urn:envelope", "env"),
+                leaf("s", "materialized-string-value"),
+                leaf("n", 42, "int"),
+                array("a", np.arange(8, dtype=np.float64)),
+                attributes={"id": "attr-value"},
+                namespaces={"env": "urn:envelope"},
+            )
+        )
+
+    def test_materialized_values_survive_buffer_mutation(self):
+        buf = bytearray(encode(self._tree()))
+        out = decode(buf, copy=False)
+        root = out.children[0]
+        s, n, _a = root.children
+        buf[:] = b"\x00" * len(buf)  # clobber the source completely
+        assert s.value == "materialized-string-value"
+        assert n.value == 42
+        assert root.attributes[0].value == "attr-value"
+        assert root.name.local == "root"
+        assert root.name.uri == "urn:envelope"
+        assert root.namespaces[0].uri == "urn:envelope"
+
+    def test_array_values_alias_writable_source(self):
+        buf = bytearray(encode(self._tree()))
+        arr = decode(buf, copy=False).children[0].children[2]
+        assert arr.values[3] == 3.0
+        buf[:] = b"\x00" * len(buf)
+        assert np.array_equal(arr.values, np.zeros(8))  # view sees the zeroing
+
+    def test_array_view_is_readonly_over_immutable_source(self):
+        blob = bytes(encode(self._tree()))
+        arr = decode(blob, copy=False).children[0].children[2]
+        assert not arr.values.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            arr.values[0] = 99.0
+
+    def test_copy_true_gives_independent_writable_arrays(self):
+        buf = bytearray(encode(self._tree()))
+        arr = decode(buf, copy=True).children[0].children[2]
+        buf[:] = b"\x00" * len(buf)
+        assert np.array_equal(arr.values, np.arange(8, dtype=np.float64))
+        arr.values[0] = 99.0  # writable
+        assert arr.values.dtype.isnative

@@ -1,0 +1,317 @@
+"""Tests for :class:`repro.bxsa.session.CodecSession`.
+
+The load-bearing property is byte compatibility: a warm session must put
+exactly the stateless encoder's bytes on the wire, for every tree, and its
+output must decode with a completely stateless decoder.  The property test
+additionally asserts ``poisoned_shapes == 0`` so any compiler blind spot a
+generated tree exposes fails loudly instead of silently costing performance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bxsa import (
+    BXSADecodeError,
+    BXSAEncodeError,
+    CodecSession,
+    decode,
+    encode,
+)
+from repro.bxsa.session import _OP_CONST, EncodePlan
+from repro.xbs import BIG_ENDIAN, TypeCode
+from repro.xdm import (
+    ArrayElement,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    PINode,
+    TextNode,
+    array,
+    doc,
+    element,
+    explain_difference,
+    leaf,
+    text,
+)
+from repro.xdm.nodes import AttributeNode, NamespaceNode
+
+from tests.strategies import documents
+
+_settings = settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+# ---------------------------------------------------------------------------
+# structure-preserving value perturbation: same shape key, different payload
+
+
+def _perturb_scalar(atype, value):
+    code = atype.code
+    if code is TypeCode.STRING:
+        return value + "x"
+    if code is TypeCode.BOOL:
+        return not value
+    return 1 if value != 1 else 0
+
+
+def _perturb_attrs(attrs):
+    return [
+        AttributeNode(a.name, _perturb_scalar(a.atype, a.value), a.atype) for a in attrs
+    ]
+
+
+def _copy_ns(node):
+    return [NamespaceNode(ns.prefix, ns.uri) for ns in node.namespaces]
+
+
+def perturbed(node):
+    """A deep copy of ``node`` with every *value* changed and every
+    structural property (names, namespaces, attribute names/types, child
+    counts, array dtypes, PI targets) preserved — by construction it has
+    the same shape key, so a session reuses the original's plan.  Array
+    lengths change too: length is payload, not shape.
+    """
+    if isinstance(node, LeafElement):
+        return LeafElement(
+            node.name,
+            _perturb_scalar(node.atype, node.value),
+            node.atype,
+            attributes=_perturb_attrs(node.attributes),
+            namespaces=_copy_ns(node),
+        )
+    if isinstance(node, ArrayElement):
+        return ArrayElement(
+            node.name,
+            np.ones(node.values.size + 1, dtype=node.atype.dtype),
+            node.atype,
+            attributes=_perturb_attrs(node.attributes),
+            namespaces=_copy_ns(node),
+            item_name=node.item_name,
+        )
+    if isinstance(node, DocumentNode):
+        return DocumentNode([perturbed(child) for child in node.children])
+    if isinstance(node, ElementNode):
+        return ElementNode(
+            node.name,
+            attributes=_perturb_attrs(node.attributes),
+            namespaces=_copy_ns(node),
+            children=[perturbed(child) for child in node.children],
+        )
+    if isinstance(node, TextNode):
+        return TextNode(node.text + "y")
+    if isinstance(node, CommentNode):
+        return CommentNode(node.text + "y")
+    if isinstance(node, PINode):
+        return PINode(node.target, node.data + "y")
+    raise AssertionError(f"unexpected node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# the core property (ISSUE satellite: N-message byte-identity)
+
+
+@pytest.mark.slow
+@given(documents())
+@_settings
+def test_session_byte_identical_to_independent_encoders(tree):
+    """Encoding N structurally-identical messages through one session is
+    byte-identical to N independent stateless encoders, the warm output
+    decodes with the stateless decoder, and no generated shape poisons."""
+    session = CodecSession()
+    messages = [tree, perturbed(tree), perturbed(perturbed(tree))]
+    for message in messages:
+        warm = session.encode(message)
+        assert warm == encode(message)
+        out = decode(warm)
+        diff = explain_difference(message, out, ignore_ns_decls=True)
+        assert diff is None, diff
+    assert session.stats.poisoned_shapes == 0
+    assert session.stats.plans_compiled == 1
+    assert session.stats.plan_hits == len(messages) - 1
+
+
+@pytest.mark.slow
+@given(documents())
+@_settings
+def test_session_decode_agrees_with_stateless_decoder(tree):
+    session = CodecSession()
+    blob = encode(tree)
+    for _ in range(2):  # second pass hits the intern tables
+        out = session.decode(blob)
+        diff = explain_difference(decode(blob), out)
+        assert diff is None, diff
+
+
+@pytest.mark.slow
+@given(documents())
+@_settings
+def test_session_big_endian_matches_stateless(tree):
+    session = CodecSession(BIG_ENDIAN)
+    assert session.encode(tree) == encode(tree, BIG_ENDIAN)
+    assert session.encode(perturbed(tree)) == encode(perturbed(tree), BIG_ENDIAN)
+
+
+# ---------------------------------------------------------------------------
+# unit tests
+
+
+def _sample_doc(seed: int = 0) -> DocumentNode:
+    env = element(
+        "env:Envelope",
+        element(
+            "env:Body",
+            array("data", np.arange(seed, seed + 16, dtype=np.float64), item_name="d"),
+            leaf("count", seed + 3, "int", attributes={"id": f"v{seed}"}),
+            leaf("tag", f"value-{seed}"),
+            text(f"t{seed}"),
+        ),
+        namespaces={"env": "urn:envelope"},
+    )
+    return doc(env)
+
+
+class TestPlanLifecycle:
+    def test_same_shape_replays_one_plan(self):
+        session = CodecSession()
+        for seed in range(4):
+            assert session.encode(_sample_doc(seed)) == encode(_sample_doc(seed))
+        assert session.stats.plans_compiled == 1
+        assert session.stats.plan_hits == 3
+        assert session.stats.poisoned_shapes == 0
+
+    def test_distinct_shapes_compile_distinct_plans(self):
+        session = CodecSession()
+        session.encode(doc(element("a", leaf("x", 1, "int"))))
+        session.encode(doc(element("b", leaf("x", 1, "int"))))
+        assert session.stats.plans_compiled == 2
+
+    def test_array_length_is_payload_not_shape(self):
+        session = CodecSession()
+        for n in (0, 1, 7, 1365):
+            d = doc(array("a", np.arange(n, dtype=np.float64)))
+            assert session.encode(d) == encode(d)
+        assert session.stats.plans_compiled == 1
+        assert session.stats.plan_hits == 3
+
+    def test_plan_cache_is_bounded(self):
+        session = CodecSession(max_plans=2)
+        for name in ("a", "b", "c", "d"):
+            d = doc(element(name, leaf("x", 1, "int")))
+            assert session.encode(d) == encode(d)
+        assert len(session._plans) <= 2
+        # evicted shapes still encode correctly (they just recompile)
+        d = doc(element("a", leaf("x", 9, "int")))
+        assert session.encode(d) == encode(d)
+
+    def test_reset_returns_to_cold_state(self):
+        session = CodecSession()
+        session.encode(_sample_doc())
+        session.decode(encode(_sample_doc()))
+        session.reset()
+        assert session._plans == {}
+        assert session.stats.plans_compiled == 0
+        assert session.encode(_sample_doc()) == encode(_sample_doc())
+        assert session.stats.plans_compiled == 1
+
+
+class TestSelfVerification:
+    def test_divergent_plan_poisons_shape(self, monkeypatch):
+        session = CodecSession()
+        monkeypatch.setattr(
+            session, "_compile", lambda root: EncodePlan([(_OP_CONST, b"bad")], 1)
+        )
+        d = _sample_doc()
+        # the divergent plan never reaches the wire
+        assert session.encode(d) == encode(d)
+        assert session.stats.poisoned_shapes == 1
+        monkeypatch.undo()
+        # the shape stays on the stateless path even with a good compiler
+        assert session.encode(d) == encode(d)
+        assert session.stats.plan_hits == 0
+        assert session.stats.stateless_encodes == 2
+
+    def test_compiler_crash_poisons_shape(self, monkeypatch):
+        session = CodecSession()
+
+        def boom(root):
+            raise RuntimeError("compiler blind spot")
+
+        monkeypatch.setattr(session, "_compile", boom)
+        d = _sample_doc()
+        assert session.encode(d) == encode(d)
+        assert session.stats.poisoned_shapes == 1
+
+    def test_invalid_tree_raises_like_stateless(self):
+        bad = doc(
+            ElementNode(
+                "r",
+                attributes=[AttributeNode("a", "1"), AttributeNode("a", "2")],
+            )
+        )
+        session = CodecSession()
+        with pytest.raises(BXSAEncodeError):
+            session.encode(bad)
+        # the failed shape must not leave a cached plan behind
+        assert session.stats.plans_compiled == 0
+
+
+class TestSessionDecode:
+    def test_interns_names_across_messages(self):
+        session = CodecSession()
+        blob = encode(_sample_doc(1))
+        first = session.decode(blob)
+        second = session.decode(bytes(encode(_sample_doc(2))))
+        root1 = first.children[0]
+        root2 = second.children[0]
+        assert root1.name is root2.name  # QName interned across decodes
+        leaf1 = root1.children[0].children[1]
+        leaf2 = root2.children[0].children[1]
+        assert leaf1.name is leaf2.name
+
+    def test_value_strings_are_not_interned(self):
+        session = CodecSession()
+        d = doc(element("r", leaf("s", "shared-value-string")))
+        one = session.decode(encode(d))
+        two = session.decode(encode(d))
+        v1 = one.children[0].children[0].value
+        v2 = two.children[0].children[0].value
+        assert v1 == v2 == "shared-value-string"
+        assert v1 is not v2
+
+    def test_rejects_trailing_bytes(self):
+        session = CodecSession()
+        blob = encode(_sample_doc())
+        with pytest.raises(BXSADecodeError):
+            session.decode(bytes(blob) + b"\x00")
+
+    def test_honours_copy_flag(self):
+        session = CodecSession()
+        buf = bytearray(encode(doc(array("a", np.arange(4, dtype=np.float64)))))
+        aliased = session.decode(buf).children[0]
+        independent = session.decode(buf, copy=True).children[0]
+        buf[-4 * 8 :] = b"\x00" * (4 * 8)
+        assert aliased.values[1] == 0.0  # view over the (zeroed) buffer
+        assert independent.values[1] == 1.0
+
+
+class TestBufferPooling:
+    def test_scratch_list_is_reused(self):
+        session = CodecSession()
+        session.encode(_sample_doc(0))
+        scratch = session._scratch
+        assert scratch == []
+        session.encode(_sample_doc(1))
+        assert session._scratch is scratch
+
+    def test_concurrent_takers_never_share_scratch(self):
+        # simulate a second thread holding the pooled list mid-replay
+        session = CodecSession()
+        session.encode(_sample_doc(0))
+        taken = session.__dict__.pop("_scratch")
+        assert session.encode(_sample_doc(1)) == encode(_sample_doc(1))
+        assert session._scratch is not taken

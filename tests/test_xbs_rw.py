@@ -234,3 +234,72 @@ class TestTypeCodes:
 
     def test_bool_dtype_maps_to_bool_code(self):
         assert type_code_for_dtype(np.bool_) == TypeCode.BOOL
+
+
+class TestScalarRuns:
+    """Bulk homogeneous runs: write_scalars/read_scalars must be
+    byte-identical to N single-scalar calls, in both directions."""
+
+    RUNS = [
+        (TypeCode.INT8, [-7, 0, 127, -128]),
+        (TypeCode.UINT16, [0, 60000, 7]),
+        (TypeCode.INT32, [-(2**31), 2**31 - 1, 5]),
+        (TypeCode.INT64, [-(2**62), 3]),
+        (TypeCode.FLOAT32, [1.5, -0.25]),
+        (TypeCode.FLOAT64, [3.141592653589793, -1e300]),
+        (TypeCode.BOOL, [True, False, True]),
+    ]
+
+    @pytest.mark.parametrize("order", [LITTLE_ENDIAN, BIG_ENDIAN])
+    def test_bulk_write_matches_single_writes(self, order):
+        for code, values in self.RUNS:
+            bulk = XBSWriter(order)
+            bulk.write_uint8(1)  # misalign the stream first
+            bulk.write_scalars(code, values)
+            single = XBSWriter(order)
+            single.write_uint8(1)
+            for v in values:
+                single.write_scalar(code, v)
+            assert bulk.getvalue() == single.getvalue(), code
+
+    @pytest.mark.parametrize("order", [LITTLE_ENDIAN, BIG_ENDIAN])
+    def test_bulk_read_matches_single_reads(self, order):
+        for code, values in self.RUNS:
+            w = XBSWriter(order)
+            w.write_uint8(1)
+            for v in values:
+                w.write_scalar(code, v)
+            r = XBSReader(w.getvalue(), order)
+            assert r.read_uint8() == 1
+            got = r.read_scalars(code, len(values))
+            assert list(got) == [v for v in values]
+            assert r.at_end()
+            if code is TypeCode.BOOL:
+                assert all(isinstance(v, bool) for v in got)
+
+    def test_empty_run(self):
+        w = XBSWriter()
+        w.write_scalars(TypeCode.FLOAT64, [])
+        assert w.getvalue() == b""
+        assert XBSReader(b"").read_scalars(TypeCode.FLOAT64, 0) == ()
+
+    def test_range_checked_like_single_writes(self):
+        w = XBSWriter()
+        with pytest.raises(XBSEncodeError):
+            w.write_scalars(TypeCode.INT8, [1, 300])
+
+    def test_string_runs_rejected(self):
+        with pytest.raises(XBSEncodeError):
+            XBSWriter().write_scalars(TypeCode.STRING, ["a"])
+        with pytest.raises(XBSDecodeError):
+            XBSReader(b"\x00\x00").read_scalars(TypeCode.STRING, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(XBSDecodeError):
+            XBSReader(b"\x00\x00").read_scalars(TypeCode.UINT8, -1)
+
+    def test_truncated_run_rejected(self):
+        w = XBSWriter()
+        w.write_scalars(TypeCode.INT32, [1, 2])
+        with pytest.raises(XBSDecodeError):
+            XBSReader(w.getvalue()).read_scalars(TypeCode.INT32, 3)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Regression guard over the pinned hot-path benchmark ratios.
+
+Compares the current ``benchmarks/results/hotpath.json`` (written by
+``benchmarks/bench_hotpath.py``) against the previous accepted run stored in
+``benchmarks/results/hotpath_baseline.json``.  A pinned speedup ratio that
+fell more than 25% below its baseline fails the guard — the hot-path work
+this repo carries (compiled encode plans, struct caching, buffer pooling)
+must not silently rot.  Usage::
+
+    python tools/bench_guard.py            # compare, roll baseline on pass
+    python tools/bench_guard.py --check    # compare only, never write
+    python tools/bench_guard.py --reset    # accept current run as baseline
+
+Exit status 0 = within bounds (or first run, which seeds the baseline),
+1 = regression or missing current results, matching ``tools/lint.py`` so
+the verify flow can chain the steps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+CURRENT = RESULTS_DIR / "hotpath.json"
+BASELINE = RESULTS_DIR / "hotpath_baseline.json"
+
+#: A pinned ratio may degrade to this fraction of its baseline before the
+#: guard fails (25% regression budget — generous enough for machine noise,
+#: tight enough to catch a lost optimization).
+ALLOWED_FRACTION = 0.75
+
+
+def load(path: pathlib.Path) -> dict | None:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench_guard: cannot read {path}: {exc}")
+        return None
+
+
+def main(argv: list[str]) -> int:
+    check_only = "--check" in argv
+    reset = "--reset" in argv
+
+    current = load(CURRENT)
+    if current is None or "pinned" not in current:
+        print(
+            f"bench_guard: no current results at {CURRENT} — run\n"
+            "  PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest "
+            "benchmarks/bench_hotpath.py -q"
+        )
+        return 1
+
+    baseline = None if reset else load(BASELINE)
+    if baseline is not None and baseline.get("quick") != current.get("quick"):
+        # quick and full runs use different size sweeps; their pinned
+        # ratios come from the same smallest size, but cross-mode noise
+        # profiles differ — only compare like against like
+        print(
+            "bench_guard: baseline was recorded in "
+            f"{'quick' if baseline.get('quick') else 'full'} mode, current run is "
+            f"{'quick' if current.get('quick') else 'full'} — reseeding baseline"
+        )
+        baseline = None
+    if baseline is None or "pinned" not in (baseline or {}):
+        if check_only:
+            print("bench_guard: no baseline; --check mode leaves it unseeded")
+            return 0
+        BASELINE.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"bench_guard: baseline seeded from current run -> {BASELINE.name}")
+        return 0
+
+    failures = []
+    for name, base_value in baseline["pinned"].items():
+        value = current["pinned"].get(name)
+        if value is None:
+            failures.append(f"{name}: missing from current run (baseline {base_value:.2f})")
+            continue
+        floor = base_value * ALLOWED_FRACTION
+        verdict = "ok" if value >= floor else "REGRESSED"
+        print(
+            f"bench_guard: {name:>20} current {value:6.2f}x  "
+            f"baseline {base_value:6.2f}x  floor {floor:6.2f}x  {verdict}"
+        )
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.2f}x fell >25% below baseline {base_value:.2f}x"
+            )
+
+    if failures:
+        print("bench_guard: FAIL")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+
+    if not check_only:
+        # roll the baseline forward so the guard always compares against
+        # the previous accepted run, not a stale high-water mark
+        BASELINE.write_text(json.dumps(current, indent=2) + "\n")
+    print("bench_guard: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
