@@ -4,7 +4,21 @@ The acceptance bar: with tracing *disabled* (the default null recorder),
 the instrumented BXSA encode hot path must stay within 5% of the raw
 encoder — the figures' measured-CPU numbers may not move because the
 library grew observability hooks.
+
+The labelled-metrics and sampling additions get their own pins, written
+to ``benchmarks/results/obs.json`` for ``tools/bench_guard.py``:
+
+* a labelled counter increment (the dict-keyed family lookup) may cost at
+  most :data:`MAX_LABELLED_RATIO` times an unlabelled one;
+* one :meth:`HeadSampler.decide` (a CRC32 over the key) and one
+  disabled-path ``obs.counter(...).add()`` site must each stay under
+  microseconds — the budgets are deliberately loose absolute ceilings
+  that only a complexity regression (per-call allocation, lock
+  contention, accidental O(n)) would blow.
 """
+
+import json
+import time
 
 import pytest
 
@@ -12,6 +26,8 @@ from repro import obs
 from repro.bxsa.encoder import encode as raw_bxsa_encode
 from repro.core.policies import BXSAEncoding
 from repro.harness.measure import median_seconds, timed_median
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import HeadSampler
 from repro.workloads.lead import lead_dataset
 
 from benchmarks.conftest import quick_mode
@@ -21,6 +37,11 @@ pytestmark = pytest.mark.bench
 SIZE = 5_000 if quick_mode() else 87_360
 #: Overhead bound on the disabled path (acceptance criterion: < 5%).
 MAX_DISABLED_OVERHEAD = 0.05
+#: Labelled counter increment vs unlabelled, worst acceptable ratio.
+MAX_LABELLED_RATIO = 10.0
+#: Absolute per-op ceilings, microseconds (see module docstring).
+MAX_SAMPLER_DECIDE_US = 10.0
+MAX_DISABLED_SITE_US = 5.0
 
 
 @pytest.fixture(scope="module")
@@ -84,3 +105,84 @@ class TestEnabledPath:
                     pass
 
             benchmark(one_span)
+
+
+def _per_op_seconds(fn, ops: int, rounds: int = 5) -> float:
+    """Median over rounds of (wall time of ``fn()`` / ops)."""
+    samples = []
+    fn()  # warmup
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) / ops)
+    return median_seconds(samples)
+
+
+class TestTelemetryOverhead:
+    """Pins for the labelled-metrics and sampling additions."""
+
+    OPS = 20_000 if quick_mode() else 200_000
+
+    def test_labelled_and_sampler_pins(self, results_dir):
+        ops = self.OPS
+
+        registry = MetricsRegistry()
+
+        # both sides pay the realistic call-site shape — one registry
+        # lookup per increment — so the ratio isolates the label machinery
+        def unlabelled():
+            counter = registry.counter
+            for _ in range(ops):
+                counter("bench_plain_total").add()
+
+        def labelled():
+            counter = registry.counter
+            for _ in range(ops):
+                counter(
+                    "bench_labelled_total", labels={"op": "echo", "status": "ok"}
+                ).add()
+
+        unlabelled_s = _per_op_seconds(unlabelled, ops)
+        labelled_s = _per_op_seconds(labelled, ops)
+        ratio = labelled_s / unlabelled_s
+
+        sampler = HeadSampler(0.5, seed=1)
+        keys = [f"figure5-scheme-n{i}" for i in range(64)]
+
+        def decide():
+            decide_one = sampler.decide
+            for i in range(ops):
+                decide_one(keys[i & 63])
+
+        sampler_s = _per_op_seconds(decide, ops)
+
+        assert obs.get_recorder() is obs.NULL_RECORDER
+
+        def disabled_site():
+            counter = obs.counter
+            for _ in range(ops):
+                counter("bench_disabled_total").add()
+
+        disabled_s = _per_op_seconds(disabled_site, ops)
+
+        print(
+            f"\nlabelled {labelled_s * 1e9:.0f}ns vs unlabelled "
+            f"{unlabelled_s * 1e9:.0f}ns ({ratio:.1f}x); sampler.decide "
+            f"{sampler_s * 1e9:.0f}ns; disabled site {disabled_s * 1e9:.0f}ns"
+        )
+
+        measured = {
+            "labelled_vs_unlabelled_ratio": ratio,
+            "sampler_decide_us": sampler_s * 1e6,
+            "disabled_counter_site_us": disabled_s * 1e6,
+        }
+        (results_dir / "obs.json").write_text(
+            json.dumps({"quick": quick_mode(), "measured": measured}, indent=2) + "\n"
+        )
+
+        assert ratio <= MAX_LABELLED_RATIO, (
+            f"labelled counter costs {ratio:.1f}x an unlabelled one "
+            f"(ceiling {MAX_LABELLED_RATIO:.0f}x)"
+        )
+        assert sampler_s * 1e6 <= MAX_SAMPLER_DECIDE_US
+        assert disabled_s * 1e6 <= MAX_DISABLED_SITE_US

@@ -9,6 +9,7 @@ a fault response.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable
 
 from repro.core.envelope import SoapEnvelope
@@ -20,10 +21,17 @@ Handler = Callable[[SoapEnvelope], "SoapEnvelope | Node | Iterable[Node] | None"
 
 
 class Dispatcher:
-    """Operation registry + request router."""
+    """Operation registry + request router.
 
-    def __init__(self) -> None:
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) RED-counts every
+    dispatch into ``soap_dispatch_total{operation,status}`` and
+    ``soap_dispatch_seconds{operation}``; unknown operations count under
+    operation ``"?"`` so a typo storm cannot explode label cardinality.
+    """
+
+    def __init__(self, *, metrics=None) -> None:
         self._handlers: dict[QName | str, Handler] = {}
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
 
@@ -57,6 +65,31 @@ class Dispatcher:
         """Route a request envelope; always returns a response envelope
         (faults become fault envelopes at the service host layer — here
         they propagate as SoapFault for the host to encode)."""
+        if self.metrics is None:
+            return self._dispatch(request)
+        op = "?"
+        status = "ok"
+        start = time.perf_counter()
+        try:
+            try:
+                op = request.body_root.name.local
+            except ValueError:
+                pass  # _dispatch raises the client fault for this
+            if op not in self._known_locals():
+                op = "?"  # unregistered names share one series
+            return self._dispatch(request)
+        except SoapFault as fault:
+            status = "client_fault" if fault.code == CLIENT_FAULT else "server_fault"
+            raise
+        finally:
+            self.metrics.counter(
+                "soap_dispatch_total", labels={"operation": op, "status": status}
+            ).add()
+            self.metrics.histogram(
+                "soap_dispatch_seconds", labels={"operation": op}
+            ).observe(time.perf_counter() - start)
+
+    def _dispatch(self, request: SoapEnvelope) -> SoapEnvelope:
         try:
             operation = request.body_root
         except ValueError as exc:
@@ -75,6 +108,11 @@ class Dispatcher:
                 SERVER_FAULT, f"{type(exc).__name__}: {exc}"
             ) from exc
         return _coerce_envelope(result)
+
+    def _known_locals(self) -> set[str]:
+        return {
+            k.local if isinstance(k, QName) else k for k in self._handlers
+        }
 
     def _resolve(self, operation: ElementNode) -> Handler | None:
         exact = self._handlers.get(operation.name)

@@ -20,6 +20,7 @@ BXSA/TCP) plus anything a user brings.
 from __future__ import annotations
 
 import random
+import time
 
 from repro import obs
 from repro.core.concepts import (
@@ -66,6 +67,13 @@ class SoapEngine:
         degraded to a ``soap:Server`` fault instead of escaping as a raw
         transport exception.  When unset (default), transport errors
         propagate unchanged — the seed behaviour.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When set, every
+        :meth:`call` is RED-counted into
+        ``soap_client_requests_total{binding,status}`` /
+        ``soap_client_request_seconds{binding}`` and the retry loop's
+        labelled counters land here too.  Unset (default), the engine
+        reports only to the ambient ``obs`` recorder.
     """
 
     def __init__(
@@ -76,6 +84,7 @@ class SoapEngine:
         *,
         strict_content_type: bool = True,
         resilience: ResiliencePolicy | None = None,
+        metrics=None,
     ) -> None:
         check_encoding_policy(encoding)
         if security is not None:
@@ -93,6 +102,7 @@ class SoapEngine:
         self.security = security
         self.strict_content_type = strict_content_type
         self.resilience = resilience
+        self.metrics = metrics
         self._retry_rng = random.Random()
         # Per-engine cache of negotiated policies.  Content-type mismatch
         # used to instantiate a fresh policy per message, which defeated
@@ -121,29 +131,58 @@ class SoapEngine:
         if deadline is None and res is not None:
             deadline = res.deadline
         dl = as_deadline(deadline)
-        with obs.span(
-            "soap.call", kind="logical", binding=getattr(self.binding, "name", "?")
-        ):
-            if res is None:
-                self.send(envelope, deadline=dl)
-                return self.receive_response(deadline=dl)
+        status = "ok"
+        start = time.perf_counter()
+        try:
+            with obs.span(
+                "soap.call", kind="logical", binding=getattr(self.binding, "name", "?")
+            ):
+                if res is None:
+                    try:
+                        self.send(envelope, deadline=dl)
+                        return self.receive_response(deadline=dl)
+                    except SoapFault:
+                        status = "fault"
+                        raise
+                    except (DeadlineExceeded, TransportError):
+                        status = "transport_error"
+                        raise
 
-            def attempt(_n: int) -> SoapEnvelope:
-                self.send(envelope, deadline=dl)
-                return self.receive_response(deadline=dl)
+                def attempt(_n: int) -> SoapEnvelope:
+                    self.send(envelope, deadline=dl)
+                    return self.receive_response(deadline=dl)
 
-            try:
-                return retry_call(
-                    attempt,
-                    res.retry,
-                    deadline=dl,
-                    may_retry=lambda _exc, _attempt: res.idempotent,
-                    rng=self._retry_rng,
-                )
-            except (DeadlineExceeded, TransportError) as exc:
-                raise SoapFault(
-                    "soap:Server", f"transport failure, degraded gracefully: {exc}"
-                ) from exc
+                try:
+                    return retry_call(
+                        attempt,
+                        res.retry,
+                        deadline=dl,
+                        may_retry=lambda _exc, _attempt: res.idempotent,
+                        rng=self._retry_rng,
+                        metrics=self.metrics,
+                    )
+                except SoapFault:
+                    status = "fault"
+                    raise
+                except (DeadlineExceeded, TransportError) as exc:
+                    status = "degraded"
+                    raise SoapFault(
+                        "soap:Server", f"transport failure, degraded gracefully: {exc}"
+                    ) from exc
+        except BaseException:
+            if status == "ok":  # an error no clause above classified
+                status = "error"
+            raise
+        finally:
+            if self.metrics is not None:
+                binding = getattr(self.binding, "name", type(self.binding).__name__)
+                self.metrics.counter(
+                    "soap_client_requests_total",
+                    labels={"binding": binding, "status": status},
+                ).add()
+                self.metrics.histogram(
+                    "soap_client_request_seconds", labels={"binding": binding}
+                ).observe(time.perf_counter() - start)
 
     def send(self, envelope: SoapEnvelope, *, deadline=None) -> int:
         """One-way send; returns the payload size in bytes."""

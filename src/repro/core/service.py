@@ -3,20 +3,80 @@
 Both hosts are content-type negotiating: a single host serves XML and BXSA
 clients simultaneously, answering each in the encoding it spoke — the
 "generic" server the paper's §5.1 architecture diagram implies.
+
+Both hosts RED-count every SOAP exchange into their
+:class:`~repro.obs.MetricsRegistry` (``.metrics``) as
+``soap_requests_total{operation,encoding,binding,status}`` plus a
+``soap_request_seconds`` latency histogram.  The HTTP host shares its
+registry with the underlying :class:`HttpServer`, so ``GET /metrics`` on
+the same port scrapes SOAP and HTTP series together; the TCP host's
+registry can be exposed on a sidecar via
+:func:`repro.transport.http.server.make_admin_server`.
+
+Operation labels are guarded: only operations the dispatcher actually
+registers get their own series — anything else (typos, probes) lands in
+the shared ``"?"`` series, so clients cannot explode label cardinality.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.core.dispatcher import Dispatcher
 from repro.core.engine import SoapEngine
-from repro.core.fault import SoapFault
+from repro.core.fault import CLIENT_FAULT, SoapFault
 from repro.core.policies import EncodingPolicy, XMLEncoding
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import Listener, TransportError
 from repro.transport.http.messages import HttpRequest, HttpResponse
 from repro.transport.http.server import HttpServer
 from repro.transport.tcp_binding import TcpServerBinding
+
+#: Label names of the service-level RED family (fixed at first use).
+RED_LABELS = ("operation", "encoding", "binding", "status")
+
+
+class _RedRecorder:
+    """Per-host helper recording one SOAP exchange into the RED family."""
+
+    def __init__(self, metrics: MetricsRegistry, dispatcher: Dispatcher, binding: str) -> None:
+        self._metrics = metrics
+        self._dispatcher = dispatcher
+        self._binding = binding
+        self._known: set[str] | None = None
+
+    def operation_label(self, envelope) -> str:
+        try:
+            local = envelope.body_root.name.local
+        except ValueError:
+            return "?"
+        if self._known is None:
+            self._known = {op.rsplit("}", 1)[-1] for op in self._dispatcher.operations()}
+        return local if local in self._known else "?"
+
+    def record(self, operation: str, encoding: str, status: str, seconds: float) -> None:
+        self._metrics.counter(
+            "soap_requests_total",
+            labels={
+                "operation": operation,
+                "encoding": encoding,
+                "binding": self._binding,
+                "status": status,
+            },
+        ).add()
+        self._metrics.histogram(
+            "soap_request_seconds",
+            labels={
+                "operation": operation,
+                "encoding": encoding,
+                "binding": self._binding,
+            },
+        ).observe(seconds)
+
+    @staticmethod
+    def status_for(fault: SoapFault) -> str:
+        return "client_fault" if fault.code == CLIENT_FAULT else "server_fault"
 
 
 class SoapTcpService:
@@ -30,12 +90,15 @@ class SoapTcpService:
         encoding: EncodingPolicy | None = None,
         security=None,
         name: str = "soap-tcp",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._listener = listener
         self._dispatcher = dispatcher
         self._encoding = encoding if encoding is not None else XMLEncoding()
         self._security = security
         self._name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._red = _RedRecorder(self.metrics, dispatcher, "tcp")
         self._running = False
         self._thread: threading.Thread | None = None
 
@@ -76,22 +139,38 @@ class SoapTcpService:
 
     def _serve_connection(self, channel) -> None:
         engine = SoapEngine(self._encoding, TcpServerBinding(channel), self._security)
+        red = self._red
+        self.metrics.gauge("soap_tcp_connections_open").inc()
         try:
             while True:
+                start = time.perf_counter()
                 try:
                     request, content_type = engine.receive()
                 except TransportError:
                     return  # client finished
                 except SoapFault as fault:
+                    red.record(
+                        "?", "?", red.status_for(fault), time.perf_counter() - start
+                    )
                     engine.reply_fault(fault)
                     continue
+                encoding_label = content_type.split(";")[0].strip()
+                operation = red.operation_label(request)
                 try:
                     response = self._dispatcher.dispatch(request)
                 except SoapFault as fault:
+                    red.record(
+                        operation,
+                        encoding_label,
+                        red.status_for(fault),
+                        time.perf_counter() - start,
+                    )
                     engine.reply_fault(fault, content_type)
                     continue
                 engine.reply(response, content_type)
+                red.record(operation, encoding_label, "ok", time.perf_counter() - start)
         finally:
+            self.metrics.gauge("soap_tcp_connections_open").dec()
             channel.close()
 
 
@@ -107,12 +186,20 @@ class SoapHttpService:
         security=None,
         target: str = "/soap",
         name: str = "soap-http",
+        metrics: MetricsRegistry | None = None,
+        admin: bool = True,
     ) -> None:
         self._dispatcher = dispatcher
         self._encoding = encoding if encoding is not None else XMLEncoding()
         self._security = security
         self._target = target
-        self._server = HttpServer(listener, self._handle, name=name)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._red = _RedRecorder(self.metrics, dispatcher, "http")
+        # one registry for both layers: GET /metrics on this port scrapes
+        # the SOAP RED series and the HTTP server's own series together
+        self._server = HttpServer(
+            listener, self._handle, name=name, metrics=self.metrics, admin=admin
+        )
 
     def start(self) -> "SoapHttpService":
         self._server.start()
@@ -134,6 +221,15 @@ class SoapHttpService:
             return HttpResponse(404, body=b"no such endpoint")
         if request.method != "POST":
             return HttpResponse(405, body=b"SOAP endpoints accept POST only")
+        start = time.perf_counter()
+        response, operation, encoding_label, status = self._handle_soap(request)
+        self._red.record(operation, encoding_label, status, time.perf_counter() - start)
+        return response
+
+    def _handle_soap(
+        self, request: HttpRequest
+    ) -> tuple[HttpResponse, str, str, str]:
+        """One SOAP exchange → (response, operation, encoding, status)."""
         content_type = (request.headers.get("Content-Type") or "text/xml").split(";")[0].strip()
 
         from repro.core.envelope import SoapEnvelope
@@ -146,27 +242,37 @@ class SoapHttpService:
                 else encoding_for_content_type(content_type)
             )
         except ValueError:
-            return HttpResponse(400, body=f"unsupported content type {content_type}".encode())
+            response = HttpResponse(
+                400, body=f"unsupported content type {content_type}".encode()
+            )
+            return response, "?", "?", "unsupported_media"
 
         try:
             envelope = SoapEnvelope.from_document(encoding.decode(request.body))
         except Exception as exc:  # malformed payload → client fault
             fault = SoapFault("soap:Client", f"cannot parse request: {exc}")
-            return self._fault_response(fault, encoding, self._security)
+            response = self._fault_response(fault, encoding, self._security)
+            return response, "?", encoding.content_type, "client_fault"
 
+        operation = self._red.operation_label(envelope)
         try:
             if self._security is not None:
                 self._security.verify(envelope)
             response = self._dispatcher.dispatch(envelope)
         except SoapFault as fault:
-            return self._fault_response(fault, encoding, self._security)
+            return (
+                self._fault_response(fault, encoding, self._security),
+                operation,
+                encoding.content_type,
+                self._red.status_for(fault),
+            )
 
         if self._security is not None:
             self._security.sign(response)
         body = encoding.encode(response.to_document())
         resp = HttpResponse(200, body=body)
         resp.headers.set("Content-Type", encoding.content_type)
-        return resp
+        return resp, operation, encoding.content_type, "ok"
 
     @staticmethod
     def _fault_response(fault: SoapFault, encoding: EncodingPolicy, security=None) -> HttpResponse:

@@ -60,6 +60,10 @@ class GridFTPClient:
         retrieval; a worker still alive past it raises
         :class:`~repro.gridftp.errors.StripeTimeout` instead of silently
         returning a buffer with holes.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`: retrievals are
+        counted into ``gridftp_transfers_total{streams,status}``,
+        ``gridftp_bytes_total`` and ``gridftp_out_of_order_blocks_total``.
     """
 
     def __init__(
@@ -69,10 +73,12 @@ class GridFTPClient:
         credential: HostCredential,
         *,
         stripe_timeout: float = 60.0,
+        metrics=None,
     ) -> None:
         self._connect_data = connect_data
         self._credential = credential
         self._stripe_timeout = stripe_timeout
+        self.metrics = metrics
         self.stats = TransferStats()
         self._control = BufferedChannel(connect_control())
         client_handshake(self._control, credential)
@@ -111,6 +117,31 @@ class GridFTPClient:
         ``deadline`` (seconds or a Deadline) tightens the stripe-worker
         wait below :attr:`stripe_timeout` when it expires sooner.
         """
+        if self.metrics is None:
+            return self._retrieve(path, n_streams, deadline=deadline)
+        blocks_before = self.stats.out_of_order_blocks
+        bytes_before = self.stats.data_bytes
+        status = "ok"
+        try:
+            return self._retrieve(path, n_streams, deadline=deadline)
+        except Exception as exc:
+            status = type(exc).__name__
+            raise
+        finally:
+            self.metrics.counter(
+                "gridftp_transfers_total",
+                labels={"streams": str(n_streams), "status": status},
+            ).add()
+            self.metrics.counter("gridftp_bytes_total").add(
+                self.stats.data_bytes - bytes_before
+            )
+            out_of_order = self.stats.out_of_order_blocks - blocks_before
+            if out_of_order:
+                self.metrics.counter("gridftp_out_of_order_blocks_total").add(
+                    out_of_order
+                )
+
+    def _retrieve(self, path: str, n_streams: int, *, deadline=None) -> bytes:
         dl = as_deadline(deadline)
         recorder = obs.get_recorder()
         with recorder.span(

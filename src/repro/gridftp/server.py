@@ -50,6 +50,11 @@ class GridFTPServer:
         registers a name; for TCP it binds an ephemeral port.
     credential:
         Shared host credential for the GSI-style handshake.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`: served retrievals
+        land in ``gridftp_server_transfers_total{status}`` and
+        ``gridftp_server_bytes_total``; expose the registry via
+        :func:`repro.transport.http.server.make_admin_server`.
     """
 
     def __init__(
@@ -60,15 +65,26 @@ class GridFTPServer:
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
         name: str = "gridftp",
+        metrics=None,
     ) -> None:
         self._control_listener = control_listener
         self._data_listener_factory = data_listener_factory
         self._credential = credential
         self._block_size = block_size
         self._name = name
+        self.metrics = metrics
         self._store: dict[str, bytes] = {}
         self._running = False
         self._thread: threading.Thread | None = None
+
+    def _count_transfer(self, status: str, n_bytes: int = 0) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "gridftp_server_transfers_total", labels={"status": status}
+        ).add()
+        if n_bytes:
+            self.metrics.counter("gridftp_server_bytes_total").add(n_bytes)
 
     # ------------------------------------------------------------------
 
@@ -166,6 +182,7 @@ class GridFTPServer:
             return
         data = self._store.get(path)
         if data is None:
+            self._count_transfer("no_such_file")
             channel.send_all(f"550 No such file {path}\n".encode())
             return
 
@@ -187,8 +204,10 @@ class GridFTPServer:
         for thread in senders:
             thread.join(timeout=60)
         if failures:
+            self._count_transfer("failed")
             channel.send_all(f"426 Transfer failed: {failures[0]}\n".encode())
         else:
+            self._count_transfer("ok", len(data))
             channel.send_all(b"226 Transfer complete\n")
 
     def _send_stream(

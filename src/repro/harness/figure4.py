@@ -15,7 +15,12 @@ Paper's observations, each encoded as a shape check:
 
 from __future__ import annotations
 
-from repro.harness.measure import traced_run
+from repro.harness.measure import (
+    add_observability_args,
+    observability_from_args,
+    traced_run,
+    write_metrics_out,
+)
 from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
 from repro.harness.runners import (
     SCHEME_BXSA_TCP,
@@ -46,11 +51,16 @@ def run(
     fault_profile=None,
     fault_seed: int = 0,
     trace_dir: str | None = None,
+    metrics=None,
+    sampler=None,
 ) -> ExperimentResult:
     """``fault_profile`` (a :class:`~repro.netsim.faults.FaultProfile`)
     replays each exchange live over a lossy link and folds the recovery
     cost into the reported times; ``trace_dir`` writes one span-tree JSON
-    per exchange (the ``--trace-out`` knob); see EXPERIMENTS.md."""
+    per exchange (the ``--trace-out`` knob); ``metrics`` (a
+    :class:`~repro.obs.MetricsRegistry`) aggregates per-exchange counters
+    across the run; ``sampler`` (a :class:`~repro.obs.HeadSampler`) thins
+    the trace files deterministically; see EXPERIMENTS.md."""
     sizes = sizes if sizes is not None else DEFAULT_SIZES
     series: dict[str, list[float]] = {scheme: [] for scheme in SCHEMES}
     for size in sizes:
@@ -63,6 +73,7 @@ def run(
                     scheme, dataset, profile,
                     fault_profile=fault_profile, fault_seed=fault_seed,
                 ),
+                metrics=metrics, sampler=sampler,
                 figure="figure4", scheme=scheme, model_size=size,
                 profile=profile.name,
             )
@@ -123,10 +134,9 @@ if __name__ == "__main__":
     import argparse
 
     parser = argparse.ArgumentParser(description="Regenerate Figure 4.")
-    parser.add_argument(
-        "--trace-out",
-        metavar="DIR",
-        default=None,
-        help="write one span-tree JSON per exchange into DIR",
-    )
-    print(run(trace_dir=parser.parse_args().trace_out).render())
+    add_observability_args(parser)
+    args = parser.parse_args()
+    trace_dir, metrics, sampler = observability_from_args(args)
+    print(run(trace_dir=trace_dir, metrics=metrics, sampler=sampler).render())
+    if args.metrics_out and metrics is not None:
+        write_metrics_out(metrics, args.metrics_out, figure="figure4")

@@ -17,7 +17,12 @@ shape checks:
 
 from __future__ import annotations
 
-from repro.harness.measure import traced_run
+from repro.harness.measure import (
+    add_observability_args,
+    observability_from_args,
+    traced_run,
+    write_metrics_out,
+)
 from repro.harness.report import ExperimentResult, ShapeCheck, render_series_table
 from repro.harness.runners import (
     SCHEME_BXSA_TCP,
@@ -54,9 +59,12 @@ def run(
     fault_profile=None,
     fault_seed: int = 0,
     trace_dir: str | None = None,
+    metrics=None,
+    sampler=None,
 ) -> ExperimentResult:
     """``fault_profile`` replays each exchange live over a lossy link and
-    folds the recovery cost into the reported times (see EXPERIMENTS.md)."""
+    folds the recovery cost into the reported times; ``metrics``/``sampler``
+    aggregate run metrics and thin trace files (see EXPERIMENTS.md)."""
     sizes = sizes if sizes is not None else DEFAULT_SIZES
     series: dict[str, list[float]] = {_series_label(s, k): [] for s, k in SERIES}
     for size in sizes:
@@ -71,6 +79,7 @@ def run(
                     fault_profile=fault_profile, fault_seed=fault_seed,
                     **kwargs,
                 ),
+                metrics=metrics, sampler=sampler,
                 figure="figure6", scheme=label, model_size=size,
                 profile=profile.name,
             )
@@ -142,10 +151,9 @@ if __name__ == "__main__":
     import argparse
 
     parser = argparse.ArgumentParser(description="Regenerate Figure 6.")
-    parser.add_argument(
-        "--trace-out",
-        metavar="DIR",
-        default=None,
-        help="write one span-tree JSON per exchange into DIR",
-    )
-    print(run(trace_dir=parser.parse_args().trace_out).render())
+    add_observability_args(parser)
+    args = parser.parse_args()
+    trace_dir, metrics, sampler = observability_from_args(args)
+    print(run(trace_dir=trace_dir, metrics=metrics, sampler=sampler).render())
+    if args.metrics_out and metrics is not None:
+        write_metrics_out(metrics, args.metrics_out, figure="figure6")

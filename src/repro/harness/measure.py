@@ -11,11 +11,16 @@ not *how*:
 * :func:`traced_run` — run one harness exchange under a fresh
   :class:`~repro.obs.TraceRecorder` and write the resulting span tree as
   JSON, so ``--trace-out`` can decompose each reported number into the
-  measured-CPU and modelled-wire spans that produced it.
+  measured-CPU and modelled-wire spans that produced it.  A
+  :class:`~repro.obs.HeadSampler` thins the trace *files* (a full
+  figure sweep writes dozens of span trees); metrics stay exact — every
+  exchange is counted and its recorder metrics merged into the run
+  registry whether or not its tree was kept.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import time
@@ -23,6 +28,8 @@ from typing import Callable, Sequence
 
 from repro import obs
 from repro.harness.calibration import cpu_scale
+from repro.obs.exposition import render_prometheus, render_varz
+from repro.obs.metrics import MetricsRegistry
 
 
 def median_seconds(samples: Sequence[float]) -> float:
@@ -71,22 +78,45 @@ def _slug(text: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "-", str(text)).strip("-") or "exchange"
 
 
-def traced_run(trace_dir, name: str, fn: Callable[[], object], **meta):
+def traced_run(
+    trace_dir,
+    name: str,
+    fn: Callable[[], object],
+    *,
+    metrics: MetricsRegistry | None = None,
+    sampler=None,
+    **meta,
+):
     """Run ``fn`` under a fresh recorder; write its span tree to a file.
 
-    With ``trace_dir`` falsy this is exactly ``fn()`` — the no-op recorder
-    stays installed and the instrumented code paths cost two function
-    calls per site.  Otherwise the whole exchange runs inside a root
-    ``exchange`` span (every :meth:`TimeBreakdown.charge
-    <repro.netsim.clock.TimeBreakdown.charge>` accounting span and every
-    library span nests under it) and the tree lands in
-    ``<trace_dir>/<name>.json`` with ``meta`` embedded.  When ``fn``
-    returns a :class:`~repro.harness.runners.SchemeResult`-shaped object,
-    the reported total is stamped on the root span so consumers can
-    reconcile the tree against the figure's numbers without re-deriving
-    them.
+    With ``trace_dir`` falsy and no ``metrics`` registry this is exactly
+    ``fn()`` — the no-op recorder stays installed and the instrumented
+    code paths cost two function calls per site.  Otherwise the whole
+    exchange runs inside a root ``exchange`` span (every
+    :meth:`TimeBreakdown.charge <repro.netsim.clock.TimeBreakdown.charge>`
+    accounting span and every library span nests under it) and the tree
+    lands in ``<trace_dir>/<name>.json`` with ``meta`` embedded.  When
+    ``fn`` returns a :class:`~repro.harness.runners.SchemeResult`-shaped
+    object, the reported total is stamped on the root span so consumers
+    can reconcile the tree against the figure's numbers without
+    re-deriving them.
+
+    ``sampler`` (a :class:`~repro.obs.HeadSampler`) makes the
+    keep-this-trace-file decision keyed on ``name`` — deterministic per
+    seed, so reruns keep the same exchanges.  Sampling thins *files
+    only*: a dropped exchange still runs instrumented when ``metrics`` is
+    given, so counters stay exact and the kept trees still reconcile
+    against their reported totals.  ``metrics`` receives every
+    per-exchange recorder's counters/histograms (merged), a
+    ``harness_exchanges_total{figure,scheme}`` count and the sampler's
+    running sampled/dropped gauges.
     """
-    if not trace_dir:
+    write_trace_file = bool(trace_dir)
+    if write_trace_file and sampler is not None:
+        write_trace_file = sampler.should_sample(name)
+        if metrics is not None:
+            sampler.count_into(metrics)
+    if not write_trace_file and metrics is None:
         return fn()
     recorder = obs.TraceRecorder()
     with obs.recording(recorder):
@@ -98,7 +128,79 @@ def traced_run(trace_dir, name: str, fn: Callable[[], object], **meta):
             repeats = getattr(result, "repeats", None)
             if repeats:
                 root.set("repeats", repeats)
-    os.makedirs(trace_dir, exist_ok=True)
-    path = os.path.join(trace_dir, _slug(name) + ".json")
-    obs.write_trace(path, recorder, meta=meta)
+    if metrics is not None:
+        metrics.merge(recorder.metrics)
+        labels = {
+            "figure": str(meta.get("figure", "")),
+            "scheme": str(meta.get("scheme", "")),
+        }
+        metrics.counter("harness_exchanges_total", labels=labels).add()
+        if breakdown is not None:
+            metrics.histogram("harness_exchange_seconds", labels=labels).observe(
+                breakdown.total
+            )
+    if write_trace_file:
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(trace_dir, _slug(name) + ".json")
+        obs.write_trace(path, recorder, meta=meta)
     return result
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing shared by the figure modules
+
+
+def add_observability_args(parser) -> None:
+    """The ``--trace-out`` / ``--metrics-out`` / sampling argparse knobs."""
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="write one span-tree JSON per exchange into DIR",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's metrics registry to FILE "
+        "(Prometheus text; .json gets the /varz JSON document)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        metavar="RATE",
+        type=float,
+        default=1.0,
+        help="keep this fraction of trace files (default 1.0 = all)",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        metavar="N",
+        type=int,
+        default=0,
+        help="sampling seed: same seed keeps the same exchanges (default 0)",
+    )
+
+
+def observability_from_args(args):
+    """(trace_dir, metrics registry or None, sampler or None) from argparse."""
+    metrics = MetricsRegistry() if (args.metrics_out or args.trace_out) else None
+    sampler = None
+    if args.trace_sample < 1.0:
+        sampler = obs.HeadSampler(args.trace_sample, args.trace_seed)
+    return args.trace_out, metrics, sampler
+
+
+def write_metrics_out(metrics: MetricsRegistry, path: str, **info) -> None:
+    """Dump ``metrics`` to ``path``: Prometheus text, or /varz JSON for
+    ``*.json`` paths.  ``info`` goes into the JSON document's server block."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    if path.endswith(".json"):
+        document = render_varz(metrics, **info)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(metrics))

@@ -42,7 +42,18 @@ run — including from worker threads.
 from __future__ import annotations
 
 from repro.obs.export import folded_stacks, trace_dict, write_trace
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.exposition import render_prometheus, render_varz
+from repro.obs.metrics import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    LabelCardinalityError,
+    MetricsRegistry,
+)
+from repro.obs.sampling import ALWAYS_SAMPLE, HeadSampler
 from repro.obs.trace import (
     NULL_RECORDER,
     NullRecorder,
@@ -55,9 +66,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ALWAYS_SAMPLE",
     "NULL_RECORDER",
     "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
+    "HeadSampler",
     "Histogram",
+    "HistogramFamily",
+    "LabelCardinalityError",
     "MetricsRegistry",
     "NullRecorder",
     "Span",
@@ -67,9 +85,12 @@ __all__ = [
     "counter",
     "event",
     "folded_stacks",
+    "gauge",
     "get_recorder",
     "histogram",
     "recording",
+    "render_prometheus",
+    "render_varz",
     "set_recorder",
     "span",
     "trace_dict",
@@ -92,11 +113,16 @@ def charge(name: str, seconds: float, kind: str = "wire", parent=None, **attribu
     get_recorder().charge(name, seconds, kind=kind, parent=parent, **attributes)
 
 
-def counter(name: str):
+def counter(name: str, labels: dict | None = None):
     """The active recorder's counter ``name`` (no-op sink when disabled)."""
-    return get_recorder().counter(name)
+    return get_recorder().counter(name, labels)
 
 
-def histogram(name: str):
+def gauge(name: str, labels: dict | None = None):
+    """The active recorder's gauge ``name`` (no-op sink when disabled)."""
+    return get_recorder().gauge(name, labels)
+
+
+def histogram(name: str, labels: dict | None = None):
     """The active recorder's histogram ``name`` (no-op sink when disabled)."""
-    return get_recorder().histogram(name)
+    return get_recorder().histogram(name, labels=labels)

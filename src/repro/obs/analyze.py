@@ -1,0 +1,343 @@
+"""Trace analysis CLI: critical paths, cross-trace aggregates, diffs.
+
+Works on the span-tree JSON documents (schema ``repro.obs.trace/1``) that
+``--trace-out`` writes — one file per harness exchange.  Three commands::
+
+    python -m repro.obs.analyze critical-path TRACE_OR_DIR [...]
+    python -m repro.obs.analyze aggregate DIR [...]
+    python -m repro.obs.analyze diff DIR_A DIR_B
+
+* **critical-path** walks each exchange tree along its most expensive
+  child at every level, prints the chain, and *reconciles*: the sum of
+  the trace's segment spans (the accounting spans
+  :meth:`~repro.netsim.clock.TimeBreakdown.charge` emits) must equal the
+  root span's ``reported_total_seconds`` — the number the figure
+  printed.  A mismatch means the trace no longer explains the figure and
+  the command exits 1.
+* **aggregate** pools many exchanges: per-segment p50/p95/p99 seconds,
+  and the CPU / wire / disk share of total time per scheme — Table-1
+  style decomposition recovered from raw traces.
+* **diff** pairs traces by filename across two directories (two runs,
+  two machines, two commits) and reports per-exchange total deltas and
+  the segments that moved most.
+
+Everything here is pure stdlib and side-effect free below :func:`main`,
+so the same functions serve tests and notebooks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from typing import Iterable, Iterator
+
+#: Relative tolerance for sum-vs-reported reconciliation.  The harness
+#: computes both numbers from the same floats, so only representation
+#: noise is tolerated — a real regression is orders of magnitude larger.
+RECONCILE_REL_TOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# loading and walking
+
+
+def load_trace(path: str) -> dict:
+    """One trace document, validated to the known schema."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    schema = document.get("schema")
+    if schema != "repro.obs.trace/1":
+        raise ValueError(f"{path}: unsupported trace schema {schema!r}")
+    return document
+
+
+def trace_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``*.json`` traces."""
+    found: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".json")
+            )
+        else:
+            found.append(path)
+    return found
+
+
+def iter_spans(span: dict) -> Iterator[dict]:
+    """The span and all its descendants, depth first."""
+    yield span
+    for child in span.get("children", ()):
+        yield from iter_spans(child)
+
+
+def roots(document: dict) -> list[dict]:
+    return document.get("spans", [])
+
+
+def segments(document: dict) -> list[dict]:
+    """The accounting segments: spans charged by the netsim clock."""
+    return [
+        span
+        for root in roots(document)
+        for span in iter_spans(root)
+        if span.get("attributes", {}).get("segment")
+    ]
+
+
+# ---------------------------------------------------------------------------
+# critical path + reconciliation
+
+
+def critical_path(document: dict) -> list[dict]:
+    """Greedy most-expensive descent from the heaviest root span."""
+    top = roots(document)
+    if not top:
+        return []
+    node = max(top, key=lambda s: s.get("seconds", 0.0))
+    path = [node]
+    while node.get("children"):
+        node = max(node["children"], key=lambda s: s.get("seconds", 0.0))
+        path.append(node)
+    return path
+
+
+def reconcile(document: dict) -> tuple[float, float | None, bool]:
+    """(segment sum, reported total or None, ok).
+
+    ``ok`` is True when the root's ``reported_total_seconds`` equals the
+    sum of segment spans within :data:`RECONCILE_REL_TOL` — or when the
+    trace carries no reported total to check against (nothing to refute).
+    """
+    segment_sum = sum(span.get("seconds", 0.0) for span in segments(document))
+    reported = None
+    for root in roots(document):
+        value = root.get("attributes", {}).get("reported_total_seconds")
+        if value is not None:
+            reported = float(value)
+            break
+    if reported is None:
+        return segment_sum, None, True
+    ok = math.isclose(segment_sum, reported, rel_tol=RECONCILE_REL_TOL, abs_tol=1e-12)
+    return segment_sum, reported, ok
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+
+
+def quantile_of(samples: list[float], q: float) -> float:
+    """Linear-interpolated quantile of raw samples (q in [0, 1])."""
+    if not samples:
+        raise ValueError("quantile of no samples")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def aggregate(documents: Iterable[dict]) -> dict:
+    """Cross-trace pools: per-segment quantiles and per-scheme kind shares.
+
+    Returns ``{"segments": {name: {count,p50,p95,p99,total}},
+    "schemes": {scheme: {kind: seconds}}, "traces": n}``.
+    """
+    per_segment: dict[str, list[float]] = {}
+    per_scheme: dict[str, dict[str, float]] = {}
+    n_traces = 0
+    for document in documents:
+        n_traces += 1
+        scheme = str(document.get("meta", {}).get("scheme", "?"))
+        shares = per_scheme.setdefault(scheme, {})
+        for span in segments(document):
+            seconds = span.get("seconds", 0.0)
+            per_segment.setdefault(span["name"], []).append(seconds)
+            kind = span.get("kind", "cpu")
+            shares[kind] = shares.get(kind, 0.0) + seconds
+    segment_stats = {
+        name: {
+            "count": len(samples),
+            "p50": quantile_of(samples, 0.50),
+            "p95": quantile_of(samples, 0.95),
+            "p99": quantile_of(samples, 0.99),
+            "total": sum(samples),
+        }
+        for name, samples in per_segment.items()
+    }
+    return {"segments": segment_stats, "schemes": per_scheme, "traces": n_traces}
+
+
+def diff_directories(dir_a: str, dir_b: str) -> dict:
+    """Pair traces by filename; compare totals and per-segment times.
+
+    Returns ``{"common": {name: {"a","b","delta","segments"}},
+    "only_a": [...], "only_b": [...]}`` where each ``segments`` maps
+    segment name → (a_seconds, b_seconds).
+    """
+    names_a = {os.path.basename(p): p for p in trace_files([dir_a])}
+    names_b = {os.path.basename(p): p for p in trace_files([dir_b])}
+    common = {}
+    for name in sorted(names_a.keys() & names_b.keys()):
+        doc_a = load_trace(names_a[name])
+        doc_b = load_trace(names_b[name])
+        sum_a, reported_a, _ = reconcile(doc_a)
+        sum_b, reported_b, _ = reconcile(doc_b)
+        total_a = reported_a if reported_a is not None else sum_a
+        total_b = reported_b if reported_b is not None else sum_b
+        seg_a = {s["name"]: s.get("seconds", 0.0) for s in segments(doc_a)}
+        seg_b = {s["name"]: s.get("seconds", 0.0) for s in segments(doc_b)}
+        common[name] = {
+            "a": total_a,
+            "b": total_b,
+            "delta": total_b - total_a,
+            "segments": {
+                seg: (seg_a.get(seg, 0.0), seg_b.get(seg, 0.0))
+                for seg in sorted(seg_a.keys() | seg_b.keys())
+            },
+        }
+    return {
+        "common": common,
+        "only_a": sorted(names_a.keys() - names_b.keys()),
+        "only_b": sorted(names_b.keys() - names_a.keys()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:10.4f}ms"
+
+
+def _render_critical_path(path: str, document: dict, out) -> bool:
+    name = os.path.basename(path)
+    chain = critical_path(document)
+    segment_sum, reported, ok = reconcile(document)
+    print(f"{name}:", file=out)
+    for depth, span in enumerate(chain):
+        marker = "seg" if span.get("attributes", {}).get("segment") else span.get("kind", "?")
+        print(
+            f"  {'  ' * depth}{_ms(span.get('seconds', 0.0))}  {span['name']}  [{marker}]",
+            file=out,
+        )
+    if reported is None:
+        print(f"  segments sum {_ms(segment_sum)} (no reported total in trace)", file=out)
+    else:
+        verdict = "OK" if ok else "MISMATCH"
+        print(
+            f"  segments sum {_ms(segment_sum)} vs reported {_ms(reported)}  [{verdict}]",
+            file=out,
+        )
+    return ok
+
+
+def _render_aggregate(result: dict, out) -> None:
+    print(f"{result['traces']} traces", file=out)
+    print("per-segment latency (seconds over all exchanges):", file=out)
+    stats = sorted(
+        result["segments"].items(), key=lambda item: item[1]["total"], reverse=True
+    )
+    for name, stat in stats:
+        print(
+            f"  {name:32s} n={stat['count']:<4d} "
+            f"p50={_ms(stat['p50'])} p95={_ms(stat['p95'])} p99={_ms(stat['p99'])}",
+            file=out,
+        )
+    print("time share by kind per scheme:", file=out)
+    for scheme, shares in sorted(result["schemes"].items()):
+        total = sum(shares.values()) or 1.0
+        parts = "  ".join(
+            f"{kind}={seconds / total * 100.0:5.1f}%"
+            for kind, seconds in sorted(shares.items())
+        )
+        print(f"  {scheme:24s} {parts}", file=out)
+
+
+def _render_diff(result: dict, out) -> None:
+    for name, entry in result["common"].items():
+        drift = entry["delta"] / entry["a"] * 100.0 if entry["a"] else 0.0
+        print(
+            f"{name}: {_ms(entry['a'])} -> {_ms(entry['b'])} ({drift:+.1f}%)",
+            file=out,
+        )
+        moved = sorted(
+            entry["segments"].items(),
+            key=lambda item: abs(item[1][1] - item[1][0]),
+            reverse=True,
+        )[:3]
+        for seg, (a, b) in moved:
+            if a == b:
+                continue
+            print(f"    {seg:32s} {_ms(a)} -> {_ms(b)}", file=out)
+    for name in result["only_a"]:
+        print(f"{name}: only in A", file=out)
+    for name in result["only_b"]:
+        print(f"{name}: only in B", file=out)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.analyze",
+        description="Analyze --trace-out span-tree JSON documents.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cp = sub.add_parser(
+        "critical-path",
+        help="most-expensive descent per exchange + segment-sum reconciliation",
+    )
+    p_cp.add_argument("paths", nargs="+", metavar="TRACE_OR_DIR")
+
+    p_agg = sub.add_parser(
+        "aggregate", help="per-segment quantiles and per-scheme kind shares"
+    )
+    p_agg.add_argument("paths", nargs="+", metavar="TRACE_OR_DIR")
+
+    p_diff = sub.add_parser("diff", help="compare two trace directories")
+    p_diff.add_argument("dir_a", metavar="DIR_A")
+    p_diff.add_argument("dir_b", metavar="DIR_B")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "critical-path":
+        files = trace_files(args.paths)
+        if not files:
+            print("no trace files found", file=out)
+            return 1
+        all_ok = True
+        for path in files:
+            ok = _render_critical_path(path, load_trace(path), out)
+            all_ok = all_ok and ok
+        return 0 if all_ok else 1
+
+    if args.command == "aggregate":
+        files = trace_files(args.paths)
+        if not files:
+            print("no trace files found", file=out)
+            return 1
+        _render_aggregate(aggregate(load_trace(path) for path in files), out)
+        return 0
+
+    # diff
+    result = diff_directories(args.dir_a, args.dir_b)
+    _render_diff(result, out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

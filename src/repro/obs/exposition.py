@@ -1,0 +1,99 @@
+"""Prometheus-style text exposition (and a JSON ``/varz`` view) of metrics.
+
+The renderer targets the Prometheus text format, version 0.0.4 — the
+lingua franca every scraper of the era's federation monitoring speaks
+(the XRootD/OSDF operators in PAPERS.md live off exactly this surface):
+
+* metric names sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots become
+  underscores: ``resilience.retries`` → ``resilience_retries``);
+* one ``# TYPE`` line per metric, then one sample line per series;
+* histograms expand to cumulative ``_bucket{le="..."}`` samples plus
+  ``_sum``/``_count`` (and the exactly-tracked ``_min``/``_max`` as
+  gauges, which vanilla Prometheus histograms cannot offer);
+* label values escaped per the spec (backslash, quote, newline).
+
+Nothing here locks the registry globally: rendering works off each
+instrument's atomic :meth:`snapshot`, so a scrape under live traffic sees
+internally-consistent series (a histogram's count always equals the sum
+of its buckets) even while observations continue.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """A Prometheus-legal metric name (dots and dashes → underscores)."""
+    name = _NAME_OK.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _label_block(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(k)}="{escape_label_value(str(v))}"' for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text format (trailing newline)."""
+    lines: list[str] = []
+    for kind, raw_name, series in registry.collect():
+        name = sanitize_name(raw_name)
+        lines.append(f"# TYPE {name} {kind}")
+        for instrument in sorted(series, key=lambda s: s.labels):
+            labels = tuple(instrument.labels)
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_label_block(labels)} {_format_value(instrument.snapshot())}")
+                continue
+            snap = instrument.snapshot()
+            cumulative = 0
+            for bound, count in zip(snap["bounds"], snap["counts"]):
+                cumulative += count
+                le = labels + (("le", _format_value(float(bound))),)
+                lines.append(f"{name}_bucket{_label_block(le)} {cumulative}")
+            le_inf = labels + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_label_block(le_inf)} {snap['count']}")
+            lines.append(f"{name}_sum{_label_block(labels)} {_format_value(snap['total'])}")
+            lines.append(f"{name}_count{_label_block(labels)} {snap['count']}")
+            if snap["count"]:
+                lines.append(f"{name}_min{_label_block(labels)} {_format_value(snap['min'])}")
+                lines.append(f"{name}_max{_label_block(labels)} {_format_value(snap['max'])}")
+    return "\n".join(lines) + "\n"
+
+
+def render_varz(registry: MetricsRegistry, **extra) -> dict:
+    """JSON-ready ``/varz`` document: the full snapshot plus server info.
+
+    ``extra`` key/values (server name, uptime, recent errors) land under
+    ``"server"`` so the metrics namespace stays clean.
+    """
+    document = {"schema": "repro.obs.varz/1", "metrics": registry.snapshot()}
+    if extra:
+        document["server"] = dict(extra)
+    return document

@@ -1,0 +1,83 @@
+"""Head-based trace sampling: decide before recording, deterministically.
+
+Always-on tracing of a busy server (or a full figure sweep) is unaffordable
+— thousands of span-tree JSON documents per run.  Head sampling makes the
+keep/drop call *before* any span is recorded, so a dropped trace costs
+nothing beyond the decision itself.
+
+Two properties matter here:
+
+1. **Determinism.**  The decision is a pure function of ``(seed, key)``
+   (CRC32, not Python's per-process-salted ``hash``), so a harness rerun
+   with the same seed keeps exactly the same exchanges — trace diffs
+   across runs compare like with like, and a bug report's "trace
+   figure5-soap+gridftp(4)-n87360" can be regenerated at will.
+2. **Observability of the sampling itself.**  Every decision is counted
+   (:attr:`sampled` / :attr:`dropped`, plus the registry counters callers
+   wire through :meth:`count_into`), so a rate that quietly starves the
+   trace directory is visible in the same /metrics surface as everything
+   else.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+
+_SCALE = float(1 << 32)
+
+
+class HeadSampler:
+    """Keep a ``rate`` fraction of traces, chosen by hashing the trace key.
+
+    ``rate`` is clamped to [0, 1]; 1.0 keeps everything (the default
+    harness behaviour), 0.0 drops everything.  The same ``(seed, key)``
+    always decides the same way, on any machine, in any process.
+    """
+
+    def __init__(self, rate: float = 1.0, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = int(seed)
+        self.sampled = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def decide(self, key: str) -> bool:
+        """Pure decision for ``key`` — no counters touched."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = zlib.crc32(f"{self.seed}:{key}".encode("utf-8"))
+        return digest / _SCALE < self.rate
+
+    def should_sample(self, key: str) -> bool:
+        """Decide for ``key`` and count the outcome."""
+        keep = self.decide(key)
+        with self._lock:
+            if keep:
+                self.sampled += 1
+            else:
+                self.dropped += 1
+        return keep
+
+    def count_into(self, metrics) -> None:
+        """Mirror the running totals into a registry (idempotent set via
+        counters would drift; instead call once per decision site — see
+        :func:`repro.harness.measure.traced_run` for the usage pattern)."""
+        with self._lock:
+            sampled, dropped = self.sampled, self.dropped
+        metrics.gauge("obs_traces_sampled").set(sampled)
+        metrics.gauge("obs_traces_dropped").set(dropped)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeadSampler(rate={self.rate}, seed={self.seed}, "
+            f"sampled={self.sampled}, dropped={self.dropped})"
+        )
+
+
+#: Shared keep-everything sampler (rate 1.0): the no-sampling default.
+ALWAYS_SAMPLE = HeadSampler(1.0)

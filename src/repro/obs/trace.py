@@ -215,11 +215,14 @@ class TraceRecorder:
             with self._lock:
                 self.orphan_events.append(SpanEvent(name, now, attributes))
 
-    def counter(self, name: str):
-        return self.metrics.counter(name)
+    def counter(self, name: str, labels=None):
+        return self.metrics.counter(name, labels)
 
-    def histogram(self, name: str, bounds=None):
-        return self.metrics.histogram(name, bounds)
+    def gauge(self, name: str, labels=None):
+        return self.metrics.gauge(name, labels)
+
+    def histogram(self, name: str, bounds=None, labels=None):
+        return self.metrics.histogram(name, bounds, labels)
 
     def export(self, meta: dict | None = None) -> dict:
         """The trace as a JSON-ready dict (see :mod:`repro.obs.export`)."""
@@ -253,15 +256,27 @@ class _NullSpan:
 
 
 class _NullInstrument:
-    """Shared do-nothing counter/histogram."""
+    """Shared do-nothing counter/gauge/histogram (and family)."""
 
     __slots__ = ()
 
     def add(self, n=1) -> None:
         pass
 
+    def inc(self, n=1) -> None:
+        pass
+
+    def dec(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
     def observe(self, value) -> None:
         pass
+
+    def labels(self, **values) -> "_NullInstrument":
+        return self
 
 
 _NULL_SPAN = _NullSpan()
@@ -282,10 +297,13 @@ class NullRecorder:
     def event(self, name, **attributes) -> None:
         pass
 
-    def counter(self, name) -> _NullInstrument:
+    def counter(self, name, labels=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name, bounds=None) -> _NullInstrument:
+    def gauge(self, name, labels=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, bounds=None, labels=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def current_span(self) -> None:

@@ -1,18 +1,44 @@
-"""Threaded HTTP/1.1 server over any listener.
+"""Threaded HTTP/1.1 server over any listener, with a live admin surface.
 
 One thread accepts; one thread per connection serves requests until the
 client stops keeping the connection alive.  The handler is a plain callable
 ``HttpRequest -> HttpResponse`` — the SOAP dispatcher, the netCDF file
 server and the examples all plug in here.
+
+Every server carries a :class:`~repro.obs.MetricsRegistry` (pass one in to
+share it with the application handler, e.g. the SOAP service hosts) and,
+unless ``admin=False``, answers three reserved GET endpoints alongside the
+handler:
+
+* ``/metrics`` — the registry in Prometheus text format;
+* ``/healthz`` — liveness JSON (status, uptime, in-flight/connection
+  gauges);
+* ``/varz``    — the full metrics snapshot as JSON plus server info,
+  including the most recent handler errors (whose detail is deliberately
+  *not* sent to clients — a 500 body says only ``internal server error``).
+
+Shutdown drains: ``stop()`` closes the listener, asks connection threads
+to finish their in-flight request, force-closes lingering channels after
+``drain_timeout`` seconds and joins the threads, so a stopped server
+leaves no request half-written.
 """
 
 from __future__ import annotations
 
+import json
 import threading
+import time
+from collections import deque
 from typing import Callable
 
+from repro import obs
+from repro.obs.exposition import render_prometheus, render_varz
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import BufferedChannel, Listener, TransportError
 from repro.transport.http.messages import HttpError, HttpRequest, HttpResponse, read_request
+
+#: Reserved admin targets (GET only); everything else goes to the handler.
+ADMIN_TARGETS = ("/metrics", "/healthz", "/varz")
 
 
 class HttpServer:
@@ -24,12 +50,26 @@ class HttpServer:
         handler: Callable[[HttpRequest], HttpResponse],
         *,
         name: str = "http-server",
+        metrics: MetricsRegistry | None = None,
+        admin: bool = True,
+        drain_timeout: float = 5.0,
     ) -> None:
         self._listener = listener
         self._handler = handler
         self._name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._admin = admin
+        self._drain_timeout = drain_timeout
         self._accept_thread: threading.Thread | None = None
         self._running = False
+        self._started_at: float | None = None
+        # connection bookkeeping: threads are joined on stop(); channels
+        # are force-closed if the drain timeout expires first
+        self._conn_lock = threading.Lock()
+        self._conn_threads: list[threading.Thread] = []
+        self._conn_channels: dict[int, BufferedChannel] = {}
+        #: Most recent handler failures (server-side detail only).
+        self.recent_errors: deque[dict] = deque(maxlen=32)
 
     # ------------------------------------------------------------------
 
@@ -38,6 +78,7 @@ class HttpServer:
         if self._running:
             raise RuntimeError("server already running")
         self._running = True
+        self._started_at = time.monotonic()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=self._name, daemon=True
         )
@@ -45,11 +86,29 @@ class HttpServer:
         return self
 
     def stop(self) -> None:
-        """Stop accepting; existing connections finish their current request."""
+        """Stop accepting, drain connections, join their threads."""
         self._running = False
         self._listener.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
+        deadline = time.monotonic() + self._drain_timeout
+        with self._conn_lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        # past the drain budget: force-close what is still open so blocked
+        # reads fail and their threads exit (daemonic either way, but a
+        # clean join keeps tests and embedders deterministic)
+        with self._conn_lock:
+            lingering = list(self._conn_channels.values())
+        for channel in lingering:
+            try:
+                channel.close()
+            except TransportError:  # pragma: no cover - defensive
+                pass
+        for thread in threads:
+            if thread.is_alive():
+                thread.join(timeout=1)
 
     def __enter__(self) -> "HttpServer":
         return self.start()
@@ -65,31 +124,148 @@ class HttpServer:
                 channel = self._listener.accept()
             except TransportError:
                 return  # listener closed
+            buffered = BufferedChannel(channel)
             thread = threading.Thread(
                 target=self._serve_connection,
-                args=(BufferedChannel(channel),),
+                args=(buffered,),
                 name=f"{self._name}-conn",
                 daemon=True,
             )
+            with self._conn_lock:
+                # prune finished threads so a long-lived server's list
+                # does not grow with every connection it ever served
+                self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
+                self._conn_threads.append(thread)
+                self._conn_channels[id(buffered)] = buffered
             thread.start()
 
     def _serve_connection(self, channel: BufferedChannel) -> None:
+        m = self.metrics
+        open_gauge = m.gauge("http_connections_open")
+        open_gauge.inc()
+        m.counter("http_connections_total").add()
         try:
             while True:
                 try:
                     request = read_request(channel)
                 except TransportError:
                     return  # client went away between requests
-                try:
-                    response = self._handler(request)
-                except HttpError as exc:
-                    response = HttpResponse(400, body=str(exc).encode())
-                except Exception as exc:  # noqa: BLE001 - server must not die
-                    response = HttpResponse(500, body=f"{type(exc).__name__}: {exc}".encode())
+                response = self._respond(request)
                 keep = request.keep_alive
                 response.headers.set("Connection", "keep-alive" if keep else "close")
-                channel.send_all(response.to_bytes())
+                try:
+                    channel.send_all(response.to_bytes())
+                except TransportError:
+                    return  # client went away mid-response
                 if not keep:
                     return
         finally:
+            open_gauge.dec()
+            with self._conn_lock:
+                self._conn_channels.pop(id(channel), None)
             channel.close()
+
+    # ------------------------------------------------------------------
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
+        m = self.metrics
+        in_flight = m.gauge("http_requests_in_flight")
+        in_flight.inc()
+        start = time.perf_counter()
+        try:
+            if self._admin and request.target in ADMIN_TARGETS:
+                target = self._admin_response
+            else:
+                target = self._handler
+            try:
+                response = target(request)
+            except HttpError as exc:
+                response = HttpResponse(400, body=str(exc).encode())
+            except Exception as exc:  # noqa: BLE001 - server must not die
+                # the client gets a generic body: internals (exception
+                # type, message, paths) are server-side information
+                self._record_handler_error(request, exc)
+                response = HttpResponse(500, body=b"internal server error")
+            return response
+        finally:
+            elapsed = time.perf_counter() - start
+            in_flight.dec()
+            m.counter(
+                "http_requests_total",
+                labels={
+                    "method": request.method,
+                    "status": f"{response.status // 100}xx",
+                },
+            ).add()
+            m.histogram("http_request_seconds", labels={"method": request.method}).observe(
+                elapsed
+            )
+
+    def _record_handler_error(self, request: HttpRequest, exc: Exception) -> None:
+        self.metrics.counter(
+            "http_handler_errors_total", labels={"type": type(exc).__name__}
+        ).add()
+        detail = {
+            "target": request.target,
+            "method": request.method,
+            "error": type(exc).__name__,
+            "detail": str(exc),
+        }
+        self.recent_errors.append(detail)
+        # the detail also lands in the active trace (when one is recording)
+        obs.event("http.handler_error", **detail)
+
+    # ------------------------------------------------------------------
+    # admin surface
+
+    def _admin_response(self, request: HttpRequest) -> HttpResponse:
+        if request.method != "GET":
+            return HttpResponse(405, body=b"admin endpoints accept GET only")
+        if request.target == "/metrics":
+            body = render_prometheus(self.metrics).encode("utf-8")
+            response = HttpResponse(200, body=body)
+            response.headers.set("Content-Type", "text/plain; version=0.0.4")
+            return response
+        if request.target == "/healthz":
+            payload = {
+                "status": "ok",
+                "server": self._name,
+                "uptime_seconds": self.uptime_seconds,
+                "connections_open": self.metrics.gauge("http_connections_open").snapshot(),
+                "requests_in_flight": self.metrics.gauge("http_requests_in_flight").snapshot(),
+            }
+            response = HttpResponse(200, body=json.dumps(payload).encode("utf-8"))
+            response.headers.set("Content-Type", "application/json")
+            return response
+        # /varz
+        payload = render_varz(
+            self.metrics,
+            name=self._name,
+            uptime_seconds=self.uptime_seconds,
+            recent_errors=list(self.recent_errors),
+        )
+        response = HttpResponse(200, body=json.dumps(payload, default=str).encode("utf-8"))
+        response.headers.set("Content-Type", "application/json")
+        return response
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+
+def make_admin_server(
+    listener: Listener, metrics: MetricsRegistry, *, name: str = "admin"
+) -> HttpServer:
+    """A server that answers *only* the admin endpoints.
+
+    For hosts whose traffic does not ride HTTP (the SOAP/TCP service, the
+    GridFTP server) but that still want a ``/metrics``·``/healthz``
+    sidecar exposing their registry.
+    """
+
+    def not_found(_request: HttpRequest) -> HttpResponse:
+        return HttpResponse(404, body=b"admin surface only: /metrics /healthz /varz")
+
+    return HttpServer(listener, not_found, name=name, metrics=metrics, admin=True)

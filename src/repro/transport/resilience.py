@@ -174,6 +174,7 @@ def retry_call(
     may_retry: Callable[[BaseException, int], bool] | None = None,
     rng: random.Random | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    metrics=None,
 ) -> object:
     """Run ``fn(attempt)`` under a retry budget and optional deadline.
 
@@ -189,6 +190,12 @@ def retry_call(
     Exhausting the budget after more than one attempt raises
     :class:`RetryBudgetExhausted` chaining the last failure; a first-attempt
     failure that may not be retried propagates unwrapped.
+
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) additionally counts
+    ``resilience_retries_total{error}`` per retry and
+    ``resilience_exhausted_total{error}`` per spent budget — labelled,
+    process-lifetime counters, where the ``obs`` ones live and die with
+    the active trace recorder.
     """
     policy = policy if policy is not None else RetryPolicy()
     rng = rng if rng is not None else random.Random()
@@ -208,6 +215,11 @@ def retry_call(
                 obs.event(
                     "retry.exhausted", attempts=attempt, error=type(exc).__name__
                 )
+                if metrics is not None:
+                    metrics.counter(
+                        "resilience_exhausted_total",
+                        labels={"error": type(exc).__name__},
+                    ).add()
                 if attempt == 1:
                     raise
                 raise RetryBudgetExhausted(
@@ -229,6 +241,10 @@ def retry_call(
                 backoff=pause,
             )
             obs.counter("resilience.retries").add()
+            if metrics is not None:
+                metrics.counter(
+                    "resilience_retries_total", labels={"error": type(exc).__name__}
+                ).add()
             if pause:
                 sleep(pause)
     raise AssertionError("unreachable")  # pragma: no cover

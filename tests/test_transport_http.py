@@ -125,7 +125,13 @@ class TestClientServerOverMemory:
     def test_handler_exception_becomes_500(self):
         resp = self.client.get("/boom")
         assert resp.status == 500
-        assert b"handler exploded" in resp.body
+        # the body is deliberately generic: exception detail stays server-side
+        assert resp.body == b"internal server error"
+        assert b"handler exploded" not in resp.body
+        assert b"RuntimeError" not in resp.body
+        # ...where it is still observable
+        assert self.server.recent_errors[-1]["detail"] == "handler exploded"
+        assert self.server.recent_errors[-1]["error"] == "RuntimeError"
 
     def test_connection_close_honoured(self):
         resp = self.client.request("GET", "/x", headers={"Connection": "close"})

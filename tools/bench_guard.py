@@ -26,11 +26,23 @@ import sys
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "results"
 CURRENT = RESULTS_DIR / "hotpath.json"
 BASELINE = RESULTS_DIR / "hotpath_baseline.json"
+OBS_RESULTS = RESULTS_DIR / "obs.json"
 
 #: A pinned ratio may degrade to this fraction of its baseline before the
 #: guard fails (25% regression budget — generous enough for machine noise,
 #: tight enough to catch a lost optimization).
 ALLOWED_FRACTION = 0.75
+
+#: Absolute ceilings for the telemetry overhead pins that
+#: ``benchmarks/bench_obs.py`` writes to ``obs.json``.  These do not use
+#: a rolling baseline: they are loose enough that only a complexity
+#: regression (per-call allocation, lock contention, accidental O(n))
+#: would blow them, so a fixed ceiling is the right shape.
+OBS_CEILINGS = {
+    "labelled_vs_unlabelled_ratio": 10.0,
+    "sampler_decide_us": 10.0,
+    "disabled_counter_site_us": 5.0,
+}
 
 
 def load(path: pathlib.Path) -> dict | None:
@@ -41,6 +53,32 @@ def load(path: pathlib.Path) -> dict | None:
     except (OSError, ValueError) as exc:
         print(f"bench_guard: cannot read {path}: {exc}")
         return None
+
+
+def check_obs_ceilings() -> list[str]:
+    """Check obs.json against its fixed ceilings; [] when absent or ok."""
+    results = load(OBS_RESULTS)
+    if results is None or "measured" not in results:
+        print(
+            f"bench_guard: no telemetry results at {OBS_RESULTS.name} — skipping "
+            "(run PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest "
+            "benchmarks/bench_obs.py -q to produce them)"
+        )
+        return []
+    failures = []
+    for name, ceiling in OBS_CEILINGS.items():
+        value = results["measured"].get(name)
+        if value is None:
+            failures.append(f"obs.{name}: missing from {OBS_RESULTS.name}")
+            continue
+        verdict = "ok" if value <= ceiling else "EXCEEDED"
+        print(
+            f"bench_guard: {name:>28} current {value:8.3f}  "
+            f"ceiling {ceiling:8.3f}  {verdict}"
+        )
+        if value > ceiling:
+            failures.append(f"obs.{name}: {value:.3f} exceeds ceiling {ceiling:.3f}")
+    return failures
 
 
 def main(argv: list[str]) -> int:
@@ -91,6 +129,8 @@ def main(argv: list[str]) -> int:
             failures.append(
                 f"{name}: {value:.2f}x fell >25% below baseline {base_value:.2f}x"
             )
+
+    failures.extend(check_obs_ceilings())
 
     if failures:
         print("bench_guard: FAIL")

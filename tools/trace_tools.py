@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Convenience shim: run the trace-analysis CLI without setting PYTHONPATH.
+
+``python tools/trace_tools.py critical-path traces/`` is exactly
+``PYTHONPATH=src python -m repro.obs.analyze critical-path traces/``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.analyze import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+#!/bin/sh
+# One-command verification: lint, tier-1 tests, benchmark regression guard.
+#
+#   sh tools/verify.sh          # the full gate
+#   sh tools/verify.sh --fast   # skip the bench guard (lint + tests only)
+#
+# Exits non-zero on the first failing step.  The bench guard runs in
+# --check mode: it never reseeds or rolls the baseline, so this script is
+# safe to run on any checkout.
+
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== lint =="
+python tools/lint.py
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+if [ "$1" != "--fast" ]; then
+    echo "== bench guard =="
+    python tools/bench_guard.py --check
+fi
+
+echo "verify: PASS"
