@@ -1,0 +1,155 @@
+"""Serving-runtime benchmarks: admission overhead and goodput floors.
+
+The worker-pool runtime exists so overload costs microseconds, not
+collapse.  This module pins that claim with three numbers, written to
+``benchmarks/results/serve.json`` for ``tools/bench_guard.py``:
+
+* ``shed_decision_us`` — a :meth:`WorkerPool.submit` against a full
+  admission queue must stay a constant-time decision: no lock convoy,
+  no allocation proportional to queue depth.  The ceiling is a loose
+  absolute bound only a complexity regression would blow.
+* ``pool_roundtrip_ms`` — submit + ``result()`` through an idle
+  single-worker pool: the fixed tax every pooled exchange pays on top
+  of its handler.  Pinned in milliseconds because it includes a real
+  thread handoff.
+* ``serve_goodput_rps`` — closed-loop goodput through the *full*
+  serving stack (memory transport, HTTP framing, BXSA decode, worker
+  pool) must stay above a deliberately conservative floor; this is the
+  number ``repro.harness.figure_load`` sweeps, so a collapse here means
+  the figure is measuring a broken runtime.
+
+The floors/ceilings are duplicated in ``tools/bench_guard.py``
+(``SERVE_CEILINGS`` / ``SERVE_FLOORS``) so a stale ``serve.json`` from a
+regressed run fails CI even if this module is skipped.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.envelope import SoapEnvelope
+from repro.core.policies import BXSA_CONTENT_TYPE
+from repro.harness.measure import median_seconds
+from repro.harness.figure_load import _call_factory, _make_dispatcher
+from repro.loadgen import closed_loop
+from repro.serve import AdmissionQueueFull, ServeConfig, SoapServeService, WorkerPool
+from repro.transport.memory import MemoryNetwork
+from repro.workloads.lead import lead_dataset
+from repro.xdm import element
+
+from benchmarks.conftest import quick_mode
+
+pytestmark = pytest.mark.bench
+
+OPS = 2_000 if quick_mode() else 20_000
+ROUNDTRIPS = 200 if quick_mode() else 1_000
+GOODPUT_REQUESTS = 60 if quick_mode() else 400
+
+#: Ceilings/floors — keep in sync with tools/bench_guard.py.
+MAX_SHED_DECISION_US = 50.0
+MAX_POOL_ROUNDTRIP_MS = 10.0
+MIN_SERVE_GOODPUT_RPS = 25.0
+
+
+def _per_op_seconds(fn, ops: int, rounds: int = 5) -> float:
+    """Median over rounds of (wall time of ``fn()`` / ops)."""
+    samples = []
+    fn()  # warmup
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) / ops)
+    return median_seconds(samples)
+
+
+def _measure_shed_decision_us() -> float:
+    """Per-op cost of submit() raising AdmissionQueueFull on a full queue."""
+    release = threading.Event()
+    pool = WorkerPool(workers=1, queue_depth=1)
+    with pool:
+        pool.submit(lambda _state: release.wait())  # wedges the worker
+        # the queue slot fills on the first loop iteration; every
+        # subsequent submit exercises the pure shed path
+        def shed_storm():
+            submit = pool.submit
+            for _ in range(OPS):
+                try:
+                    submit(lambda _state: None)
+                except AdmissionQueueFull:
+                    pass
+
+        per_op = _per_op_seconds(shed_storm, OPS)
+        release.set()
+    return per_op * 1e6
+
+
+def _measure_pool_roundtrip_ms() -> float:
+    """Median submit -> result() latency through an idle one-worker pool."""
+    with WorkerPool(workers=1, queue_depth=4) as pool:
+        def roundtrips():
+            submit = pool.submit
+            for _ in range(ROUNDTRIPS):
+                submit(lambda _state: None).result(timeout=5.0)
+
+        per_op = _per_op_seconds(roundtrips, ROUNDTRIPS, rounds=3)
+    return per_op * 1e3
+
+
+def _measure_serve_goodput_rps() -> float:
+    """Closed-loop BXSA/HTTP goodput through the full serving stack."""
+    dispatcher = _make_dispatcher()
+    payload = SoapEnvelope.wrap(
+        element("PutModel", lead_dataset(50, seed=0).to_bxdm())
+    )
+    config = ServeConfig(workers=2, queue_depth=4)
+    network = MemoryNetwork()
+    service = SoapServeService(
+        network.listen("bench-serve"), dispatcher, config=config
+    )
+    with service:
+        result = closed_loop(
+            _call_factory(network, "bench-serve", BXSA_CONTENT_TYPE, payload),
+            clients=config.workers,
+            requests_per_client=GOODPUT_REQUESTS // config.workers,
+            seed=0,
+        )
+    # at concurrency == workers nothing queues, so nothing may shed or fail
+    assert result.failed == 0 and result.shed == 0, result.as_dict()
+    return result.goodput
+
+
+class TestServePins:
+    def test_serve_pins(self, results_dir):
+        shed_us = _measure_shed_decision_us()
+        roundtrip_ms = _measure_pool_roundtrip_ms()
+        goodput_rps = _measure_serve_goodput_rps()
+
+        print(
+            f"\nshed decision {shed_us:.2f}us, pool roundtrip "
+            f"{roundtrip_ms:.3f}ms, serve goodput {goodput_rps:.0f} rps"
+        )
+
+        measured = {
+            "shed_decision_us": shed_us,
+            "pool_roundtrip_ms": roundtrip_ms,
+            "serve_goodput_rps": goodput_rps,
+        }
+        (results_dir / "serve.json").write_text(
+            json.dumps({"quick": quick_mode(), "measured": measured}, indent=2) + "\n"
+        )
+
+        assert shed_us <= MAX_SHED_DECISION_US, (
+            f"shed decision costs {shed_us:.2f}us "
+            f"(ceiling {MAX_SHED_DECISION_US:.0f}us) — admission control "
+            "must stay constant-time"
+        )
+        assert roundtrip_ms <= MAX_POOL_ROUNDTRIP_MS, (
+            f"pool roundtrip {roundtrip_ms:.3f}ms exceeds "
+            f"{MAX_POOL_ROUNDTRIP_MS:.0f}ms"
+        )
+        assert goodput_rps >= MIN_SERVE_GOODPUT_RPS, (
+            f"serve goodput {goodput_rps:.0f} rps fell below the "
+            f"{MIN_SERVE_GOODPUT_RPS:.0f} rps floor"
+        )

@@ -126,6 +126,11 @@ class SoapHttpClient:
     ``idempotent`` marks the operations invoked through this client as
     replayable, unlocking POST retries in the underlying HTTP client;
     ``retry`` and ``deadline`` are threaded down to it.
+
+    ``resilience`` (a :class:`~repro.transport.resilience.ResiliencePolicy`)
+    runs every call under the engine's retry budget — this is the loop
+    that re-attempts a load-shed exchange (HTTP 503), pacing itself to the
+    server's ``Retry-After`` hint when one was sent.
     """
 
     def __init__(
@@ -139,6 +144,7 @@ class SoapHttpClient:
         retry: RetryPolicy | None = None,
         idempotent: bool = False,
         deadline: float | None = None,
+        resilience=None,
     ) -> None:
         self._http = HttpClient(connect, host=host, retry=retry)
         self._deadline = deadline
@@ -146,6 +152,7 @@ class SoapHttpClient:
             self._encoding_or_default(encoding),
             HttpClientBinding(self._http, target, idempotent=idempotent),
             security,
+            resilience=resilience,
         )
 
     @staticmethod

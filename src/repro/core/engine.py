@@ -36,6 +36,7 @@ from repro.transport.base import TransportError
 from repro.transport.resilience import (
     DeadlineExceeded,
     ResiliencePolicy,
+    ServerBusy,
     as_deadline,
     retry_call,
 )
@@ -153,11 +154,16 @@ class SoapEngine:
                     return self.receive_response(deadline=dl)
 
                 try:
+                    # a load-shed exchange (503 + Retry-After -> ServerBusy)
+                    # was never admitted by the server, so replaying it is
+                    # safe even for non-idempotent operations
                     return retry_call(
                         attempt,
                         res.retry,
                         deadline=dl,
-                        may_retry=lambda _exc, _attempt: res.idempotent,
+                        may_retry=lambda exc, _attempt: (
+                            res.idempotent or isinstance(exc, ServerBusy)
+                        ),
                         rng=self._retry_rng,
                         metrics=self.metrics,
                     )

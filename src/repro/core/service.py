@@ -25,8 +25,9 @@ import time
 
 from repro.core.dispatcher import Dispatcher
 from repro.core.engine import SoapEngine
+from repro.core.envelope import SoapEnvelope
 from repro.core.fault import CLIENT_FAULT, SoapFault
-from repro.core.policies import EncodingPolicy, XMLEncoding
+from repro.core.policies import EncodingPolicy, XMLEncoding, encoding_for_content_type
 from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import Listener, TransportError
 from repro.transport.http.messages import HttpRequest, HttpResponse
@@ -77,6 +78,76 @@ class _RedRecorder:
     @staticmethod
     def status_for(fault: SoapFault) -> str:
         return "client_fault" if fault.code == CLIENT_FAULT else "server_fault"
+
+
+def run_soap_http_exchange(
+    request: HttpRequest,
+    dispatcher: Dispatcher,
+    red: _RedRecorder,
+    resolve_encoding,
+    security=None,
+) -> tuple[HttpResponse, str, str, str]:
+    """One SOAP-over-HTTP exchange → (response, operation, encoding, status).
+
+    The core of both HTTP hosts: :class:`SoapHttpService` handles requests
+    inline on the connection thread, the worker-pool runtime
+    (:class:`repro.serve.SoapServeService`) runs this on a pool worker —
+    same wire behaviour, different execution discipline.
+
+    ``resolve_encoding`` maps a bare content type to the
+    :class:`EncodingPolicy` that answers it (raising :class:`ValueError`
+    for unsupported types); callers choose the policy's lifetime — per
+    message, per service, or per worker (the warm-session reuse path).
+    """
+    content_type = (request.headers.get("Content-Type") or "text/xml").split(";")[0].strip()
+
+    try:
+        encoding = resolve_encoding(content_type)
+    except ValueError:
+        response = HttpResponse(
+            400, body=f"unsupported content type {content_type}".encode()
+        )
+        return response, "?", "?", "unsupported_media"
+
+    try:
+        envelope = SoapEnvelope.from_document(encoding.decode(request.body))
+    except Exception as exc:  # malformed payload → client fault
+        fault = SoapFault("soap:Client", f"cannot parse request: {exc}")
+        response = _soap_fault_response(fault, encoding, security)
+        return response, "?", encoding.content_type, "client_fault"
+
+    operation = red.operation_label(envelope)
+    try:
+        if security is not None:
+            security.verify(envelope)
+        response = dispatcher.dispatch(envelope)
+    except SoapFault as fault:
+        return (
+            _soap_fault_response(fault, encoding, security),
+            operation,
+            encoding.content_type,
+            red.status_for(fault),
+        )
+
+    if security is not None:
+        security.sign(response)
+    body = encoding.encode(response.to_document())
+    resp = HttpResponse(200, body=body)
+    resp.headers.set("Content-Type", encoding.content_type)
+    return resp, operation, encoding.content_type, "ok"
+
+
+def _soap_fault_response(
+    fault: SoapFault, encoding: EncodingPolicy, security=None
+) -> HttpResponse:
+    envelope = SoapEnvelope.wrap(fault.to_element())
+    if security is not None:
+        security.sign(envelope)
+    body = encoding.encode(envelope.to_document())
+    # SOAP 1.1 over HTTP: faults ride a 500.
+    resp = HttpResponse(500, body=body)
+    resp.headers.set("Content-Type", encoding.content_type)
+    return resp
 
 
 class SoapTcpService:
@@ -226,63 +297,15 @@ class SoapHttpService:
         self._red.record(operation, encoding_label, status, time.perf_counter() - start)
         return response
 
+    def _resolve_encoding(self, content_type: str) -> EncodingPolicy:
+        if content_type == self._encoding.content_type:
+            return self._encoding
+        return encoding_for_content_type(content_type)
+
     def _handle_soap(
         self, request: HttpRequest
     ) -> tuple[HttpResponse, str, str, str]:
         """One SOAP exchange → (response, operation, encoding, status)."""
-        content_type = (request.headers.get("Content-Type") or "text/xml").split(";")[0].strip()
-
-        from repro.core.envelope import SoapEnvelope
-        from repro.core.policies import encoding_for_content_type
-
-        try:
-            encoding = (
-                self._encoding
-                if content_type == self._encoding.content_type
-                else encoding_for_content_type(content_type)
-            )
-        except ValueError:
-            response = HttpResponse(
-                400, body=f"unsupported content type {content_type}".encode()
-            )
-            return response, "?", "?", "unsupported_media"
-
-        try:
-            envelope = SoapEnvelope.from_document(encoding.decode(request.body))
-        except Exception as exc:  # malformed payload → client fault
-            fault = SoapFault("soap:Client", f"cannot parse request: {exc}")
-            response = self._fault_response(fault, encoding, self._security)
-            return response, "?", encoding.content_type, "client_fault"
-
-        operation = self._red.operation_label(envelope)
-        try:
-            if self._security is not None:
-                self._security.verify(envelope)
-            response = self._dispatcher.dispatch(envelope)
-        except SoapFault as fault:
-            return (
-                self._fault_response(fault, encoding, self._security),
-                operation,
-                encoding.content_type,
-                self._red.status_for(fault),
-            )
-
-        if self._security is not None:
-            self._security.sign(response)
-        body = encoding.encode(response.to_document())
-        resp = HttpResponse(200, body=body)
-        resp.headers.set("Content-Type", encoding.content_type)
-        return resp, operation, encoding.content_type, "ok"
-
-    @staticmethod
-    def _fault_response(fault: SoapFault, encoding: EncodingPolicy, security=None) -> HttpResponse:
-        from repro.core.envelope import SoapEnvelope
-
-        envelope = SoapEnvelope.wrap(fault.to_element())
-        if security is not None:
-            security.sign(envelope)
-        body = encoding.encode(envelope.to_document())
-        # SOAP 1.1 over HTTP: faults ride a 500.
-        resp = HttpResponse(500, body=body)
-        resp.headers.set("Content-Type", encoding.content_type)
-        return resp
+        return run_soap_http_exchange(
+            request, self._dispatcher, self._red, self._resolve_encoding, self._security
+        )

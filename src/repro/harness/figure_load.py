@@ -1,0 +1,347 @@
+"""Figure L: throughput–latency under open-loop load, per encoding scheme.
+
+The paper evaluates one client against one server (Figures 4–6); the
+companion question for a *production* engine is what happens when many
+clients arrive at once and offered load crosses capacity.  This
+experiment drives the :class:`~repro.serve.SoapServeService` worker-pool
+runtime with the open-loop generator from :mod:`repro.loadgen` and draws
+the classic throughput–latency curve for each encoding over HTTP:
+
+* x axis — offered load, as multiples of the *measured* XML/HTTP
+  capacity (estimated with a short closed-loop run, so both encodings
+  are offered the identical rate ladder);
+* y — goodput (completed/s), tail latency (p50/p95/p99 of completed
+  requests) and shed rate (503s past the admission queue).
+
+Expected shapes, encoded as checks below:
+
+* accounting is exact at every point: offered = completed + shed + failed;
+* past capacity the runtime **degrades instead of collapsing** — the
+  XML scheme sheds (503 + ``Retry-After``) rather than queueing without
+  bound, and the sweep terminates (no deadlock);
+* at saturation BXSA sustains **higher goodput** than XML 1.0 — the
+  binary codec spends less CPU per exchange, so the same worker pool
+  completes more of the offered load (the serving-side companion to the
+  paper's Figures 4–6 response-time results);
+* overload is answered cleanly: every non-completed request is a 503
+  shed, none errors or hangs.
+
+Determinism: the arrival schedule, think-time jitter and payload derive
+from ``seed`` alone — a rerun offers the same requests in the same
+pattern.  The rate ladder is anchored to this machine's measured XML
+capacity (pass ``rates`` to pin absolute rates instead); goodput and
+latency are measured, so their absolute values belong to the machine,
+while the shape checks encode the machine-independent claims.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.envelope import SoapEnvelope
+from repro.core.policies import (
+    BXSA_CONTENT_TYPE,
+    XML_CONTENT_TYPE,
+    encoding_for_content_type,
+)
+from repro.harness.measure import add_observability_args, observability_from_args
+from repro.harness.report import ExperimentResult, ShapeCheck
+from repro.loadgen import closed_loop, open_loop
+from repro.serve import ServeConfig, SoapServeService
+from repro.transport.memory import MemoryNetwork
+from repro.workloads.lead import lead_dataset
+from repro.xdm import element, leaf
+
+#: Offered-load rungs, as multiples of measured XML/HTTP capacity.
+DEFAULT_MULTIPLIERS = (0.5, 1.0, 2.0, 4.0)
+
+#: The two schemes the serving runtime hosts (binding is HTTP for both;
+#: the pool sheds identically — only codec cost differs).
+SCHEMES = {
+    "bxsa/http": BXSA_CONTENT_TYPE,
+    "xml/http": XML_CONTENT_TYPE,
+}
+
+
+def _make_dispatcher() -> Dispatcher:
+    """One operation: accept a LEAD model, acknowledge with its size.
+
+    The request carries the (large) model — so the server-side *decode*
+    dominates, exactly the cost the encodings differ on — and the reply
+    is a small ack, keeping response encoding off the critical path.
+    """
+    dispatcher = Dispatcher()
+
+    @dispatcher.operation("PutModel")
+    def put_model(request: SoapEnvelope):
+        atoms = len(request.body_root.children[0].children)
+        return element("PutModelResponse", leaf("atoms", atoms, "int"))
+
+    return dispatcher
+
+
+def _call_factory(network: MemoryNetwork, address: str, content_type: str, payload: SoapEnvelope):
+    """A per-sender-thread SOAP call over its own persistent connection."""
+    from repro.core.client import SoapHttpClient
+
+    def factory():
+        client = SoapHttpClient(
+            lambda: network.connect(address),
+            encoding=encoding_for_content_type(content_type),
+        )
+
+        def call(_index: int):
+            return client.call(payload)
+
+        call.close = client.close
+        return call
+
+    return factory
+
+
+def _serve_stack(content_label: str, dispatcher: Dispatcher, config: ServeConfig):
+    network = MemoryNetwork()
+    address = f"figure-load-{content_label}"
+    service = SoapServeService(network.listen(address), dispatcher, config=config)
+    return network, address, service
+
+
+def sweep(
+    *,
+    workers: int = 2,
+    queue_depth: int = 4,
+    multipliers: tuple[float, ...] = DEFAULT_MULTIPLIERS,
+    rates: tuple[float, ...] | None = None,
+    requests_per_point: int = 200,
+    model_size: int = 100,
+    seed: int = 0,
+    senders: int = 32,
+    metrics=None,
+) -> dict:
+    """Run the full load sweep; returns the JSON-ready curve document.
+
+    ``rates`` pins absolute arrival rates (requests/s) and skips capacity
+    estimation; otherwise the ladder is ``multipliers`` × the measured
+    closed-loop XML/HTTP capacity.
+    """
+    dispatcher = _make_dispatcher()
+    payload = SoapEnvelope.wrap(
+        element("PutModel", lead_dataset(model_size, seed).to_bxdm())
+    )
+    config = ServeConfig(workers=workers, queue_depth=queue_depth, retry_after=0.01)
+
+    if rates is None:
+        capacity = _estimate_xml_capacity(
+            dispatcher, payload, config, seed=seed, samples=max(40, workers * 10)
+        )
+        ladder = [m * capacity for m in multipliers]
+    else:
+        capacity = None
+        multipliers = tuple(float("nan") for _ in rates)
+        ladder = list(rates)
+
+    schemes: dict[str, list[dict]] = {}
+    for label, content_type in SCHEMES.items():
+        network, address, service = _serve_stack(
+            label.replace("/", "-"), dispatcher, config
+        )
+        points = []
+        with service:
+            factory = _call_factory(network, address, content_type, payload)
+            for rung, rate in enumerate(ladder):
+                result = open_loop(
+                    factory,
+                    rate=rate,
+                    total=requests_per_point,
+                    seed=seed * 1000 + rung,
+                    senders=senders,
+                    metrics=metrics,
+                )
+                point = result.as_dict()
+                point["target_rate_rps"] = rate
+                points.append(point)
+        schemes[label] = points
+
+    return {
+        "experiment": "figure_load",
+        "seed": seed,
+        "config": {
+            "workers": workers,
+            "queue_depth": queue_depth,
+            "requests_per_point": requests_per_point,
+            "model_size": model_size,
+            "senders": senders,
+        },
+        "xml_capacity_rps": capacity,
+        "multipliers": list(multipliers),
+        "rates_rps": list(ladder),
+        "schemes": schemes,
+    }
+
+
+def _estimate_xml_capacity(
+    dispatcher: Dispatcher,
+    payload: SoapEnvelope,
+    config: ServeConfig,
+    *,
+    seed: int,
+    samples: int,
+) -> float:
+    """Best-case XML/HTTP throughput: a short closed-loop run at
+    concurrency = workers (each worker always busy, nothing queued)."""
+    network, address, service = _serve_stack("capacity", dispatcher, config)
+    with service:
+        result = closed_loop(
+            _call_factory(network, address, XML_CONTENT_TYPE, payload),
+            clients=config.workers,
+            requests_per_client=max(1, samples // config.workers),
+            seed=seed,
+        )
+    return max(result.goodput, 1.0)
+
+
+def run(
+    *,
+    workers: int = 2,
+    queue_depth: int = 4,
+    multipliers: tuple[float, ...] = DEFAULT_MULTIPLIERS,
+    rates: tuple[float, ...] | None = None,
+    requests_per_point: int = 200,
+    model_size: int = 100,
+    seed: int = 0,
+    senders: int = 32,
+    metrics=None,
+    json_out: str | None = None,
+) -> ExperimentResult:
+    """Run the sweep, evaluate the shape checks, render the curve table.
+
+    ``json_out`` writes the full curve document (every point's goodput,
+    p50/p95/p99, shed rate and exact accounting) as JSON.
+    """
+    document = sweep(
+        workers=workers,
+        queue_depth=queue_depth,
+        multipliers=multipliers,
+        rates=rates,
+        requests_per_point=requests_per_point,
+        model_size=model_size,
+        seed=seed,
+        senders=senders,
+        metrics=metrics,
+    )
+    if json_out:
+        directory = os.path.dirname(json_out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    schemes = document["schemes"]
+    ladder = document["rates_rps"]
+    columns = ["offered rps"]
+    for label in schemes:
+        columns += [f"{label} goodput", f"{label} p95 ms", f"{label} shed%"]
+    rows = []
+    for i, rate in enumerate(ladder):
+        row = [f"{rate:.0f}"]
+        for label in schemes:
+            point = schemes[label][i]
+            row += [
+                f"{point['goodput_rps']:.0f}",
+                "-" if point["p95_ms"] is None else f"{point['p95_ms']:.2f}",
+                f"{100 * point['shed_rate']:.0f}",
+            ]
+        rows.append(row)
+
+    bxsa_top = schemes["bxsa/http"][-1]
+    xml_top = schemes["xml/http"][-1]
+    accounting_ok = all(
+        point["offered"] == point["completed"] + point["shed"] + point["failed"]
+        for points in schemes.values()
+        for point in points
+    )
+    checks = [
+        ShapeCheck(
+            "accounting exact at every point (offered = completed + shed + failed)",
+            accounting_ok,
+        ),
+        ShapeCheck(
+            "past capacity the runtime sheds instead of collapsing (XML sheds at the top rung)",
+            xml_top["shed"] > 0,
+            f"XML shed {xml_top['shed']}/{xml_top['offered']} at {ladder[-1]:.0f} rps offered",
+        ),
+        ShapeCheck(
+            "BXSA sustains higher goodput at saturation than XML 1.0",
+            bxsa_top["goodput_rps"] >= xml_top["goodput_rps"],
+            f"{bxsa_top['goodput_rps']:.0f} vs {xml_top['goodput_rps']:.0f} completed/s",
+        ),
+        ShapeCheck(
+            "overload is answered cleanly: every non-completed request is a "
+            "503 shed, none errors or hangs",
+            all(
+                point["failed"] == 0
+                for points in schemes.values()
+                for point in points
+            ),
+        ),
+    ]
+    capacity = document["xml_capacity_rps"]
+    notes = [
+        f"workers={workers} queue_depth={queue_depth} "
+        f"requests/point={requests_per_point} model_size={model_size} seed={seed}",
+    ]
+    if capacity is not None:
+        notes.append(
+            f"rate ladder = {', '.join(f'{m:g}x' for m in document['multipliers'])} "
+            f"of measured XML/HTTP closed-loop capacity ({capacity:.0f} rps)"
+        )
+    return ExperimentResult(
+        experiment_id="Figure L",
+        title="Goodput and tail latency under open-loop load (SOAP over HTTP)",
+        columns=columns,
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate the serving-under-load throughput-latency curve."
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=200, help="requests per rung")
+    parser.add_argument("--model-size", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        help="pin absolute arrival rates (rps) instead of the capacity ladder",
+    )
+    parser.add_argument("--json-out", default=None, help="write the curve JSON here")
+    add_observability_args(parser)
+    args = parser.parse_args()
+    _trace_dir, metrics, _sampler = observability_from_args(args)
+    result = run(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        requests_per_point=args.requests,
+        model_size=args.model_size,
+        seed=args.seed,
+        rates=tuple(args.rates) if args.rates else None,
+        metrics=metrics,
+        json_out=args.json_out,
+    )
+    print(result.render())
+    if args.metrics_out and metrics is not None:
+        from repro.harness.measure import write_metrics_out
+
+        write_metrics_out(metrics, args.metrics_out, figure="figure_load")

@@ -1,0 +1,23 @@
+"""``repro.loadgen`` — seeded open/closed-loop SOAP load generation.
+
+See :mod:`repro.loadgen.generator` for the two traffic disciplines; the
+harness (``repro.harness.figure_load``) sweeps :func:`open_loop` across
+an arrival-rate ladder to draw throughput–latency curves per
+encoding×binding scheme.
+"""
+
+from repro.loadgen.generator import (
+    LATENCY_BOUNDS,
+    LoadResult,
+    arrival_schedule,
+    closed_loop,
+    open_loop,
+)
+
+__all__ = [
+    "LATENCY_BOUNDS",
+    "LoadResult",
+    "arrival_schedule",
+    "closed_loop",
+    "open_loop",
+]

@@ -1,0 +1,36 @@
+"""``repro.serve`` — the serving-under-load runtime.
+
+The paper's evaluation is one client against one server; the ROADMAP's
+north star is a production engine surviving heavy concurrent traffic.
+This package is the piece that makes "surviving" a designed behaviour
+rather than an accident of thread scheduling:
+
+* :class:`~repro.serve.pool.WorkerPool` — bounded workers behind an
+  explicit admission queue, constant-time load shedding, graceful drain;
+* :class:`~repro.serve.service.SoapServeService` — the SOAP/HTTP host
+  rebuilt on the pool: same wire behaviour as
+  :class:`~repro.core.service.SoapHttpService`, plus ``503`` +
+  ``Retry-After`` past the queue depth, per-worker warm codec sessions,
+  and saturation gauges on ``GET /metrics``.
+
+:mod:`repro.loadgen` generates the traffic that exercises this package;
+``repro.harness.figure_load`` turns the pair into the throughput–latency
+companion result to Figures 4–6.
+"""
+
+from repro.serve.pool import (
+    AdmissionQueueFull,
+    PoolStopped,
+    ServeError,
+    WorkerPool,
+)
+from repro.serve.service import ServeConfig, SoapServeService
+
+__all__ = [
+    "AdmissionQueueFull",
+    "PoolStopped",
+    "ServeConfig",
+    "ServeError",
+    "SoapServeService",
+    "WorkerPool",
+]

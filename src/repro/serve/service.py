@@ -1,0 +1,171 @@
+"""The production SOAP serving runtime: worker pool + admission control.
+
+:class:`SoapHttpService <repro.core.service.SoapHttpService>` executes
+every exchange on the connection thread that received it — fine for the
+harness, fatal under heavy concurrent traffic, where unbounded in-flight
+work means unbounded memory and collapse instead of degradation.
+:class:`SoapServeService` keeps the same wire behaviour (content-type
+negotiation, RED metrics, the ``/metrics``·``/healthz``·``/varz`` admin
+surface on the same port) but runs the SOAP work on a
+:class:`~repro.serve.pool.WorkerPool`:
+
+* at most ``config.workers`` exchanges execute at once;
+* at most ``config.queue_depth`` more wait in the admission queue;
+* anything past that is **shed** with ``503`` + ``Retry-After:
+  config.retry_after`` — the hint the client-side resilience layer
+  (:func:`repro.transport.resilience.retry_call`) uses to pace its retry;
+* each worker holds its own warm encoding policies (for BXSA that means a
+  long-lived :class:`~repro.bxsa.session.CodecSession` with compiled
+  encode plans), so sustained same-shape traffic rides the PR-3 hot path
+  without sharing codec state across threads;
+* :meth:`SoapServeService.stop` drains: the HTTP server finishes
+  in-flight requests (the pool is still running while it does), then the
+  pool drains its queue, then both are gone.
+
+Saturation telemetry rides the shared registry: ``serve_queue_depth``,
+``serve_workers_busy``, ``serve_saturation`` gauges and
+``serve_shed_total`` / ``serve_admitted_total`` /
+``serve_completed_total{status}`` counters appear on ``GET /metrics``
+next to the SOAP RED series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.policies import EncodingPolicy, encoding_for_content_type
+from repro.core.service import _RedRecorder, run_soap_http_exchange
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.pool import AdmissionQueueFull, PoolStopped, WorkerPool
+from repro.transport.base import Listener
+from repro.transport.http.messages import HttpRequest, HttpResponse, busy_response
+from repro.transport.http.server import DEFAULT_MAX_CONNECTIONS, HttpServer
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving runtime (all bounds explicit)."""
+
+    #: Worker threads executing SOAP exchanges.
+    workers: int = 4
+    #: Admission queue depth: exchanges allowed to wait for a worker.
+    queue_depth: int = 16
+    #: ``Retry-After`` hint sent with every shed response, seconds.
+    retry_after: float = 0.05
+    #: Budget for draining admitted work on stop, seconds.
+    drain_timeout: float = 5.0
+    #: Ceiling on one exchange's wait for its pooled result, seconds.
+    result_timeout: float = 30.0
+    #: Concurrent connection-thread cap for the underlying HTTP server.
+    max_connections: int | None = DEFAULT_MAX_CONNECTIONS
+
+
+class _WorkerCodecs:
+    """Per-worker encoding policies, created lazily and held warm.
+
+    One instance lives in exactly one worker thread, so the policies it
+    holds — including session-backed BXSA codecs with compiled encode
+    plans — are reused across that worker's requests with no locking.
+    """
+
+    __slots__ = ("_policies",)
+
+    def __init__(self) -> None:
+        self._policies: dict[str, EncodingPolicy] = {}
+
+    def resolve(self, content_type: str) -> EncodingPolicy:
+        policy = self._policies.get(content_type)
+        if policy is None:
+            policy = encoding_for_content_type(content_type)
+            self._policies[content_type] = policy
+        return policy
+
+
+class SoapServeService:
+    """SOAP over HTTP behind a bounded worker pool with load shedding."""
+
+    def __init__(
+        self,
+        listener: Listener,
+        dispatcher: Dispatcher,
+        *,
+        config: ServeConfig | None = None,
+        security=None,
+        target: str = "/soap",
+        name: str = "soap-serve",
+        metrics: MetricsRegistry | None = None,
+        admin: bool = True,
+    ) -> None:
+        self._dispatcher = dispatcher
+        self._security = security
+        self._target = target
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._red = _RedRecorder(self.metrics, dispatcher, "http")
+        self.pool = WorkerPool(
+            self.config.workers,
+            self.config.queue_depth,
+            metrics=self.metrics,
+            name=name,
+            worker_state_factory=_WorkerCodecs,
+            retry_after=self.config.retry_after,
+        )
+        # one registry across pool + HTTP server: GET /metrics on this
+        # port scrapes saturation, RED and HTTP series together
+        self._server = HttpServer(
+            listener,
+            self._handle,
+            name=name,
+            metrics=self.metrics,
+            admin=admin,
+            max_connections=self.config.max_connections,
+        )
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "SoapServeService":
+        self.pool.start()
+        self._server.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: HTTP first (pool still serving), then the pool."""
+        self._server.stop(self.config.drain_timeout)
+        self.pool.stop(self.config.drain_timeout)
+
+    def __enter__(self) -> "SoapServeService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        if request.target != self._target:
+            return HttpResponse(404, body=b"no such endpoint")
+        if request.method != "POST":
+            return HttpResponse(405, body=b"SOAP endpoints accept POST only")
+        start = time.perf_counter()
+        try:
+            completion = self.pool.submit(
+                lambda codecs: run_soap_http_exchange(
+                    request, self._dispatcher, self._red, codecs.resolve, self._security
+                )
+            )
+        except (AdmissionQueueFull, PoolStopped) as exc:
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is None:
+                retry_after = self.config.retry_after
+            self._red.record("?", "?", "shed", time.perf_counter() - start)
+            return busy_response(
+                retry_after, b"server overloaded: admission queue full"
+            )
+        response, operation, encoding_label, status = completion.result(
+            self.config.result_timeout
+        )
+        # the RED latency includes queue wait: it is what the client saw
+        self._red.record(operation, encoding_label, status, time.perf_counter() - start)
+        return response

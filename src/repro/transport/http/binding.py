@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.transport.base import TransportError
 from repro.transport.http.client import HttpClient
 from repro.transport.http.messages import HttpResponse
+from repro.transport.resilience import ServerBusy, parse_retry_after
 
 #: Content types for the two encodings riding HTTP (the XML one matches the
 #: SOAP 1.1 convention; the BXSA one is this project's).
@@ -60,6 +61,13 @@ class HttpClientBinding:
             raise TransportError("receive_response before send_request")
         response, self._pending = self._pending, None
         content_type = response.headers.get("Content-Type") or SOAP_XML_TYPE
+        if response.status == 503:
+            # the server shed this request; surface its Retry-After hint
+            # so a resilience retry loop can pace itself to the server
+            raise ServerBusy(
+                f"HTTP 503: {response.body[:200]!r}",
+                retry_after=parse_retry_after(response.headers.get("Retry-After")),
+            )
         if not response.ok and response.status != 500:
             # 500 carries SOAP faults per the SOAP/HTTP binding; anything
             # else is a transport-level failure.

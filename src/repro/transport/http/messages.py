@@ -24,7 +24,23 @@ REASONS = {
     405: "Method Not Allowed",
     411: "Length Required",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+
+def busy_response(retry_after: float, body: bytes, *, close: bool = False) -> "HttpResponse":
+    """A 503 load-shed response carrying a ``Retry-After`` hint in seconds.
+
+    The hint is emitted in decimal-seconds form (this stack's clients parse
+    fractions; integer values render without a point, staying RFC-shaped
+    for everyone else).  ``close=True`` additionally marks the connection
+    for teardown — the shape the connection-cap rejection path needs.
+    """
+    response = HttpResponse(503, body=body)
+    response.headers.set("Retry-After", format(retry_after, "g"))
+    if close:
+        response.headers.set("Connection", "close")
+    return response
 
 
 class HttpError(TransportError):

@@ -17,10 +17,15 @@ handler:
   including the most recent handler errors (whose detail is deliberately
   *not* sent to clients — a 500 body says only ``internal server error``).
 
+Concurrency is bounded: at most ``max_connections`` connection threads
+exist at once (default :data:`DEFAULT_MAX_CONNECTIONS`); a connection
+past the cap is answered ``503`` + ``Retry-After`` from the accept loop
+and closed — never a silent drop, never an unbounded thread spawn.
+
 Shutdown drains: ``stop()`` closes the listener, asks connection threads
 to finish their in-flight request, force-closes lingering channels after
-``drain_timeout`` seconds and joins the threads, so a stopped server
-leaves no request half-written.
+the drain budget (``drain_timeout``, overridable per ``stop()`` call) and
+joins the threads, so a stopped server leaves no request half-written.
 """
 
 from __future__ import annotations
@@ -35,10 +40,25 @@ from repro import obs
 from repro.obs.exposition import render_prometheus, render_varz
 from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import BufferedChannel, Listener, TransportError
-from repro.transport.http.messages import HttpError, HttpRequest, HttpResponse, read_request
+from repro.transport.http.messages import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    busy_response,
+    read_request,
+)
 
 #: Reserved admin targets (GET only); everything else goes to the handler.
 ADMIN_TARGETS = ("/metrics", "/healthz", "/varz")
+
+#: Default ceiling on concurrent connection threads.  The seed spawned one
+#: thread per connection without bound — a connection flood grew threads
+#: until the interpreter fell over.  Past the cap a new connection gets a
+#: clean ``503`` + ``Retry-After`` and is closed, never a silent drop.
+DEFAULT_MAX_CONNECTIONS = 256
+
+#: Retry-After hint on capped-out connection rejections, seconds.
+REJECT_RETRY_AFTER = 1.0
 
 
 class HttpServer:
@@ -53,6 +73,7 @@ class HttpServer:
         metrics: MetricsRegistry | None = None,
         admin: bool = True,
         drain_timeout: float = 5.0,
+        max_connections: int | None = DEFAULT_MAX_CONNECTIONS,
     ) -> None:
         self._listener = listener
         self._handler = handler
@@ -60,6 +81,9 @@ class HttpServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._admin = admin
         self._drain_timeout = drain_timeout
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 (or None for no cap)")
+        self._max_connections = max_connections
         self._accept_thread: threading.Thread | None = None
         self._running = False
         self._started_at: float | None = None
@@ -85,13 +109,20 @@ class HttpServer:
         self._accept_thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop accepting, drain connections, join their threads."""
+    def stop(self, drain_timeout: float | None = None) -> None:
+        """Stop accepting, drain connections, join their threads.
+
+        ``drain_timeout`` overrides the constructor's drain budget for
+        this stop — embedders (and tests) shutting down under load can
+        bound how long they will wait for in-flight requests before the
+        lingering channels are force-closed.
+        """
         self._running = False
         self._listener.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
-        deadline = time.monotonic() + self._drain_timeout
+        budget = drain_timeout if drain_timeout is not None else self._drain_timeout
+        deadline = time.monotonic() + budget
         with self._conn_lock:
             threads = list(self._conn_threads)
         for thread in threads:
@@ -106,9 +137,13 @@ class HttpServer:
                 channel.close()
             except TransportError:  # pragma: no cover - defensive
                 pass
+        # closed channels fail the blocked reads almost immediately, so a
+        # single shared budget suffices — never a per-thread wait, which
+        # would make stop() O(connections) under load
+        final_deadline = time.monotonic() + 1.0
         for thread in threads:
             if thread.is_alive():
-                thread.join(timeout=1)
+                thread.join(timeout=max(0.0, final_deadline - time.monotonic()))
 
     def __enter__(self) -> "HttpServer":
         return self.start()
@@ -125,19 +160,49 @@ class HttpServer:
             except TransportError:
                 return  # listener closed
             buffered = BufferedChannel(channel)
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(buffered,),
-                name=f"{self._name}-conn",
-                daemon=True,
-            )
             with self._conn_lock:
                 # prune finished threads so a long-lived server's list
                 # does not grow with every connection it ever served
                 self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
-                self._conn_threads.append(thread)
-                self._conn_channels[id(buffered)] = buffered
+                at_cap = (
+                    self._max_connections is not None
+                    and len(self._conn_channels) >= self._max_connections
+                )
+                if not at_cap:
+                    thread = threading.Thread(
+                        target=self._serve_connection,
+                        args=(buffered,),
+                        name=f"{self._name}-conn",
+                        daemon=True,
+                    )
+                    self._conn_threads.append(thread)
+                    self._conn_channels[id(buffered)] = buffered
+            if at_cap:
+                self._reject_connection(buffered)
+                continue
             thread.start()
+
+    def _reject_connection(self, channel: BufferedChannel) -> None:
+        """Turn away a connection past the cap: 503 + Retry-After, close.
+
+        The rejection is written from the accept loop itself — no thread
+        is spawned for a connection we will not serve.
+        """
+        self.metrics.counter("http_connections_rejected_total").add()
+        response = busy_response(
+            REJECT_RETRY_AFTER,
+            b"connection limit reached, retry later",
+            close=True,
+        )
+        try:
+            channel.send_all(response.to_bytes())
+        except TransportError:
+            pass  # the peer is gone; nothing owed to it
+        finally:
+            try:
+                channel.close()
+            except TransportError:  # pragma: no cover - defensive
+                pass
 
     def _serve_connection(self, channel: BufferedChannel) -> None:
         m = self.metrics

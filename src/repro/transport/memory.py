@@ -57,6 +57,10 @@ class _PipeEnd:
                 return
             self._send_closed = True
         self._send_q.put(_EOF)
+        # also wake a reader blocked on *this* end (socket shutdown
+        # semantics): without it, closing an idle connection leaves its
+        # reader thread asleep forever and a draining server waits on it
+        self._recv_q.put(_EOF)
 
 
 def memory_pipe() -> tuple[_PipeEnd, _PipeEnd]:
@@ -83,6 +87,16 @@ class _MemoryListener:
         if not self._closed:
             self._closed = True
             self._network._unregister(self._name)
+            # fail connections still waiting in the backlog: their peers
+            # would otherwise block forever on a response from a server
+            # that will never accept them
+            while True:
+                try:
+                    end = self._pending.get_nowait()
+                except queue.Empty:
+                    break
+                if end is not None:
+                    end.close()
             self._pending.put(None)
 
     def _enqueue(self, end) -> None:

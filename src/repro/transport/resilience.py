@@ -35,6 +35,37 @@ class DeadlineExceeded(TransportError):
     """A per-call deadline expired before the operation finished."""
 
 
+class ServerBusy(TransportError):
+    """The server shed this request (HTTP 503 or equivalent overload signal).
+
+    ``retry_after`` carries the server's backoff hint in seconds (parsed
+    from a ``Retry-After`` header when one was sent, else ``None``).  The
+    retry loop honours the hint: when an exception being retried exposes a
+    ``retry_after`` attribute, that delay replaces the policy's computed
+    exponential backoff — the server knows its own drain rate better than
+    the client's guess does.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def parse_retry_after(value: str | None) -> float | None:
+    """Parse the seconds form of a ``Retry-After`` header value.
+
+    Accepts integer or decimal seconds; the HTTP-date form and garbage
+    both return ``None`` (no hint) rather than failing the response.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
 class RetryBudgetExhausted(TransportError):
     """Every attempt a :class:`RetryPolicy` allowed has failed.
 
@@ -191,6 +222,11 @@ def retry_call(
     :class:`RetryBudgetExhausted` chaining the last failure; a first-attempt
     failure that may not be retried propagates unwrapped.
 
+    When the exception being retried exposes a ``retry_after`` attribute
+    (see :class:`ServerBusy`), that hint replaces the policy's computed
+    backoff for the pause before the next attempt — jitter and the
+    exponential schedule are server-overridden, the deadline check is not.
+
     ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) additionally counts
     ``resilience_retries_total{error}`` per retry and
     ``resilience_exhausted_total{error}`` per spent budget — labelled,
@@ -226,6 +262,11 @@ def retry_call(
                     f"operation failed after {attempt} attempts: {exc}", attempt, exc
                 ) from exc
             pause = policy.backoff_for(attempt, rng)
+            # a server-supplied Retry-After hint wins over the computed
+            # exponential backoff: the shedding side knows its drain rate
+            hint = getattr(exc, "retry_after", None)
+            if hint is not None:
+                pause = max(0.0, float(hint))
             if deadline is not None:
                 remaining = deadline.remaining()
                 if remaining <= pause:

@@ -9,6 +9,7 @@ the number of exchanges made.
 
 import json
 import threading
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -846,3 +847,169 @@ class TestDispatcherAndResilienceMetrics:
         snap = registry.snapshot()["counters"]
         assert snap['resilience_retries_total{error="ConnectionError"}'] == 2
         assert snap['resilience_exhausted_total{error="ConnectionError"}'] == 1
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: pipelined keep-alive exchanges, connection caps, drain
+
+
+class TestServerConcurrency:
+    def test_pipelined_keepalive_exchanges_have_no_crosstalk(self):
+        """N threads x M exchanges each over its own keep-alive connection:
+        every response matches its request, and ``soap_requests_total``
+        sums to exactly N*M."""
+        n_threads, m_exchanges = 6, 8
+        net = MemoryNetwork()
+        service = SoapHttpService(net.listen("web"), make_dispatcher()).start()
+        mismatches: list[tuple[int, int, str]] = []
+        errors: list[BaseException] = []
+
+        def worker(worker_id: int) -> None:
+            client = SoapHttpClient(lambda: net.connect("web"), encoding=XMLEncoding())
+            try:
+                for j in range(m_exchanges):
+                    # a unique text payload per exchange
+                    marker = f"w{worker_id}-r{j}"
+                    request = SoapEnvelope.wrap(
+                        element("Echo", leaf("marker", marker, "string"))
+                    )
+                    response = client.call(request)
+                    got = response.body_root.text_content()
+                    if got != marker:
+                        mismatches.append((worker_id, j, got))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        try:
+            assert not errors
+            assert mismatches == []
+            samples = parse_prometheus(render_prometheus(service.metrics))
+            assert series_sum(samples, "soap_requests_total") == n_threads * m_exchanges
+        finally:
+            service.stop()
+
+    def test_connection_cap_rejects_past_the_limit(self):
+        """Connections past ``max_connections`` get a clean 503 +
+        Retry-After from the accept loop — never an unbounded thread."""
+        from repro.transport.http import HttpResponse
+        from repro.transport.http.server import REJECT_RETRY_AFTER
+
+        net = MemoryNetwork()
+        server = HttpServer(
+            net.listen("web"),
+            lambda r: HttpResponse(200, body=b"ok"),
+            max_connections=2,
+        ).start()
+        keepers = [HttpClient(lambda: net.connect("web")) for _ in range(2)]
+        try:
+            for client in keepers:
+                assert client.get("/app").status == 200  # both slots now held
+            extra = HttpClient(lambda: net.connect("web"))
+            try:
+                response = extra.get("/app")
+                assert response.status == 503
+                assert response.headers.get("Retry-After") == f"{REJECT_RETRY_AFTER:g}"
+                assert response.headers.get("Connection") == "close"
+            finally:
+                extra.close()
+            samples = parse_prometheus(render_prometheus(server.metrics))
+            assert samples["http_connections_rejected_total"] == 1
+            assert samples["http_connections_open"] == 2
+        finally:
+            for client in keepers:
+                client.close()
+            server.stop()
+
+    def test_connection_cap_validation(self):
+        net = MemoryNetwork()
+        with pytest.raises(ValueError):
+            HttpServer(net.listen("web"), lambda r: None, max_connections=0)
+
+    def test_stop_drain_deadline_is_configurable_and_completes_under_load(self):
+        """``stop(drain_timeout=...)`` finishes in-flight requests within
+        the budget and joins every connection thread — no flaky teardown."""
+        from repro.transport.http import HttpResponse
+
+        release = threading.Event()
+        entered = threading.Semaphore(0)
+
+        def slow_handler(request):
+            entered.release()
+            release.wait(10)
+            return HttpResponse(200, body=b"slow but served")
+
+        net = MemoryNetwork()
+        server = HttpServer(net.listen("web"), slow_handler).start()
+        results: list[int] = []
+
+        def one_request() -> None:
+            client = HttpClient(lambda: net.connect("web"))
+            try:
+                results.append(client.get("/slow").status)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=one_request, daemon=True) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for _ in range(4):  # every request is in flight before the stop
+            assert entered.acquire(timeout=5)
+        # release the handlers just as the drain begins: stop() must wait
+        # for the in-flight responses, not cut them off
+        threading.Timer(0.05, release.set).start()
+        began = time.monotonic()
+        server.stop(drain_timeout=10)
+        elapsed = time.monotonic() - began
+        assert elapsed < 10
+        for t in threads:
+            t.join(5)
+        assert all(not t.is_alive() for t in threads)
+        assert results == [200, 200, 200, 200]
+        assert all(not t.is_alive() for t in server._conn_threads)
+
+    def test_stop_with_tiny_drain_budget_is_bounded(self):
+        """A handler that never returns cannot hold ``stop()`` hostage:
+        past the drain budget the channels are force-closed and stop()
+        returns promptly."""
+        from repro.transport.http import HttpResponse
+
+        stuck = threading.Event()
+        entered = threading.Event()
+
+        def wedged_handler(request):
+            entered.set()
+            stuck.wait(30)
+            return HttpResponse(200, body=b"too late")
+
+        net = MemoryNetwork()
+        server = HttpServer(net.listen("web"), wedged_handler).start()
+        client = HttpClient(lambda: net.connect("web"))
+        thread = threading.Thread(target=lambda: _swallow(client), daemon=True)
+        thread.start()
+        try:
+            assert entered.wait(5)
+            began = time.monotonic()
+            server.stop(drain_timeout=0.2)
+            assert time.monotonic() - began < 5
+        finally:
+            stuck.set()
+            client.close()
+
+
+def _swallow(client) -> None:
+    try:
+        client.request("GET", "/wedged")
+    except Exception:
+        pass

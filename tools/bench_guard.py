@@ -27,6 +27,7 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "r
 CURRENT = RESULTS_DIR / "hotpath.json"
 BASELINE = RESULTS_DIR / "hotpath_baseline.json"
 OBS_RESULTS = RESULTS_DIR / "obs.json"
+SERVE_RESULTS = RESULTS_DIR / "serve.json"
 
 #: A pinned ratio may degrade to this fraction of its baseline before the
 #: guard fails (25% regression budget — generous enough for machine noise,
@@ -42,6 +43,18 @@ OBS_CEILINGS = {
     "labelled_vs_unlabelled_ratio": 10.0,
     "sampler_decide_us": 10.0,
     "disabled_counter_site_us": 5.0,
+}
+
+#: Fixed bounds for the serving-runtime pins that
+#: ``benchmarks/bench_serve.py`` writes to ``serve.json`` — ceilings on
+#: the admission-control overheads, a floor under the full-stack goodput.
+#: Keep in sync with the constants at the top of that module.
+SERVE_CEILINGS = {
+    "shed_decision_us": 50.0,
+    "pool_roundtrip_ms": 10.0,
+}
+SERVE_FLOORS = {
+    "serve_goodput_rps": 25.0,
 }
 
 
@@ -78,6 +91,35 @@ def check_obs_ceilings() -> list[str]:
         )
         if value > ceiling:
             failures.append(f"obs.{name}: {value:.3f} exceeds ceiling {ceiling:.3f}")
+    return failures
+
+
+def check_serve_pins() -> list[str]:
+    """Check serve.json against its fixed bounds; [] when absent or ok."""
+    results = load(SERVE_RESULTS)
+    if results is None or "measured" not in results:
+        print(
+            f"bench_guard: no serving results at {SERVE_RESULTS.name} — skipping "
+            "(run PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest "
+            "benchmarks/bench_serve.py -q to produce them)"
+        )
+        return []
+    failures = []
+    bounds = [(name, limit, "ceiling") for name, limit in SERVE_CEILINGS.items()]
+    bounds += [(name, limit, "floor") for name, limit in SERVE_FLOORS.items()]
+    for name, limit, kind in bounds:
+        value = results["measured"].get(name)
+        if value is None:
+            failures.append(f"serve.{name}: missing from {SERVE_RESULTS.name}")
+            continue
+        ok = value <= limit if kind == "ceiling" else value >= limit
+        print(
+            f"bench_guard: {name:>28} current {value:10.3f}  "
+            f"{kind} {limit:8.3f}  {'ok' if ok else 'VIOLATED'}"
+        )
+        if not ok:
+            relation = "exceeds ceiling" if kind == "ceiling" else "fell below floor"
+            failures.append(f"serve.{name}: {value:.3f} {relation} {limit:.3f}")
     return failures
 
 
@@ -131,6 +173,7 @@ def main(argv: list[str]) -> int:
             )
 
     failures.extend(check_obs_ceilings())
+    failures.extend(check_serve_pins())
 
     if failures:
         print("bench_guard: FAIL")

@@ -8,6 +8,13 @@ introduce: dead imports left behind by refactors.  Usage::
 
     python tools/lint.py [paths...]     # default: src tests benchmarks tools
 
+One repo-specific rule always runs (even when ruff handles the generic
+lint): inside ``src/repro/serve`` only ``pool.py`` may spawn threads.
+The serving runtime's whole design is that every unit of work flows
+through the bounded :class:`WorkerPool`; a stray ``threading.Thread``
+anywhere else in the package would reintroduce exactly the unbounded
+concurrency the subsystem exists to prevent.
+
 Exit status 0 = clean, 1 = findings, matching ruff's convention so the
 verify flow can chain it after the tier-1 pytest run.
 """
@@ -108,6 +115,45 @@ def dead_imports(path: str) -> list[tuple[int, str]]:
     return findings
 
 
+def _is_serve_module(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return any(a == "repro" and b == "serve" for a, b in zip(parts, parts[1:]))
+
+
+def serve_thread_findings(path: str) -> list[tuple[int, str]]:
+    """Flag thread spawning in ``repro.serve`` outside the pool module.
+
+    Catches both spellings — ``threading.Thread(...)`` and
+    ``from threading import Thread`` — at any position (call, alias,
+    attribute), since holding a reference is as suspect as calling it.
+    """
+    if not _is_serve_module(path) or os.path.basename(path) == "pool.py":
+        return []
+    with open(path, "rb") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # dead_imports already reports the syntax error
+    findings = []
+    message = (
+        "thread spawning in repro.serve is reserved to pool.py "
+        "(route work through WorkerPool instead)"
+    )
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "Thread"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "threading"
+        ):
+            findings.append((node.lineno, message))
+        elif isinstance(node, ast.ImportFrom) and node.module == "threading":
+            if any(alias.name == "Thread" for alias in node.names):
+                findings.append((node.lineno, message))
+    return findings
+
+
 def iter_python_files(paths: list[str]):
     for root in paths:
         if os.path.isfile(root):
@@ -122,11 +168,19 @@ def iter_python_files(paths: list[str]):
 
 def main(argv: list[str]) -> int:
     paths = argv or [p for p in DEFAULT_PATHS if os.path.exists(p)]
+
+    # the repo-specific rule runs unconditionally — ruff has no analogue
+    serve_total = 0
+    for path in iter_python_files(paths):
+        for lineno, message in serve_thread_findings(path):
+            print(f"{path}:{lineno}: {message}")
+            serve_total += 1
+
     ruff_status = try_ruff(paths)
     if ruff_status is not None:
-        return ruff_status
+        return 1 if serve_total else ruff_status
 
-    total = 0
+    total = serve_total
     for path in iter_python_files(paths):
         for lineno, message in dead_imports(path):
             print(f"{path}:{lineno}: {message}")
