@@ -4,7 +4,7 @@ Pins the speedup ratios the compiled-plan/session work exists for, on the
 Figure 5 payload (a SOAP-wrapped doubles array from the LEAD workload):
 
 * ``encode``   — session plan replay vs a fresh stateless encode per message
-* ``decode``   — session decode (interned names) vs stateless decode
+* ``decode``   — session decode-plan replay vs stateless decode
 * ``roundtrip``— encode + decode, warm vs cold
 
 Ratios (cold/warm, >1 means the session wins) are written to
@@ -30,8 +30,17 @@ pytestmark = pytest.mark.bench
 #: Figure 5 sweep prefix; the small end is where plan replay pays off and
 #: the large end shows the ratio converging to 1 as memcpy dominates.
 SIZES = [1365] if quick_mode() else [1365, 5460, 21840, 87360]
-#: Acceptance criterion: warm-session encode speedup at SIZES[0].
+#: Acceptance criteria at SIZES[0], where per-message interpreter overhead
+#: (not array memcpy) dominates: warm-session encode, decode-plan replay
+#: (the ISSUE 6 bar: ≥1.8x with self-verification on) and the roundtrip.
 MIN_ENCODE_SPEEDUP = 2.0
+MIN_DECODE_SPEEDUP = 1.8
+MIN_ROUNDTRIP_SPEEDUP = 1.9
+#: Absolute ceiling on the warm per-message decode at SIZES[0], enforced by
+#: tools/bench_guard.py as a fixed bound (complexity-regression tripwire,
+#: not a noise-sensitive rolling pin).  Keep in sync with bench_guard's
+#: HOTPATH_CEILINGS.
+WARM_DECODE_US_CEILING = 60.0
 #: Same sample counts in quick and full mode: the guarded ratios come from
 #: SIZES[0] (microseconds per run), so quick mode only trims the sweep —
 #: pinned numbers stay comparable across modes for tools/bench_guard.py.
@@ -83,10 +92,15 @@ def _ratios_for(size: int) -> dict:
 
     assert session.stats.poisoned_shapes == 0
     assert session.stats.plan_hits > 0
+    # the decode side must have ridden verified plan replay, not fallbacks
+    assert session.stats.decode_plan_hits > 0
+    assert session.stats.decode_poisoned == 0
     return {
         "model_size": size,
         "cold_encode_us": cold_encode * 1e6,
         "warm_encode_us": warm_encode * 1e6,
+        "cold_decode_us": cold_decode * 1e6,
+        "warm_decode_us": warm_decode * 1e6,
         "encode_speedup": cold_encode / warm_encode,
         "decode_speedup": cold_decode / warm_decode,
         "roundtrip_speedup": cold_roundtrip / warm_roundtrip,
@@ -96,13 +110,15 @@ def _ratios_for(size: int) -> dict:
 def _render(rows: list[dict]) -> str:
     header = (
         f"{'n':>8} {'cold enc us':>12} {'warm enc us':>12} "
+        f"{'cold dec us':>12} {'warm dec us':>12} "
         f"{'enc x':>7} {'dec x':>7} {'rt x':>7}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row['model_size']:>8} {row['cold_encode_us']:>12.1f} "
-            f"{row['warm_encode_us']:>12.1f} {row['encode_speedup']:>7.2f} "
+            f"{row['warm_encode_us']:>12.1f} {row['cold_decode_us']:>12.1f} "
+            f"{row['warm_decode_us']:>12.1f} {row['encode_speedup']:>7.2f} "
             f"{row['decode_speedup']:>7.2f} {row['roundtrip_speedup']:>7.2f}"
         )
     return "\n".join(lines)
@@ -125,14 +141,22 @@ class TestHotPath:
                 "decode_speedup": rows[0]["decode_speedup"],
                 "roundtrip_speedup": rows[0]["roundtrip_speedup"],
             },
+            # absolute values bench_guard checks against fixed ceilings
+            "measured": {
+                "warm_decode_us": rows[0]["warm_decode_us"],
+            },
         }
         (results_dir / "hotpath.json").write_text(json.dumps(pinned, indent=2) + "\n")
         assert rows[0]["encode_speedup"] >= MIN_ENCODE_SPEEDUP, (
             f"warm encode speedup {rows[0]['encode_speedup']:.2f}x at "
             f"n={SIZES[0]} below the {MIN_ENCODE_SPEEDUP:.1f}x acceptance bar"
         )
-        # decode interning roughly breaks even on a document this small
-        # (few distinct names); it must merely never lose badly, while the
-        # roundtrip — where plan replay dominates — must win outright
-        assert rows[0]["decode_speedup"] > 0.75
-        assert rows[0]["roundtrip_speedup"] > 1.0
+        assert rows[0]["decode_speedup"] >= MIN_DECODE_SPEEDUP, (
+            f"warm decode speedup {rows[0]['decode_speedup']:.2f}x at "
+            f"n={SIZES[0]} below the {MIN_DECODE_SPEEDUP:.1f}x acceptance bar"
+        )
+        assert rows[0]["roundtrip_speedup"] >= MIN_ROUNDTRIP_SPEEDUP, (
+            f"warm roundtrip speedup {rows[0]['roundtrip_speedup']:.2f}x at "
+            f"n={SIZES[0]} below the {MIN_ROUNDTRIP_SPEEDUP:.1f}x acceptance bar"
+        )
+        assert rows[0]["warm_decode_us"] <= WARM_DECODE_US_CEILING

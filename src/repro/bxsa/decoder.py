@@ -27,7 +27,8 @@ from repro.bxsa.frames import (
     read_vls,
 )
 from repro.bxsa.namespaces import ScopeStack, to_nodes
-from repro.xbs.constants import TypeCode, dtype_for
+from repro.xbs.constants import TypeCode
+from repro.xbs.structcache import wire_dtype
 from repro.xdm.errors import XDMTypeError
 from repro.xdm.nodes import (
     ArrayElement,
@@ -44,11 +45,16 @@ from repro.xdm.qname import QName
 from repro.xdm.types import atomic_type_for_code
 
 
-def decode(data, offset: int = 0, *, copy: bool = False) -> Node:
+def decode(data, offset: int = 0, *, copy: bool = False, whole: bool | None = None) -> Node:
     """Decode one BXSA frame (document or element tree) from ``data``.
 
-    Trailing bytes after the first top-level frame are rejected; use
-    :class:`BXSADecoder` directly to pull consecutive frames from a stream.
+    By default a decode starting at ``offset == 0`` is a *whole-message*
+    decode: trailing bytes after the top-level frame are rejected.  A
+    non-zero ``offset`` decodes an *embedded* frame from a larger buffer
+    (a pipelined keep-alive buffer, a scanner extract) and ignores whatever
+    follows the frame.  Pass ``whole=True``/``False`` to force either
+    behaviour regardless of offset; use :class:`BXSADecoder` directly to
+    pull consecutive frames from a stream.
 
     Aliasing contract for ``copy=False`` (the default):
 
@@ -68,16 +74,20 @@ def decode(data, offset: int = 0, *, copy: bool = False) -> Node:
     """
     decoder = BXSADecoder(data, offset, copy=copy)
     node = decoder.read_node()
-    if decoder.pos != len(decoder.data):
+    if whole is None:
+        whole = offset == 0
+    if whole and decoder.pos != len(decoder.data):
         raise BXSADecodeError(
             f"{len(decoder.data) - decoder.pos} trailing bytes after frame"
         )
     return node
 
 
-def decode_document(data, offset: int = 0, *, copy: bool = False) -> DocumentNode:
+def decode_document(
+    data, offset: int = 0, *, copy: bool = False, whole: bool | None = None
+) -> DocumentNode:
     """Decode and require a document frame."""
-    node = decode(data, offset, copy=copy)
+    node = decode(data, offset, copy=copy, whole=whole)
     if not isinstance(node, DocumentNode):
         raise BXSADecodeError(f"expected a document frame, found {type(node).__name__}")
     return node
@@ -227,10 +237,10 @@ class BXSADecoder:
                 raise BXSADecodeError(
                     f"array payload of {nbytes} bytes overruns frame end {end}"
                 )
-            wire_dtype = dtype_for(code, byte_order)
-            values = np.frombuffer(data[pos : pos + nbytes], dtype=wire_dtype, count=count)
+            dtype = wire_dtype(byte_order, code)
+            values = np.frombuffer(data[pos : pos + nbytes], dtype=dtype, count=count)
             if self.copy:
-                values = values.astype(wire_dtype.newbyteorder("="), copy=True)
+                values = values.astype(dtype.newbyteorder("="), copy=True)
             atype = self._atype(code)
             self.pos = pos + nbytes
             self._check_end(end)

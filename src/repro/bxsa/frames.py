@@ -115,14 +115,27 @@ def skip_name_ref(data, pos: int) -> int:
     return pos
 
 
-def skip_element_header(data, pos: int) -> int:
-    """Skip a full element header (namespace table, name, attributes)."""
+def skip_header_names(data, pos: int) -> int:
+    """Skip the name part of an element header: the namespace declaration
+    table, the QName reference and the local name — stopping just before
+    the attribute count.
+
+    This span contains no attribute or leaf *values*: for a fixed document
+    shape its bytes are identical from message to message, which is what
+    lets :mod:`repro.bxsa.decodeplan` use it as a cheap structural
+    fingerprint of the byte stream.
+    """
     n1, pos = read_vls(data, pos)
     for _ in range(n1):
         pos = skip_string(data, pos)  # prefix
         pos = skip_string(data, pos)  # uri
     pos = skip_name_ref(data, pos)
-    pos = skip_string(data, pos)  # local name
+    return skip_string(data, pos)  # local name
+
+
+def skip_element_header(data, pos: int) -> int:
+    """Skip a full element header (namespace table, name, attributes)."""
+    pos = skip_header_names(data, pos)
     n2, pos = read_vls(data, pos)
     for _ in range(n2):
         pos = skip_name_ref(data, pos)

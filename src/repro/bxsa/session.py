@@ -30,16 +30,35 @@ warm sessions do not alter any Figure 4-6 measured semantics (the harness
 still opts out to keep its *cold-start* CPU segments honest; see
 ``repro.harness.runners``).
 
-Decode-side, the session interns repeated header strings (prefixes, URIs,
-local names) and :class:`~repro.xdm.qname.QName` objects across messages,
-so a stream of same-shape envelopes allocates each name once.
+Decode-side, the session mirrors the same idea with compiled **decode
+plans** (:mod:`repro.bxsa.decodeplan`): the first decode of a shape runs
+stateless and records the frame sequence — header layout, pre-resolved
+QNames, scalar/array value slots — keyed by a cheap structural fingerprint
+of the byte stream.  Subsequent same-shape messages replay that plan:
+no frame dispatch, no scope stack, no header-string decoding, array
+payloads pulled out as the same zero-copy views the stateless decoder
+produces.  Replay memcmps every structural byte and re-validates every
+``Size`` field, the first reuse of each plan is structure-checked against
+a full stateless decode, and divergent shapes are poisoned to the slow
+path — correctness is unconditional, exactly as on the encode side.  The
+session also interns repeated header strings (prefixes, URIs, local names)
+and :class:`~repro.xdm.qname.QName` objects across messages, so a stream
+of same-shape envelopes allocates each name once.
 """
 
 from __future__ import annotations
 
+from itertools import islice
+
 import numpy as np
 
 from repro.bxsa.constants import FrameType, pack_prefix_byte
+from repro.bxsa.decodeplan import (
+    DecodePlan,
+    compile_decode_plan,
+    decode_fingerprint,
+    replay_decode_plan,
+)
 from repro.bxsa.decoder import BXSADecoder
 from repro.bxsa.encoder import BXSAEncoder
 from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError
@@ -47,6 +66,7 @@ from repro.bxsa.namespaces import ScopeStack
 from repro.xbs.constants import NATIVE_ENDIAN, TypeCode, dtype_for
 from repro.xbs.structcache import struct_for
 from repro.xbs.varint import encode_vls
+from repro.xdm.compare import explain_difference
 from repro.xdm.nodes import (
     ArrayElement,
     CommentNode,
@@ -75,6 +95,12 @@ _OP_ARRAY = 9  # (tag, prefix, header, meta, head_const, dtype, item_size, node_
 # can require (array payload alignment; see BXSAEncoder._array_frame)
 _PAD_BYTES = tuple(bytes((p,)) + b"\x00" * p for p in range(8))
 
+#: Decode plans cached per fingerprint.  Distinct shapes can share a
+#: fingerprint (e.g. SOAP envelopes whose root headers match but whose
+#: bodies differ); replay bails on the byte mismatch and the next plan in
+#: the bucket is tried, so a small bucket absorbs benign collisions.
+_MAX_BUCKET_PLANS = 4
+
 class EncodePlan:
     """A compiled per-shape instruction list (internal to the session)."""
 
@@ -88,18 +114,35 @@ class EncodePlan:
 class SessionStats:
     """Counters exposed for benchmarks and tests."""
 
-    __slots__ = ("plans_compiled", "plan_hits", "stateless_encodes", "poisoned_shapes")
+    __slots__ = (
+        "plans_compiled",
+        "plan_hits",
+        "stateless_encodes",
+        "poisoned_shapes",
+        "decode_plans_compiled",
+        "decode_plan_hits",
+        "stateless_decodes",
+        "decode_poisoned",
+    )
 
     def __init__(self) -> None:
         self.plans_compiled = 0
         self.plan_hits = 0
         self.stateless_encodes = 0
         self.poisoned_shapes = 0
+        self.decode_plans_compiled = 0
+        self.decode_plan_hits = 0
+        self.stateless_decodes = 0
+        self.decode_poisoned = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SessionStats(compiled={self.plans_compiled}, hits={self.plan_hits}, "
-            f"stateless={self.stateless_encodes}, poisoned={self.poisoned_shapes})"
+            f"stateless={self.stateless_encodes}, poisoned={self.poisoned_shapes}, "
+            f"dec_compiled={self.decode_plans_compiled}, "
+            f"dec_hits={self.decode_plan_hits}, "
+            f"dec_stateless={self.stateless_decodes}, "
+            f"dec_poisoned={self.decode_poisoned})"
         )
 
 
@@ -111,11 +154,15 @@ class CodecSession:
     byte_order:
         Wire byte order for encodes (decodes honour each frame's own order).
     max_plans:
-        Bound on cached encode plans; the oldest plan is evicted beyond it.
+        Bound on cached encode plans and on cached decode-plan fingerprints;
+        the oldest entry is evicted beyond it.
     max_cached_strings:
         Bound on each intern table (encode-side string bytes, decode-side
-        names/QNames); tables are cleared wholesale when they fill, which
-        keeps adversarial name churn from growing memory without limit.
+        names/QNames); when a table crosses the bound its oldest half (by
+        insertion order) is evicted, which keeps adversarial name churn from
+        growing memory without limit while the newer — still warm — half
+        survives.  A long-lived worker never falls back to fully cold
+        interning mid-stream.
 
     A session is cheap to construct but meant to be long-lived: the engine
     and clients hold one per encoding policy so that repeated exchanges hit
@@ -135,6 +182,10 @@ class CodecSession:
         self.max_cached_strings = max_cached_strings
         self.stats = SessionStats()
         self._plans: dict[tuple, EncodePlan | None] = {}
+        # decode-plan cache: structural fingerprint -> list of plans (MRU
+        # first, at most _MAX_BUCKET_PLANS: distinct shapes may share a
+        # fingerprint) or None for a poisoned fingerprint
+        self._decode_plans: dict[tuple, list[DecodePlan] | None] = {}
         self._encoder = BXSAEncoder(byte_order)
         # encode-side intern table: str -> VLS-length-prefixed UTF-8 bytes
         self._string_bytes: dict[str, bytes] = {}
@@ -160,38 +211,157 @@ class CodecSession:
             return self._encoder.encode(node)
         return self._compile_and_check(shape, node, nodes)
 
-    def decode(self, data, offset: int = 0, *, copy: bool = False) -> Node:
-        """Decode one frame with the session's name intern tables.
+    def decode(
+        self, data, offset: int = 0, *, copy: bool = False, whole: bool | None = None
+    ) -> Node:
+        """Decode one frame, compiling/replaying a decode plan for its shape.
 
-        Identical semantics (including the zero-copy aliasing contract) to
+        Identical semantics (including the zero-copy aliasing contract and
+        the ``whole``/trailing-byte rules) to
         :func:`repro.bxsa.decoder.decode`; repeated names across messages
         come back as the same ``str``/``QName`` objects.
+
+        The first decode of a shape runs the stateless decoder and compiles
+        a plan keyed by a structural fingerprint of the bytes; later
+        same-shape messages replay it.  Replay memcmps every structural
+        byte, the first reuse of each plan is structure-checked against a
+        stateless decode, and a diverging fingerprint is poisoned to the
+        stateless path — warm decodes are an execution strategy, never a
+        semantics change.
         """
-        if len(self._decode_strings) > self.max_cached_strings:
-            self._decode_strings.clear()
-        if len(self._decode_qnames) > self.max_cached_strings:
-            self._decode_qnames.clear()
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        if whole is None:
+            whole = offset == 0
+        try:
+            key = decode_fingerprint(view, offset)
+        except BXSADecodeError:
+            key = None  # malformed frame head: the stateless path raises
+        if key is not None:
+            bucket = self._decode_plans.get(key)
+            if bucket is None and key in self._decode_plans:
+                # poisoned fingerprint: permanent stateless path
+                self.stats.stateless_decodes += 1
+                return self._decode_stateless(view, offset, copy, whole)
+            if bucket:
+                node = self._try_replay(bucket, key, view, offset, copy, whole)
+                if node is not None:
+                    return node
+        self.stats.stateless_decodes += 1
+        node = self._decode_stateless(view, offset, copy, whole)
+        if key is not None and self._decode_plans.get(key, ()) is not None:
+            self._compile_decode_plan(key, view, offset)
+        return node
+
+    def reset(self) -> None:
+        """Drop all cached plans and intern tables (cold-start state)."""
+        self._plans.clear()
+        self._decode_plans.clear()
+        self._string_bytes.clear()
+        self._decode_strings.clear()
+        self._decode_qnames.clear()
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------------
+    # decode plans
+
+    def _decode_stateless(self, view, offset: int, copy: bool, whole: bool) -> Node:
+        """One full stateless decode through the session's intern tables."""
+        self._evict_interned()
         decoder = BXSADecoder(
-            data,
+            view,
             offset,
             copy=copy,
             string_cache=self._decode_strings,
             qname_cache=self._decode_qnames,
         )
         node = decoder.read_node()
-        if decoder.pos != len(decoder.data):
+        if whole and decoder.pos != len(decoder.data):
             raise BXSADecodeError(
                 f"{len(decoder.data) - decoder.pos} trailing bytes after frame"
             )
         return node
 
-    def reset(self) -> None:
-        """Drop all cached plans and intern tables (cold-start state)."""
-        self._plans.clear()
-        self._string_bytes.clear()
-        self._decode_strings.clear()
-        self._decode_qnames.clear()
-        self.stats = SessionStats()
+    def _try_replay(self, bucket, key, view, offset: int, copy: bool, whole: bool):
+        """Replay the first plan in ``bucket`` that matches the bytes.
+
+        Returns the decoded node, or ``None`` when every plan bailed (the
+        caller decodes statelessly and compiles a plan for the new shape).
+        A plan's first reuse is verified against the stateless decoder; a
+        divergence poisons the fingerprint and the stateless result is
+        returned instead.
+        """
+        for i, plan in enumerate(bucket):
+            try:
+                out = replay_decode_plan(plan, view, offset, copy)
+            except Exception:
+                out = None  # node-validity error: the slow path re-raises it
+            if out is None:
+                continue
+            node, end = out
+            if not plan.verified and not self._verify_decode_plan(
+                node, end, view, offset, copy
+            ):
+                # a compiler blind spot must never reach the caller: poison
+                # the fingerprint and serve the stateless tree
+                self._decode_plans[key] = None
+                self.stats.decode_poisoned += 1
+                self.stats.stateless_decodes += 1
+                return self._decode_stateless(view, offset, copy, whole)
+            plan.verified = True
+            if whole and end != len(view):
+                raise BXSADecodeError(
+                    f"{len(view) - end} trailing bytes after frame"
+                )
+            if i:
+                bucket.insert(0, bucket.pop(i))  # keep the bucket MRU-first
+            self.stats.decode_plan_hits += 1
+            return node
+        return None
+
+    def _verify_decode_plan(self, node, end: int, view, offset: int, copy: bool) -> bool:
+        """Structure-check a replay output against the stateless decoder."""
+        decoder = BXSADecoder(
+            view,
+            offset,
+            copy=copy,
+            string_cache=self._decode_strings,
+            qname_cache=self._decode_qnames,
+        )
+        try:
+            reference = decoder.read_node()
+        except Exception:
+            return False
+        if decoder.pos != end:
+            return False
+        return explain_difference(reference, node) is None
+
+    def _compile_decode_plan(self, key, view, offset: int) -> None:
+        """Compile a plan for the frame just decoded statelessly at
+        ``offset``; a compiler crash poisons the fingerprint."""
+        try:
+            plan = compile_decode_plan(view, offset, qname_cache=self._decode_qnames)
+        except Exception:
+            self._decode_plans[key] = None
+            self.stats.decode_poisoned += 1
+            return
+        bucket = self._decode_plans.get(key)
+        if bucket is None:  # the caller guarantees the key is not poisoned
+            if len(self._decode_plans) >= self.max_plans:
+                self._decode_plans.pop(next(iter(self._decode_plans)))
+            bucket = self._decode_plans[key] = []
+        bucket.insert(0, plan)
+        del bucket[_MAX_BUCKET_PLANS:]
+        self.stats.decode_plans_compiled += 1
+
+    def _evict_interned(self) -> None:
+        """Bounded intern-table eviction: drop the oldest half (insertion
+        order) past ``max_cached_strings`` — never a wholesale clear, so a
+        warm stream keeps its recent names across the boundary."""
+        bound = self.max_cached_strings
+        for cache in (self._decode_strings, self._decode_qnames):
+            if len(cache) > bound:
+                for stale in list(islice(iter(cache), len(cache) // 2)):
+                    del cache[stale]
 
     # ------------------------------------------------------------------
     # compilation
@@ -512,7 +682,10 @@ class CodecSession:
         rendered = encode_vls(len(raw)) + raw
         if len(text) <= 128:
             if len(cache) > self.max_cached_strings:
-                cache.clear()
+                # drop the oldest half (insertion order), never the lot:
+                # hot shapes keep their recently-rendered names warm
+                for stale in list(islice(iter(cache), len(cache) // 2)):
+                    del cache[stale]
             cache[text] = rendered
         return rendered
 

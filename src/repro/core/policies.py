@@ -92,11 +92,15 @@ class BXSAEncoding:
 
     ``session=True`` (default) backs the policy with a long-lived
     :class:`~repro.bxsa.session.CodecSession`: repeated same-shape messages
-    hit compiled encode plans and interned decode-side name tables.  The
-    wire bytes are identical either way (the session self-verifies; see its
-    module docstring) — ``session=False`` exists for *measurement*, so the
-    benchmark harness can keep timing the cold per-message codec cost that
-    Figures 4-6 report rather than warm-plan replay.
+    hit compiled encode plans on the send side and compiled decode plans
+    plus interned name tables on the receive side.  The wire bytes and the
+    decoded trees are identical either way (the session self-verifies both
+    directions and poisons divergent shapes; see its module docstring) —
+    ``session=False`` exists for *measurement*, so the benchmark harness
+    can keep timing the cold per-message codec cost that Figures 4-6
+    report rather than warm-plan replay.  The ``copy=False`` aliasing
+    contract is unchanged under plan replay: array payloads are the same
+    zero-copy views over the received buffer.
     """
 
     content_type = BXSA_CONTENT_TYPE

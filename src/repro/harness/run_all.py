@@ -127,6 +127,22 @@ def to_markdown(results: list[ExperimentResult]) -> str:
         "`503` + `Retry-After` (the shed% column) — never with errors or",
         "unbounded queueing.",
         "",
+        "Hot-path codec sessions: the figures above time the *cold*",
+        "per-message codec cost (`session=False`), matching the paper's",
+        "one-shot exchanges.  Sustained same-shape traffic instead rides",
+        "`repro.bxsa.CodecSession`'s compiled plans in both directions:",
+        "encode plans replay pre-rendered constant byte runs, and decode",
+        "plans — keyed by a structural fingerprint of the byte stream —",
+        "replay pre-resolved QNames, scalar slots and zero-copy array views",
+        "with every structural byte memcmp'd, the first reuse",
+        "structure-checked against the stateless decoder, and divergent",
+        "shapes poisoned to the slow path.  `benchmarks/bench_hotpath.py`",
+        "prints cold/warm microseconds per direction (cold/warm encode and",
+        "decode columns plus enc/dec/roundtrip ratios) and pins the ratios",
+        "and a `warm_decode_us` ceiling in",
+        "`benchmarks/results/hotpath.json`, enforced by",
+        "`tools/bench_guard.py`.",
+        "",
     ]
     for result in results:
         lines.append(f"## {result.experiment_id}: {result.title}")

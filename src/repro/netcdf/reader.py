@@ -126,6 +126,12 @@ class _Reader:
                     "file uses the unlimited (record) dimension, which this "
                     "codec does not support"
                 )
+            if length < 0:
+                raise NetCDFFormatError(
+                    f"dimension {name!r}: negative length {length}"
+                )
+            if name in ds.dimensions:
+                raise NetCDFFormatError(f"duplicate dimension {name!r}")
             ds.create_dimension(name, length)
             dims.append((name, length))
         return dims

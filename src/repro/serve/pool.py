@@ -16,8 +16,8 @@ Semantics:
   private state object built by ``worker_state_factory`` and passes it to
   every task it runs — this is where warm per-worker
   :class:`~repro.bxsa.session.CodecSession`-backed encodings live, so
-  compiled encode plans and interned name tables persist across the
-  requests one worker serves without any cross-thread sharing.
+  compiled encode/decode plans and interned name tables persist across
+  the requests one worker serves without any cross-thread sharing.
 * **Drain** — :meth:`stop` rejects new submissions, lets the workers
   finish everything already admitted within ``drain_timeout`` seconds,
   then abandons what remains (waiters get :class:`PoolStopped`, never a

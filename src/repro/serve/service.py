@@ -16,8 +16,8 @@ surface on the same port) but runs the SOAP work on a
   (:func:`repro.transport.resilience.retry_call`) uses to pace its retry;
 * each worker holds its own warm encoding policies (for BXSA that means a
   long-lived :class:`~repro.bxsa.session.CodecSession` with compiled
-  encode plans), so sustained same-shape traffic rides the PR-3 hot path
-  without sharing codec state across threads;
+  encode *and* decode plans), so sustained same-shape traffic rides the
+  hot path in both directions without sharing codec state across threads;
 * :meth:`SoapServeService.stop` drains: the HTTP server finishes
   in-flight requests (the pool is still running while it does), then the
   pool drains its queue, then both are gone.
@@ -66,8 +66,9 @@ class _WorkerCodecs:
     """Per-worker encoding policies, created lazily and held warm.
 
     One instance lives in exactly one worker thread, so the policies it
-    holds — including session-backed BXSA codecs with compiled encode
-    plans — are reused across that worker's requests with no locking.
+    holds — including session-backed BXSA codecs with compiled encode and
+    decode plans — are reused across that worker's requests with no
+    locking.
     """
 
     __slots__ = ("_policies",)

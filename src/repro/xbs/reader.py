@@ -190,6 +190,32 @@ class XBSReader:
     # ------------------------------------------------------------------
     # array reads
 
+    def read_scalars_into(self, code: TypeCode, out: np.ndarray) -> np.ndarray:
+        """Read a homogeneous run into the preallocated array ``out``.
+
+        The bulk counterpart of :meth:`read_scalars` for numeric consumers:
+        one vectorized copy from the stream into a caller-owned buffer
+        (native order, any dtype numpy can safely cast the wire values to),
+        no per-element Python objects.  ``out.size`` determines the run
+        length.  Returns ``out``.
+        """
+        code = TypeCode(code)
+        if code is TypeCode.STRING:
+            raise XBSDecodeError("read_scalars_into cannot read STRING runs")
+        if out.ndim != 1:
+            raise XBSDecodeError(f"read_scalars_into needs a 1-D target, got {out.ndim}-D")
+        count = out.size
+        if count == 0:
+            return out
+        self.align(code.size)
+        nbytes = count * code.size
+        raw = self.read_bytes(nbytes)
+        wire = np.frombuffer(raw, dtype=dtype_for(code, self.byte_order), count=count)
+        if code is TypeCode.BOOL:
+            wire = wire.view(np.bool_)
+        np.copyto(out, wire, casting="same_kind")
+        return out
+
     def read_array(self, code: TypeCode, *, copy: bool = False) -> np.ndarray:
         """Read a packed 1-D array written by :meth:`XBSWriter.write_array`.
 
@@ -197,6 +223,11 @@ class XBSReader:
         array is a zero-copy view of the underlying buffer (read-only when
         the buffer is); pass ``copy=True`` for an independent native-order
         copy.
+
+        ``BOOL`` runs come back as ``np.bool_`` (a zero-copy reinterpretation
+        of the wire bytes), so any nonzero byte — including the >1 values a
+        hostile peer may write — compares equal to ``True``, exactly as the
+        scalar :meth:`read_scalars` path canonicalizes them.
         """
         code = TypeCode(code)
         if code is TypeCode.STRING:
@@ -207,6 +238,10 @@ class XBSReader:
         raw = self.read_bytes(nbytes)
         dtype = dtype_for(code, self.byte_order)
         arr = np.frombuffer(raw, dtype=dtype, count=count)
+        if code is TypeCode.BOOL:
+            # view, not astype: still zero-copy, and numpy's bool_ treats
+            # every nonzero byte as True — element-equal to the scalar path
+            return arr.astype(np.bool_) if copy else arr.view(np.bool_)
         if copy:
             return arr.astype(dtype.newbyteorder("="), copy=True)
         return arr

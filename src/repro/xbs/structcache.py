@@ -18,7 +18,7 @@ from __future__ import annotations
 import struct
 from functools import lru_cache
 
-from repro.xbs.constants import _ENDIAN_CHAR, TypeCode
+from repro.xbs.constants import _ENDIAN_CHAR, TypeCode, dtype_for
 
 #: struct format character per type code (BOOL travels as an unsigned byte).
 STRUCT_FMT = {
@@ -60,3 +60,15 @@ def struct_for_run(byte_order: int, code: TypeCode, count: int) -> struct.Struct
     cache against pathological workloads that sweep many distinct lengths.
     """
     return struct.Struct(_ENDIAN_CHAR[byte_order] + str(count) + STRUCT_FMT[code])
+
+
+@lru_cache(maxsize=None)
+def wire_dtype(byte_order: int, code: TypeCode):
+    """The numpy dtype for ``code`` in ``byte_order``, cached.
+
+    ``dtype_for`` constructs a fresh ``np.dtype`` on every call; the array
+    decode paths (stateless decoder and compiled decode plans) resolve the
+    same two dozen ``(order, code)`` pairs per process, so an unbounded
+    cache over that fixed domain is the right shape.
+    """
+    return dtype_for(code, byte_order)

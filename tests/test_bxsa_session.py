@@ -18,7 +18,9 @@ from repro.bxsa import (
     decode,
     encode,
 )
+from repro.bxsa.decodeplan import _D_ELEM, _D_LEAF
 from repro.bxsa.session import _OP_CONST, EncodePlan
+from repro.xdm.qname import QName
 from repro.xbs import BIG_ENDIAN, TypeCode
 from repro.xdm import (
     ArrayElement,
@@ -145,6 +147,25 @@ def test_session_decode_agrees_with_stateless_decoder(tree):
         out = session.decode(blob)
         diff = explain_difference(decode(blob), out)
         assert diff is None, diff
+
+
+@pytest.mark.slow
+@given(documents())
+@_settings
+def test_session_decode_stream_node_equal_to_stateless(tree):
+    """ISSUE acceptance property: an N-message same-shape stream decoded
+    through one session (stateless first decode, verified plan replay after)
+    is node-equal to the stateless decoder's output — with and without
+    ``copy=False`` — and no generated shape poisons its fingerprint."""
+    session = CodecSession()
+    blobs = [encode(m) for m in (tree, perturbed(tree), perturbed(perturbed(tree)))]
+    for i, blob in enumerate(blobs):
+        for copy in (False, True):
+            out = session.decode(blob, copy=copy)
+            diff = explain_difference(decode(blob, copy=copy), out)
+            assert diff is None, f"message {i} copy={copy}: {diff}"
+    assert session.stats.decode_poisoned == 0
+    assert session.stats.decode_plan_hits > 0
 
 
 @pytest.mark.slow
@@ -289,6 +310,17 @@ class TestSessionDecode:
         with pytest.raises(BXSADecodeError):
             session.decode(bytes(blob) + b"\x00")
 
+    def test_rejects_trailing_bytes_on_warm_plan(self):
+        # the trailing check must hold on the replay path, not just the
+        # stateless first decode
+        session = CodecSession()
+        blob = bytes(encode(_sample_doc()))
+        session.decode(blob)
+        session.decode(blob)
+        assert session.stats.decode_plan_hits > 0
+        with pytest.raises(BXSADecodeError):
+            session.decode(blob + b"\x00")
+
     def test_honours_copy_flag(self):
         session = CodecSession()
         buf = bytearray(encode(doc(array("a", np.arange(4, dtype=np.float64)))))
@@ -297,6 +329,255 @@ class TestSessionDecode:
         buf[-4 * 8 :] = b"\x00" * (4 * 8)
         assert aliased.values[1] == 0.0  # view over the (zeroed) buffer
         assert independent.values[1] == 1.0
+
+    def test_copy_contract_holds_across_plan_replay_and_reset(self):
+        # ISSUE satellite: the documented copy=False aliasing contract must
+        # hold through the *session* decode path — on the stateless first
+        # decode, on warm plan replay, and again after reset()
+        session = CodecSession()
+        template = doc(array("a", np.arange(4, dtype=np.float64)))
+
+        def roundtrip(copy):
+            buf = bytearray(encode(template))
+            values = session.decode(buf, copy=copy).children[0].values
+            buf[-4 * 8 :] = b"\x00" * (4 * 8)
+            return values
+
+        assert roundtrip(copy=False)[1] == 0.0  # cold: view aliases buffer
+        assert roundtrip(copy=False)[1] == 0.0  # warm replay: still a view
+        assert session.stats.decode_plan_hits > 0
+        assert roundtrip(copy=True)[1] == 1.0  # warm replay: independent
+        session.reset()
+        assert session.stats.decode_plan_hits == 0
+        assert roundtrip(copy=False)[1] == 0.0  # recompiled: still a view
+        assert roundtrip(copy=True)[1] == 1.0
+
+    def test_intern_eviction_is_bounded_not_wholesale(self):
+        # ISSUE satellite regression: crossing max_cached_strings used to
+        # clear() the intern tables outright, resetting warm-decode state
+        # mid-stream; bounded eviction must keep the newer half
+        session = CodecSession(max_cached_strings=16)
+        low_water = None
+        for i in range(120):
+            blob = encode(doc(element(f"name{i}", leaf("x", i, "int"))))
+            session.decode(blob)
+            strings = len(session._decode_strings)
+            assert strings <= session.max_cached_strings + 4
+            if i > 32:  # past warm-up the table must never drop to cold
+                low_water = strings if low_water is None else min(low_water, strings)
+        assert low_water is not None and low_water >= session.max_cached_strings // 2
+
+    def test_encode_string_cache_eviction_is_bounded(self):
+        session = CodecSession(max_cached_strings=16)
+        for i in range(120):
+            session.encode(doc(element(f"name{i}", leaf("x", i, "int"))))
+            assert 0 < len(session._string_bytes) <= session.max_cached_strings + 4
+        assert len(session._string_bytes) >= session.max_cached_strings // 2
+
+
+# ---------------------------------------------------------------------------
+# offset / trailing-byte semantics (shared across stateless and session paths)
+
+
+def _stateless_decode(data, offset=0, **kw):
+    return decode(data, offset, **kw)
+
+
+def _session_decode(data, offset=0, **kw):
+    return CodecSession().decode(data, offset, **kw)
+
+
+def _warm_session_decode(data, offset=0, **kw):
+    session = CodecSession()
+    session.decode(data, offset, **kw)  # compile
+    out = session.decode(data, offset, **kw)  # replay
+    assert session.stats.decode_plan_hits >= 1
+    return out
+
+
+@pytest.mark.parametrize(
+    "decoder",
+    [_stateless_decode, _session_decode, _warm_session_decode],
+    ids=["stateless", "session-cold", "session-warm"],
+)
+class TestOffsetSemantics:
+    """ISSUE satellite: the session decode must accept the same embedded
+    frame / offset / trailing-byte inputs as the stateless decoder —
+    trailing bytes are only an error for whole-message decodes."""
+
+    def test_whole_message_rejects_trailing(self, decoder):
+        blob = bytes(encode(_sample_doc()))
+        with pytest.raises(BXSADecodeError):
+            decoder(blob + b"\x00\x00")
+
+    def test_embedded_frame_ignores_trailing(self, decoder):
+        blob = bytes(encode(_sample_doc()))
+        framed = b"\xaa\xbb" + blob + b"\xcc\xdd"
+        out = decoder(framed, 2)
+        assert explain_difference(decode(blob), out) is None
+
+    def test_explicit_whole_true_rejects_trailing_at_offset(self, decoder):
+        blob = bytes(encode(_sample_doc()))
+        with pytest.raises(BXSADecodeError):
+            decoder(b"\xaa" + blob + b"\x00", 1, whole=True)
+
+    def test_explicit_whole_false_allows_trailing_at_zero(self, decoder):
+        blob = bytes(encode(_sample_doc()))
+        out = decoder(blob + b"\x00\x00", whole=False)
+        assert explain_difference(decode(blob), out) is None
+
+    def test_exact_frame_at_offset_decodes(self, decoder):
+        blob = bytes(encode(_sample_doc()))
+        out = decoder(b"\xee" + blob, 1)
+        assert explain_difference(decode(blob), out) is None
+
+
+# ---------------------------------------------------------------------------
+# decode-plan lifecycle
+
+
+class TestDecodePlans:
+    def test_same_shape_replays_one_plan(self):
+        session = CodecSession()
+        for seed in range(4):
+            blob = encode(_sample_doc(seed))
+            out = session.decode(blob)
+            assert explain_difference(decode(blob), out) is None
+        assert session.stats.decode_plans_compiled == 1
+        assert session.stats.stateless_decodes == 1
+        assert session.stats.decode_plan_hits == 3
+        assert session.stats.decode_poisoned == 0
+
+    def test_distinct_shapes_compile_distinct_plans(self):
+        session = CodecSession()
+        session.decode(encode(doc(element("a", leaf("x", 1, "int")))))
+        session.decode(encode(doc(element("b", leaf("x", 1, "int")))))
+        assert session.stats.decode_plans_compiled == 2
+
+    def test_array_length_is_payload_not_shape(self):
+        session = CodecSession()
+        for n in (0, 1, 7, 1365):
+            blob = encode(doc(array("a", np.arange(n, dtype=np.float64))))
+            out = session.decode(blob)
+            np.testing.assert_array_equal(
+                out.children[0].values, np.arange(n, dtype=np.float64)
+            )
+        assert session.stats.decode_plans_compiled == 1
+        assert session.stats.decode_plan_hits == 3
+
+    def test_plan_cache_is_bounded(self):
+        session = CodecSession(max_plans=2)
+        for name in ("a", "b", "c", "d"):
+            blob = encode(doc(element(name, leaf("x", 1, "int"))))
+            assert explain_difference(decode(blob), session.decode(blob)) is None
+        assert len(session._decode_plans) <= 2
+        # evicted shapes still decode correctly (they just recompile)
+        blob = encode(doc(element("a", leaf("x", 9, "int"))))
+        assert explain_difference(decode(blob), session.decode(blob)) is None
+
+    def test_shared_fingerprint_shapes_coexist(self):
+        # same root element name, different bodies: the structural
+        # fingerprint may collide, and the bucket must serve both shapes
+        session = CodecSession()
+        shapes = [
+            doc(element("env", leaf("a", 1, "int"))),
+            doc(element("env", leaf("b", "s"))),
+        ]
+        for _ in range(3):
+            for shape in shapes:
+                blob = encode(shape)
+                assert explain_difference(decode(blob), session.decode(blob)) is None
+        assert session.stats.decode_poisoned == 0
+        assert session.stats.decode_plan_hits >= 2
+
+    def test_reset_returns_decode_plans_to_cold_state(self):
+        session = CodecSession()
+        blob = encode(_sample_doc())
+        session.decode(blob)
+        session.decode(blob)
+        assert session._decode_plans
+        session.reset()
+        assert session._decode_plans == {}
+        assert session.stats.decode_plans_compiled == 0
+        out = session.decode(blob)
+        assert explain_difference(decode(blob), out) is None
+        assert session.stats.decode_plans_compiled == 1
+
+    def test_interns_qnames_on_replay_path(self):
+        session = CodecSession()
+        first = session.decode(encode(_sample_doc(1)))
+        second = session.decode(encode(_sample_doc(2)))  # plan replay
+        assert session.stats.decode_plan_hits == 1
+        assert first.children[0].name is second.children[0].name
+
+
+class TestDecodeSelfVerification:
+    def test_divergent_plan_poisons_fingerprint(self):
+        session = CodecSession()
+        blob = encode(_sample_doc())
+        session.decode(blob)
+        # sabotage the freshly compiled plan: swap the root element's QName
+        (bucket,) = session._decode_plans.values()
+        ops = bucket[0].ops
+        for i, op in enumerate(ops):
+            if op[0] == _D_ELEM:
+                ops[i] = (op[0], QName("wrong"), op[2], op[3])
+                break
+        else:
+            pytest.fail("no element op in the compiled plan")
+        # first reuse: replay succeeds mechanically but the structure check
+        # against the stateless decoder catches the divergence
+        out = session.decode(blob)
+        assert explain_difference(decode(blob), out) is None
+        assert session.stats.decode_poisoned == 1
+        assert session.stats.decode_plan_hits == 0
+        # the fingerprint stays on the stateless path from here on
+        out = session.decode(blob)
+        assert explain_difference(decode(blob), out) is None
+        assert session.stats.decode_poisoned == 1
+
+    def test_compiler_crash_poisons_fingerprint(self, monkeypatch):
+        import repro.bxsa.session as session_module
+
+        def boom(data, offset=0, *, qname_cache=None):
+            raise RuntimeError("compiler blind spot")
+
+        monkeypatch.setattr(session_module, "compile_decode_plan", boom)
+        session = CodecSession()
+        blob = encode(_sample_doc())
+        out = session.decode(blob)  # stateless result, poisoned fingerprint
+        assert explain_difference(decode(blob), out) is None
+        assert session.stats.decode_poisoned == 1
+        monkeypatch.undo()
+        # still stateless: a poisoned fingerprint never recompiles
+        session.decode(blob)
+        assert session.stats.decode_plans_compiled == 0
+        assert session.stats.stateless_decodes == 2
+
+    def test_malformed_input_raises_like_stateless(self):
+        session = CodecSession()
+        blob = bytes(encode(_sample_doc()))
+        session.decode(blob)
+        session.decode(blob)  # warm plan in place
+        truncated = blob[:-3]
+        with pytest.raises(BXSADecodeError):
+            decode(truncated)
+        with pytest.raises(BXSADecodeError):
+            session.decode(truncated)
+
+    def test_value_mutation_replays_not_poisons(self):
+        # flipping payload bytes (same shape) must ride the plan, and
+        # flipping structural bytes must fall back, never mis-decode
+        session = CodecSession()
+        blob = bytearray(encode(doc(element("root", leaf("x", 7, "int")))))
+        session.decode(bytes(blob))
+        session.decode(bytes(blob))
+        hits = session.stats.decode_plan_hits
+        blob[-1] ^= 0xFF  # last payload byte of the int leaf
+        out = session.decode(bytes(blob))
+        assert session.stats.decode_plan_hits == hits + 1
+        assert explain_difference(decode(bytes(blob)), out) is None
+        assert session.stats.decode_poisoned == 0
 
 
 class TestBufferPooling:

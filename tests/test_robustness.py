@@ -100,6 +100,13 @@ class TestNetCDFFuzz:
         except (KeyError, ValueError, OverflowError, MemoryError) as exc:
             raise AssertionError(f"leaked raw exception {type(exc).__name__}: {exc}")
 
+    def test_negative_dimension_length_is_a_format_error(self):
+        blob = bytearray(write_dataset_bytes(lead_dataset(8).to_netcdf()))
+        # sign-flip the MSB of the first dimension's big-endian length
+        blob[28] ^= 0x80
+        with pytest.raises(NetCDFFormatError):
+            read_dataset_bytes(bytes(blob))
+
 
 class TestXMLFuzz:
     @given(st.text(max_size=200))

@@ -126,6 +126,52 @@ def test_mixed_sequence_roundtrip(data):
     assert r.at_end()
 
 
+@given(orders, st.data())
+@settings(max_examples=60)
+def test_bool_scalar_run_and_array_decodes_are_element_equal(order, data):
+    """ISSUE satellite: for the same wire bytes — including hostile >1
+    payload bytes no conforming writer emits — the scalar-run decode
+    (``read_scalars``) and the array decode (``read_array``, both copy
+    modes) of a BOOL run must agree element for element."""
+    payload = data.draw(st.lists(st.integers(0, 255), min_size=0, max_size=32))
+    count = len(payload)
+    # hand-build the wire form: VLS count, then one byte per element
+    # (BOOL is 1-byte aligned, so no pad bytes are involved)
+    blob = encode_vls(count) + bytes(payload)
+    raw = XBSReader(blob, order)
+    assert raw.read_vls() == count
+    scalars = raw.read_scalars(TypeCode.BOOL, count)
+    assert scalars == tuple(bool(b) for b in payload)
+    for copy in (False, True):
+        out = XBSReader(blob, order).read_array(TypeCode.BOOL, copy=copy)
+        assert out.dtype == np.bool_
+        np.testing.assert_array_equal(out, np.array(scalars, dtype=np.bool_))
+
+
+@given(orders, st.sampled_from(_NUMERIC_DTYPES), st.data())
+@settings(max_examples=60)
+def test_read_scalars_into_matches_read_scalars(order, dtype_str, data):
+    """The preallocated-buffer bulk path decodes the same values as the
+    tuple-returning scalar run."""
+    dt = np.dtype(dtype_str)
+    code = type_code_for_dtype(dt)
+    arr = data.draw(
+        hnp.arrays(
+            dtype=dt,
+            shape=st.integers(0, 32),
+            elements={"allow_nan": False} if dt.kind == "f" else None,
+        )
+    )
+    w = XBSWriter(order)
+    w.write_scalars(code, arr.tolist())
+    blob = w.getvalue()
+    expected = XBSReader(blob, order).read_scalars(code, arr.size)
+    out = np.empty(arr.size, dtype=dt)
+    returned = XBSReader(blob, order).read_scalars_into(code, out)
+    assert returned is out
+    np.testing.assert_array_equal(out, np.array(expected, dtype=dt))
+
+
 @given(st.binary(max_size=64), orders)
 def test_reader_never_reads_past_end(blob, order):
     """Arbitrary garbage either decodes or raises XBSDecodeError — no crashes."""

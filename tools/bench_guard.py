@@ -5,8 +5,8 @@ Compares the current ``benchmarks/results/hotpath.json`` (written by
 ``benchmarks/bench_hotpath.py``) against the previous accepted run stored in
 ``benchmarks/results/hotpath_baseline.json``.  A pinned speedup ratio that
 fell more than 25% below its baseline fails the guard — the hot-path work
-this repo carries (compiled encode plans, struct caching, buffer pooling)
-must not silently rot.  Usage::
+this repo carries (compiled encode and decode plans, struct caching,
+buffer pooling) must not silently rot.  Usage::
 
     python tools/bench_guard.py            # compare, roll baseline on pass
     python tools/bench_guard.py --check    # compare only, never write
@@ -45,6 +45,17 @@ OBS_CEILINGS = {
     "disabled_counter_site_us": 5.0,
 }
 
+#: Fixed ceiling for the warm per-message decode that
+#: ``benchmarks/bench_hotpath.py`` writes under ``measured`` in
+#: ``hotpath.json``: the compiled decode-plan replay at the smallest
+#: Figure 5 size.  Loose enough for machine noise, tight enough that only
+#: a complexity regression (plan-cache miss storm, per-message allocation,
+#: lost zero-copy path) would blow it.  Keep in sync with
+#: ``WARM_DECODE_US_CEILING`` at the top of that benchmark.
+HOTPATH_CEILINGS = {
+    "warm_decode_us": 60.0,
+}
+
 #: Fixed bounds for the serving-runtime pins that
 #: ``benchmarks/bench_serve.py`` writes to ``serve.json`` — ceilings on
 #: the admission-control overheads, a floor under the full-stack goodput.
@@ -66,6 +77,30 @@ def load(path: pathlib.Path) -> dict | None:
     except (OSError, ValueError) as exc:
         print(f"bench_guard: cannot read {path}: {exc}")
         return None
+
+
+def check_hotpath_ceilings(current: dict) -> list[str]:
+    """Check hotpath.json's absolute pins against their fixed ceilings."""
+    measured = current.get("measured")
+    if measured is None:
+        return [
+            f"hotpath.measured: missing from {CURRENT.name} — rerun "
+            "benchmarks/bench_hotpath.py to produce the warm_decode_us pin"
+        ]
+    failures = []
+    for name, ceiling in HOTPATH_CEILINGS.items():
+        value = measured.get(name)
+        if value is None:
+            failures.append(f"hotpath.{name}: missing from {CURRENT.name}")
+            continue
+        verdict = "ok" if value <= ceiling else "EXCEEDED"
+        print(
+            f"bench_guard: {name:>28} current {value:8.3f}  "
+            f"ceiling {ceiling:8.3f}  {verdict}"
+        )
+        if value > ceiling:
+            failures.append(f"hotpath.{name}: {value:.3f} exceeds ceiling {ceiling:.3f}")
+    return failures
 
 
 def check_obs_ceilings() -> list[str]:
@@ -172,6 +207,7 @@ def main(argv: list[str]) -> int:
                 f"{name}: {value:.2f}x fell >25% below baseline {base_value:.2f}x"
             )
 
+    failures.extend(check_hotpath_ceilings(current))
     failures.extend(check_obs_ceilings())
     failures.extend(check_serve_pins())
 

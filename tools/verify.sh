@@ -18,6 +18,9 @@ echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
 if [ "$1" != "--fast" ]; then
+    echo "== hot-path bench smoke =="
+    PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_hotpath.py -q
+
     echo "== serving-runtime bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_serve.py -q
 
