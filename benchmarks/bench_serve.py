@@ -17,6 +17,12 @@ collapse.  This module pins that claim with three numbers, written to
   pool) must stay above a deliberately conservative floor; this is the
   number ``repro.harness.figure_load`` sweeps, so a collapse here means
   the figure is measuring a broken runtime.
+* ``aio_ladder_connections`` / ``aio_vs_threaded_goodput`` — the
+  event-driven core must hold thousands of keep-alive connections (the
+  top rung of Figure L's connection ladder, >= 4096) while completing at
+  least as much work as the threaded core manages at its own best point
+  (a 10% noise allowance on the ratio floor).  These are the numbers the
+  selector-loop rebuild exists for.
 
 The floors/ceilings are duplicated in ``tools/bench_guard.py``
 (``SERVE_CEILINGS`` / ``SERVE_FLOORS``) so a stale ``serve.json`` from a
@@ -32,7 +38,7 @@ import pytest
 from repro.core.envelope import SoapEnvelope
 from repro.core.policies import BXSA_CONTENT_TYPE
 from repro.harness.measure import median_seconds
-from repro.harness.figure_load import _call_factory, _make_dispatcher
+from repro.harness.figure_load import _call_factory, _make_dispatcher, connection_ladder
 from repro.loadgen import closed_loop
 from repro.serve import AdmissionQueueFull, ServeConfig, SoapServeService, WorkerPool
 from repro.transport.memory import MemoryNetwork
@@ -46,11 +52,15 @@ pytestmark = pytest.mark.bench
 OPS = 2_000 if quick_mode() else 20_000
 ROUNDTRIPS = 200 if quick_mode() else 1_000
 GOODPUT_REQUESTS = 60 if quick_mode() else 400
+LADDER_RUNGS = (256, 4096) if quick_mode() else (256, 1024, 4096)
+LADDER_REQUESTS_PER_CONN = 2 if quick_mode() else 4
 
 #: Ceilings/floors — keep in sync with tools/bench_guard.py.
 MAX_SHED_DECISION_US = 50.0
 MAX_POOL_ROUNDTRIP_MS = 10.0
 MIN_SERVE_GOODPUT_RPS = 25.0
+MIN_AIO_LADDER_CONNECTIONS = 4096
+MIN_AIO_VS_THREADED_GOODPUT = 0.9
 
 
 def _per_op_seconds(fn, ops: int, rounds: int = 5) -> float:
@@ -120,24 +130,53 @@ def _measure_serve_goodput_rps() -> float:
     return result.goodput
 
 
+def _measure_connection_ladder() -> dict:
+    """Figure L's connection ladder (threaded best vs event-driven rungs)
+    over real loopback TCP, trimmed for bench cadence."""
+    return connection_ladder(
+        workers=2,
+        queue_depth=64,
+        rungs=LADDER_RUNGS,
+        threaded_probe=(16, 64),
+        requests_per_connection=LADDER_REQUESTS_PER_CONN,
+        model_size=20,
+        seed=0,
+    )
+
+
 class TestServePins:
     def test_serve_pins(self, results_dir):
         shed_us = _measure_shed_decision_us()
         roundtrip_ms = _measure_pool_roundtrip_ms()
         goodput_rps = _measure_serve_goodput_rps()
+        ladder = _measure_connection_ladder()
 
+        aio_top = ladder["aio"][-1]
+        threaded_best = ladder["threaded_best_goodput_rps"]
+        ratio = aio_top["goodput_rps"] / max(threaded_best, 1e-9)
         print(
             f"\nshed decision {shed_us:.2f}us, pool roundtrip "
-            f"{roundtrip_ms:.3f}ms, serve goodput {goodput_rps:.0f} rps"
+            f"{roundtrip_ms:.3f}ms, serve goodput {goodput_rps:.0f} rps, "
+            f"ladder top {aio_top['connections']} conns at "
+            f"{aio_top['goodput_rps']:.0f} rps ({ratio:.2f}x threaded best)"
         )
 
         measured = {
             "shed_decision_us": shed_us,
             "pool_roundtrip_ms": roundtrip_ms,
             "serve_goodput_rps": goodput_rps,
+            "aio_ladder_connections": aio_top["connections"],
+            "aio_ladder_goodput_rps": aio_top["goodput_rps"],
+            "threaded_best_goodput_rps": threaded_best,
+            "aio_vs_threaded_goodput": ratio,
+        }
+        document = {
+            "quick": quick_mode(),
+            "measured": measured,
+            "ladder": {"threaded": ladder["threaded"], "aio": ladder["aio"]},
         }
         (results_dir / "serve.json").write_text(
-            json.dumps({"quick": quick_mode(), "measured": measured}, indent=2) + "\n"
+            json.dumps(document, indent=2) + "\n"
         )
 
         assert shed_us <= MAX_SHED_DECISION_US, (
@@ -153,3 +192,15 @@ class TestServePins:
             f"serve goodput {goodput_rps:.0f} rps fell below the "
             f"{MIN_SERVE_GOODPUT_RPS:.0f} rps floor"
         )
+        assert aio_top["connections"] >= MIN_AIO_LADDER_CONNECTIONS, (
+            f"ladder topped out at {aio_top['connections']} connections "
+            f"(floor {MIN_AIO_LADDER_CONNECTIONS})"
+        )
+        assert ratio >= MIN_AIO_VS_THREADED_GOODPUT, (
+            f"event-driven goodput at the top rung is {ratio:.2f}x the "
+            f"threaded best (floor {MIN_AIO_VS_THREADED_GOODPUT:.1f}x)"
+        )
+        assert all(
+            point["failed"] == 0 and point["established"] == point["connections"]
+            for point in ladder["threaded"] + ladder["aio"]
+        ), "ladder rungs must establish every connection and fail nothing"

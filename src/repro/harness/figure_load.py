@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 
 from repro.core.dispatcher import Dispatcher
 from repro.core.envelope import SoapEnvelope
@@ -179,6 +180,199 @@ def sweep(
         "rates_rps": list(ladder),
         "schemes": schemes,
     }
+
+
+#: Keep-alive connection counts for the event-driven rungs of the ladder.
+DEFAULT_LADDER_RUNGS = (256, 1024, 4096, 10000)
+
+#: Connection counts probed to find the threaded server's best point
+#: (it peaks at modest concurrency; past it, thread overhead eats goodput).
+DEFAULT_THREADED_PROBE = (16, 64)
+
+
+def _clamp_rung_to_fd_budget(rung: int) -> int:
+    """Bound a rung by the process fd limit (2 fds per in-process
+    connection: client end + server end, plus headroom for everything
+    else the interpreter holds open)."""
+    soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    return min(rung, max(256, (soft - 1000) // 2))
+
+
+def _ladder_request_bytes(payload: SoapEnvelope, content_type: str) -> bytes:
+    """The exact POST the SOAP HTTP client would send, pre-serialized
+    once — the ladder measures serving, not client-side encode."""
+    from repro.transport.http.messages import HttpRequest
+
+    policy = encoding_for_content_type(content_type)
+    request = HttpRequest("POST", "/soap", body=policy.encode(payload.to_document()))
+    request.headers.set("Host", "localhost")
+    request.headers.set("Content-Type", content_type)
+    request.headers.set("SOAPAction", '""')
+    return request.to_bytes()
+
+
+def connection_ladder(
+    *,
+    workers: int = 2,
+    queue_depth: int = 64,
+    rungs: tuple[int, ...] = DEFAULT_LADDER_RUNGS,
+    threaded_probe: tuple[int, ...] = DEFAULT_THREADED_PROBE,
+    requests_per_connection: int = 4,
+    model_size: int = 20,
+    seed: int = 0,
+) -> dict:
+    """Figure L's connection ladder: threaded vs event-driven serving core.
+
+    Both cores run the identical :class:`SoapServeService` stack (same
+    dispatcher, same worker pool discipline, same BXSA payload) over real
+    loopback TCP, driven closed-loop by the selector-based
+    :func:`~repro.transport.aio.drive_connections` client.  The threaded
+    core is probed at the modest connection counts where it is at its
+    best; the event-driven core climbs the ladder to thousands of
+    keep-alive connections.  Returns the JSON-ready document with one
+    point per rung (goodput, p50/p99, exact accounting).
+    """
+    from repro.transport.aio import drive_connections
+    from repro.transport.sockets import TcpListener
+
+    dispatcher = _make_dispatcher()
+    payload = SoapEnvelope.wrap(
+        element("PutModel", lead_dataset(model_size, seed).to_bxdm())
+    )
+    request_bytes = _ladder_request_bytes(payload, BXSA_CONTENT_TYPE)
+
+    def _run_rung(core: str, connections: int) -> dict:
+        config = ServeConfig(
+            workers=workers,
+            queue_depth=queue_depth,
+            retry_after=0.01,
+            max_connections=connections + 64,
+            core=core,
+        )
+        listener = TcpListener(backlog=4096)
+        address = listener.address
+        service = SoapServeService(listener, dispatcher, config=config)
+        with service:
+            result = drive_connections(
+                address,
+                request_bytes,
+                connections=connections,
+                requests_per_connection=requests_per_connection,
+                timeout=120.0,
+            )
+        point = result.summary()
+        point["core"] = core
+        return point
+
+    threaded_points = [_run_rung("threaded", c) for c in threaded_probe]
+    aio_points = [_run_rung("aio", _clamp_rung_to_fd_budget(r)) for r in rungs]
+
+    threaded_best = max(threaded_points, key=lambda p: p["goodput_rps"])
+    aio_top = aio_points[-1]
+    return {
+        "experiment": "figure_load_ladder",
+        "seed": seed,
+        "config": {
+            "workers": workers,
+            "queue_depth": queue_depth,
+            "requests_per_connection": requests_per_connection,
+            "model_size": model_size,
+        },
+        "threaded": threaded_points,
+        "aio": aio_points,
+        "threaded_best_goodput_rps": threaded_best["goodput_rps"],
+        "threaded_best_connections": threaded_best["connections"],
+        "aio_top_connections": aio_top["connections"],
+        "aio_top_goodput_rps": aio_top["goodput_rps"],
+    }
+
+
+def run_ladder(
+    *,
+    workers: int = 2,
+    queue_depth: int = 64,
+    rungs: tuple[int, ...] = DEFAULT_LADDER_RUNGS,
+    threaded_probe: tuple[int, ...] = DEFAULT_THREADED_PROBE,
+    requests_per_connection: int = 4,
+    model_size: int = 20,
+    seed: int = 0,
+    json_out: str | None = None,
+) -> ExperimentResult:
+    """Run the connection ladder and evaluate its shape checks."""
+    document = connection_ladder(
+        workers=workers,
+        queue_depth=queue_depth,
+        rungs=rungs,
+        threaded_probe=threaded_probe,
+        requests_per_connection=requests_per_connection,
+        model_size=model_size,
+        seed=seed,
+    )
+    if json_out:
+        directory = os.path.dirname(json_out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    columns = ["core", "connections", "goodput rps", "p50 ms", "p99 ms", "shed", "failed"]
+    rows = [
+        [
+            point["core"],
+            str(point["connections"]),
+            f"{point['goodput_rps']:.0f}",
+            f"{point['p50_ms']:.1f}",
+            f"{point['p99_ms']:.1f}",
+            str(point["shed"]),
+            str(point["failed"]),
+        ]
+        for point in document["threaded"] + document["aio"]
+    ]
+    every_point = document["threaded"] + document["aio"]
+    aio_top = document["aio"][-1]
+    checks = [
+        ShapeCheck(
+            "accounting exact at every rung (offered = completed + shed + failed)",
+            all(
+                p["offered"] == p["completed"] + p["shed"] + p["failed"]
+                for p in every_point
+            ),
+        ),
+        ShapeCheck(
+            "every connection establishes at every rung (no accept drops)",
+            all(p["established"] == p["connections"] for p in every_point),
+        ),
+        ShapeCheck(
+            "event-driven core holds >= 4096 keep-alive connections",
+            aio_top["connections"] >= 4096,
+            f"top rung {aio_top['connections']} connections",
+        ),
+        ShapeCheck(
+            "at the top rung, goodput >= the threaded core's best point",
+            aio_top["goodput_rps"] >= document["threaded_best_goodput_rps"],
+            f"{aio_top['goodput_rps']:.0f} vs "
+            f"{document['threaded_best_goodput_rps']:.0f} completed/s",
+        ),
+        ShapeCheck(
+            "overload is answered cleanly at every rung (failed == 0)",
+            all(p["failed"] == 0 for p in every_point),
+        ),
+    ]
+    notes = [
+        f"workers={workers} queue_depth={queue_depth} "
+        f"requests/connection={requests_per_connection} model_size={model_size} seed={seed}",
+        "closed-loop over real loopback TCP; both cores share the identical "
+        "SOAP stack and worker-pool discipline — only the I/O core differs",
+    ]
+    return ExperimentResult(
+        experiment_id="Figure L (ladder)",
+        title="Keep-alive connection ladder: threaded vs event-driven serving core",
+        columns=columns,
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )
 
 
 def _estimate_xml_capacity(
@@ -327,8 +521,32 @@ if __name__ == "__main__":
         help="pin absolute arrival rates (rps) instead of the capacity ladder",
     )
     parser.add_argument("--json-out", default=None, help="write the curve JSON here")
+    parser.add_argument(
+        "--ladder",
+        action="store_true",
+        help="run the keep-alive connection ladder (threaded vs event-driven "
+        "core over real TCP) instead of the rate sweep",
+    )
+    parser.add_argument(
+        "--rungs",
+        type=int,
+        nargs="+",
+        default=None,
+        help="connection counts for the ladder's event-driven rungs",
+    )
     add_observability_args(parser)
     args = parser.parse_args()
+    if args.ladder:
+        result = run_ladder(
+            workers=args.workers,
+            queue_depth=max(args.queue_depth, 64),
+            rungs=tuple(args.rungs) if args.rungs else DEFAULT_LADDER_RUNGS,
+            model_size=args.model_size,
+            seed=args.seed,
+            json_out=args.json_out,
+        )
+        print(result.render())
+        raise SystemExit(0)
     _trace_dir, metrics, _sampler = observability_from_args(args)
     result = run(
         workers=args.workers,

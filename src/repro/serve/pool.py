@@ -69,17 +69,40 @@ _POLL_SECONDS = 0.05
 class _Completion:
     """One submitted task's future result (event + slot, no cancellation)."""
 
-    __slots__ = ("_event", "_result", "_error")
+    __slots__ = ("_event", "_result", "_error", "_cb_lock", "_callbacks")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result = None
         self._error: BaseException | None = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: list = []
 
     def _finish(self, result=None, error: BaseException | None = None) -> None:
         self._result = result
         self._error = error
         self._event.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - a callback must not kill a worker
+                pass
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(completion)`` when the task finishes (exactly once).
+
+        Registered after completion, the callback runs immediately on the
+        registering thread; otherwise it runs on the worker that finished
+        the task.  This is what lets the event-driven server hand work to
+        the pool without ever blocking its I/O loop on ``result()``.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -136,6 +159,7 @@ class WorkerPool:
         self._threads: list[threading.Thread] = []
         self._running = False
         self._stopping = False
+        self._stopped = False
         self._abandoned = False
         self._busy_lock = threading.Lock()
         self._busy = 0
@@ -143,8 +167,19 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     def start(self) -> "WorkerPool":
+        """Spawn the workers; returns self.
+
+        Like the HTTP servers, a pool is one-shot: a drain may have
+        abandoned queued tasks and failed their completions, so a
+        restarted pool would silently mix pre- and post-stop state.
+        Starting after ``stop()`` raises instead.
+        """
         if self._running:
             raise RuntimeError("pool already running")
+        if self._stopped:
+            raise RuntimeError(
+                "pool cannot be restarted after stop(); create a new WorkerPool"
+            )
         self._running = True
         self._stopping = False
         self._abandoned = False
@@ -168,8 +203,10 @@ class WorkerPool:
         failed with :class:`PoolStopped` so no waiter hangs.
         """
         if not self._running:
+            self._stopped = True  # a stopped-before-start pool is spent too
             return
         self._stopping = True
+        self._stopped = True
         deadline = time.monotonic() + drain_timeout
         for thread in self._threads:
             thread.join(timeout=max(0.0, deadline - time.monotonic()))

@@ -60,6 +60,10 @@ class ServeConfig:
     result_timeout: float = 30.0
     #: Concurrent connection-thread cap for the underlying HTTP server.
     max_connections: int | None = DEFAULT_MAX_CONNECTIONS
+    #: Serving core: ``"threaded"`` (one thread per connection) or
+    #: ``"aio"`` (one selector loop for all connections; needs a
+    #: socket-backed listener).  The pool discipline is identical.
+    core: str = "threaded"
 
 
 class _WorkerCodecs:
@@ -115,14 +119,37 @@ class SoapServeService:
         )
         # one registry across pool + HTTP server: GET /metrics on this
         # port scrapes saturation, RED and HTTP series together
-        self._server = HttpServer(
-            listener,
-            self._handle,
-            name=name,
-            metrics=self.metrics,
-            admin=admin,
-            max_connections=self.config.max_connections,
-        )
+        if self.config.core == "threaded":
+            self._server = HttpServer(
+                listener,
+                self._handle,
+                name=name,
+                metrics=self.metrics,
+                admin=admin,
+                max_connections=self.config.max_connections,
+            )
+        elif self.config.core == "aio":
+            # deferred import: the aio module needs real sockets and is
+            # only pulled in when an embedder asks for the selector core
+            from repro.transport.aio import AsyncHttpServer
+
+            self._server = AsyncHttpServer(
+                listener,
+                self._handle,
+                name=name,
+                metrics=self.metrics,
+                admin=admin,
+                max_connections=self.config.max_connections,
+                pool=self.pool,
+                pool_handler=self._pooled_exchange,
+                inline_router=self._route_inline,
+                on_shed=self._record_shed,
+            )
+        else:
+            raise ValueError(
+                f"unknown serving core {self.config.core!r}"
+                " (expected 'threaded' or 'aio')"
+            )
 
     # ------------------------------------------------------------------
 
@@ -170,3 +197,30 @@ class SoapServeService:
         # the RED latency includes queue wait: it is what the client saw
         self._red.record(operation, encoding_label, status, time.perf_counter() - start)
         return response
+
+    # ------------------------------------------------------------------
+    # aio-core hooks: same routing/RED semantics, no blocking on the loop
+
+    def _route_inline(self, request: HttpRequest) -> HttpResponse | None:
+        """Answer routing misses on the loop; SOAP work goes to the pool."""
+        if request.target != self._target:
+            return HttpResponse(404, body=b"no such endpoint")
+        if request.method != "POST":
+            return HttpResponse(405, body=b"SOAP endpoints accept POST only")
+        return None
+
+    def _pooled_exchange(
+        self, request: HttpRequest, codecs: _WorkerCodecs, enqueued_at: float
+    ) -> HttpResponse:
+        """Run one SOAP exchange on a worker (aio core's pool handler)."""
+        response, operation, encoding_label, status = run_soap_http_exchange(
+            request, self._dispatcher, self._red, codecs.resolve, self._security
+        )
+        # latency includes queue wait, matching the threaded path
+        self._red.record(
+            operation, encoding_label, status, time.perf_counter() - enqueued_at
+        )
+        return response
+
+    def _record_shed(self, _request: HttpRequest) -> None:
+        self._red.record("?", "?", "shed", 0.0)

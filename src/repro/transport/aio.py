@@ -1,0 +1,941 @@
+"""Event-driven HTTP/1.1 serving core: one selector loop, thousands of
+keep-alive connections.
+
+The threaded :class:`~repro.transport.http.server.HttpServer` spends one
+thread per connection; past a few hundred mostly-idle keep-alive
+connections the interpreter pays for stacks and context switches that do
+no work.  This module replaces *only* the I/O discipline:
+
+* **Event loop for I/O** — a single daemon thread owns a
+  :mod:`selectors` loop that accepts non-blockingly, frames HTTP/1.1
+  requests incrementally (shared grammar:
+  :func:`~repro.transport.http.messages.parse_request_head` +
+  :func:`~repro.transport.http.messages.declared_body_length`), and
+  writes responses with partial-write continuation.  An idle keep-alive
+  connection costs one registered file descriptor and a small buffer —
+  not a thread.
+* **Pool for CPU** — a complete request is handed to the existing
+  bounded :class:`~repro.serve.pool.WorkerPool`; its admission queue is
+  still the *only* place work is shed (plus the connection cap at
+  accept).  Workers notify the loop through a completion callback and a
+  wakeup socketpair; the loop thread never blocks on a result.
+
+:class:`AsyncHttpServer` is drop-in API-compatible with ``HttpServer``:
+same handler signature, same ``/metrics``·``/healthz``·``/varz`` admin
+surface (it subclasses the shared
+:class:`~repro.transport.http.server.HttpAppCore`), same 503 +
+``Retry-After`` shedding, same graceful drain on ``stop()``, same metric
+family names.  It additionally accepts a ``pool`` so CPU-bound handlers
+run off-loop.
+
+The module also hosts :func:`drive_connections`, the selector-based
+load client that holds thousands of concurrent keep-alive connections
+from a single thread — the measuring half of Figure L's connection
+ladder.  ``tools/lint.py`` confines ``selectors`` usage to this module,
+the same way it confines thread spawning to the pool.
+"""
+
+from __future__ import annotations
+
+import errno
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.pool import AdmissionQueueFull, PoolStopped, WorkerPool
+from repro.transport.base import TransportError
+from repro.transport.http.messages import (
+    HEADER_END,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    _parse_headers,
+    busy_response,
+    declared_body_length,
+    parse_request_head,
+)
+from repro.transport.http.server import (
+    DEFAULT_MAX_CONNECTIONS,
+    REJECT_RETRY_AFTER,
+    ADMIN_TARGETS,
+    HttpAppCore,
+)
+
+#: Ceiling on a request head (start line + headers); matches the 1 MiB
+#: ``recv_until`` cap of the blocking server's BufferedChannel.
+MAX_HEAD_BYTES = 1 << 20
+
+#: Pause reading a connection whose input buffer holds this much
+#: unprocessed pipelined data while a request is already in flight.
+MAX_PIPELINE_BYTES = 1 << 20
+
+_ACCEPT = "accept"
+_WAKEUP = "wakeup"
+
+
+class _Conn:
+    """Per-connection state owned exclusively by the loop thread."""
+
+    __slots__ = (
+        "sock",
+        "fd",
+        "inbuf",
+        "outbuf",
+        "events",
+        "registered",
+        "busy",
+        "pending",
+        "need",
+        "close_after_flush",
+        "peer_eof",
+        "closed",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.events = 0
+        self.registered = False
+        self.busy = False  # a pooled request is in flight
+        self.pending: tuple[HttpRequest, float] | None = None
+        self.need = 0  # bytes required to complete the current body
+        self.close_after_flush = False
+        self.peer_eof = False
+        self.closed = False
+
+
+class AsyncHttpServer(HttpAppCore):
+    """Serve ``handler`` over a selector loop instead of per-conn threads.
+
+    Requires a socket-backed listener (one exposing ``raw_socket``, e.g.
+    :class:`~repro.transport.sockets.TcpListener`) — in-memory pipes have
+    no file descriptor to select on.
+
+    Without a ``pool`` every request (admin or handler) is answered
+    inline on the loop thread — fine for admin sidecars and trivial
+    handlers.  With a ``pool``:
+
+    * admin targets and requests ``inline_router`` claims are still
+      answered inline (they are cheap and must work even when the pool
+      is saturated);
+    * everything else is submitted as ``pool_handler(request, state,
+      enqueued_at)`` (``state`` is the worker's private state object);
+      admission rejection becomes the standard 503 + ``Retry-After`` and
+      ``on_shed(request)`` lets the embedder account it (e.g. RED
+      metrics).
+    """
+
+    def __init__(
+        self,
+        listener,
+        handler: Callable[[HttpRequest], HttpResponse],
+        *,
+        name: str = "aio-server",
+        metrics: MetricsRegistry | None = None,
+        admin: bool = True,
+        drain_timeout: float = 5.0,
+        max_connections: int | None = DEFAULT_MAX_CONNECTIONS,
+        pool: WorkerPool | None = None,
+        pool_handler: Callable[[HttpRequest, object, float], HttpResponse] | None = None,
+        inline_router: Callable[[HttpRequest], HttpResponse | None] | None = None,
+        on_shed: Callable[[HttpRequest], None] | None = None,
+    ) -> None:
+        raw = getattr(listener, "raw_socket", None)
+        if raw is None:
+            if isinstance(listener, socket.socket):
+                raw = listener
+            else:
+                raise TransportError(
+                    "AsyncHttpServer needs a socket-backed listener exposing "
+                    "raw_socket (e.g. TcpListener); in-memory pipes have no "
+                    "file descriptor to select on"
+                )
+        if pool is not None and pool_handler is None:
+            raise ValueError("pool_handler is required when a pool is given")
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 (or None for no cap)")
+        self._listener = listener
+        self._lsock: socket.socket = raw
+        self._handler = handler
+        self._name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._admin = admin
+        self._drain_timeout = drain_timeout
+        self._max_connections = max_connections
+        self._pool = pool
+        self._pool_handler = pool_handler
+        self._inline_router = inline_router
+        self._on_shed = on_shed
+        self._sel: selectors.BaseSelector | None = None
+        self._thread: threading.Thread | None = None
+        self._conns: dict[int, _Conn] = {}
+        self._running = False
+        self._stopped = False
+        self._started_at: float | None = None
+        # completion hand-off: worker threads append here and poke the
+        # wakeup socket; only the loop thread pops
+        self._done: deque = deque()
+        self._waker_r: socket.socket | None = None
+        self._waker_w: socket.socket | None = None
+        self._stop_requested = False
+        self._draining = False
+        self._drain_deadline = 0.0
+        self._force_close = False
+        self._pool_in_flight = 0
+        self._reject_payload = busy_response(
+            REJECT_RETRY_AFTER,
+            b"connection limit reached, retry later",
+            close=True,
+        ).to_bytes()
+        self.recent_errors: deque = deque(maxlen=32)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "AsyncHttpServer":
+        """Start the selector loop in a daemon thread; returns self.
+
+        One-shot, like :class:`HttpServer`: ``stop()`` closes the
+        listener, so a restart raises instead of limping on stale state.
+        """
+        if self._running:
+            raise RuntimeError("server already running")
+        if self._stopped:
+            raise RuntimeError(
+                "server cannot be restarted: stop() closed its listener; "
+                "create a new AsyncHttpServer on a fresh listener instead"
+            )
+        self._running = True
+        self._started_at = time.monotonic()
+        self._lsock.setblocking(False)
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._lsock, selectors.EVENT_READ, _ACCEPT)
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._waker_w.setblocking(False)
+        self._sel.register(self._waker_r, selectors.EVENT_READ, _WAKEUP)
+        self._thread = threading.Thread(target=self._run, name=self._name, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain_timeout: float | None = None) -> None:
+        """Stop accepting, drain in-flight requests, close every connection.
+
+        The loop closes the listener, lets requests already handed to the
+        pool finish (writing their responses) within the drain budget,
+        closes idle connections immediately, and force-closes whatever
+        remains when the budget expires.
+        """
+        if not self._running:
+            self._stopped = True
+            return
+        self._running = False
+        self._stopped = True
+        budget = drain_timeout if drain_timeout is not None else self._drain_timeout
+        self._drain_deadline = time.monotonic() + budget
+        self._stop_requested = True
+        self._wake()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=budget + 2.0)
+            if thread.is_alive():  # pragma: no cover - defensive
+                self._force_close = True
+                self._wake()
+                thread.join(timeout=2.0)
+        self._thread = None
+
+    def __enter__(self) -> "AsyncHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # the loop
+
+    def _wake(self) -> None:
+        waker = self._waker_w
+        if waker is None:
+            return
+        try:
+            waker.send(b"\x01")
+        except (BlockingIOError, OSError):
+            pass  # a full pipe already guarantees a pending wakeup
+
+    def _run(self) -> None:
+        sel = self._sel
+        assert sel is not None
+        try:
+            while True:
+                self._drain_completions()
+                if self._stop_requested and not self._draining:
+                    self._begin_drain()
+                if self._force_close:
+                    return
+                if self._draining:
+                    if not self._conns and self._pool_in_flight == 0:
+                        return
+                    remaining = self._drain_deadline - time.monotonic()
+                    if remaining <= 0:
+                        return
+                    timeout = min(0.05, remaining)
+                else:
+                    timeout = 0.5
+                for key, mask in sel.select(timeout):
+                    data = key.data
+                    if data is _ACCEPT:
+                        self._on_accept()
+                    elif data is _WAKEUP:
+                        self._drain_wakeup()
+                    else:
+                        conn = data
+                        if conn.closed:
+                            continue
+                        if mask & selectors.EVENT_READ:
+                            self._on_readable(conn)
+                        if mask & selectors.EVENT_WRITE and not conn.closed:
+                            self._flush(conn)
+        finally:
+            self._teardown()
+
+    def _begin_drain(self) -> None:
+        self._draining = True
+        sel = self._sel
+        try:
+            sel.unregister(self._lsock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            self._listener.close()
+        except (TransportError, OSError):
+            pass
+        # idle connections owe nothing; close them now
+        for conn in list(self._conns.values()):
+            if not conn.busy and not conn.outbuf:
+                self._close_conn(conn)
+
+    def _teardown(self) -> None:
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        sel = self._sel
+        if sel is not None:
+            try:
+                sel.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for waker in (self._waker_r, self._waker_w):
+            if waker is not None:
+                try:
+                    waker.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+        self._waker_r = self._waker_w = None
+
+    def _drain_wakeup(self) -> None:
+        waker = self._waker_r
+        if waker is None:
+            return
+        while True:
+            try:
+                if not waker.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:  # pragma: no cover - defensive
+                return
+
+    # ------------------------------------------------------------------
+    # accept / read / write
+
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                sock, _peer = self._lsock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed
+            if self._draining:
+                sock.close()
+                continue
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # not a TCP socket (e.g. AF_UNIX); fine
+            if (
+                self._max_connections is not None
+                and len(self._conns) >= self._max_connections
+            ):
+                self._reject(sock)
+                continue
+            conn = _Conn(sock)
+            self._conns[conn.fd] = conn
+            self.metrics.gauge("http_connections_open").inc()
+            self.metrics.counter("http_connections_total").add()
+            self._sel.register(sock, selectors.EVENT_READ, conn)
+            conn.registered = True
+            conn.events = selectors.EVENT_READ
+
+    def _reject(self, sock: socket.socket) -> None:
+        """503 + Retry-After from the loop itself — same contract as the
+        threaded accept loop's cap rejection."""
+        self.metrics.counter("http_connections_rejected_total").add()
+        try:
+            sock.send(self._reject_payload)
+        except OSError:
+            pass  # the peer is gone; nothing owed to it
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def _on_readable(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            conn.peer_eof = True
+            if not conn.busy and not conn.outbuf:
+                self._close_conn(conn)
+            else:
+                self._update_interest(conn)
+            return
+        conn.inbuf += data
+        self._advance(conn)
+
+    def _advance(self, conn: _Conn) -> None:
+        """Parse as many complete requests out of ``inbuf`` as the
+        one-in-flight discipline allows, dispatching each."""
+        while not conn.busy and not conn.closed:
+            if self._draining:
+                if not conn.outbuf:
+                    self._close_conn(conn)
+                    return
+                break
+            idx = conn.inbuf.find(HEADER_END)
+            if idx < 0:
+                if len(conn.inbuf) > MAX_HEAD_BYTES:
+                    self._abort(conn, HttpError("request head exceeds 1 MiB"))
+                    return
+                break
+            try:
+                method, target, version, headers = parse_request_head(
+                    bytes(conn.inbuf[:idx])
+                )
+                length = declared_body_length(headers)
+            except HttpError as exc:
+                self._abort(conn, exc)
+                return
+            total = idx + len(HEADER_END) + length
+            if len(conn.inbuf) < total:
+                conn.need = total  # keep reading even past the pipeline cap
+                break
+            conn.need = 0
+            body = bytes(conn.inbuf[idx + len(HEADER_END) : total])
+            del conn.inbuf[:total]
+            request = HttpRequest(method, target, headers, body, version)
+            self._dispatch(conn, request)
+        self._update_interest(conn)
+
+    def _abort(self, conn: _Conn, exc: HttpError) -> None:
+        """Malformed framing: answer 400 and close once it is flushed."""
+        conn.inbuf.clear()
+        conn.need = 0
+        response = HttpResponse(400, body=str(exc).encode())
+        response.headers.set("Connection", "close")
+        conn.close_after_flush = True
+        conn.outbuf += response.to_bytes()
+        self._flush(conn)
+
+    def _flush(self, conn: _Conn) -> None:
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            if sent <= 0:  # pragma: no cover - defensive
+                break
+            del conn.outbuf[:sent]
+        if not conn.outbuf and (
+            conn.close_after_flush or (conn.peer_eof and not conn.busy)
+        ):
+            self._close_conn(conn)
+            return
+        self._update_interest(conn)
+
+    def _update_interest(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        desired = 0
+        if not conn.peer_eof and (
+            len(conn.inbuf) < MAX_PIPELINE_BYTES or len(conn.inbuf) < conn.need
+        ):
+            desired |= selectors.EVENT_READ
+        if conn.outbuf:
+            desired |= selectors.EVENT_WRITE
+        if desired == conn.events and conn.registered == bool(desired):
+            return
+        sel = self._sel
+        try:
+            if conn.registered and not desired:
+                sel.unregister(conn.sock)
+                conn.registered = False
+            elif conn.registered:
+                sel.modify(conn.sock, desired, conn)
+            elif desired:
+                sel.register(conn.sock, desired, conn)
+                conn.registered = True
+        except (KeyError, ValueError, OSError):  # pragma: no cover - defensive
+            self._close_conn(conn)
+            return
+        conn.events = desired
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        if conn.registered:
+            try:
+                self._sel.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                pass
+            conn.registered = False
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if self._conns.pop(conn.fd, None) is not None:
+            self.metrics.gauge("http_connections_open").dec()
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _dispatch(self, conn: _Conn, request: HttpRequest) -> None:
+        pool = self._pool
+        if pool is None or (self._admin and request.target in ADMIN_TARGETS):
+            self._enqueue_response(conn, request, self._respond(request))
+            return
+        if self._inline_router is not None:
+            try:
+                inline = self._inline_router(request)
+            except Exception as exc:  # noqa: BLE001 - server must not die
+                self._record_handler_error(request, exc)
+                inline = HttpResponse(500, body=b"internal server error")
+            if inline is not None:
+                self._finalize_request_metrics(request, inline, 0.0)
+                self._enqueue_response(conn, request, inline)
+                return
+        in_flight = self.metrics.gauge("http_requests_in_flight")
+        in_flight.inc()
+        enqueued_at = time.perf_counter()
+        handler = self._pool_handler
+        try:
+            completion = pool.submit(
+                lambda state, _r=request, _t=enqueued_at: handler(_r, state, _t)
+            )
+        except (AdmissionQueueFull, PoolStopped) as exc:
+            in_flight.dec()
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is None:
+                retry_after = REJECT_RETRY_AFTER
+            response = busy_response(
+                retry_after, b"server overloaded: admission queue full"
+            )
+            if self._on_shed is not None:
+                try:
+                    self._on_shed(request)
+                except Exception:  # noqa: BLE001 - accounting must not kill I/O
+                    pass
+            self._finalize_request_metrics(
+                request, response, time.perf_counter() - enqueued_at
+            )
+            self._enqueue_response(conn, request, response)
+            return
+        conn.busy = True
+        conn.pending = (request, enqueued_at)
+        self._pool_in_flight += 1
+        completion.add_done_callback(
+            lambda c, _conn=conn: self._on_completion(_conn, c)
+        )
+
+    def _on_completion(self, conn: _Conn, completion) -> None:
+        """Worker-thread side of the hand-off: queue and poke the loop."""
+        self._done.append((conn, completion))
+        self._wake()
+
+    def _drain_completions(self) -> None:
+        while True:
+            try:
+                conn, completion = self._done.popleft()
+            except IndexError:
+                return
+            self._pool_in_flight -= 1
+            request, enqueued_at = conn.pending if conn.pending else (None, 0.0)
+            conn.pending = None
+            try:
+                response = completion.result(0)
+            except HttpError as exc:
+                response = HttpResponse(400, body=str(exc).encode())
+            except PoolStopped:
+                response = busy_response(
+                    REJECT_RETRY_AFTER, b"server is draining", close=True
+                )
+            except Exception as exc:  # noqa: BLE001 - server must not die
+                if request is not None:
+                    self._record_handler_error(request, exc)
+                response = HttpResponse(500, body=b"internal server error")
+            self.metrics.gauge("http_requests_in_flight").dec()
+            if request is not None:
+                self._finalize_request_metrics(
+                    request, response, time.perf_counter() - enqueued_at
+                )
+            conn.busy = False
+            if conn.closed:
+                continue
+            if request is None:  # pragma: no cover - defensive
+                self._close_conn(conn)
+                continue
+            self._enqueue_response(conn, request, response)
+            if not conn.closed and not conn.busy:
+                self._advance(conn)  # a pipelined request may be buffered
+
+    def _enqueue_response(
+        self, conn: _Conn, request: HttpRequest, response: HttpResponse
+    ) -> None:
+        keep = (
+            request.keep_alive
+            and not self._draining
+            and (response.headers.get("Connection") or "").lower() != "close"
+        )
+        response.headers.set("Connection", "keep-alive" if keep else "close")
+        if not keep:
+            conn.close_after_flush = True
+        conn.outbuf += response.to_bytes()
+        self._flush(conn)
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._conns)
+
+
+# ----------------------------------------------------------------------
+# the measuring half: a selector-based many-connection load client
+
+
+class LadderResult:
+    """Outcome of one :func:`drive_connections` rung."""
+
+    __slots__ = (
+        "connections",
+        "established",
+        "offered",
+        "completed",
+        "shed",
+        "failed",
+        "duration_seconds",
+        "latencies",
+    )
+
+    def __init__(self, connections: int) -> None:
+        self.connections = connections
+        self.established = 0
+        self.offered = 0
+        self.completed = 0
+        self.shed = 0
+        self.failed = 0
+        self.duration_seconds = 0.0
+        #: completed-request latencies, seconds (unsampled)
+        self.latencies: list[float] = []
+
+    @property
+    def goodput_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[idx]
+
+    def summary(self) -> dict:
+        return {
+            "connections": self.connections,
+            "established": self.established,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "goodput_rps": round(self.goodput_rps, 2),
+            "p50_ms": round(self.latency_quantile(0.50) * 1e3, 3),
+            "p99_ms": round(self.latency_quantile(0.99) * 1e3, 3),
+        }
+
+
+class _ClientConn:
+    __slots__ = (
+        "sock",
+        "state",  # connecting | idle | sending | awaiting | done
+        "inbuf",
+        "out",
+        "remaining",
+        "sent_at",
+        "next_due",
+        "need",
+        "need_status",
+        "registered_events",
+    )
+
+    def __init__(self, remaining: int) -> None:
+        self.sock: socket.socket | None = None
+        self.state = "connecting"
+        self.inbuf = bytearray()
+        self.out = bytearray()
+        self.remaining = remaining
+        self.sent_at = 0.0
+        self.next_due = 0.0
+        self.need = -1  # total response bytes once the head is parsed
+        self.need_status = 0
+        self.registered_events = 0
+
+
+def drive_connections(
+    address: tuple[str, int],
+    request_bytes: bytes,
+    *,
+    connections: int,
+    requests_per_connection: int = 1,
+    rate: float | None = None,
+    connect_burst: int = 512,
+    timeout: float = 120.0,
+) -> LadderResult:
+    """Hold ``connections`` concurrent keep-alive connections from one
+    thread and drive ``requests_per_connection`` over each.
+
+    All connections are established *before* the request clock starts —
+    the rung measures serving N live connections, not connection churn.
+    ``rate`` (requests/second across all connections, round-robin
+    schedule) paces an open-ish loop; ``None`` runs closed-loop (each
+    connection sends its next request as soon as the previous response
+    lands).  A 503 counts as ``shed``; transport errors and non-2xx
+    statuses count as ``failed``; a server-closed connection fails its
+    remaining quota (no reconnects — the rung holds a fixed population).
+    """
+    sel = selectors.DefaultSelector()
+    conns = [_ClientConn(requests_per_connection) for _ in range(connections)]
+    result = LadderResult(connections)
+    result.offered = connections * requests_per_connection
+    deadline = time.monotonic() + timeout
+
+    def _client_interest(conn: _ClientConn, events: int) -> None:
+        if events == conn.registered_events:
+            return
+        if conn.registered_events and not events:
+            sel.unregister(conn.sock)
+        elif conn.registered_events:
+            sel.modify(conn.sock, events, conn)
+        elif events:
+            sel.register(conn.sock, events, conn)
+        conn.registered_events = events
+
+    def _finish_conn(conn: _ClientConn, *, failed_remaining: bool) -> None:
+        if conn.state == "done":
+            return
+        if failed_remaining:
+            pending = conn.remaining + (1 if conn.state in ("sending", "awaiting") else 0)
+            result.failed += pending
+        conn.state = "done"
+        conn.remaining = 0
+        if conn.sock is not None:
+            _client_interest(conn, 0)
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+            conn.sock = None
+
+    # -- phase 1: establish every connection (bounded connect burst) ----
+    pending = list(range(connections))
+    connecting: set[int] = set()
+    established = 0
+    resolved = 0
+    while resolved < connections and time.monotonic() < deadline:
+        while pending and len(connecting) < connect_burst:
+            i = pending.pop()
+            conn = conns[i]
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn.sock = sock
+            rc = sock.connect_ex(address)
+            if rc in (0, errno.EINPROGRESS, errno.EWOULDBLOCK):
+                connecting.add(i)
+                sel.register(sock, selectors.EVENT_WRITE, (i, "connecting"))
+                conn.registered_events = selectors.EVENT_WRITE
+            else:
+                _finish_conn(conn, failed_remaining=True)
+                resolved += 1
+        if not connecting:
+            break
+        for key, _mask in sel.select(0.5):
+            data = key.data
+            if not (isinstance(data, tuple) and data[1] == "connecting"):
+                continue  # pragma: no cover - defensive
+            i = data[0]
+            conn = conns[i]
+            connecting.discard(i)
+            resolved += 1
+            err = conn.sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+            if err != 0:
+                _finish_conn(conn, failed_remaining=True)
+                continue
+            established += 1
+            conn.state = "idle"
+            sel.modify(conn.sock, selectors.EVENT_READ, conn)
+            conn.registered_events = selectors.EVENT_READ
+    for i in list(connecting) + pending:  # connect budget exhausted
+        _finish_conn(conns[i], failed_remaining=True)
+    result.established = established
+
+    # -- phase 2: the measured window ----------------------------------
+    start = time.perf_counter()
+    base = time.monotonic()
+    live = [c for c in conns if c.state == "idle"]
+    if rate is not None and rate > 0:
+        # round-robin schedule: request j of connection i is due at
+        # (i + j*C) / rate — a deterministic even spread, no RNG
+        for i, conn in enumerate(live):
+            conn.next_due = base + i / rate
+    else:
+        for conn in live:
+            conn.next_due = base
+
+    interval = len(live) / rate if (rate is not None and rate > 0 and live) else 0.0
+
+    def _begin_request(conn: _ClientConn) -> None:
+        conn.state = "sending"
+        conn.remaining -= 1
+        conn.sent_at = time.perf_counter()
+        conn.out += request_bytes
+        _client_send(conn)
+
+    def _client_send(conn: _ClientConn) -> None:
+        while conn.out:
+            try:
+                sent = conn.sock.send(conn.out)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                _finish_conn(conn, failed_remaining=True)
+                return
+            if sent <= 0:  # pragma: no cover - defensive
+                break
+            del conn.out[:sent]
+        if conn.out:
+            _client_interest(conn, selectors.EVENT_READ | selectors.EVENT_WRITE)
+        else:
+            if conn.state == "sending":
+                conn.state = "awaiting"
+            _client_interest(conn, selectors.EVENT_READ)
+
+    def _client_read(conn: _ClientConn) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            _finish_conn(conn, failed_remaining=True)
+            return
+        if not data:
+            _finish_conn(conn, failed_remaining=True)
+            return
+        conn.inbuf += data
+        while conn.state == "awaiting":
+            if conn.need < 0:
+                idx = conn.inbuf.find(HEADER_END)
+                if idx < 0:
+                    return
+                head = bytes(conn.inbuf[:idx])
+                status_line, _, header_block = head.partition(b"\r\n")
+                parts = status_line.split(b" ", 2)
+                try:
+                    status = int(parts[1])
+                    headers = _parse_headers(header_block)
+                    length = declared_body_length(headers)
+                except (IndexError, ValueError, HttpError):
+                    _finish_conn(conn, failed_remaining=True)
+                    return
+                conn.need = idx + len(HEADER_END) + length
+                conn.need_status = status
+            if len(conn.inbuf) < conn.need:
+                return
+            status = conn.need_status
+            del conn.inbuf[: conn.need]
+            conn.need = -1
+            latency = time.perf_counter() - conn.sent_at
+            if 200 <= status < 300:
+                result.completed += 1
+                result.latencies.append(latency)
+            elif status == 503:
+                result.shed += 1
+            else:
+                result.failed += 1
+            if conn.remaining <= 0:
+                _finish_conn(conn, failed_remaining=False)
+                return
+            conn.state = "idle"
+            if interval:
+                conn.next_due += interval
+            return
+
+    active = established
+    while time.monotonic() < deadline:
+        now = time.monotonic()
+        active = 0
+        due_wait = 0.5
+        for conn in live:
+            if conn.state == "done":
+                continue
+            active += 1
+            if conn.state == "idle":
+                if now >= conn.next_due:
+                    _begin_request(conn)
+                else:
+                    due_wait = min(due_wait, conn.next_due - now)
+        if active == 0:
+            break
+        for key, mask in sel.select(min(due_wait, 0.5)):
+            conn = key.data
+            if isinstance(conn, tuple):  # pragma: no cover - defensive
+                continue
+            if conn.state == "done":
+                continue
+            if mask & selectors.EVENT_WRITE:
+                _client_send(conn)
+            if mask & selectors.EVENT_READ and conn.state != "done":
+                _client_read(conn)
+    result.duration_seconds = time.perf_counter() - start
+    for conn in live:  # timeout: whatever is unfinished failed
+        _finish_conn(conn, failed_remaining=True)
+    sel.close()
+    return result

@@ -60,6 +60,11 @@ class _Headers:
                 return value
         return default
 
+    def get_all(self, name: str) -> list[str]:
+        """Every value carried under ``name`` (a repeated header keeps all)."""
+        lname = name.lower()
+        return [value for key, value in self._items if key.lower() == lname]
+
     def set(self, name: str, value: str) -> None:
         lname = name.lower()
         for i, (key, _v) in enumerate(self._items):
@@ -140,32 +145,60 @@ def _parse_headers(block: bytes) -> _Headers:
     return headers
 
 
-def _read_body(channel: BufferedChannel, headers: _Headers) -> bytes:
+def declared_body_length(headers: _Headers) -> int:
+    """The body length the headers declare (0 when absent).
+
+    A repeated ``Content-Length`` with *differing* values is the classic
+    request-smuggling shape — two parsers picking different values frame
+    the stream differently — so it is rejected outright.  Repeats that
+    agree are collapsed (RFC 9110 §8.6 allows recombining them).
+    """
     if (headers.get("Transfer-Encoding") or "").lower() == "chunked":
         raise HttpError("chunked transfer encoding is not supported")
-    raw_length = headers.get("Content-Length")
-    if raw_length is None:
-        return b""
+    raw_values = headers.get_all("Content-Length")
+    if not raw_values:
+        return 0
+    distinct = {value.strip() for value in raw_values}
+    if len(distinct) > 1:
+        raise HttpError(
+            f"conflicting Content-Length headers {sorted(distinct)!r}"
+        )
+    raw_length = distinct.pop()
     try:
         length = int(raw_length)
     except ValueError:
         raise HttpError(f"bad Content-Length {raw_length!r}") from None
     if length < 0:
         raise HttpError(f"negative Content-Length {length}")
-    return channel.recv_exactly(length)
+    return length
 
 
-def read_request(channel: BufferedChannel) -> HttpRequest:
-    """Parse one request off a buffered channel."""
-    head = channel.recv_until(HEADER_END)
-    start_line, _, header_block = head[: -len(HEADER_END)].partition(CRLF)
+def _read_body(channel: BufferedChannel, headers: _Headers) -> bytes:
+    return channel.recv_exactly(declared_body_length(headers))
+
+
+def parse_request_head(head: bytes) -> tuple[str, str, str, _Headers]:
+    """Parse a request head (no trailing ``HEADER_END``) into its parts.
+
+    Shared by the blocking :func:`read_request` and the incremental
+    framer in :mod:`repro.transport.aio` so both servers accept exactly
+    the same request grammar.  Returns ``(method, target, version,
+    headers)``.
+    """
+    start_line, _, header_block = head.partition(CRLF)
     parts = start_line.split(b" ")
     if len(parts) != 3:
         raise HttpError(f"malformed request line {start_line[:60]!r}")
     method, target, version = (str(p, "latin-1") for p in parts)
     if version not in ("HTTP/1.1", "HTTP/1.0"):
         raise HttpError(f"unsupported HTTP version {version!r}")
-    headers = _parse_headers(header_block)
+    return method, target, version, _parse_headers(header_block)
+
+
+def read_request(channel: BufferedChannel) -> HttpRequest:
+    """Parse one request off a buffered channel."""
+    head = channel.recv_until(HEADER_END)
+    method, target, version, headers = parse_request_head(head[: -len(HEADER_END)])
     body = _read_body(channel, headers)
     return HttpRequest(method, target, headers, body, version)
 

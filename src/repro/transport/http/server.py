@@ -61,7 +61,122 @@ DEFAULT_MAX_CONNECTIONS = 256
 REJECT_RETRY_AFTER = 1.0
 
 
-class HttpServer:
+class HttpAppCore:
+    """Request execution, metrics and the admin surface — shared machinery.
+
+    Both HTTP servers (this module's threaded :class:`HttpServer` and the
+    event-driven :class:`~repro.transport.aio.AsyncHttpServer`) present
+    the same application behaviour: the handler contract, exception→status
+    mapping, the ``/metrics``·``/healthz``·``/varz`` surface, and the
+    request metric families.  That behaviour lives here so the two
+    serving cores cannot drift apart.
+
+    Subclasses provide ``self._name``, ``self.metrics``, ``self._admin``,
+    ``self._handler``, ``self._started_at`` and ``self.recent_errors``.
+    """
+
+    _name: str
+    metrics: MetricsRegistry
+    _admin: bool
+    _started_at: float | None
+    recent_errors: deque
+
+    def _respond(self, request: HttpRequest) -> HttpResponse:
+        m = self.metrics
+        in_flight = m.gauge("http_requests_in_flight")
+        in_flight.inc()
+        start = time.perf_counter()
+        try:
+            if self._admin and request.target in ADMIN_TARGETS:
+                target = self._admin_response
+            else:
+                target = self._handler
+            try:
+                response = target(request)
+            except HttpError as exc:
+                response = HttpResponse(400, body=str(exc).encode())
+            except Exception as exc:  # noqa: BLE001 - server must not die
+                # the client gets a generic body: internals (exception
+                # type, message, paths) are server-side information
+                self._record_handler_error(request, exc)
+                response = HttpResponse(500, body=b"internal server error")
+            return response
+        finally:
+            in_flight.dec()
+            self._finalize_request_metrics(
+                request, response, time.perf_counter() - start
+            )
+
+    def _finalize_request_metrics(
+        self, request: HttpRequest, response: HttpResponse, elapsed: float
+    ) -> None:
+        """Count one answered request into the shared HTTP families."""
+        self.metrics.counter(
+            "http_requests_total",
+            labels={
+                "method": request.method,
+                "status": f"{response.status // 100}xx",
+            },
+        ).add()
+        self.metrics.histogram(
+            "http_request_seconds", labels={"method": request.method}
+        ).observe(elapsed)
+
+    def _record_handler_error(self, request: HttpRequest, exc: Exception) -> None:
+        self.metrics.counter(
+            "http_handler_errors_total", labels={"type": type(exc).__name__}
+        ).add()
+        detail = {
+            "target": request.target,
+            "method": request.method,
+            "error": type(exc).__name__,
+            "detail": str(exc),
+        }
+        self.recent_errors.append(detail)
+        # the detail also lands in the active trace (when one is recording)
+        obs.event("http.handler_error", **detail)
+
+    # ------------------------------------------------------------------
+    # admin surface
+
+    def _admin_response(self, request: HttpRequest) -> HttpResponse:
+        if request.method != "GET":
+            return HttpResponse(405, body=b"admin endpoints accept GET only")
+        if request.target == "/metrics":
+            body = render_prometheus(self.metrics).encode("utf-8")
+            response = HttpResponse(200, body=body)
+            response.headers.set("Content-Type", "text/plain; version=0.0.4")
+            return response
+        if request.target == "/healthz":
+            payload = {
+                "status": "ok",
+                "server": self._name,
+                "uptime_seconds": self.uptime_seconds,
+                "connections_open": self.metrics.gauge("http_connections_open").snapshot(),
+                "requests_in_flight": self.metrics.gauge("http_requests_in_flight").snapshot(),
+            }
+            response = HttpResponse(200, body=json.dumps(payload).encode("utf-8"))
+            response.headers.set("Content-Type", "application/json")
+            return response
+        # /varz
+        payload = render_varz(
+            self.metrics,
+            name=self._name,
+            uptime_seconds=self.uptime_seconds,
+            recent_errors=list(self.recent_errors),
+        )
+        response = HttpResponse(200, body=json.dumps(payload, default=str).encode("utf-8"))
+        response.headers.set("Content-Type", "application/json")
+        return response
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+
+class HttpServer(HttpAppCore):
     """Serve ``handler`` over every connection accepted from ``listener``."""
 
     def __init__(
@@ -86,6 +201,7 @@ class HttpServer:
         self._max_connections = max_connections
         self._accept_thread: threading.Thread | None = None
         self._running = False
+        self._stopped = False
         self._started_at: float | None = None
         # connection bookkeeping: threads are joined on stop(); channels
         # are force-closed if the drain timeout expires first
@@ -98,9 +214,20 @@ class HttpServer:
     # ------------------------------------------------------------------
 
     def start(self) -> "HttpServer":
-        """Start the accept loop in a daemon thread; returns self."""
+        """Start the accept loop in a daemon thread; returns self.
+
+        A server is one-shot: ``stop()`` closes the listener, so a
+        stopped server could never accept again and a restart would
+        silently reuse stale connection bookkeeping.  Starting after a
+        stop raises instead of limping.
+        """
         if self._running:
             raise RuntimeError("server already running")
+        if self._stopped:
+            raise RuntimeError(
+                "server cannot be restarted: stop() closed its listener; "
+                "create a new HttpServer on a fresh listener instead"
+            )
         self._running = True
         self._started_at = time.monotonic()
         self._accept_thread = threading.Thread(
@@ -118,6 +245,7 @@ class HttpServer:
         lingering channels are force-closed.
         """
         self._running = False
+        self._stopped = True
         self._listener.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
@@ -180,7 +308,19 @@ class HttpServer:
             if at_cap:
                 self._reject_connection(buffered)
                 continue
-            thread.start()
+            try:
+                thread.start()
+            except Exception:  # noqa: BLE001 - thread spawn can fail under
+                # resource pressure; the channel must not keep its slot
+                with self._conn_lock:
+                    self._conn_channels.pop(id(buffered), None)
+                    if thread in self._conn_threads:
+                        self._conn_threads.remove(thread)
+                self.metrics.counter("http_connections_rejected_total").add()
+                try:
+                    buffered.close()
+                except TransportError:
+                    pass
 
     def _reject_connection(self, channel: BufferedChannel) -> None:
         """Turn away a connection past the cap: 503 + Retry-After, close.
@@ -228,97 +368,10 @@ class HttpServer:
             open_gauge.dec()
             with self._conn_lock:
                 self._conn_channels.pop(id(channel), None)
-            channel.close()
-
-    # ------------------------------------------------------------------
-
-    def _respond(self, request: HttpRequest) -> HttpResponse:
-        m = self.metrics
-        in_flight = m.gauge("http_requests_in_flight")
-        in_flight.inc()
-        start = time.perf_counter()
-        try:
-            if self._admin and request.target in ADMIN_TARGETS:
-                target = self._admin_response
-            else:
-                target = self._handler
             try:
-                response = target(request)
-            except HttpError as exc:
-                response = HttpResponse(400, body=str(exc).encode())
-            except Exception as exc:  # noqa: BLE001 - server must not die
-                # the client gets a generic body: internals (exception
-                # type, message, paths) are server-side information
-                self._record_handler_error(request, exc)
-                response = HttpResponse(500, body=b"internal server error")
-            return response
-        finally:
-            elapsed = time.perf_counter() - start
-            in_flight.dec()
-            m.counter(
-                "http_requests_total",
-                labels={
-                    "method": request.method,
-                    "status": f"{response.status // 100}xx",
-                },
-            ).add()
-            m.histogram("http_request_seconds", labels={"method": request.method}).observe(
-                elapsed
-            )
-
-    def _record_handler_error(self, request: HttpRequest, exc: Exception) -> None:
-        self.metrics.counter(
-            "http_handler_errors_total", labels={"type": type(exc).__name__}
-        ).add()
-        detail = {
-            "target": request.target,
-            "method": request.method,
-            "error": type(exc).__name__,
-            "detail": str(exc),
-        }
-        self.recent_errors.append(detail)
-        # the detail also lands in the active trace (when one is recording)
-        obs.event("http.handler_error", **detail)
-
-    # ------------------------------------------------------------------
-    # admin surface
-
-    def _admin_response(self, request: HttpRequest) -> HttpResponse:
-        if request.method != "GET":
-            return HttpResponse(405, body=b"admin endpoints accept GET only")
-        if request.target == "/metrics":
-            body = render_prometheus(self.metrics).encode("utf-8")
-            response = HttpResponse(200, body=body)
-            response.headers.set("Content-Type", "text/plain; version=0.0.4")
-            return response
-        if request.target == "/healthz":
-            payload = {
-                "status": "ok",
-                "server": self._name,
-                "uptime_seconds": self.uptime_seconds,
-                "connections_open": self.metrics.gauge("http_connections_open").snapshot(),
-                "requests_in_flight": self.metrics.gauge("http_requests_in_flight").snapshot(),
-            }
-            response = HttpResponse(200, body=json.dumps(payload).encode("utf-8"))
-            response.headers.set("Content-Type", "application/json")
-            return response
-        # /varz
-        payload = render_varz(
-            self.metrics,
-            name=self._name,
-            uptime_seconds=self.uptime_seconds,
-            recent_errors=list(self.recent_errors),
-        )
-        response = HttpResponse(200, body=json.dumps(payload, default=str).encode("utf-8"))
-        response.headers.set("Content-Type", "application/json")
-        return response
-
-    @property
-    def uptime_seconds(self) -> float:
-        if self._started_at is None:
-            return 0.0
-        return time.monotonic() - self._started_at
-
+                channel.close()
+            except TransportError:
+                pass  # peer already torn down; cleanup is complete
 
 def make_admin_server(
     listener: Listener, metrics: MetricsRegistry, *, name: str = "admin"

@@ -74,6 +74,16 @@ class TcpListener:
     def port(self) -> int:
         return self.address[1]
 
+    @property
+    def raw_socket(self) -> socket.socket:
+        """The listening socket itself.
+
+        The event-driven server (:mod:`repro.transport.aio`) registers
+        this with its selector and accepts non-blockingly, instead of
+        parking a thread in :meth:`accept`.
+        """
+        return self._sock
+
     def accept(self) -> SocketChannel:
         try:
             conn, _peer = self._sock.accept()

@@ -563,3 +563,85 @@ class TestFigureLoad:
         assert arrival_schedule(1000.0, 16, seed=5 * 1000 + 0) == arrival_schedule(
             1000.0, 16, seed=5 * 1000 + 0
         )
+
+    def test_connection_ladder_smoke_both_cores(self, tmp_path):
+        """A tiny ladder runs both serving cores over real TCP with exact
+        accounting, every connection established, and its JSON written."""
+        import json
+
+        from repro.harness import figure_load
+
+        out = tmp_path / "ladder.json"
+        result = figure_load.run_ladder(
+            workers=2,
+            queue_depth=32,
+            rungs=(8, 24),
+            threaded_probe=(4,),
+            requests_per_connection=2,
+            model_size=5,
+            seed=3,
+            json_out=str(out),
+        )
+        assert result.experiment_id == "Figure L (ladder)"
+        by_name = {check.description: check for check in result.checks}
+        assert by_name[
+            "accounting exact at every rung (offered = completed + shed + failed)"
+        ].passed
+        assert by_name[
+            "every connection establishes at every rung (no accept drops)"
+        ].passed
+        assert by_name[
+            "overload is answered cleanly at every rung (failed == 0)"
+        ].passed
+        document = json.loads(out.read_text())
+        assert [p["connections"] for p in document["aio"]] == [8, 24]
+        assert document["threaded"][0]["connections"] == 4
+        for point in document["threaded"] + document["aio"]:
+            assert point["established"] == point["connections"]
+            assert point["offered"] == point["completed"] + point["shed"] + point["failed"]
+
+
+class TestWorkerPoolLifecycle:
+    def test_pool_cannot_be_restarted_after_stop(self):
+        """Regression: start() after stop() used to silently mix pre- and
+        post-drain state (dead workers, an abandoned queue)."""
+        pool = WorkerPool(workers=1, queue_depth=2)
+        pool.start()
+        assert pool.submit(lambda _state: 7).result(timeout=5.0) == 7
+        pool.stop()
+        with pytest.raises(RuntimeError, match="cannot be restarted"):
+            pool.start()
+
+    def test_stop_before_start_is_a_noop_but_poisons_restart(self):
+        pool = WorkerPool(workers=1, queue_depth=2)
+        pool.stop()  # never started: nothing to drain, no error
+        with pytest.raises(RuntimeError, match="cannot be restarted"):
+            pool.start()
+
+    def test_completion_callback_runs_exactly_once(self):
+        """add_done_callback fires once whether registered before or
+        after the task finishes — the aio loop depends on this."""
+        calls: list[object] = []
+        with WorkerPool(workers=1, queue_depth=4) as pool:
+            completion = pool.submit(lambda _state: "done")
+            completion.result(timeout=5.0)
+            completion.add_done_callback(calls.append)  # after completion
+            assert len(calls) == 1 and calls[0] is completion
+
+            gate = threading.Event()
+            slow = pool.submit(lambda _state: gate.wait(5))
+            slow.add_done_callback(calls.append)  # before completion
+            gate.set()
+            slow.result(timeout=5.0)
+            wait_until(lambda: len(calls) == 2)
+
+    def test_callback_exception_does_not_kill_the_worker(self):
+        def bad_callback(_completion):
+            raise RuntimeError("callback exploded")
+
+        with WorkerPool(workers=1, queue_depth=4) as pool:
+            completion = pool.submit(lambda _state: 1)
+            completion.add_done_callback(bad_callback)
+            completion.result(timeout=5.0)
+            # the worker survived: it can still run tasks
+            assert pool.submit(lambda _state: 2).result(timeout=5.0) == 2

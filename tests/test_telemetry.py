@@ -1013,3 +1013,228 @@ def _swallow(client) -> None:
         client.request("GET", "/wedged")
     except Exception:
         pass
+
+
+def _wait_until(predicate, timeout: float = 5.0, interval: float = 0.005) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached before timeout")
+
+
+class _CloseRaisesOnce:
+    """Channel whose first close() raises — the shape of a peer that
+    reset the socket between the last read and the server's cleanup."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._raised = False
+
+    def send_all(self, data):
+        self._inner.send_all(data)
+
+    def recv(self, max_bytes: int = 65536):
+        return self._inner.recv(max_bytes)
+
+    def close(self):
+        if not self._raised:
+            self._raised = True
+            self._inner.close()
+            from repro.transport.base import TransportClosed
+
+            raise TransportClosed("connection reset by peer during close")
+        self._inner.close()
+
+
+class _WrappingListener:
+    def __init__(self, inner, wrap):
+        self._inner = inner
+        self._wrap = wrap
+
+    def accept(self):
+        return self._wrap(self._inner.accept())
+
+    def close(self):
+        self._inner.close()
+
+
+class TestConnectionLifecycleRegressions:
+    """Regression pins for the connection-lifecycle fixes: each of these
+    failed (leaked a slot, surfaced an exception, or reused stale state)
+    before the corresponding fix."""
+
+    def test_channel_close_raising_does_not_escape_the_connection_thread(self):
+        """Regression: the bare ``channel.close()`` in ``_serve_connection``'s
+        finally let a TransportError escape and kill the thread noisily."""
+        from repro.transport.http import HttpResponse
+
+        net = MemoryNetwork()
+        listener = _WrappingListener(net.listen("web"), _CloseRaisesOnce)
+        server = HttpServer(listener, lambda r: HttpResponse(200, body=b"ok")).start()
+        uncaught: list = []
+        previous_hook = threading.excepthook
+        threading.excepthook = lambda args: uncaught.append(args)
+        try:
+            client = HttpClient(lambda: net.connect("web"))
+            try:
+                response = client.request("GET", "/x", headers={"Connection": "close"})
+                assert response.status == 200
+            finally:
+                client.close()
+            # the connection thread runs its finally (close raises) here
+            _wait_until(
+                lambda: server.metrics.gauge("http_connections_open").snapshot() == 0
+            )
+            _wait_until(lambda: all(not t.is_alive() for t in server._conn_threads))
+        finally:
+            threading.excepthook = previous_hook
+            server.stop()
+        assert uncaught == [], f"connection thread leaked: {uncaught[0]}"
+
+    def test_spawn_failure_releases_the_connection_slot(self):
+        """Regression: when ``thread.start()`` raised, the channel stayed
+        registered forever, permanently eating a max_connections slot."""
+        from repro.transport.http import HttpResponse
+
+        net = MemoryNetwork()
+        server = HttpServer(
+            net.listen("web"),
+            lambda r: HttpResponse(200, body=b"ok"),
+            max_connections=1,
+        ).start()
+        real_start = threading.Thread.start
+        failed_once = threading.Event()
+
+        def failing_start(thread):
+            if thread.name.endswith("-conn") and not failed_once.is_set():
+                failed_once.set()
+                raise RuntimeError("cannot spawn: resource pressure")
+            real_start(thread)
+
+        threading.Thread.start = failing_start
+        try:
+            doomed = HttpClient(lambda: net.connect("web"))
+            try:
+                doomed.get("/x")
+            except Exception:
+                pass  # the connection whose thread failed to spawn died
+            finally:
+                doomed.close()
+            assert failed_once.is_set()
+        finally:
+            threading.Thread.start = real_start
+        try:
+            _wait_until(lambda: not server._conn_channels)
+            # the slot must be free again: with max_connections=1 a leaked
+            # registration would turn every future connection into a 503
+            client = HttpClient(lambda: net.connect("web"))
+            try:
+                assert client.get("/x").status == 200
+            finally:
+                client.close()
+        finally:
+            server.stop()
+
+    def test_connection_cap_slot_reusable_after_close_without_rejection(self):
+        """The cap boundary race: a connection arriving as another exits
+        must get the freed slot — never a spurious 503."""
+        from repro.transport.http import HttpResponse
+
+        net = MemoryNetwork()
+        server = HttpServer(
+            net.listen("web"),
+            lambda r: HttpResponse(200, body=b"ok"),
+            max_connections=1,
+        ).start()
+        try:
+            for _ in range(8):
+                client = HttpClient(lambda: net.connect("web"))
+                try:
+                    assert client.get("/x").status == 200
+                finally:
+                    client.close()
+                _wait_until(lambda: not server._conn_channels)
+            assert (
+                server.metrics.counter("http_connections_rejected_total").snapshot()
+                == 0
+            )
+        finally:
+            server.stop()
+
+    def test_connection_churn_at_cap_never_exceeds_and_never_errors(self):
+        """Concurrent churn against a cap of 2: every exchange is either
+        served (200) or cleanly rejected (503); the open-connection gauge
+        never exceeds the cap."""
+        from repro.transport.base import TransportError
+        from repro.transport.http import HttpResponse
+
+        net = MemoryNetwork()
+        server = HttpServer(
+            net.listen("web"),
+            lambda r: HttpResponse(200, body=b"ok"),
+            max_connections=2,
+        ).start()
+        statuses: list[int] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def churn() -> None:
+            for _ in range(10):
+                client = HttpClient(lambda: net.connect("web"))
+                try:
+                    status = client.get("/x").status
+                    with lock:
+                        statuses.append(status)
+                except TransportError:
+                    pass  # torn down mid-handshake under churn; acceptable
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    with lock:
+                        errors.append(exc)
+                finally:
+                    client.close()
+
+        threads = [threading.Thread(target=churn, daemon=True) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        try:
+            assert not errors
+            assert statuses and all(s in (200, 503) for s in statuses)
+            assert any(s == 200 for s in statuses)
+            assert server.metrics.gauge("http_connections_open").snapshot() <= 2
+        finally:
+            server.stop()
+
+    def test_server_cannot_be_restarted_after_stop(self):
+        """Regression: start() after stop() used to silently reuse stale
+        connection bookkeeping on a closed listener."""
+        from repro.transport.http import HttpResponse
+
+        net = MemoryNetwork()
+        server = HttpServer(
+            net.listen("web"), lambda r: HttpResponse(200, body=b"ok")
+        ).start()
+        client = HttpClient(lambda: net.connect("web"))
+        try:
+            assert client.get("/x").status == 200
+        finally:
+            client.close()
+        server.stop()
+        with pytest.raises(RuntimeError, match="cannot be restarted"):
+            server.start()
+
+    def test_double_start_still_rejected_while_running(self):
+        from repro.transport.http import HttpResponse
+
+        net = MemoryNetwork()
+        server = HttpServer(
+            net.listen("web"), lambda r: HttpResponse(200, body=b"ok")
+        ).start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                server.start()
+        finally:
+            server.stop()

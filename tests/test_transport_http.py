@@ -83,6 +83,36 @@ class TestMessageCodec:
         with pytest.raises(TransportClosed):
             read_request(BufferedChannel(b))
 
+    def test_conflicting_duplicate_content_length_rejected(self):
+        """Repeated Content-Length with differing values is the classic
+        request-smuggling shape: two parsers framing the stream
+        differently.  Regression: the old parser silently took the first
+        value and treated the leftover bytes as the next request."""
+        a, b = memory_pipe()
+        a.send_all(
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 7\r\n\r\nhelloXY"
+        )
+        with pytest.raises(HttpError, match="conflicting Content-Length"):
+            read_request(BufferedChannel(b))
+
+    def test_agreeing_duplicate_content_length_collapsed(self):
+        """Repeats that agree are recombined (RFC 9110 section 8.6), not
+        rejected — proxies in the wild do produce them."""
+        a, b = memory_pipe()
+        a.send_all(
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello"
+        )
+        parsed = read_request(BufferedChannel(b))
+        assert parsed.body == b"hello"
+
+    def test_conflicting_content_length_in_response_rejected(self):
+        a, b = memory_pipe()
+        a.send_all(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nokok"
+        )
+        with pytest.raises(HttpError, match="conflicting Content-Length"):
+            read_response(BufferedChannel(b))
+
 
 def _echo_handler(request: HttpRequest) -> HttpResponse:
     if request.target == "/missing":

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Event-driven serving smoke test for the verify flow.
+
+Stands up the full aio stack — :class:`AsyncHttpServer` over a real
+loopback :class:`TcpListener`, backed by a two-worker
+:class:`WorkerPool` — and exercises the paths the selector loop owns:
+
+* keep-alive request sequencing on one connection (admin GET, then a
+  pooled POST, then another admin GET — all three over the same socket);
+* the ``/metrics``·``/healthz`` admin surface answering inline even
+  though a pool is attached;
+* the connection driver holding 64 concurrent keep-alive connections
+  with exact accounting and zero failures;
+* graceful drain: ``stop()`` returns with no connection left open and a
+  restart attempt raising (one-shot lifecycle).
+
+Seconds, not minutes: this is a wiring check, not a benchmark.  Exit 0
+on success, 1 with a diagnostic on the first broken invariant.
+"""
+
+import socket
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.serve.pool import WorkerPool  # noqa: E402
+from repro.transport.aio import AsyncHttpServer, drive_connections  # noqa: E402
+from repro.transport.http.messages import HttpRequest, HttpResponse  # noqa: E402
+from repro.transport.sockets import TcpListener  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"aio_smoke: FAIL — {message}")
+    sys.exit(1)
+
+
+def recv_response(sock: socket.socket) -> bytes:
+    """One complete response off a blocking socket (Content-Length framed)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return head + b"\r\n\r\n" + rest
+
+
+def main() -> None:
+    listener = TcpListener(backlog=256)
+    address = listener.address
+    metrics = MetricsRegistry()
+    pool = WorkerPool(workers=2, queue_depth=32, metrics=metrics).start()
+
+    def pool_handler(request: HttpRequest, _state, _enqueued_at) -> HttpResponse:
+        return HttpResponse(200, body=b"pooled:" + request.body)
+
+    server = AsyncHttpServer(
+        listener,
+        lambda request: HttpResponse(200, body=b"inline"),
+        name="aio-smoke",
+        metrics=metrics,
+        pool=pool,
+        pool_handler=pool_handler,
+        max_connections=256,
+    ).start()
+
+    try:
+        # keep-alive sequencing: admin, pooled work, admin — one socket
+        sock = socket.create_connection(address, timeout=5.0)
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        if not recv_response(sock).startswith(b"HTTP/1.1 200"):
+            fail("/healthz did not answer 200 on a keep-alive connection")
+        sock.sendall(HttpRequest("POST", "/work", body=b"ping").to_bytes())
+        pooled = recv_response(sock)
+        if b"pooled:ping" not in pooled:
+            fail(f"pooled POST did not round-trip through the worker pool: {pooled[:80]!r}")
+        sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        exposition = recv_response(sock)
+        if b"http_requests_total" not in exposition:
+            fail("/metrics is missing the http_requests_total family")
+        sock.close()
+
+        # 64 concurrent keep-alive connections, exact accounting
+        request_bytes = HttpRequest("POST", "/work", body=b"x" * 64).to_bytes()
+        result = drive_connections(
+            address, request_bytes, connections=64, requests_per_connection=3
+        )
+        if result.established != 64:
+            fail(f"only {result.established}/64 connections established")
+        if result.failed or result.completed + result.shed != result.offered:
+            fail(f"accounting broken: {result.summary()}")
+    finally:
+        server.stop()
+        pool.stop()
+
+    if server.open_connections:
+        fail(f"{server.open_connections} connections survived stop()")
+    try:
+        server.start()
+    except RuntimeError:
+        pass
+    else:
+        fail("a stopped server restarted instead of raising")
+
+    print(
+        "aio_smoke: PASS — keep-alive sequencing, admin surface, "
+        f"64-connection drive ({result.completed} completed, "
+        f"{result.shed} shed), drain and one-shot lifecycle all hold"
+    )
+
+
+if __name__ == "__main__":
+    main()

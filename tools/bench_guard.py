@@ -66,6 +66,12 @@ SERVE_CEILINGS = {
 }
 SERVE_FLOORS = {
     "serve_goodput_rps": 25.0,
+    # Figure L's connection ladder: the event-driven core must hold the
+    # 4096-connection rung and complete at least 0.9x the threaded
+    # core's best-point goodput while doing so (measured ~1.1-1.2x; the
+    # floor leaves noise room without letting the claim rot).
+    "aio_ladder_connections": 4096.0,
+    "aio_vs_threaded_goodput": 0.9,
 }
 
 

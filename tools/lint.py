@@ -8,12 +8,21 @@ introduce: dead imports left behind by refactors.  Usage::
 
     python tools/lint.py [paths...]     # default: src tests benchmarks tools
 
-One repo-specific rule always runs (even when ruff handles the generic
-lint): inside ``src/repro/serve`` only ``pool.py`` may spawn threads.
-The serving runtime's whole design is that every unit of work flows
-through the bounded :class:`WorkerPool`; a stray ``threading.Thread``
-anywhere else in the package would reintroduce exactly the unbounded
-concurrency the subsystem exists to prevent.
+Repo-specific rules always run (even when ruff handles the generic
+lint) — they confine the concurrency machinery to its designated homes:
+
+* inside ``src/repro/serve`` only ``pool.py`` may spawn threads.  The
+  serving runtime's whole design is that every unit of work flows
+  through the bounded :class:`WorkerPool`; a stray ``threading.Thread``
+  anywhere else in the package would reintroduce exactly the unbounded
+  concurrency the subsystem exists to prevent.
+* inside ``src/repro`` only ``transport/aio.py`` may import
+  ``selectors``.  The event loop is a singleton discipline: a second
+  selector loop hiding elsewhere would split readiness handling across
+  owners and defeat the one-loop invariant the aio module documents.
+* inside ``src/repro/transport`` only ``aio.py`` (its loop thread) and
+  ``http/server.py`` (the threaded core) may reference
+  ``threading.Thread`` — transport code must not grow ad-hoc threads.
 
 Exit status 0 = clean, 1 = findings, matching ruff's convention so the
 verify flow can chain it after the tier-1 pytest run.
@@ -154,6 +163,69 @@ def serve_thread_findings(path: str) -> list[tuple[int, str]]:
     return findings
 
 
+def _repro_relative(path: str) -> str | None:
+    """Path relative to the ``repro`` package root, or None if outside it."""
+    parts = os.path.normpath(path).split(os.sep)
+    if "repro" not in parts:
+        return None
+    return "/".join(parts[parts.index("repro") + 1 :])
+
+
+#: Modules allowed to import ``selectors`` (relative to src/repro).
+SELECTOR_HOMES = {"transport/aio.py"}
+
+#: Transport modules allowed to reference ``threading.Thread``.
+TRANSPORT_THREAD_HOMES = {"transport/aio.py", "transport/http/server.py"}
+
+
+def concurrency_findings(path: str) -> list[tuple[int, str]]:
+    """Confine ``selectors`` imports and transport thread spawning.
+
+    Same spirit as :func:`serve_thread_findings`: the event loop and the
+    per-connection threads are deliberate, documented singletons; this
+    rule keeps future code from quietly growing parallel ones.
+    """
+    rel = _repro_relative(path)
+    if rel is None:
+        return []
+    with open(path, "rb") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # dead_imports already reports the syntax error
+    findings = []
+    selectors_ok = rel in SELECTOR_HOMES
+    thread_rule_applies = rel.startswith("transport/") and rel not in TRANSPORT_THREAD_HOMES
+    selector_message = (
+        "selectors usage in repro is reserved to transport/aio.py "
+        "(the one event loop; register with it instead of starting another)"
+    )
+    thread_message = (
+        "thread spawning in repro.transport is reserved to aio.py and "
+        "http/server.py (their serving loops are the only transport threads)"
+    )
+    for node in ast.walk(tree):
+        if not selectors_ok and isinstance(node, ast.Import):
+            if any(alias.name.split(".")[0] == "selectors" for alias in node.names):
+                findings.append((node.lineno, selector_message))
+        elif not selectors_ok and isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.module.split(".")[0] == "selectors":
+                findings.append((node.lineno, selector_message))
+        if thread_rule_applies:
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "Thread"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "threading"
+            ):
+                findings.append((node.lineno, thread_message))
+            elif isinstance(node, ast.ImportFrom) and node.module == "threading":
+                if any(alias.name == "Thread" for alias in node.names):
+                    findings.append((node.lineno, thread_message))
+    return findings
+
+
 def iter_python_files(paths: list[str]):
     for root in paths:
         if os.path.isfile(root):
@@ -169,10 +241,13 @@ def iter_python_files(paths: list[str]):
 def main(argv: list[str]) -> int:
     paths = argv or [p for p in DEFAULT_PATHS if os.path.exists(p)]
 
-    # the repo-specific rule runs unconditionally — ruff has no analogue
+    # the repo-specific rules run unconditionally — ruff has no analogue
     serve_total = 0
     for path in iter_python_files(paths):
         for lineno, message in serve_thread_findings(path):
+            print(f"{path}:{lineno}: {message}")
+            serve_total += 1
+        for lineno, message in concurrency_findings(path):
             print(f"{path}:{lineno}: {message}")
             serve_total += 1
 

@@ -17,6 +17,9 @@ python tools/lint.py
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
 
+echo "== event-driven serving smoke =="
+python tools/aio_smoke.py
+
 if [ "$1" != "--fast" ]; then
     echo "== hot-path bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_hotpath.py -q
