@@ -27,7 +27,14 @@ from repro.bxsa.encoder import BXSAEncoder, encode, encode_document
 from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError, BXSAError
 from repro.bxsa.scanner import FrameInfo, FrameScanner
 from repro.bxsa.session import CodecSession, SessionStats
-from repro.bxsa.stream import BXSAStreamReader, BXSAStreamWriter, EventKind, StreamEvent
+from repro.bxsa.stream import (
+    BXSAStreamReader,
+    BXSAStreamWriter,
+    EventKind,
+    StreamDecoder,
+    StreamEvent,
+    write_document,
+)
 from repro.bxsa.transcode import bxsa_to_xml, xml_to_bxsa
 
 __all__ = [
@@ -45,6 +52,7 @@ __all__ = [
     "FrameScanner",
     "FrameType",
     "SessionStats",
+    "StreamDecoder",
     "bxsa_to_xml",
     "decode",
     "decode_document",
@@ -52,5 +60,6 @@ __all__ = [
     "encode_document",
     "pack_prefix_byte",
     "unpack_prefix_byte",
+    "write_document",
     "xml_to_bxsa",
 ]

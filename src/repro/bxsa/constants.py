@@ -37,6 +37,35 @@ Frame bodies:
 ``PI``
     target (VLS length + UTF-8), data (VLS length + UTF-8).
 
+Streamed container profile (the three ``STREAM_*`` frame types)
+---------------------------------------------------------------
+
+The container frames above embed their children, so their ``Size`` field
+cannot be written until every child is byte-complete — fine for a tree
+encoder that back-patches in memory, fatal for a sink-driven writer that
+must flush bytes it will never see again.  The streamed profile replaces
+each container frame with a *pair* of small forward-length frames; child
+frames appear between them **byte-identical** to the standard profile
+(leaf, array, text, comment and PI frames are already forward-length):
+
+``STREAM_DOCUMENT``
+    empty body.  Opens a document whose children follow as sibling frames.
+
+``STREAM_ELEMENT``
+    element header (exactly the layout above).  Opens an element; its
+    namespace table participates in scope-depth resolution exactly as a
+    ``COMPONENT_ELEMENT`` table would.
+
+``STREAM_END``
+    child count (VLS).  Closes the innermost open streamed container; the
+    count is an integrity check against the children actually seen, the
+    role the embedded child count plays in the standard profile.
+
+Only :class:`~repro.bxsa.stream.BXSAStreamWriter` (in sink mode) emits
+this profile and only :class:`~repro.bxsa.stream.StreamDecoder` consumes
+it; the tree decoder and the scanner reject the ``STREAM_*`` codes with a
+pointer at the streaming reader.
+
 Element header (shared by the three element frame types)::
 
     N1 (VLS)                      number of namespace declarations
@@ -75,6 +104,18 @@ class FrameType(enum.IntEnum):
     CHARACTER_DATA = 0x05
     COMMENT = 0x06
     PI = 0x07
+    # streamed container profile (sink-driven writer / incremental reader)
+    STREAM_DOCUMENT = 0x08
+    STREAM_ELEMENT = 0x09
+    STREAM_END = 0x0A
+
+
+#: Frame types of the streamed container profile: produced only by the
+#: sink-driven :class:`~repro.bxsa.stream.BXSAStreamWriter`, consumed only
+#: by :class:`~repro.bxsa.stream.StreamDecoder`.
+STREAM_FRAME_TYPES = frozenset(
+    {FrameType.STREAM_DOCUMENT, FrameType.STREAM_ELEMENT, FrameType.STREAM_END}
+)
 
 
 def pack_prefix_byte(byte_order: int, frame_type: FrameType) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bxsa.constants import FrameType
+from repro.bxsa.constants import STREAM_FRAME_TYPES, FrameType
 from repro.bxsa.errors import BXSADecodeError
 from repro.bxsa.frames import (
     read_frame_prefix,
@@ -266,6 +266,11 @@ class BXSADecoder:
             self._check_end(end)
             return PINode(target, pi_data), None
 
+        if frame_type in STREAM_FRAME_TYPES:
+            raise BXSADecodeError(
+                f"streamed-profile frame {frame_type.name} in the tree decoder; "
+                "feed this byte stream to repro.bxsa.stream.StreamDecoder"
+            )
         raise BXSADecodeError(f"unhandled frame type {frame_type!r}")  # pragma: no cover
 
     def _check_end(self, end: int) -> None:

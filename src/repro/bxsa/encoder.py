@@ -60,7 +60,6 @@ class BXSAEncoder:
         self._endian_char = _ENDIAN_CHAR[byte_order]
         self._chunks: list | None = None
         self._nbytes = 0
-        self._gen_counter = 0
 
     # ------------------------------------------------------------------
 
@@ -76,7 +75,6 @@ class BXSAEncoder:
         final join.
         """
         scopes = ScopeStack()
-        self._gen_counter = 0
         chunks: list = []
         self._chunks = chunks
         self._nbytes = 0  # total bytes across filled chunks
@@ -182,14 +180,21 @@ class BXSAEncoder:
         return 1, scopes.declare(prefix, name.uri)
 
     def _pick_prefix(self, hint: str, scopes: ScopeStack) -> str:
+        """Choose a free prefix as a pure function of (hint, taken set).
+
+        No document-global counter: the streaming writer serializes headers
+        pre-order while the tree encoder back-patches them post-order, and a
+        counter threaded through both orders would hand out different names.
+        Determinism in the local scope state keeps the two byte-identical.
+        """
         taken = scopes.all_prefixes()
         if hint and hint not in taken:
             return hint
-        while True:
-            self._gen_counter += 1
-            prefix = f"ns{self._gen_counter}"
-            if prefix not in taken:
-                return prefix
+        base = hint or "ns"
+        n = 2 if hint else 1
+        while f"{base}{n}" in taken:
+            n += 1
+        return f"{base}{n}"
 
     def _element_header(self, node: ElementNode, scopes: ScopeStack) -> bytes:
         """Serialize the header *after* children were encoded.

@@ -1,4 +1,4 @@
-"""Streaming BXSA: event-based writing and pull-based reading.
+"""Streaming BXSA: event-based writing and incremental, pull-based reading.
 
 XBS is "a *streaming* binary serializer" (the paper's §4 heritage); this
 module carries that property up to the BXSA layer.  It lets producers emit
@@ -7,17 +7,34 @@ and consumers iterate events the way a StAX/pull parser walks textual XML:
 
 * :class:`BXSAStreamWriter` — ``start_element`` / ``attribute-carrying``
   starts, ``leaf`` / ``array`` / ``text`` / ``comment`` / ``pi`` items,
-  ``end_element``; the document is assembled with the same O(n)
-  placeholder back-patching as the tree encoder.
-* :class:`BXSAStreamReader` — yields :class:`StreamEvent` records
-  (START_DOCUMENT/END_DOCUMENT, START_ELEMENT/END_ELEMENT, LEAF, ARRAY,
-  TEXT, COMMENT, PI) directly off the frame structure.  Array events carry
-  zero-copy numpy views, so a gigabyte-scale message can be reduced (summed,
-  verified, re-encoded) in bounded memory.
+  ``end_element``.  Two assembly modes:
 
-A round trip through writer → bytes → reader → writer reproduces the
-byte stream exactly for documents the tree encoder would produce the same
-way (the stream writer *is* the tree encoder's lower half).
+  - **buffered** (default): the document is assembled with the same O(n)
+    placeholder back-patching as the tree encoder and returned by
+    :meth:`~BXSAStreamWriter.end_document` as one ``bytes`` blob, using the
+    standard container frames — byte-identical to the tree encoder.
+  - **sink-driven** (``sink=``): completed bytes are handed to ``sink`` in
+    bounded chunks *as they are produced*.  Container Size fields cannot be
+    back-patched once flushed, so containers are written in the streamed
+    profile (``STREAM_DOCUMENT``/``STREAM_ELEMENT``/``STREAM_END``, see
+    :mod:`repro.bxsa.constants`); atom frames stay byte-identical to the
+    standard profile.  Peak memory is O(chunk size), independent of the
+    message size — :meth:`~BXSAStreamWriter.array_blocks` even lets the
+    payload of one giant array arrive block by block.
+
+* :class:`BXSAStreamReader` — pull events from a *complete* buffer with
+  zero-copy numpy views over array payloads.
+* :class:`StreamDecoder` — the incremental twin: ``feed(bytes)`` returns the
+  events completed by those bytes, however the stream was split.  It accepts
+  both the standard and the streamed container profiles; within one ``feed``
+  call array events are zero-copy views into the caller's buffer.  With
+  ``array_chunk_threshold`` set, arrays at least that large are delivered as
+  ``ARRAY_BEGIN`` / ``ARRAY_CHUNK`` / ``ARRAY_END`` so a multi-GiB payload
+  never has to be resident at once.
+
+A round trip through writer → bytes → reader → writer reproduces the byte
+stream exactly; :func:`write_document` drives a writer from a bXDM tree and
+(in buffered mode) reproduces the tree encoder's bytes exactly.
 """
 
 from __future__ import annotations
@@ -29,11 +46,12 @@ from typing import Iterator
 import numpy as np
 
 from repro import obs
-from repro.bxsa.constants import FrameType, pack_prefix_byte
+from repro.bxsa.constants import FrameType, pack_prefix_byte, unpack_prefix_byte
 from repro.bxsa.encoder import BXSAEncoder
 from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError
 from repro.bxsa.frames import (
     read_frame_prefix,
+    read_name_ref,
     read_scalar_value,
     read_string,
     read_type_code,
@@ -41,11 +59,25 @@ from repro.bxsa.frames import (
 )
 from repro.bxsa.namespaces import ScopeStack, to_nodes
 from repro.xbs.constants import NATIVE_ENDIAN, TypeCode, dtype_for
-from repro.xbs.varint import encode_vls
+from repro.xbs.varint import _MAX_VLS_BYTES, encode_vls
 from repro.xdm.errors import XDMTypeError
-from repro.xdm.nodes import ArrayElement, AttributeNode, LeafElement
+from repro.xdm.nodes import (
+    ArrayElement,
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    LeafElement,
+    NamespaceNode,
+    PINode,
+    TextNode,
+)
 from repro.xdm.qname import QName
-from repro.xdm.types import atomic_type_for_code
+from repro.xdm.types import atomic_type_for_code, atomic_type_for_xsd
+
+#: Default sink-mode flush granularity: bytes are handed to the sink in
+#: pieces of (at most) this many bytes.
+DEFAULT_CHUNK_SIZE = 64 * 1024
 
 
 class EventKind(enum.Enum):
@@ -55,6 +87,9 @@ class EventKind(enum.Enum):
     END_ELEMENT = "end-element"
     LEAF = "leaf"
     ARRAY = "array"
+    ARRAY_BEGIN = "array-begin"
+    ARRAY_CHUNK = "array-chunk"
+    ARRAY_END = "array-end"
     TEXT = "text"
     COMMENT = "comment"
     PI = "pi"
@@ -66,8 +101,12 @@ class StreamEvent:
 
     Population by kind: START/END_ELEMENT carry ``name`` (+ ``attributes``/
     ``namespaces`` on START); LEAF carries ``name``, ``value``, ``atype``;
-    ARRAY carries ``name``, ``values`` (zero-copy), ``atype``, ``item_name``;
-    TEXT/COMMENT carry ``text``; PI carries ``target`` and ``text`` (data).
+    ARRAY carries ``name``, ``values`` (zero-copy), ``atype``, ``item_name``,
+    ``count``; TEXT/COMMENT carry ``text``; PI carries ``target`` and
+    ``text`` (data).  :class:`StreamDecoder` in chunked-array mode replaces
+    ARRAY with ARRAY_BEGIN (``count``), ARRAY_CHUNK (``values`` holding
+    ``len(values)`` items starting at item index ``item_offset``) and
+    ARRAY_END (``item_offset == count``).
     """
 
     kind: EventKind
@@ -81,6 +120,41 @@ class StreamEvent:
     text: str = ""
     target: str = ""
     depth: int = 0  #: element nesting depth at which the event occurs
+    count: int | None = None  #: total item count of the (chunked) array
+    item_offset: int = 0  #: index of the first item carried by an ARRAY_CHUNK
+
+
+def _atype_for(code: TypeCode):
+    try:
+        return atomic_type_for_code(code)
+    except XDMTypeError as exc:
+        raise BXSADecodeError(str(exc)) from exc
+
+
+def _type_code_of(atype) -> TypeCode:
+    if isinstance(atype, TypeCode):
+        return atype
+    code = getattr(atype, "code", None)
+    if code is not None:
+        return code
+    if isinstance(atype, str):
+        return atomic_type_for_xsd(atype).code
+    raise BXSAEncodeError(f"cannot derive an array item type from {atype!r}")
+
+
+def _namespace_items(namespaces):
+    if not namespaces:
+        return ()
+    if isinstance(namespaces, dict):
+        return namespaces.items()
+    out = []
+    for entry in namespaces:
+        if isinstance(entry, NamespaceNode):
+            out.append((entry.prefix, entry.uri))
+        else:
+            prefix, uri = entry
+            out.append((prefix, uri))
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -93,15 +167,37 @@ class BXSAStreamWriter:
     The writer reuses the tree encoder's header serialization (namespace
     tokenization, auto-declaration, typed attributes) by building
     throwaway header-only nodes; payloads never pass through bXDM.
+
+    Without ``sink`` the document accumulates in memory and
+    :meth:`end_document` returns it, byte-identical to the tree encoder.
+    With ``sink`` (any callable accepting a bytes-like object — a socket's
+    ``sendall``, ``hashlib``'s ``update``, a chunked-HTTP body writer),
+    bytes are flushed in pieces of at most ``chunk_size`` as soon as they
+    are complete, containers use the streamed profile, and
+    :meth:`end_document` returns ``b""``.  The sink must consume (or copy)
+    each piece before returning: large array payloads are passed as
+    memoryviews whose buffer is reused afterwards.
     """
 
-    def __init__(self, byte_order: int = NATIVE_ENDIAN) -> None:
+    def __init__(
+        self,
+        byte_order: int = NATIVE_ENDIAN,
+        *,
+        sink=None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
         self._encoder = BXSAEncoder(byte_order)
         self.byte_order = byte_order
+        self._sink = sink
+        self._chunk_size = int(chunk_size)
+        if sink is not None and self._chunk_size <= 0:
+            raise BXSAEncodeError(f"chunk_size must be positive, got {chunk_size}")
+        self._pending = bytearray()
         self._chunks: list = []
         self._nbytes = 0
         self._scopes = ScopeStack()
-        # (placeholder index, byte mark, child count, header bytes|None)
+        # (placeholder index, byte mark, child count, header bytes|None);
+        # sink mode keeps only the child count (no back-patching)
         self._open: list[list] = []
         self._document_started = False
         self._finished = False
@@ -109,8 +205,45 @@ class BXSAStreamWriter:
     # -- plumbing ------------------------------------------------------
 
     def _emit(self, chunk) -> None:
-        self._chunks.append(chunk)
         self._nbytes += len(chunk)
+        if self._sink is None:
+            self._chunks.append(chunk)
+        else:
+            self._sink_write(chunk)
+
+    def _sink_write(self, chunk) -> None:
+        cs = self._chunk_size
+        pending = self._pending
+        if len(chunk) >= cs:
+            view = chunk if isinstance(chunk, memoryview) else memoryview(chunk)
+            if view.format != "B":
+                view = view.cast("B")
+            n = len(view)
+            if pending:
+                # flush the buffered tail as its own (short) piece instead
+                # of topping it up to a full chunk: topping up would pull
+                # the large payload through the bytearray — two extra
+                # chunk-sized copies per chunk, which for a streamed
+                # gigabyte array *is* the pipeline's peak memory.  Pieces
+                # stay at most ``chunk_size``; only their boundaries shift.
+                self._sink(bytes(pending))
+                pending.clear()
+            off = 0
+            while n - off >= cs:
+                self._sink(view[off : off + cs])
+                off += cs
+            if off < n:
+                pending += view[off:]
+            return
+        pending += chunk
+        while len(pending) >= cs:
+            self._sink(bytes(pending[:cs]))
+            del pending[:cs]
+
+    def _flush_pending(self) -> None:
+        if self._pending:
+            self._sink(bytes(self._pending))
+            self._pending.clear()
 
     def _count_child(self) -> None:
         if not self._open:
@@ -124,19 +257,35 @@ class BXSAStreamWriter:
         for chunk in body_chunks:
             self._emit(chunk)
 
-    def _header_for(
-        self, name: QName | str, attributes: dict | None, namespaces: dict | None
-    ) -> bytes:
-        from repro.xdm.nodes import ElementNode
-
+    def _header_for(self, name: QName | str, attributes, namespaces) -> bytes:
         qname = name if isinstance(name, QName) else QName.parse(name)
         shell = ElementNode(qname)
-        for prefix, uri in (namespaces or {}).items():
+        for prefix, uri in _namespace_items(namespaces):
             shell.declare_namespace(prefix, uri)
-        for attr_name, attr_value in (attributes or {}).items():
-            shell.set_attribute(attr_name, attr_value)
-        self._scopes.push(self._encoder._own_table(shell))
-        return self._encoder._element_header(shell, self._scopes)
+        if attributes:
+            if isinstance(attributes, dict):
+                for attr_name, attr_value in attributes.items():
+                    shell.set_attribute(attr_name, attr_value)
+            else:
+                for attr in attributes:
+                    shell.set_attribute(attr.name, attr.value, attr.atype)
+        table = self._encoder._own_table(shell)
+        explicit = len(table)
+        self._scopes.push(table)
+        try:
+            header = self._encoder._element_header(shell, self._scopes)
+        except BXSAEncodeError:
+            self._scopes.pop()
+            raise
+        if len(table) > explicit:
+            # Auto-declarations serialized into this header must stay
+            # invisible to descendant frames: the tree encoder resolves a
+            # container's header only after its children are encoded, so
+            # descendants re-declare such URIs in their own frames.  Byte
+            # identity between the two engines depends on doing the same.
+            self._scopes.pop()
+            self._scopes.push(table[:explicit])
+        return header
 
     # -- structure ------------------------------------------------------
 
@@ -144,23 +293,31 @@ class BXSAStreamWriter:
         if self._document_started:
             raise BXSAEncodeError("document already started")
         self._document_started = True
-        self._open.append([len(self._chunks), self._nbytes, 0, None])
-        self._chunks.append(b"")  # placeholder
+        if self._sink is not None:
+            self._open.append([None, None, 0, None])
+            self._emit_frame(FrameType.STREAM_DOCUMENT, [])
+        else:
+            self._open.append([len(self._chunks), self._nbytes, 0, None])
+            self._chunks.append(b"")  # placeholder
         return self
 
     def start_element(
         self,
         name: QName | str,
         *,
-        attributes: dict | None = None,
-        namespaces: dict | None = None,
+        attributes=None,
+        namespaces=None,
     ) -> "BXSAStreamWriter":
         if not self._document_started:
             raise BXSAEncodeError("start_document() first")
         self._count_child()
         header = self._header_for(name, attributes, namespaces)
-        self._open.append([len(self._chunks), self._nbytes, 0, header])
-        self._chunks.append(b"")
+        if self._sink is not None:
+            self._open.append([None, None, 0, None])
+            self._emit_frame(FrameType.STREAM_ELEMENT, [header])
+        else:
+            self._open.append([len(self._chunks), self._nbytes, 0, header])
+            self._chunks.append(b"")
         return self
 
     def end_element(self) -> "BXSAStreamWriter":
@@ -168,15 +325,25 @@ class BXSAStreamWriter:
             raise BXSAEncodeError("no element open")
         placeholder, mark, n_children, header = self._open.pop()
         self._scopes.pop()
-        self._patch(placeholder, mark, n_children, FrameType.COMPONENT_ELEMENT, header)
+        if self._sink is not None:
+            self._emit_frame(FrameType.STREAM_END, [encode_vls(n_children)])
+        else:
+            self._patch(
+                placeholder, mark, n_children, FrameType.COMPONENT_ELEMENT, header
+            )
         return self
 
     def end_document(self) -> bytes:
         if len(self._open) != 1:
             raise BXSAEncodeError(f"{len(self._open) - 1} element(s) still open")
         placeholder, mark, n_children, _ = self._open.pop()
-        self._patch(placeholder, mark, n_children, FrameType.DOCUMENT, b"")
         self._finished = True
+        if self._sink is not None:
+            self._emit_frame(FrameType.STREAM_END, [encode_vls(n_children)])
+            self._flush_pending()
+            obs.counter("bxsa.stream.bytes_written").add(self._nbytes)
+            return b""
+        self._patch(placeholder, mark, n_children, FrameType.DOCUMENT, b"")
         out = b"".join(self._chunks)
         obs.counter("bxsa.stream.bytes_written").add(len(out))
         return out
@@ -192,10 +359,18 @@ class BXSAStreamWriter:
 
     # -- content --------------------------------------------------------
 
-    def leaf(self, name: QName | str, value, atype=None, **header_kwargs) -> "BXSAStreamWriter":
+    def leaf(
+        self,
+        name: QName | str,
+        value,
+        atype=None,
+        *,
+        attributes=None,
+        namespaces=None,
+    ) -> "BXSAStreamWriter":
         self._count_child()
         node = LeafElement(name, value, atype)
-        header = self._header_for(node.name, header_kwargs.get("attributes"), header_kwargs.get("namespaces"))
+        header = self._header_for(node.name, attributes, namespaces)
         self._scopes.pop()
         self._emit_frame(
             FrameType.LEAF_ELEMENT,
@@ -210,8 +385,8 @@ class BXSAStreamWriter:
         atype=None,
         *,
         item_name: str | None = None,
-        attributes: dict | None = None,
-        namespaces: dict | None = None,
+        attributes=None,
+        namespaces=None,
     ) -> "BXSAStreamWriter":
         self._count_child()
         node = ArrayElement(name, values, atype, item_name=item_name)
@@ -226,6 +401,66 @@ class BXSAStreamWriter:
         payload = memoryview(normalized).cast("B") if normalized.size else b""
         head = header + meta + count + bytes((pad,)) + b"\x00" * pad
         self._emit_frame(FrameType.ARRAY_ELEMENT, [head, payload])
+        return self
+
+    def array_blocks(
+        self,
+        name: QName | str,
+        count: int,
+        blocks,
+        atype,
+        *,
+        item_name: str | None = None,
+        attributes=None,
+        namespaces=None,
+    ) -> "BXSAStreamWriter":
+        """One array frame whose payload arrives as an iterable of blocks.
+
+        The frame Size is computed up front from ``count`` and the item
+        type, so the payload streams through without ever being assembled —
+        the producer-side complement of :class:`StreamDecoder`'s chunked
+        array events.  ``atype`` is mandatory (an atomic type, its xsd name,
+        or a :class:`TypeCode`): there is no materialized payload to infer
+        it from.  The block byte total must match ``count`` items exactly;
+        a mismatch poisons the writer (bytes may already be flushed) and
+        raises.
+        """
+        self._count_child()
+        code = _type_code_of(atype)
+        if code is TypeCode.STRING:
+            raise BXSAEncodeError("array frames cannot hold strings")
+        count = int(count)
+        if count < 0:
+            raise BXSAEncodeError(f"array item count must be >= 0, got {count}")
+        header = self._header_for(name, attributes, namespaces)
+        self._scopes.pop()
+        meta = bytes((int(code),)) + self._encoder._string(item_name or "")
+        count_vls = encode_vls(count)
+        pad = (-(len(header) + len(meta) + len(count_vls) + 1)) % code.size
+        head = header + meta + count_vls + bytes((pad,)) + b"\x00" * pad
+        nbytes = count * code.size
+        prefix = bytes((pack_prefix_byte(self.byte_order, FrameType.ARRAY_ELEMENT),))
+        self._emit(prefix + encode_vls(len(head) + nbytes))
+        self._emit(head)
+        target = dtype_for(code, self.byte_order)
+        written = 0
+        for block in blocks:
+            normalized = np.ascontiguousarray(block, dtype=target)
+            if not normalized.size:
+                continue
+            payload = memoryview(normalized).cast("B")
+            written += len(payload)
+            if written > nbytes:
+                raise BXSAEncodeError(
+                    f"array_blocks promised {count} items ({nbytes} bytes) but "
+                    f"received at least {written} payload bytes"
+                )
+            self._emit(payload)
+        if written != nbytes:
+            raise BXSAEncodeError(
+                f"array_blocks promised {count} items ({nbytes} bytes) but "
+                f"received {written} payload bytes"
+            )
         return self
 
     def text(self, content: str) -> "BXSAStreamWriter":
@@ -246,12 +481,76 @@ class BXSAStreamWriter:
         return self
 
 
+_ENTER, _EXIT = 0, 1
+
+
+def write_document(writer: BXSAStreamWriter, document: DocumentNode) -> bytes:
+    """Drive ``writer`` from a bXDM document tree.
+
+    In buffered mode the result is byte-identical to
+    :func:`repro.bxsa.encoder.encode`; in sink mode the same logical
+    document goes out in the streamed profile.  Iterative, so arbitrarily
+    deep documents transfer without recursion limits.
+    """
+    if not isinstance(document, DocumentNode):
+        raise BXSAEncodeError(f"expected DocumentNode, got {type(document).__name__}")
+    writer.start_document()
+    work: list[tuple[int, object]] = [
+        (_ENTER, child) for child in reversed(document.children)
+    ]
+    while work:
+        action, node = work.pop()
+        if action == _EXIT:
+            writer.end_element()
+        elif isinstance(node, LeafElement):
+            writer.leaf(
+                node.name,
+                node.value,
+                node.atype,
+                attributes=list(node.attributes),
+                namespaces=list(node.namespaces),
+            )
+        elif isinstance(node, ArrayElement):
+            writer.array(
+                node.name,
+                node.values,
+                node.atype,
+                item_name=node.item_name,
+                attributes=list(node.attributes),
+                namespaces=list(node.namespaces),
+            )
+        elif isinstance(node, ElementNode):
+            writer.start_element(
+                node.name,
+                attributes=list(node.attributes),
+                namespaces=list(node.namespaces),
+            )
+            work.append((_EXIT, node))
+            for child in reversed(node.children):
+                work.append((_ENTER, child))
+        elif isinstance(node, TextNode):
+            writer.text(node.text)
+        elif isinstance(node, CommentNode):
+            writer.comment(node.text)
+        elif isinstance(node, PINode):
+            writer.pi(node.target, node.data)
+        else:
+            raise BXSAEncodeError(f"cannot stream node {type(node).__name__}")
+    return writer.end_document()
+
+
 # ---------------------------------------------------------------------------
 # reader
 
 
 class BXSAStreamReader:
-    """Pull events from a BXSA buffer without building a tree."""
+    """Pull events from a BXSA buffer without building a tree.
+
+    Accepts any buffer (``bytes``, ``bytearray``, ``memoryview``, mmap)
+    without copying: array events are numpy views aliasing the caller's
+    buffer, extending the codec's documented ``copy=False`` contract to the
+    stream layer.
+    """
 
     def __init__(self, data, offset: int = 0) -> None:
         self.data = memoryview(data) if not isinstance(data, memoryview) else data
@@ -371,6 +670,7 @@ class BXSAStreamReader:
                     values=values,
                     atype=self._atype(code),
                     item_name=item_name or None,
+                    count=count,
                     depth=depth,
                 )
                 pos = end
@@ -388,8 +688,12 @@ class BXSAStreamReader:
                 content, body = read_string(data, body)
                 yield StreamEvent(EventKind.PI, target=target, text=content, depth=depth)
                 pos = end
-            else:  # pragma: no cover - prefix validation rejects earlier
-                raise BXSADecodeError(f"unhandled frame type {frame_type!r}")
+            else:
+                raise BXSADecodeError(
+                    f"streamed-profile frame {frame_type.name} requires the "
+                    "incremental reader; feed this byte stream to "
+                    "repro.bxsa.stream.StreamDecoder"
+                )
 
             if not stack:
                 return  # a bare atom frame at top level
@@ -420,10 +724,7 @@ class BXSAStreamReader:
 
     @staticmethod
     def _atype(code: TypeCode):
-        try:
-            return atomic_type_for_code(code)
-        except XDMTypeError as exc:
-            raise BXSADecodeError(str(exc)) from exc
+        return _atype_for(code)
 
     def _read_header(self, data, pos, byte_order, scopes):
         """Element header → (QName, [AttributeNode], table, new pos).
@@ -438,8 +739,6 @@ class BXSAStreamReader:
             uri, pos = read_string(data, pos)
             table.append((prefix, uri))
         scopes.push(table)
-        from repro.bxsa.frames import read_name_ref
-
         depth, index, pos = read_name_ref(data, pos)
         local, pos = read_string(data, pos)
         if depth == 0:
@@ -461,3 +760,541 @@ class BXSAStreamReader:
                 qname = QName(a_local, a_uri, a_prefix)
             attrs.append(AttributeNode(qname, value, self._atype(code)))
         return name, attrs, table, pos
+
+
+# ---------------------------------------------------------------------------
+# incremental decoder
+
+
+class _NeedMore(Exception):
+    """Internal: the current frame cannot complete with the bytes buffered."""
+
+
+# container-stack entry kinds
+_STD_DOC, _STD_ELEM, _S_DOC, _S_ELEM = 0, 1, 2, 3
+
+
+class StreamDecoder:
+    """Incremental BXSA reader: feed bytes as they arrive, collect events.
+
+    ``feed(data)`` returns the :class:`StreamEvent` list completed by those
+    bytes.  The event sequence is independent of how the byte stream is
+    split across ``feed`` calls; within one call, array payload views are
+    zero-copy over the caller's buffer whenever the decoder is not forced
+    to reassemble a frame that straddled a previous call (straddling
+    remainders are buffered — bounded by the frame head size plus one feed).
+
+    Accepts both container profiles: the standard embedded-Size frames the
+    tree encoder produces and the streamed ``STREAM_*`` profile of the
+    sink-driven writer.  Corruption whose detection needs bytes that have
+    not arrived yet is reported once the frame's claimed extent is
+    buffered (or at :meth:`close`); structural lies that are provable
+    early — a child frame overrunning its container — fail immediately,
+    before any event for that frame is delivered.
+
+    With ``array_chunk_threshold=t``, arrays of at least ``t`` payload
+    bytes are delivered as ARRAY_BEGIN / ARRAY_CHUNK… / ARRAY_END instead
+    of one ARRAY event, and their payloads are never buffered: peak memory
+    stays O(feed size), not O(array size).  Chunk boundaries follow feed
+    boundaries; everything else about the event stream is unchanged.
+    """
+
+    def __init__(self, *, array_chunk_threshold: int | None = None) -> None:
+        if array_chunk_threshold is not None and array_chunk_threshold <= 0:
+            raise ValueError(
+                f"array_chunk_threshold must be positive, got {array_chunk_threshold}"
+            )
+        self._threshold = array_chunk_threshold
+        self._buf = bytearray()
+        self._abs = 0  # absolute stream offset of the next unconsumed byte
+        self._scopes = ScopeStack()
+        # entries: [kind, name, end_abs|None, children remaining|seen]
+        self._stack: list[list] = []
+        self._array: dict | None = None
+        self._ndepth = 0  # open element frames (event depth)
+        self._started = False
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """True once a complete document (or bare top-level frame) ended."""
+        return self._done
+
+    def feed(self, data) -> list[StreamEvent]:
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        events: list[StreamEvent] = []
+        n = len(view)
+        pos = 0
+        while pos < n:
+            if self._done:
+                raise BXSADecodeError(
+                    f"{n - pos} byte(s) past the end of the document"
+                )
+            if self._array is not None:
+                new = self._consume_array(view, pos, events, zero_copy=True)
+                self._abs += new - pos
+                pos = new
+            elif self._buf:
+                self._buf += view[pos:]
+                pos = n
+                self._drain_buffer(events)
+            else:
+                pos = self._parse_span(view, pos, events)
+        obs.counter("bxsa.stream.events_read").add(len(events))
+        return events
+
+    def close(self) -> None:
+        """Assert the stream ended exactly at a document boundary."""
+        if self._array is not None:
+            raise BXSADecodeError("stream ended inside an array payload")
+        if self._buf:
+            raise BXSADecodeError(
+                f"stream ended with a truncated frame at offset {self._abs}"
+            )
+        if self._stack:
+            raise BXSADecodeError(
+                f"stream ended with {len(self._stack)} container frame(s) still open"
+            )
+        if not self._done:
+            raise BXSADecodeError("stream ended before any document content")
+
+    # -- consumption paths ---------------------------------------------
+
+    def _parse_span(self, data, pos, events) -> int:
+        """Parse frames straight off the caller's buffer (zero-copy arrays)."""
+        base = self._abs - pos
+        n = len(data)
+        while pos < n and self._array is None and not self._done:
+            try:
+                pos = self._parse_one(data, pos, base, events, zero_copy=True)
+            except _NeedMore:
+                self._buf += data[pos:]
+                return n
+            self._abs = base + pos
+        return pos
+
+    def _drain_buffer(self, events) -> None:
+        buf = self._buf
+        base = self._abs  # absolute offset of buf[0], fixed for this drain
+        pos = 0
+        n = len(buf)
+        while pos < n and not self._done:
+            if self._array is not None:
+                pos = self._consume_array(buf, pos, events, zero_copy=False)
+                continue
+            try:
+                pos = self._parse_one(buf, pos, base, events, zero_copy=False)
+            except _NeedMore:
+                break
+        del buf[:pos]
+        self._abs = base + pos
+        if self._done and buf:
+            raise BXSADecodeError(f"{len(buf)} byte(s) past the end of the document")
+
+    # -- frame parsing --------------------------------------------------
+
+    def _incremental_vls(self, data, pos: int) -> tuple[int, int]:
+        n = len(data)
+        limit = min(n, pos + _MAX_VLS_BYTES)
+        i = pos
+        while i < limit:
+            if not data[i] & 0x80:
+                return read_vls(data, pos)
+            i += 1
+        if i - pos >= _MAX_VLS_BYTES:
+            return read_vls(data, pos)  # raises: longer than the VLS bound
+        raise _NeedMore
+
+    def _parse_header(self, data, pos: int, byte_order: int):
+        """Element header → (QName, [AttributeNode], table, new pos).
+
+        On success the element's namespace table is left pushed on the
+        scope stack; on any failure the stack is unwound, so a retry after
+        more bytes arrive reparses from a clean state.
+        """
+        n1, pos = read_vls(data, pos)
+        table: list[tuple[str, str]] = []
+        for _ in range(n1):
+            prefix, pos = read_string(data, pos)
+            uri, pos = read_string(data, pos)
+            table.append((prefix, uri))
+        self._scopes.push(table)
+        try:
+            depth_ref, index, pos = read_name_ref(data, pos)
+            local, pos = read_string(data, pos)
+            if depth_ref == 0:
+                name = QName(local)
+            else:
+                prefix, uri = self._scopes.resolve(depth_ref, index)
+                name = QName(local, uri, prefix)
+            n2, pos = read_vls(data, pos)
+            attrs: list[AttributeNode] = []
+            for _ in range(n2):
+                a_depth, a_index, pos = read_name_ref(data, pos)
+                a_local, pos = read_string(data, pos)
+                code, pos = read_type_code(data, pos)
+                value, pos = read_scalar_value(data, pos, code, byte_order)
+                if a_depth == 0:
+                    qname = QName(a_local)
+                else:
+                    a_prefix, a_uri = self._scopes.resolve(a_depth, a_index)
+                    qname = QName(a_local, a_uri, a_prefix)
+                attrs.append(AttributeNode(qname, value, _atype_for(code)))
+        except BXSADecodeError:
+            self._scopes.pop()
+            raise
+        return name, attrs, table, pos
+
+    def _parse_one(self, data, pos: int, base: int, events, zero_copy: bool) -> int:
+        n = len(data)
+        byte_order, frame_type = unpack_prefix_byte(data[pos])
+        size, body = self._incremental_vls(data, pos + 1)
+        frame_end = body + size
+        top = self._stack[-1] if self._stack else None
+        if top is not None and top[2] is not None and base + frame_end > top[2]:
+            # provable from the prefix alone — fail now, don't wait for data
+            raise BXSADecodeError(
+                f"frame at offset {base + pos} ends at {base + frame_end}, "
+                f"overrunning its enclosing frame's end {top[2]}"
+            )
+        depth = self._ndepth
+
+        if frame_type is FrameType.DOCUMENT:
+            count, p = self._incremental_vls(data, body)
+            events.append(StreamEvent(EventKind.START_DOCUMENT, depth=depth))
+            self._started = True
+            if count == 0:
+                events.append(StreamEvent(EventKind.END_DOCUMENT, depth=depth))
+                if not self._stack:
+                    self._done = True
+                    return p
+                raise BXSADecodeError("document frame nested inside a document")
+            self._stack.append([_STD_DOC, None, base + frame_end, count])
+            return p
+
+        if frame_type is FrameType.COMPONENT_ELEMENT:
+            try:
+                name, attrs, table, p = self._parse_header(data, body, byte_order)
+                try:
+                    count, p = read_vls(data, p)
+                except BXSADecodeError:
+                    self._scopes.pop()
+                    raise
+            except BXSADecodeError:
+                if frame_end <= n:
+                    raise
+                raise _NeedMore from None
+            events.append(
+                StreamEvent(
+                    EventKind.START_ELEMENT,
+                    name=name,
+                    attributes=tuple(attrs),
+                    namespaces=tuple(to_nodes(table)),
+                    depth=depth,
+                )
+            )
+            self._started = True
+            if count == 0:
+                self._scopes.pop()
+                events.append(StreamEvent(EventKind.END_ELEMENT, name=name, depth=depth))
+                self._finish_child(events, base + p)
+                return p
+            self._stack.append([_STD_ELEM, name, base + frame_end, count])
+            self._ndepth += 1
+            return p
+
+        if frame_type is FrameType.ARRAY_ELEMENT:
+            return self._parse_array(
+                data, body, frame_end, base, byte_order, depth, events, zero_copy
+            )
+
+        # the remaining frame types are small and forward-length: parse
+        # only once every byte the frame claims has arrived
+        if frame_end > n:
+            raise _NeedMore
+
+        if frame_type is FrameType.LEAF_ELEMENT:
+            name, attrs, table, p = self._parse_header(data, body, byte_order)
+            self._scopes.pop()
+            code, p = read_type_code(data, p)
+            value, p = read_scalar_value(data, p, code, byte_order)
+            if p > frame_end:
+                raise BXSADecodeError("leaf value overruns its frame")
+            events.append(
+                StreamEvent(
+                    EventKind.LEAF,
+                    name=name,
+                    attributes=tuple(attrs),
+                    namespaces=tuple(to_nodes(table)),
+                    value=value,
+                    atype=_atype_for(code),
+                    depth=depth,
+                )
+            )
+            self._started = True
+            self._finish_child(events, base + frame_end)
+            return frame_end
+
+        if frame_type in (FrameType.CHARACTER_DATA, FrameType.COMMENT):
+            content, _p = read_string(data, body)
+            kind = (
+                EventKind.TEXT
+                if frame_type is FrameType.CHARACTER_DATA
+                else EventKind.COMMENT
+            )
+            events.append(StreamEvent(kind, text=content, depth=depth))
+            self._started = True
+            self._finish_child(events, base + frame_end)
+            return frame_end
+
+        if frame_type is FrameType.PI:
+            target, p = read_string(data, body)
+            content, _p = read_string(data, p)
+            events.append(
+                StreamEvent(EventKind.PI, target=target, text=content, depth=depth)
+            )
+            self._started = True
+            self._finish_child(events, base + frame_end)
+            return frame_end
+
+        if frame_type is FrameType.STREAM_DOCUMENT:
+            if size != 0:
+                raise BXSADecodeError("STREAM_DOCUMENT frame carries a non-empty body")
+            if top is not None and top[0] in (_STD_DOC, _STD_ELEM):
+                raise BXSADecodeError(
+                    "streamed-profile frame inside a standard container frame"
+                )
+            events.append(StreamEvent(EventKind.START_DOCUMENT, depth=depth))
+            self._started = True
+            self._stack.append([_S_DOC, None, None, 0])
+            return frame_end
+
+        if frame_type is FrameType.STREAM_ELEMENT:
+            if top is not None and top[0] in (_STD_DOC, _STD_ELEM):
+                raise BXSADecodeError(
+                    "streamed-profile frame inside a standard container frame"
+                )
+            name, attrs, table, p = self._parse_header(data, body, byte_order)
+            if p != frame_end:
+                self._scopes.pop()
+                raise BXSADecodeError(
+                    "STREAM_ELEMENT frame size does not match its element header"
+                )
+            events.append(
+                StreamEvent(
+                    EventKind.START_ELEMENT,
+                    name=name,
+                    attributes=tuple(attrs),
+                    namespaces=tuple(to_nodes(table)),
+                    depth=depth,
+                )
+            )
+            self._started = True
+            self._stack.append([_S_ELEM, name, None, 0])
+            self._ndepth += 1
+            return frame_end
+
+        if frame_type is FrameType.STREAM_END:
+            count, _p = read_vls(data, body)
+            if top is None or top[0] not in (_S_DOC, _S_ELEM):
+                raise BXSADecodeError("STREAM_END with no open streamed container")
+            if count != top[3]:
+                raise BXSADecodeError(
+                    f"STREAM_END child count {count} does not match "
+                    f"the {top[3]} children seen"
+                )
+            kind, name, _, _ = self._stack.pop()
+            if kind == _S_ELEM:
+                self._ndepth -= 1
+                self._scopes.pop()
+                events.append(
+                    StreamEvent(EventKind.END_ELEMENT, name=name, depth=self._ndepth)
+                )
+            else:
+                events.append(StreamEvent(EventKind.END_DOCUMENT, depth=self._ndepth))
+            self._finish_child(events, base + frame_end)
+            return frame_end
+
+        raise BXSADecodeError(f"unhandled frame type {frame_type!r}")
+
+    def _parse_array(
+        self, data, body: int, frame_end: int, base: int, byte_order: int,
+        depth: int, events, zero_copy: bool,
+    ) -> int:
+        n = len(data)
+        try:
+            name, attrs, table, p = self._parse_header(data, body, byte_order)
+            self._scopes.pop()
+            code, p = read_type_code(data, p)
+            if code is TypeCode.STRING:
+                raise BXSADecodeError("array frames cannot hold strings")
+            item_name, p = read_string(data, p)
+            count, p = read_vls(data, p)
+            if p >= frame_end or p >= n:
+                raise BXSADecodeError("truncated array frame")
+            pad = data[p]
+            p += 1 + pad
+            nbytes = count * code.size
+            if p + nbytes > frame_end:
+                raise BXSADecodeError("array payload overruns its frame")
+        except BXSADecodeError:
+            if frame_end <= n:
+                raise
+            raise _NeedMore from None
+        self._started = True
+        atype = _atype_for(code)
+        if self._threshold is None or nbytes < self._threshold:
+            if frame_end > n:
+                raise _NeedMore
+            raw = data[p : p + nbytes]
+            if not zero_copy:
+                raw = bytes(raw)
+            values = np.frombuffer(raw, dtype=dtype_for(code, byte_order), count=count)
+            events.append(
+                StreamEvent(
+                    EventKind.ARRAY,
+                    name=name,
+                    attributes=tuple(attrs),
+                    namespaces=tuple(to_nodes(table)),
+                    values=values,
+                    atype=atype,
+                    item_name=item_name or None,
+                    count=count,
+                    depth=depth,
+                )
+            )
+            self._finish_child(events, base + frame_end)
+            return frame_end
+        events.append(
+            StreamEvent(
+                EventKind.ARRAY_BEGIN,
+                name=name,
+                attributes=tuple(attrs),
+                namespaces=tuple(to_nodes(table)),
+                atype=atype,
+                item_name=item_name or None,
+                count=count,
+                depth=depth,
+            )
+        )
+        self._array = {
+            "name": name,
+            "atype": atype,
+            "item_name": item_name or None,
+            "count": count,
+            "itemsize": code.size,
+            "dtype": dtype_for(code, byte_order),
+            "remaining": nbytes,
+            "slack": frame_end - (p + nbytes),  # in-frame bytes after the payload
+            "carry": bytearray(),
+            "item_offset": 0,
+            "frame_end_abs": base + frame_end,
+            "depth": depth,
+        }
+        return p
+
+    def _consume_array(self, data, pos: int, events, zero_copy: bool) -> int:
+        st = self._array
+        n = len(data)
+        itemsize = st["itemsize"]
+        carry = st["carry"]
+        while pos < n and st["remaining"] > 0:
+            if carry:
+                take = min(itemsize - len(carry), n - pos, st["remaining"])
+                carry += data[pos : pos + take]
+                pos += take
+                st["remaining"] -= take
+                if len(carry) == itemsize:
+                    values = np.frombuffer(bytes(carry), dtype=st["dtype"], count=1)
+                    events.append(self._chunk_event(st, values))
+                    st["item_offset"] += 1
+                    carry.clear()
+                continue
+            avail = min(n - pos, st["remaining"])
+            nitems = avail // itemsize
+            if nitems:
+                span = nitems * itemsize
+                raw = data[pos : pos + span]
+                if not zero_copy:
+                    raw = bytes(raw)
+                values = np.frombuffer(raw, dtype=st["dtype"], count=nitems)
+                events.append(self._chunk_event(st, values))
+                st["item_offset"] += nitems
+                pos += span
+                st["remaining"] -= span
+                continue
+            carry += data[pos : pos + avail]
+            pos += avail
+            st["remaining"] -= avail
+        if st["remaining"] == 0:
+            if carry:  # count*itemsize is a multiple of itemsize; unreachable
+                raise BXSADecodeError("array payload not a multiple of the item size")
+            if st["slack"]:
+                skip = min(st["slack"], n - pos)
+                pos += skip
+                st["slack"] -= skip
+                if st["slack"]:
+                    return pos
+            events.append(
+                StreamEvent(
+                    EventKind.ARRAY_END,
+                    name=st["name"],
+                    atype=st["atype"],
+                    item_name=st["item_name"],
+                    count=st["count"],
+                    item_offset=st["count"],
+                    depth=st["depth"],
+                )
+            )
+            frame_end_abs = st["frame_end_abs"]
+            self._array = None
+            self._finish_child(events, frame_end_abs)
+        return pos
+
+    @staticmethod
+    def _chunk_event(st: dict, values: np.ndarray) -> StreamEvent:
+        return StreamEvent(
+            EventKind.ARRAY_CHUNK,
+            name=st["name"],
+            values=values,
+            atype=st["atype"],
+            item_name=st["item_name"],
+            count=st["count"],
+            item_offset=st["item_offset"],
+            depth=st["depth"],
+        )
+
+    def _finish_child(self, events, pos_abs: int) -> None:
+        """A child frame completed at ``pos_abs``; update its container.
+
+        Mirrors the buffered reader's ``_close_containers``: standard
+        containers count down and close (strictly at their recorded end)
+        when they reach zero, cascading upward; streamed containers count
+        up and close only on their explicit STREAM_END frame.
+        """
+        stack = self._stack
+        while stack:
+            top = stack[-1]
+            if top[0] in (_S_DOC, _S_ELEM):
+                top[3] += 1
+                return
+            top[3] -= 1
+            if top[3] > 0:
+                return
+            kind, name, end_abs, _ = stack.pop()
+            if pos_abs != end_abs:
+                raise BXSADecodeError(
+                    f"frame size mismatch: content ends at {pos_abs}, "
+                    f"Size says {end_abs}"
+                )
+            if kind == _STD_ELEM:
+                self._ndepth -= 1
+                self._scopes.pop()
+                events.append(
+                    StreamEvent(EventKind.END_ELEMENT, name=name, depth=self._ndepth)
+                )
+            else:
+                events.append(StreamEvent(EventKind.END_DOCUMENT, depth=self._ndepth))
+        self._done = True

@@ -46,11 +46,16 @@ from repro.core.service import SoapHttpService, SoapTcpService
 from repro.core.client import ServiceProxy, SoapHttpClient, SoapTcpClient
 from repro.core.intermediary import TcpIntermediary
 from repro.core.security import (
+    ChunkSignatureError,
+    ChunkSigner,
+    ChunkVerifier,
     HmacSigningPolicy,
     NullSecurity,
     SecretKey,
     SECURITY_FAULT,
     check_security_policy,
+    sign_stream,
+    verify_stream,
 )
 
 __all__ = [
@@ -59,11 +64,16 @@ __all__ = [
     "ServiceDescription",
     "WsdlError",
     "register_content_type",
+    "ChunkSignatureError",
+    "ChunkSigner",
+    "ChunkVerifier",
     "HmacSigningPolicy",
     "NullSecurity",
     "SECURITY_FAULT",
     "SecretKey",
     "check_security_policy",
+    "sign_stream",
+    "verify_stream",
     "Dispatcher",
     "PolicyConceptError",
     "SOAP_ENV_URI",

@@ -25,10 +25,13 @@ import hashlib
 import hmac
 import os
 import pickle
-from typing import Protocol, runtime_checkable
+import struct
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.core.envelope import SoapEnvelope
 from repro.core.fault import SoapFault
+from repro.xbs.errors import XBSDecodeError
+from repro.xbs.varint import encode_vls
 from repro.xdm.compare import canonical_signature
 from repro.xdm.nodes import ElementNode, LeafElement
 from repro.xdm.qname import QName
@@ -162,3 +165,214 @@ def check_security_policy(policy) -> None:
 
     _require(policy, "sign", "SecurityPolicy")
     _require(policy, "verify", "SecurityPolicy")
+
+
+# ----------------------------------------------------------------------
+# non-blocking chunk signatures for streamed messages
+#
+# HmacSigningPolicy above needs the whole data model in hand before it can
+# MAC anything — exactly what the streaming pipeline cannot afford.  This
+# layer follows Kohring & Lo Iacono's non-blocking signature idea instead:
+# sign the message *as it flows*, a MAC per chunk, so the receiver
+# verifies (and may process) each chunk on arrival and neither side ever
+# holds the message.  Wire format, riding inside any byte stream (for this
+# project: a chunked HTTP body carrying a streamed BXSA document)::
+#
+#     signed stream := *signed-chunk  trailer
+#     signed-chunk  := VLS(len > 0)  payload[len]  mac[32]
+#     trailer       := VLS(0)  final-mac[32]
+#
+#     mac_i     = HMAC-SHA256(key, "repro:chunk" ‖ u64be(i) ‖ payload)
+#     final-mac = HMAC-SHA256(key, "repro:final" ‖ u64be(n) ‖ chain)
+#     chain     = SHA-256(mac_0 ‖ mac_1 ‖ … ‖ mac_{n-1})
+#
+# The sequence number inside each per-chunk MAC pins position (no
+# reordering or replay within the stream); the trailer MAC over the chain
+# digest pins the chunk *set* and count (no truncation, no splicing of
+# individually-valid chunks) — a stream without its trailer never
+# verifies.  Chunk payloads are bounded (MAX_SIGNED_CHUNK) so a verifier's
+# buffering stays O(chunk), never O(message).
+
+
+#: HMAC-SHA256 output size — every MAC on the wire.
+MAC_SIZE = 32
+
+#: Ceiling on one signed chunk's payload; keeps verifier buffering bounded
+#: and rejects absurd length prefixes before allocating for them.
+MAX_SIGNED_CHUNK = 16 * 1024 * 1024
+
+_CHUNK_TAG = b"repro:chunk"
+_FINAL_TAG = b"repro:final"
+
+
+class ChunkSignatureError(Exception):
+    """A signed stream failed verification (tampered, reordered,
+    truncated, or malformed framing)."""
+
+
+class ChunkSigner:
+    """Wrap a flow of byte pieces into the signed-chunk format.
+
+    One-shot, stateful: :meth:`wrap` each payload in order, then
+    :meth:`trailer` exactly once.  :func:`sign_stream` is the generator
+    form that composes directly with a streamed HTTP body.
+    """
+
+    def __init__(self, key: SecretKey) -> None:
+        self.key = key
+        self._seq = 0
+        self._chain = hashlib.sha256()
+        self._finished = False
+
+    def wrap(self, payload: bytes | bytearray | memoryview) -> bytes:
+        """One signed chunk for ``payload`` (empty payloads not allowed —
+        a zero length is the trailer marker)."""
+        if self._finished:
+            raise ChunkSignatureError("signer already emitted its trailer")
+        payload = bytes(payload)
+        if not payload:
+            raise ChunkSignatureError("cannot sign an empty chunk")
+        if len(payload) > MAX_SIGNED_CHUNK:
+            raise ChunkSignatureError(
+                f"chunk of {len(payload)} bytes exceeds MAX_SIGNED_CHUNK"
+            )
+        mac = self.key.mac(_CHUNK_TAG + struct.pack(">Q", self._seq) + payload)
+        self._seq += 1
+        self._chain.update(mac)
+        return encode_vls(len(payload)) + payload + mac
+
+    def trailer(self) -> bytes:
+        """The terminal zero-length marker + MAC over the whole chain."""
+        if self._finished:
+            raise ChunkSignatureError("signer already emitted its trailer")
+        self._finished = True
+        final = self.key.mac(
+            _FINAL_TAG + struct.pack(">Q", self._seq) + self._chain.digest()
+        )
+        return encode_vls(0) + final
+
+
+class ChunkVerifier:
+    """Incrementally verify a signed stream, yielding payloads as they
+    prove authentic.
+
+    Push parser: :meth:`feed` returns the payloads completed by the bytes
+    so far (each already MAC-checked — a consumer may act on them
+    immediately, the non-blocking property).  After the trailer verifies,
+    :attr:`done` is set; any byte past it, a bad MAC, or :meth:`close`
+    before the trailer raises :class:`ChunkSignatureError`.
+    """
+
+    def __init__(self, key: SecretKey) -> None:
+        self.key = key
+        self._buf = bytearray()
+        self._seq = 0
+        self._chain = hashlib.sha256()
+        self._need: int | None = None  # payload length once the VLS parsed
+        self.done = False
+
+    def feed(self, data: bytes | bytearray | memoryview) -> list[bytes]:
+        if self.done:
+            if len(data):
+                raise ChunkSignatureError("data past the signature trailer")
+            return []
+        buf = self._buf
+        buf += data
+        out: list[bytes] = []
+        while True:
+            if self._need is None:
+                length = self._try_vls(buf)
+                if length is None:
+                    break
+                if length > MAX_SIGNED_CHUNK:
+                    raise ChunkSignatureError(
+                        f"declared chunk length {length} exceeds MAX_SIGNED_CHUNK"
+                    )
+                self._need = length
+            if self._need == 0:
+                if len(buf) < MAC_SIZE:
+                    break
+                final = bytes(buf[:MAC_SIZE])
+                del buf[:MAC_SIZE]
+                expected = self.key.mac(
+                    _FINAL_TAG + struct.pack(">Q", self._seq) + self._chain.digest()
+                )
+                if not hmac.compare_digest(final, expected):
+                    raise ChunkSignatureError(
+                        "trailer signature does not match the chunk chain"
+                    )
+                self.done = True
+                if buf:
+                    raise ChunkSignatureError("data past the signature trailer")
+                break
+            total = self._need + MAC_SIZE
+            if len(buf) < total:
+                break
+            payload = bytes(buf[: self._need])
+            mac = bytes(buf[self._need : total])
+            del buf[:total]
+            self._need = None
+            expected = self.key.mac(
+                _CHUNK_TAG + struct.pack(">Q", self._seq) + payload
+            )
+            if not hmac.compare_digest(mac, expected):
+                raise ChunkSignatureError(
+                    f"chunk {self._seq} failed its signature check"
+                )
+            self._seq += 1
+            self._chain.update(mac)
+            out.append(payload)
+        return out
+
+    def _try_vls(self, buf: bytearray) -> int | None:
+        """Parse the length prefix if it is complete; consume it."""
+        from repro.xbs.varint import decode_vls
+
+        for i, byte in enumerate(buf):
+            if i >= 10:
+                raise ChunkSignatureError("malformed chunk length prefix")
+            if not byte & 0x80:
+                try:
+                    value, end = decode_vls(bytes(buf[: i + 1]))
+                except XBSDecodeError as exc:
+                    raise ChunkSignatureError(
+                        f"malformed chunk length prefix: {exc}"
+                    ) from None
+                del buf[:end]
+                return value
+        return None
+
+    def close(self) -> None:
+        """Assert the stream ended exactly at its trailer."""
+        if not self.done:
+            raise ChunkSignatureError(
+                "signed stream ended before its trailer — truncated or unterminated"
+            )
+
+
+def sign_stream(
+    pieces: Iterable[bytes], key: SecretKey
+) -> Iterator[bytes]:
+    """Generator form of :class:`ChunkSigner`: yields wire pieces for a
+    payload flow, trailer included.  Composes with a streamed HTTP body::
+
+        response.stream = sign_stream(writer_pieces, key)
+    """
+    signer = ChunkSigner(key)
+    for piece in pieces:
+        if len(piece):
+            yield signer.wrap(piece)
+    yield signer.trailer()
+
+
+def verify_stream(
+    pieces: Iterable[bytes], key: SecretKey
+) -> Iterator[bytes]:
+    """Generator form of :class:`ChunkVerifier`: yields authenticated
+    payloads as wire pieces arrive; raises :class:`ChunkSignatureError`
+    on tampering or if the flow ends before the trailer."""
+    verifier = ChunkVerifier(key)
+    for piece in pieces:
+        for payload in verifier.feed(piece):
+            yield payload
+    verifier.close()

@@ -74,6 +74,44 @@ def timed_median(fn: Callable[[], object], repeats: int, *, scale: bool = True):
     return (median * cpu_scale() if scale else median), result
 
 
+def traced_peak_bytes(fn: Callable[[], object], *, repeats: int = 1):
+    """Peak Python-heap allocation of ``fn()``: (peak bytes, last result).
+
+    Same discipline as :func:`timed_median`: one unmeasured warmup call
+    first, so allocator arena growth, import side effects and lazily
+    built caches do not masquerade as the workload's own peak; then the
+    *minimum* peak over ``repeats`` traced runs — memory peaks are
+    deterministic for a deterministic workload, so the floor is the
+    workload and anything above it is GC timing noise (the opposite
+    tail from wall-clock, where the noise is additive and the median is
+    the right summary).
+
+    Uses :mod:`tracemalloc`, which since NumPy 1.22 also sees array
+    buffer allocations — the dominant term for this project's payloads.
+    Slower than running untraced (every allocation takes a bookkeeping
+    hit), so keep timing and peak measurements in separate passes.
+    """
+    import gc
+    import tracemalloc
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    fn()  # warmup
+    peaks = []
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            result = fn()
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        peaks.append(peak)
+    return min(peaks), result
+
+
 def _slug(text: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "-", str(text)).strip("-") or "exchange"
 

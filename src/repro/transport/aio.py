@@ -50,12 +50,16 @@ from repro.serve.pool import AdmissionQueueFull, PoolStopped, WorkerPool
 from repro.transport.base import TransportError
 from repro.transport.http.messages import (
     HEADER_END,
+    ChunkedDecoder,
     HttpError,
     HttpRequest,
     HttpResponse,
     _parse_headers,
+    body_framing,
     busy_response,
     declared_body_length,
+    encode_chunk,
+    last_chunk,
     parse_request_head,
 )
 from repro.transport.http.server import (
@@ -93,6 +97,11 @@ class _Conn:
         "close_after_flush",
         "peer_eof",
         "closed",
+        "chunker",
+        "chunk_parts",
+        "pending_head",
+        "body_iter",
+        "body_trailers",
     )
 
     def __init__(self, sock: socket.socket) -> None:
@@ -108,6 +117,13 @@ class _Conn:
         self.close_after_flush = False
         self.peer_eof = False
         self.closed = False
+        # mid-flight chunked request body (head parsed, body incomplete)
+        self.chunker: ChunkedDecoder | None = None
+        self.chunk_parts: list | None = None
+        self.pending_head: tuple | None = None
+        # streamed response being written: pull-on-drain body producer
+        self.body_iter = None
+        self.body_trailers = None
 
 
 class AsyncHttpServer(HttpAppCore):
@@ -317,7 +333,7 @@ class AsyncHttpServer(HttpAppCore):
             pass
         # idle connections owe nothing; close them now
         for conn in list(self._conns.values()):
-            if not conn.busy and not conn.outbuf:
+            if not conn.busy and not conn.outbuf and conn.body_iter is None:
                 self._close_conn(conn)
 
     def _teardown(self) -> None:
@@ -406,7 +422,7 @@ class AsyncHttpServer(HttpAppCore):
             return
         if not data:
             conn.peer_eof = True
-            if not conn.busy and not conn.outbuf:
+            if not conn.busy and not conn.outbuf and conn.body_iter is None:
                 self._close_conn(conn)
             else:
                 self._update_interest(conn)
@@ -416,13 +432,23 @@ class AsyncHttpServer(HttpAppCore):
 
     def _advance(self, conn: _Conn) -> None:
         """Parse as many complete requests out of ``inbuf`` as the
-        one-in-flight discipline allows, dispatching each."""
-        while not conn.busy and not conn.closed:
+        one-in-flight discipline allows, dispatching each.
+
+        A streamed response still being written (``body_iter``) blocks
+        dispatch the same way ``busy`` does — a pipelined response
+        serialized into ``outbuf`` mid-stream would interleave with the
+        chunks being pulled.
+        """
+        while not conn.busy and not conn.closed and conn.body_iter is None:
             if self._draining:
                 if not conn.outbuf:
                     self._close_conn(conn)
                     return
                 break
+            if conn.chunker is not None:
+                if not self._advance_chunked(conn):
+                    break
+                continue
             idx = conn.inbuf.find(HEADER_END)
             if idx < 0:
                 if len(conn.inbuf) > MAX_HEAD_BYTES:
@@ -433,10 +459,19 @@ class AsyncHttpServer(HttpAppCore):
                 method, target, version, headers = parse_request_head(
                     bytes(conn.inbuf[:idx])
                 )
-                length = declared_body_length(headers)
+                mode, length = body_framing(headers)
             except HttpError as exc:
                 self._abort(conn, exc)
                 return
+            if mode == "chunked":
+                # head consumed; the body is framed incrementally by the
+                # one ChunkedDecoder (messages.py owns the grammar)
+                del conn.inbuf[: idx + len(HEADER_END)]
+                conn.need = 0
+                conn.chunker = ChunkedDecoder()
+                conn.chunk_parts = []
+                conn.pending_head = (method, target, version, headers)
+                continue
             total = idx + len(HEADER_END) + length
             if len(conn.inbuf) < total:
                 conn.need = total  # keep reading even past the pipeline cap
@@ -448,18 +483,55 @@ class AsyncHttpServer(HttpAppCore):
             self._dispatch(conn, request)
         self._update_interest(conn)
 
+    def _advance_chunked(self, conn: _Conn) -> bool:
+        """Feed buffered bytes into the in-flight chunked body.
+
+        Returns True when the request completed and was dispatched,
+        False when more bytes are needed (or the connection died).
+        """
+        data = bytes(conn.inbuf)
+        conn.inbuf.clear()
+        try:
+            conn.chunk_parts += conn.chunker.feed(data)
+        except HttpError as exc:
+            self._abort(conn, exc)
+            return False
+        if not conn.chunker.done:
+            return False
+        conn.inbuf += conn.chunker.residue  # pipelined next request
+        method, target, version, headers = conn.pending_head
+        request = HttpRequest(
+            method, target, headers, b"".join(conn.chunk_parts), version
+        )
+        request.trailers = conn.chunker.trailers
+        conn.chunker = None
+        conn.chunk_parts = None
+        conn.pending_head = None
+        self._dispatch(conn, request)
+        return True
+
     def _abort(self, conn: _Conn, exc: HttpError) -> None:
-        """Malformed framing: answer 400 and close once it is flushed."""
+        """Unserviceable framing: answer ``exc.status`` (400 malformed,
+        501 unsupported transfer coding) and close once it is flushed."""
         conn.inbuf.clear()
         conn.need = 0
-        response = HttpResponse(400, body=str(exc).encode())
+        conn.chunker = None
+        conn.chunk_parts = None
+        conn.pending_head = None
+        response = HttpResponse(exc.status, body=str(exc).encode())
         response.headers.set("Connection", "close")
         conn.close_after_flush = True
         conn.outbuf += response.to_bytes()
         self._flush(conn)
 
     def _flush(self, conn: _Conn) -> None:
-        while conn.outbuf:
+        while True:
+            if not conn.outbuf and conn.body_iter is not None:
+                self._pull_body(conn)
+                if conn.closed:
+                    return
+            if not conn.outbuf:
+                break
             try:
                 sent = conn.sock.send(conn.outbuf)
             except (BlockingIOError, InterruptedError):
@@ -470,12 +542,37 @@ class AsyncHttpServer(HttpAppCore):
             if sent <= 0:  # pragma: no cover - defensive
                 break
             del conn.outbuf[:sent]
-        if not conn.outbuf and (
+        if not conn.outbuf and conn.body_iter is None and (
             conn.close_after_flush or (conn.peer_eof and not conn.busy)
         ):
             self._close_conn(conn)
             return
         self._update_interest(conn)
+
+    def _pull_body(self, conn: _Conn) -> None:
+        """Refill ``outbuf`` from the streamed response body.
+
+        Pull-on-drain: the producer is asked for its next piece only when
+        the already-serialized bytes have left (or at least entered the
+        socket buffer), so a slow client holds back the producer instead
+        of ballooning ``outbuf`` with the whole message.
+        """
+        try:
+            while not conn.outbuf:
+                piece = next(conn.body_iter, None)
+                if piece is None:
+                    conn.outbuf += last_chunk(conn.body_trailers)
+                    conn.body_iter = None
+                    conn.body_trailers = None
+                    return
+                conn.outbuf += encode_chunk(piece)
+        except Exception as exc:  # noqa: BLE001 - producer failed mid-body;
+            # the head is on the wire, so no error status can be sent — the
+            # truncated chunked body marks the message bad for the peer
+            self.metrics.counter(
+                "http_handler_errors_total", labels={"type": type(exc).__name__}
+            ).add()
+            self._close_conn(conn)
 
     def _update_interest(self, conn: _Conn) -> None:
         if conn.closed:
@@ -485,7 +582,7 @@ class AsyncHttpServer(HttpAppCore):
             len(conn.inbuf) < MAX_PIPELINE_BYTES or len(conn.inbuf) < conn.need
         ):
             desired |= selectors.EVENT_READ
-        if conn.outbuf:
+        if conn.outbuf or conn.body_iter is not None:
             desired |= selectors.EVENT_WRITE
         if desired == conn.events and conn.registered == bool(desired):
             return
@@ -589,7 +686,7 @@ class AsyncHttpServer(HttpAppCore):
             try:
                 response = completion.result(0)
             except HttpError as exc:
-                response = HttpResponse(400, body=str(exc).encode())
+                response = HttpResponse(exc.status, body=str(exc).encode())
             except PoolStopped:
                 response = busy_response(
                     REJECT_RETRY_AFTER, b"server is draining", close=True
@@ -624,7 +721,14 @@ class AsyncHttpServer(HttpAppCore):
         response.headers.set("Connection", "keep-alive" if keep else "close")
         if not keep:
             conn.close_after_flush = True
-        conn.outbuf += response.to_bytes()
+        if response.stream is not None:
+            # head now, body pulled chunk-by-chunk as the socket drains —
+            # the client sees first bytes before the producer finishes
+            conn.outbuf += response.head_bytes()
+            conn.body_iter = iter(response.stream)
+            conn.body_trailers = response.trailers
+        else:
+            conn.outbuf += response.to_bytes()
         self._flush(conn)
 
     @property

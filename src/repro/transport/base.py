@@ -100,6 +100,16 @@ class BufferedChannel:
     def recv_exactly(self, nbytes: int) -> bytes:
         return recv_exactly(self, nbytes)
 
+    def unrecv(self, data: bytes) -> None:
+        """Push bytes back to the *front* of the read buffer.
+
+        For parsers that must over-read to find a message boundary (the
+        chunked-body decoder): whatever followed the boundary is returned
+        here and comes back first on the next read.
+        """
+        if data:
+            self._buf[:0] = data
+
     def recv_until(self, delimiter: bytes, max_bytes: int = 1 << 20) -> bytes:
         """Read until ``delimiter``; returns data *including* it.
 

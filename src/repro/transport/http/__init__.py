@@ -1,16 +1,22 @@
 """A from-scratch HTTP/1.1 subset: message codec, client, server, binding.
 
-Implements exactly what the paper's evaluation needs from Apache/libcurl:
-request/response framing with ``Content-Length`` bodies, persistent
-connections (``Connection: keep-alive``/``close``), status codes, and
-``GET``/``POST``/``HEAD``.  No chunked transfer encoding, no TLS, no
-proxies — none of which the reproduced experiments exercise.
+Implements what the paper's evaluation needs from Apache/libcurl:
+request/response framing with ``Content-Length`` or chunked
+``Transfer-Encoding`` bodies (including streamed bodies pulled from a
+producer — the large-message pipeline), persistent connections
+(``Connection: keep-alive``/``close``), status codes, and
+``GET``/``POST``/``HEAD``.  No TLS, no proxies — neither of which the
+reproduced experiments exercise.
 """
 
 from repro.transport.http.messages import (
+    ChunkedDecoder,
     HttpError,
     HttpRequest,
     HttpResponse,
+    HttpUnsupportedTransferEncoding,
+    body_framing,
+    drain_stream,
     read_request,
     read_response,
 )
@@ -19,14 +25,18 @@ from repro.transport.http.server import HttpServer
 from repro.transport.http.binding import HttpClientBinding, SOAP_XML_TYPE, SOAP_BXSA_TYPE
 
 __all__ = [
+    "ChunkedDecoder",
     "HttpClient",
     "HttpClientBinding",
     "HttpError",
     "HttpRequest",
     "HttpResponse",
     "HttpServer",
+    "HttpUnsupportedTransferEncoding",
     "SOAP_BXSA_TYPE",
     "SOAP_XML_TYPE",
+    "body_framing",
+    "drain_stream",
     "read_request",
     "read_response",
 ]

@@ -15,11 +15,16 @@ request, and replaying a non-idempotent POST would apply it twice.
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro import obs
 from repro.transport.base import BufferedChannel, Channel, TransportError
-from repro.transport.http.messages import HttpRequest, HttpResponse, read_response
+from repro.transport.http.messages import (
+    HttpRequest,
+    HttpResponse,
+    _Headers,
+    read_response,
+)
 from repro.transport.instrument import ChannelStats, InstrumentedChannel
 from repro.transport.resilience import (
     Deadline,
@@ -70,11 +75,13 @@ class HttpClient:
         method: str,
         target: str,
         *,
-        body: bytes = b"",
+        body: bytes | Iterable[bytes] = b"",
         headers: dict[str, str] | None = None,
+        trailers: dict[str, str] | None = None,
         idempotent: bool | None = None,
         deadline: float | Deadline | None = None,
         retry: RetryPolicy | None = None,
+        stream_response: bool = False,
     ) -> HttpResponse:
         """Send one request, read one response, under the retry policy.
 
@@ -82,6 +89,18 @@ class HttpClient:
         pass ``True`` to mark an individually-safe POST (e.g. a SOAP
         operation known to be read-only) as replayable.  ``deadline``
         bounds the whole call — connect, retries and backoff included.
+
+        ``body`` may be an *iterable* of byte pieces: it is sent chunked,
+        pulled as the socket accepts bytes, so a producer larger than
+        memory never materializes (``trailers`` ride after the last
+        chunk).  A partially-consumed body iterable can never be re-sent,
+        so such a request stops retrying the moment the first piece is
+        pulled, regardless of idempotency.
+
+        With ``stream_response`` the response body is not buffered:
+        ``response.stream`` yields pieces off the wire (exhaust it — or
+        :func:`~repro.transport.http.messages.drain_stream` it — before
+        the next request on this client).
         """
         if idempotent is None:
             idempotent = method.upper() in IDEMPOTENT_METHODS
@@ -92,20 +111,40 @@ class HttpClient:
         req.headers.set("Host", self._host)
         for name, value in (headers or {}).items():
             req.headers.set(name, value)
-        req.body = body
-        wire = req.to_bytes()
 
-        consumed = {"response_bytes": False}
+        consumed = {"response_bytes": False, "body_pulled": False}
+        streamed_body = not isinstance(body, (bytes, bytearray, memoryview))
+        if streamed_body:
+            source = iter(body)
+
+            def pulled() -> Iterable[bytes]:
+                for piece in source:
+                    consumed["body_pulled"] = True
+                    yield piece
+
+            req.stream = pulled()
+            if trailers:
+                req.trailers = _Headers(list(trailers.items()))
+            wire = None
+            wire_bytes = 0
+        else:
+            req.body = bytes(body)
+            wire = req.to_bytes()
+            wire_bytes = len(wire)
 
         def attempt(_n: int) -> HttpResponse:
             channel = self._ensure_channel()
             assert self._shim is not None and self._stats is not None
             self._shim.deadline = dl
             try:
-                channel.send_all(wire)
+                if wire is not None:
+                    channel.send_all(wire)
+                else:
+                    for piece in req.iter_wire():
+                        channel.send_all(piece)
                 mark = self._stats.bytes_received
                 try:
-                    return read_response(channel)
+                    return read_response(channel, stream_body=stream_response)
                 except TransportError:
                     if self._stats.bytes_received > mark:
                         consumed["response_bytes"] = True
@@ -114,14 +153,18 @@ class HttpClient:
                 self._drop_channel()
                 raise
             finally:
-                if self._shim is not None:
+                if self._shim is not None and not stream_response:
                     self._shim.deadline = None
 
         def may_retry(_exc: BaseException, _attempt: int) -> bool:
-            return idempotent and not consumed["response_bytes"]
+            return (
+                idempotent
+                and not consumed["response_bytes"]
+                and not consumed["body_pulled"]
+            )
 
         with obs.span(
-            "http.request", kind="cpu", method=method, target=target, bytes=len(wire)
+            "http.request", kind="cpu", method=method, target=target, bytes=wire_bytes
         ) as sp:
             response = retry_call(
                 attempt, policy, deadline=dl, may_retry=may_retry, rng=self._rng
@@ -129,8 +172,21 @@ class HttpClient:
             sp.set("status", response.status)
 
         if (response.headers.get("Connection") or "").lower() == "close":
-            self._drop_channel()
+            if response.stream is not None:
+                # let the caller read the streamed body off this channel
+                # first; the next request reconnects
+                response.stream = self._closing_stream(response)
+            else:
+                self._drop_channel()
         return response
+
+    def _closing_stream(self, response: HttpResponse):
+        inner = response.stream
+        try:
+            for piece in inner:
+                yield piece
+        finally:
+            self._drop_channel()
 
     def get(self, target: str, **kwargs) -> HttpResponse:
         return self.request("GET", target, **kwargs)

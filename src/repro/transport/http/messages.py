@@ -1,16 +1,28 @@
 """HTTP/1.1 message framing: parse and serialize requests/responses.
 
 Headers are treated case-insensitively and stored with their original
-casing.  Bodies are delimited by ``Content-Length`` only (the subset the
-evaluation needs); a request/response without it has an empty body, except
-a response to a connection that will close, which may be length-by-EOF.
+casing.  Bodies are delimited by ``Content-Length`` or by chunked
+``Transfer-Encoding`` (:func:`body_framing` decides which); any other
+transfer coding is answered ``501 Not Implemented``
+(:class:`HttpUnsupportedTransferEncoding`).  A message without either has
+an empty body, except a response to a connection that will close, which
+may be length-by-EOF.
+
+Chunked framing — both directions — lives *only* here
+(``tools/lint.py`` pins that): :class:`ChunkedDecoder` is the single
+incremental parser, :func:`encode_chunk`/:func:`last_chunk` the single
+serializer.  A message whose ``stream`` attribute is set serializes as a
+chunked body pulled lazily from that iterable (:meth:`HttpRequest.iter_wire`),
+which is what lets a server start writing a response before the body is
+fully produced — the transport half of the streaming pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
-from repro.transport.base import BufferedChannel, TransportError
+from repro.transport.base import BufferedChannel, TransportClosed, TransportError
 
 CRLF = b"\r\n"
 HEADER_END = b"\r\n\r\n"
@@ -24,6 +36,7 @@ REASONS = {
     405: "Method Not Allowed",
     411: "Length Required",
     500: "Internal Server Error",
+    501: "Not Implemented",
     503: "Service Unavailable",
 }
 
@@ -44,7 +57,26 @@ def busy_response(retry_after: float, body: bytes, *, close: bool = False) -> "H
 
 
 class HttpError(TransportError):
-    """Malformed HTTP traffic."""
+    """Malformed HTTP traffic.
+
+    ``status`` is the code a server should answer with before tearing the
+    connection down (the body boundary is unknown after a framing error,
+    so the connection can never be reused).
+    """
+
+    status = 400
+
+
+class HttpUnsupportedTransferEncoding(HttpError):
+    """A transfer coding this stack does not implement.
+
+    Only a sole, final ``chunked`` is supported; anything else — ``gzip``,
+    a chained ``gzip, chunked``, an unknown token — is answered ``501 Not
+    Implemented`` per RFC 9112 §6.1 rather than killing the connection
+    with a bare reset.
+    """
+
+    status = 501
 
 
 class _Headers:
@@ -83,21 +115,87 @@ class _Headers:
         return f"_Headers({self._items!r})"
 
 
+class _Message:
+    """Serialization shared by requests and responses.
+
+    A message carries its body one of two ways:
+
+    * ``body`` — fully buffered bytes, framed by ``Content-Length``;
+    * ``stream`` — an iterable of byte pieces, framed chunked.  Set by a
+      producer that cannot (or will not) buffer — the sink-driven BXSA
+      writer, a streaming handler — or by the streaming readers, where it
+      yields decoded body pieces straight off the channel.
+
+    ``trailers``, when set on a streamed message, are written after the
+    last chunk; the streaming readers fill the same attribute with the
+    trailer section they parsed.
+    """
+
+    def _head_lines(self) -> list[bytes]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def head_bytes(self) -> bytes:
+        """Start line + headers + blank line, with body framing decided.
+
+        Sets ``Transfer-Encoding: chunked`` (and drops any stale
+        ``Content-Length``) when the body is a stream, ``Content-Length``
+        otherwise — the serializer never emits the smuggling combination
+        it rejects on parse.
+        """
+        if self.stream is not None:
+            self.headers._items = [
+                (k, v) for k, v in self.headers._items
+                if k.lower() != "content-length"
+            ]
+            self.headers.set("Transfer-Encoding", "chunked")
+        else:
+            self.headers.set("Content-Length", str(len(self.body)))
+        lines = self._head_lines()
+        lines += [f"{k}: {v}".encode("latin-1") for k, v in self.headers.items()]
+        return CRLF.join(lines) + HEADER_END
+
+    def iter_wire(self) -> Iterator[bytes]:
+        """The message as wire pieces, pulling a streamed body lazily.
+
+        The head is yielded first, so a consumer writing piece-by-piece
+        gets first-byte transmission before the body producer has run —
+        the whole point of the streamed form.  One-shot when ``stream``
+        is set (the iterable is consumed).
+        """
+        yield self.head_bytes()
+        if self.stream is None:
+            if self.body:
+                yield self.body
+            return
+        for piece in self.stream:
+            if len(piece):
+                # size line, payload, CRLF as separate pieces: never
+                # concatenate a payload-sized buffer just to frame it —
+                # for large streamed bodies that copy IS the peak memory
+                yield (b"%x" % len(piece)) + CRLF
+                yield piece
+                yield CRLF
+        yield last_chunk(self.trailers)
+
+    def to_bytes(self) -> bytes:
+        """The full message as one byte string (consumes a streamed body)."""
+        return b"".join(self.iter_wire())
+
+
 @dataclass
-class HttpRequest:
-    """An HTTP request with a fully-buffered body."""
+class HttpRequest(_Message):
+    """An HTTP request; body either buffered or streamed (see :class:`_Message`)."""
 
     method: str
     target: str
     headers: _Headers = field(default_factory=_Headers)
     body: bytes = b""
     version: str = "HTTP/1.1"
+    stream: Iterable[bytes] | None = None
+    trailers: _Headers | None = None
 
-    def to_bytes(self) -> bytes:
-        self.headers.set("Content-Length", str(len(self.body)))
-        lines = [f"{self.method} {self.target} {self.version}".encode("ascii")]
-        lines += [f"{k}: {v}".encode("latin-1") for k, v in self.headers.items()]
-        return CRLF.join(lines) + HEADER_END + self.body
+    def _head_lines(self) -> list[bytes]:
+        return [f"{self.method} {self.target} {self.version}".encode("ascii")]
 
     @property
     def keep_alive(self) -> bool:
@@ -108,25 +206,38 @@ class HttpRequest:
 
 
 @dataclass
-class HttpResponse:
-    """An HTTP response with a fully-buffered body."""
+class HttpResponse(_Message):
+    """An HTTP response; body either buffered or streamed (see :class:`_Message`)."""
 
     status: int
     headers: _Headers = field(default_factory=_Headers)
     body: bytes = b""
     version: str = "HTTP/1.1"
     reason: str = ""
+    stream: Iterable[bytes] | None = None
+    trailers: _Headers | None = None
 
-    def to_bytes(self) -> bytes:
+    def _head_lines(self) -> list[bytes]:
         reason = self.reason or REASONS.get(self.status, "Unknown")
-        self.headers.set("Content-Length", str(len(self.body)))
-        lines = [f"{self.version} {self.status} {reason}".encode("ascii")]
-        lines += [f"{k}: {v}".encode("latin-1") for k, v in self.headers.items()]
-        return CRLF.join(lines) + HEADER_END + self.body
+        return [f"{self.version} {self.status} {reason}".encode("ascii")]
 
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
+
+
+def drain_stream(message: HttpRequest | HttpResponse) -> None:
+    """Exhaust a message's streamed body, discarding the pieces.
+
+    Framing hygiene: a reader that hands out a body stream leaves the
+    underlying channel positioned mid-message until the stream is
+    consumed.  Servers call this after answering (the handler may not
+    have read the whole request body); clients before reusing a
+    connection whose response stream they abandoned.
+    """
+    if message.stream is not None:
+        for _ in message.stream:
+            pass
 
 
 def _parse_headers(block: bytes) -> _Headers:
@@ -145,19 +256,42 @@ def _parse_headers(block: bytes) -> _Headers:
     return headers
 
 
-def declared_body_length(headers: _Headers) -> int:
-    """The body length the headers declare (0 when absent).
+def body_framing(headers: _Headers) -> tuple[str, int]:
+    """How the headers delimit the body: ``("chunked", 0)`` or ``("length", n)``.
 
-    A repeated ``Content-Length`` with *differing* values is the classic
-    request-smuggling shape — two parsers picking different values frame
-    the stream differently — so it is rejected outright.  Repeats that
-    agree are collapsed (RFC 9110 §8.6 allows recombining them).
+    Rejections are deliberate, not gaps:
+
+    * ``Transfer-Encoding`` together with ``Content-Length`` is the
+      classic request-smuggling shape (two parsers frame the stream
+      differently) — 400;
+    * any coding chain other than a sole ``chunked`` — 501
+      (:class:`HttpUnsupportedTransferEncoding`), because silently
+      treating an encoded body as identity bytes corrupts it;
+    * repeated ``Content-Length`` with differing values — 400.  Repeats
+      that agree are collapsed (RFC 9110 §8.6 allows recombining them).
     """
-    if (headers.get("Transfer-Encoding") or "").lower() == "chunked":
-        raise HttpError("chunked transfer encoding is not supported")
+    te_values = headers.get_all("Transfer-Encoding")
+    if te_values:
+        if headers.get_all("Content-Length"):
+            raise HttpError(
+                "Transfer-Encoding with Content-Length is rejected "
+                "(request-smuggling shape)"
+            )
+        codings = [
+            c.strip().lower()
+            for value in te_values
+            for c in value.split(",")
+            if c.strip()
+        ]
+        if codings == ["chunked"]:
+            return "chunked", 0
+        raise HttpUnsupportedTransferEncoding(
+            f"unsupported Transfer-Encoding {', '.join(codings)!r} "
+            "(only a single chunked coding is implemented)"
+        )
     raw_values = headers.get_all("Content-Length")
     if not raw_values:
-        return 0
+        return "length", 0
     distinct = {value.strip() for value in raw_values}
     if len(distinct) > 1:
         raise HttpError(
@@ -170,11 +304,205 @@ def declared_body_length(headers: _Headers) -> int:
         raise HttpError(f"bad Content-Length {raw_length!r}") from None
     if length < 0:
         raise HttpError(f"negative Content-Length {length}")
+    return "length", length
+
+
+def declared_body_length(headers: _Headers) -> int:
+    """The fixed body length the headers declare (0 when absent).
+
+    The length-framed subset of :func:`body_framing`, kept for callers
+    that cannot handle a chunked body (the ladder load client parses
+    responses from this stack's servers, which are length-framed); a
+    chunked message raises here.
+    """
+    mode, length = body_framing(headers)
+    if mode == "chunked":
+        raise HttpError("chunked body has no declared length")
     return length
 
 
-def _read_body(channel: BufferedChannel, headers: _Headers) -> bytes:
-    return channel.recv_exactly(declared_body_length(headers))
+# ----------------------------------------------------------------------
+# chunked transfer coding — the only encoder/decoder in the codebase
+
+
+#: Ceiling on one chunk-size line (hex size + optional extensions).
+MAX_CHUNK_LINE = 256
+
+#: Ceiling on the trailer section of a chunked body.
+MAX_TRAILER_BYTES = 16 * 1024
+
+
+def encode_chunk(data: bytes | bytearray | memoryview) -> bytes:
+    """One data chunk: hex size, CRLF, payload, CRLF.
+
+    Empty input returns ``b""`` — a zero-size chunk on the wire would
+    terminate the body, so producers may pass through empty pieces
+    without guarding.
+    """
+    n = len(data)
+    if n == 0:
+        return b""
+    return (b"%x" % n) + CRLF + bytes(data) + CRLF
+
+
+def last_chunk(trailers: _Headers | None = None) -> bytes:
+    """The terminal zero chunk, carrying the trailer section if any."""
+    out = b"0" + CRLF
+    if trailers is not None:
+        for name, value in trailers.items():
+            out += f"{name}: {value}".encode("latin-1") + CRLF
+    return out + CRLF
+
+
+class ChunkedDecoder:
+    """Incremental chunked-coding parser (RFC 9112 §7.1): push bytes in,
+    get body pieces out.
+
+    Feeds need not align with any chunk boundary — a size line, a
+    payload, the trailer section may all arrive split across feeds
+    (exactly the shape the event-driven server's read loop produces).
+    Once :attr:`done` is set, bytes past the end of the body are *not*
+    consumed: they belong to the next pipelined message and are handed
+    back via :attr:`residue`.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._state = "size"  # size | data | data-end | trailers | done
+        self._remaining = 0
+        self._trailer_block = bytearray()
+        #: Parsed trailer section, once :attr:`done` (None before).
+        self.trailers: _Headers | None = None
+        #: Bytes fed past the end of the body (valid once :attr:`done`).
+        self.residue = b""
+        self.done = False
+
+    def feed(self, data: bytes | bytearray | memoryview) -> list[bytes]:
+        """Consume ``data``, returning the body pieces it completed."""
+        if self.done:
+            raise HttpError("chunked body already complete")
+        buf = self._buf
+        buf += data
+        pieces: list[bytes] = []
+        pos = 0
+        n = len(buf)
+        while not self.done:
+            if self._state == "data":
+                take = min(self._remaining, n - pos)
+                if take == 0:
+                    break
+                pieces.append(bytes(buf[pos : pos + take]))
+                pos += take
+                self._remaining -= take
+                if self._remaining == 0:
+                    self._state = "data-end"
+                continue
+            if self._state == "data-end":
+                if n - pos < 2:
+                    break
+                if buf[pos : pos + 2] != CRLF:
+                    raise HttpError("chunk data not terminated by CRLF")
+                pos += 2
+                self._state = "size"
+                continue
+            if self._state == "size":
+                idx = buf.find(CRLF, pos)
+                if idx < 0:
+                    if n - pos > MAX_CHUNK_LINE:
+                        raise HttpError("chunk-size line exceeds limit")
+                    break
+                line = bytes(buf[pos:idx])
+                pos = idx + 2
+                size_field = line.split(b";", 1)[0].strip()
+                try:
+                    size = int(size_field, 16)
+                except ValueError:
+                    raise HttpError(
+                        f"bad chunk size {size_field[:32]!r}"
+                    ) from None
+                if size == 0:
+                    self._state = "trailers"
+                else:
+                    self._remaining = size
+                    self._state = "data"
+                continue
+            # trailers: field lines up to an empty line
+            idx = buf.find(CRLF, pos)
+            if idx < 0:
+                if n - pos + len(self._trailer_block) > MAX_TRAILER_BYTES:
+                    raise HttpError("chunked trailer section exceeds limit")
+                break
+            line = bytes(buf[pos:idx])
+            pos = idx + 2
+            if line:
+                if len(self._trailer_block) + len(line) > MAX_TRAILER_BYTES:
+                    raise HttpError("chunked trailer section exceeds limit")
+                self._trailer_block += line + CRLF
+                continue
+            self.trailers = _parse_headers(bytes(self._trailer_block))
+            self.residue = bytes(buf[pos:])
+            self._buf = bytearray()
+            self.done = True
+            return pieces
+        del buf[:pos]
+        return pieces
+
+
+def read_chunked_body(channel: BufferedChannel) -> tuple[bytes, _Headers]:
+    """Read one whole chunked body off a channel: (body, trailers).
+
+    Bytes past the body (a pipelined next message) are pushed back into
+    the channel's buffer.
+    """
+    decoder = ChunkedDecoder()
+    pieces: list[bytes] = []
+    while not decoder.done:
+        data = channel.recv(65536)
+        if not data:
+            raise TransportClosed("peer closed mid-chunked-body")
+        pieces += decoder.feed(data)
+    if decoder.residue:
+        channel.unrecv(decoder.residue)
+    return b"".join(pieces), decoder.trailers
+
+
+def _iter_body(
+    channel: BufferedChannel, mode: str, length: int, owner: HttpRequest | HttpResponse
+) -> Iterator[bytes]:
+    """Yield body pieces straight off the channel (the streaming read path).
+
+    Exactly one whole body is consumed; for a chunked body the parsed
+    trailers land on ``owner.trailers`` after the last piece.  The
+    generator owns the channel until exhausted — see :func:`drain_stream`.
+    """
+    if mode == "chunked":
+        decoder = ChunkedDecoder()
+        while not decoder.done:
+            data = channel.recv(65536)
+            if not data:
+                raise TransportClosed("peer closed mid-chunked-body")
+            for piece in decoder.feed(data):
+                yield piece
+        if decoder.residue:
+            channel.unrecv(decoder.residue)
+        owner.trailers = decoder.trailers
+        return
+    remaining = length
+    while remaining > 0:
+        data = channel.recv(min(remaining, 65536))
+        if not data:
+            raise TransportClosed(
+                f"peer closed mid-body ({length - remaining}/{length} bytes received)"
+            )
+        remaining -= len(data)
+        yield data
+
+
+def _read_body(channel: BufferedChannel, headers: _Headers) -> tuple[bytes, _Headers | None]:
+    mode, length = body_framing(headers)
+    if mode == "chunked":
+        return read_chunked_body(channel)
+    return channel.recv_exactly(length), None
 
 
 def parse_request_head(head: bytes) -> tuple[str, str, str, _Headers]:
@@ -195,16 +523,31 @@ def parse_request_head(head: bytes) -> tuple[str, str, str, _Headers]:
     return method, target, version, _parse_headers(header_block)
 
 
-def read_request(channel: BufferedChannel) -> HttpRequest:
-    """Parse one request off a buffered channel."""
+def read_request(channel: BufferedChannel, *, stream_body: bool = False) -> HttpRequest:
+    """Parse one request off a buffered channel.
+
+    With ``stream_body`` a non-empty body is *not* buffered: the request
+    comes back with ``stream`` set to a generator yielding body pieces
+    off the channel as they arrive (chunked or length-framed alike) —
+    the consumer must exhaust it (or :func:`drain_stream` it) before the
+    channel is used again.
+    """
     head = channel.recv_until(HEADER_END)
     method, target, version, headers = parse_request_head(head[: -len(HEADER_END)])
-    body = _read_body(channel, headers)
-    return HttpRequest(method, target, headers, body, version)
+    if stream_body:
+        mode, length = body_framing(headers)
+        request = HttpRequest(method, target, headers, b"", version)
+        if mode == "chunked" or length > 0:
+            request.stream = _iter_body(channel, mode, length, request)
+        return request
+    body, trailers = _read_body(channel, headers)
+    request = HttpRequest(method, target, headers, body, version)
+    request.trailers = trailers
+    return request
 
 
-def read_response(channel: BufferedChannel) -> HttpResponse:
-    """Parse one response off a buffered channel."""
+def read_response(channel: BufferedChannel, *, stream_body: bool = False) -> HttpResponse:
+    """Parse one response off a buffered channel (``stream_body`` as above)."""
     head = channel.recv_until(HEADER_END)
     start_line, _, header_block = head[: -len(HEADER_END)].partition(CRLF)
     parts = start_line.split(b" ", 2)
@@ -217,5 +560,13 @@ def read_response(channel: BufferedChannel) -> HttpResponse:
         raise HttpError(f"bad status code {parts[1]!r}") from None
     reason = str(parts[2], "latin-1") if len(parts) == 3 else ""
     headers = _parse_headers(header_block)
-    body = _read_body(channel, headers)
-    return HttpResponse(status, headers, body, version, reason)
+    if stream_body:
+        mode, length = body_framing(headers)
+        response = HttpResponse(status, headers, b"", version, reason)
+        if mode == "chunked" or length > 0:
+            response.stream = _iter_body(channel, mode, length, response)
+        return response
+    body, trailers = _read_body(channel, headers)
+    response = HttpResponse(status, headers, body, version, reason)
+    response.trailers = trailers
+    return response

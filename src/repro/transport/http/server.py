@@ -45,6 +45,7 @@ from repro.transport.http.messages import (
     HttpRequest,
     HttpResponse,
     busy_response,
+    drain_stream,
     read_request,
 )
 
@@ -94,7 +95,7 @@ class HttpAppCore:
             try:
                 response = target(request)
             except HttpError as exc:
-                response = HttpResponse(400, body=str(exc).encode())
+                response = HttpResponse(exc.status, body=str(exc).encode())
             except Exception as exc:  # noqa: BLE001 - server must not die
                 # the client gets a generic body: internals (exception
                 # type, message, paths) are server-side information
@@ -189,6 +190,7 @@ class HttpServer(HttpAppCore):
         admin: bool = True,
         drain_timeout: float = 5.0,
         max_connections: int | None = DEFAULT_MAX_CONNECTIONS,
+        stream_bodies: bool = False,
     ) -> None:
         self._listener = listener
         self._handler = handler
@@ -196,6 +198,12 @@ class HttpServer(HttpAppCore):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._admin = admin
         self._drain_timeout = drain_timeout
+        #: With ``stream_bodies`` request bodies are not buffered: the
+        #: handler receives ``request.stream`` yielding pieces off the
+        #: wire as the client sends them — required to process a message
+        #: larger than memory.  The connection thread drains whatever the
+        #: handler leaves unread, preserving keep-alive framing.
+        self._stream_bodies = stream_bodies
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be >= 1 (or None for no cap)")
         self._max_connections = max_connections
@@ -352,16 +360,41 @@ class HttpServer(HttpAppCore):
         try:
             while True:
                 try:
-                    request = read_request(channel)
+                    request = read_request(channel, stream_body=self._stream_bodies)
+                except HttpError as exc:
+                    # framing the server understands enough to refuse —
+                    # an unsupported Transfer-Encoding earns its 501 (and
+                    # bad framing its 400) before the connection closes,
+                    # instead of a silent reset the client cannot act on
+                    response = HttpResponse(exc.status, body=str(exc).encode())
+                    response.headers.set("Connection", "close")
+                    try:
+                        channel.send_all(response.to_bytes())
+                    except TransportError:
+                        pass
+                    return  # body boundary unknown: never reuse
                 except TransportError:
                     return  # client went away between requests
                 response = self._respond(request)
                 keep = request.keep_alive
                 response.headers.set("Connection", "keep-alive" if keep else "close")
                 try:
-                    channel.send_all(response.to_bytes())
+                    # piece-by-piece: a streamed response's first bytes go
+                    # out before its producer has generated the rest
+                    for piece in response.iter_wire():
+                        channel.send_all(piece)
+                    # a streaming handler may not have read the whole
+                    # request body; the rest must leave the channel before
+                    # the next request head can be framed
+                    drain_stream(request)
                 except TransportError:
                     return  # client went away mid-response
+                except Exception as exc:  # noqa: BLE001 - a streaming body
+                    # producer failing mid-write cannot be turned into an
+                    # error status (the head is on the wire); the truncated
+                    # chunked body tells the peer the message is bad
+                    self._record_handler_error(request, exc)
+                    return
                 if not keep:
                     return
         finally:

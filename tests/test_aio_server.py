@@ -440,3 +440,98 @@ class TestConnectionDriver:
             assert result.duration_seconds >= 0.05
         finally:
             server.stop()
+
+
+class TestChunkedTransfer:
+    """Chunked Transfer-Encoding through the event-driven core."""
+
+    def setup_method(self):
+        self.listener = TcpListener(backlog=64)
+        self.server = AsyncHttpServer(self.listener, _echo_handler).start()
+
+    def teardown_method(self):
+        self.server.stop()
+
+    def _recv_response(self, sock) -> bytes:
+        data = b""
+        while b"\r\n\r\n" not in data:
+            data += sock.recv(65536)
+        return data
+
+    def test_chunked_request_with_trailers(self):
+        sock = socket.create_connection(self.listener.address, timeout=5)
+        try:
+            sock.sendall(
+                b"POST /x HTTP/1.1\r\nHost: a\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"6\r\nhello-\r\n5\r\nworld\r\n0\r\nX-Sum: 42\r\n\r\n"
+            )
+            data = self._recv_response(sock)
+            assert data.startswith(b"HTTP/1.1 200")
+            assert b"echo:hello-world" in data
+        finally:
+            sock.close()
+
+    def test_chunked_then_pipelined_plain_request(self):
+        """Residue after the terminal chunk is the next request; the
+        selector loop must keep both answers in order."""
+        sock = socket.create_connection(self.listener.address, timeout=5)
+        try:
+            sock.sendall(
+                b"POST /a HTTP/1.1\r\nHost: a\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"3\r\none\r\n0\r\n\r\n"
+                b"POST /b HTTP/1.1\r\nHost: a\r\nContent-Length: 3\r\n\r\ntwo"
+            )
+            data = b""
+            while data.count(b"HTTP/1.1 200") < 2 or not data.endswith(b"echo:two"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            assert data.index(b"echo:one") < data.index(b"echo:two")
+        finally:
+            sock.close()
+
+    def test_streamed_response_handler(self):
+        def streaming_handler(request):
+            response = HttpResponse(200)
+            response.stream = (b"piece-%d," % i for i in range(8))
+            return response
+
+        listener = TcpListener(backlog=16)
+        server = AsyncHttpServer(listener, streaming_handler).start()
+        client = _http_client(listener)
+        try:
+            response = client.get("/s", stream_response=True)
+            assert response.status == 200
+            assert (response.headers.get("Transfer-Encoding") or "").lower() == "chunked"
+            body = b"".join(response.stream)
+            assert body == b"".join(b"piece-%d," % i for i in range(8))
+            # keep-alive survives a fully-consumed streamed response
+            assert client.get("/t", stream_response=False).status == 200
+        finally:
+            client.close()
+            server.stop()
+
+    def test_unsupported_transfer_encoding_gets_501_and_close(self):
+        sock = socket.create_connection(self.listener.address, timeout=5)
+        try:
+            sock.sendall(
+                b"POST /x HTTP/1.1\r\nHost: a\r\nTransfer-Encoding: deflate\r\n\r\n"
+            )
+            data = self._recv_response(sock)
+            assert data.startswith(b"HTTP/1.1 501")
+            assert b"Connection: close" in data
+            assert sock.recv(65536) == b""  # closed after flushing
+        finally:
+            sock.close()
+
+    def test_te_with_content_length_gets_400(self):
+        sock = socket.create_connection(self.listener.address, timeout=5)
+        try:
+            sock.sendall(
+                b"POST /x HTTP/1.1\r\nHost: a\r\n"
+                b"Transfer-Encoding: chunked\r\nContent-Length: 3\r\n\r\nabc"
+            )
+            assert self._recv_response(sock).startswith(b"HTTP/1.1 400")
+        finally:
+            sock.close()

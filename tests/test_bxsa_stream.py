@@ -2,11 +2,21 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.bxsa import decode, encode
 from repro.bxsa.errors import BXSADecodeError, BXSAEncodeError
-from repro.bxsa.stream import BXSAStreamReader, BXSAStreamWriter, EventKind
+from repro.bxsa.stream import (
+    BXSAStreamReader,
+    BXSAStreamWriter,
+    EventKind,
+    StreamDecoder,
+    write_document,
+)
 from repro.xdm import QName, array, comment, deep_equal, doc, element, leaf, pi, text
+
+from tests.strategies import documents
 
 
 def sample_document():
@@ -295,3 +305,106 @@ class TestAdversarialTruncation:
         blob = self.bare_array_blob()
         with pytest.raises(BXSADecodeError):
             list(BXSAStreamReader(blob[:-3]))
+
+
+def _event_key(event):
+    """An event as comparable values (AttributeNode has no __eq__)."""
+    values = None
+    if event.values is not None:
+        values = (event.values.dtype.str, event.values.tobytes())
+    return (
+        event.kind,
+        event.name,
+        tuple((a.name, getattr(a.atype, "code", None), a.value) for a in event.attributes),
+        tuple((n.prefix, n.uri) for n in event.namespaces),
+        event.value,
+        values,
+        getattr(event.atype, "code", event.atype),
+        event.item_name,
+        event.text,
+        event.target,
+        event.depth,
+        event.count,
+        event.item_offset,
+    )
+
+
+def _decode_events(blob, pieces=None):
+    decoder = StreamDecoder()
+    events = []
+    for piece in pieces if pieces is not None else (blob,):
+        events.extend(decoder.feed(piece))
+    decoder.close()
+    return [_event_key(e) for e in events]
+
+
+class TestStreamedProfileProperties:
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(document=documents())
+    def test_buffered_write_document_byte_identical(self, document):
+        """Driving the buffered writer from any bXDM tree reproduces the
+        tree encoder's bytes exactly — not just an equivalent document."""
+        assert write_document(BXSAStreamWriter(), document) == encode(document)
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(document=documents(), chunk=st.integers(min_value=16, max_value=4096))
+    def test_sink_pieces_decode_to_identical_events(self, document, chunk):
+        """The sink-driven writer's pieces, rejoined, yield the *same
+        event stream* as the tree encoder's bytes — the streamed container
+        profile changes framing, never content — at any flush chunk size."""
+        pieces = []
+        writer = BXSAStreamWriter(sink=lambda p: pieces.append(bytes(p)), chunk_size=chunk)
+        assert write_document(writer, document) == b""
+        streamed = b"".join(pieces)
+        assert _decode_events(streamed) == _decode_events(encode(document))
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(document=documents(), chunk=st.integers(min_value=1, max_value=64), profile=st.booleans())
+    def test_incremental_feed_chunking_is_invisible(self, document, chunk, profile):
+        """Feeding either profile's bytes in arbitrary small pieces yields
+        exactly the single-shot event stream."""
+        if profile:
+            pieces = []
+            writer = BXSAStreamWriter(sink=pieces.append, chunk_size=512)
+            write_document(writer, document)
+            blob = b"".join(bytes(p) for p in pieces)
+        else:
+            blob = encode(document)
+        split = [blob[i : i + chunk] for i in range(0, len(blob), chunk)]
+        assert _decode_events(blob, split) == _decode_events(blob)
+
+
+class TestChunkBoundaryFuzz:
+    def test_every_split_offset_yields_identical_events(self):
+        """Exhaustive two-piece boundary fuzz of the incremental decoder,
+        in both container profiles: no offset may change the events."""
+        document = sample_document()
+        pieces = []
+        writer = BXSAStreamWriter(sink=pieces.append, chunk_size=64)
+        write_document(writer, document)
+        for blob in (encode(document), b"".join(bytes(p) for p in pieces)):
+            expected = _decode_events(blob)
+            for offset in range(len(blob) + 1):
+                got = _decode_events(blob, (blob[:offset], blob[offset:]))
+                assert got == expected, f"events diverged splitting at {offset}"
+
+
+class TestZeroCopyAliasing:
+    def test_reader_array_views_alias_the_input_buffer(self):
+        """BXSAStreamReader array payloads are memoryview-backed views of
+        the caller's buffer — same memory, not a copy."""
+        payload = np.arange(4096, dtype="f8")
+        blob = encode(element("r", array("v", payload)))
+        raw = np.frombuffer(blob, dtype=np.uint8)
+        event = next(e for e in BXSAStreamReader(blob) if e.kind is EventKind.ARRAY)
+        assert np.shares_memory(event.values, raw)
+        assert event.values.dtype == payload.dtype
+        np.testing.assert_array_equal(event.values, payload)
+
+    def test_reader_accepts_memoryview_input_zero_copy(self):
+        payload = np.arange(1024, dtype="i4")
+        backing = bytearray(encode(element("r", array("v", payload))))
+        view = memoryview(backing)
+        event = next(e for e in BXSAStreamReader(view) if e.kind is EventKind.ARRAY)
+        assert np.shares_memory(event.values, np.frombuffer(backing, dtype=np.uint8))
+        np.testing.assert_array_equal(event.values, payload)

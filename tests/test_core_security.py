@@ -18,6 +18,13 @@ from repro.core import (
     check_security_policy,
 )
 from repro.core.concepts import PolicyConceptError
+from repro.core.security import (
+    ChunkSignatureError,
+    ChunkSigner,
+    ChunkVerifier,
+    sign_stream,
+    verify_stream,
+)
 from repro.services import echo_dispatcher
 from repro.transport import MemoryNetwork
 from repro.xdm import array, element, leaf
@@ -177,3 +184,85 @@ class TestSecuredService:
             with pytest.raises(SoapFault, match="no such operation"):
                 client.call(SoapEnvelope.wrap(element("Nope")))
             client.close()
+
+
+class TestChunkSigning:
+    """The non-blocking chunk-signature layer (Kohring & Lo Iacono):
+    per-chunk MACs verified in flight, a chained trailer sealing the
+    whole flow — O(chunk) memory at both ends."""
+
+    def test_roundtrip_byte_at_a_time(self, key):
+        payloads = [b"alpha", b"beta-beta", b"\x00" * 1000]
+        signer = ChunkSigner(key)
+        wire = b"".join([signer.wrap(p) for p in payloads] + [signer.trailer()])
+        verifier = ChunkVerifier(key)
+        out = []
+        for i in range(len(wire)):  # worst-case fragmentation
+            out.extend(verifier.feed(wire[i : i + 1]))
+        verifier.close()
+        assert verifier.done
+        assert out == payloads
+
+    def test_stream_generators_roundtrip(self, key):
+        payloads = [bytes([i]) * (100 + i) for i in range(1, 20)]
+        assert list(verify_stream(sign_stream(iter(payloads), key), key)) == payloads
+
+    def test_tampered_chunk_detected(self, key):
+        signer = ChunkSigner(key)
+        wire = bytearray(signer.wrap(b"payload-under-test") + signer.trailer())
+        wire[10] ^= 0x01  # flip one payload bit
+        verifier = ChunkVerifier(key)
+        with pytest.raises(ChunkSignatureError):
+            verifier.feed(bytes(wire))
+
+    def test_truncation_detected(self, key):
+        signer = ChunkSigner(key)
+        wire = signer.wrap(b"first") + signer.wrap(b"second")  # no trailer
+        verifier = ChunkVerifier(key)
+        assert verifier.feed(wire) == [b"first", b"second"]
+        with pytest.raises(ChunkSignatureError, match="trailer"):
+            verifier.close()
+
+    def test_reordered_chunks_detected(self, key):
+        signer = ChunkSigner(key)
+        first, second = signer.wrap(b"first-chunk"), signer.wrap(b"second-chunk")
+        verifier = ChunkVerifier(key)
+        with pytest.raises(ChunkSignatureError):
+            verifier.feed(second + first + signer.trailer())
+
+    def test_data_past_trailer_rejected(self, key):
+        signer = ChunkSigner(key)
+        wire = signer.wrap(b"only") + signer.trailer()
+        verifier = ChunkVerifier(key)
+        with pytest.raises(ChunkSignatureError):
+            verifier.feed(wire + b"x")
+
+    def test_wrong_key_rejected(self, key):
+        signer = ChunkSigner(key)
+        wire = signer.wrap(b"data") + signer.trailer()
+        with pytest.raises(ChunkSignatureError):
+            ChunkVerifier(SecretKey.generate()).feed(wire)
+
+    def test_empty_chunk_rejected(self, key):
+        with pytest.raises(ChunkSignatureError):
+            ChunkSigner(key).wrap(b"")
+
+    def test_signer_single_use_after_trailer(self, key):
+        signer = ChunkSigner(key)
+        signer.wrap(b"x")
+        signer.trailer()
+        with pytest.raises(ChunkSignatureError):
+            signer.wrap(b"y")
+
+    def test_bounded_memory_end_to_end(self, key):
+        """A multi-MiB flow verifies chunk-by-chunk: at no point does the
+        verifier hold more than one signed chunk in its buffer."""
+        chunk = b"\xab" * (256 * 1024)
+        verifier = ChunkVerifier(key)
+        out_bytes = 0
+        for piece in sign_stream((chunk for _ in range(64)), key):
+            for payload in verifier.feed(piece):
+                out_bytes += len(payload)
+            assert len(verifier._buf) <= len(chunk) + 64
+        verifier.close()
+        assert out_bytes == 64 * len(chunk)

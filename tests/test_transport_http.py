@@ -64,7 +64,9 @@ class TestMessageCodec:
             b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n",
             b"GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n",
             b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
-            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n",
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\nG\r\n",
         ],
     )
     def test_malformed_requests_rejected(self, raw):
@@ -205,5 +207,120 @@ class TestClientServerOverSockets:
             resp = client.post("/sock", b"over real tcp")
             assert resp.body == b"over real tcp"
             client.close()
+        finally:
+            server.stop()
+
+
+class TestChunkedTransfer:
+    """HTTP/1.1 chunked Transfer-Encoding through the threaded stack."""
+
+    def setup_method(self):
+        self.net = MemoryNetwork()
+
+    def _serve(self, handler, **kwargs):
+        server = HttpServer(self.net.listen("web"), handler, **kwargs).start()
+        client = HttpClient(lambda: self.net.connect("web"))
+        return server, client
+
+    def test_chunked_request_buffered_for_plain_handler(self):
+        """Without stream_bodies the server assembles a chunked body so
+        ordinary handlers keep seeing request.body whole."""
+        server, client = self._serve(_echo_handler)
+        try:
+            resp = client.post("/echo", body=iter([b"alpha-", b"beta-", b"gamma"]))
+            assert resp.status == 200
+            assert resp.body == b"alpha-beta-gamma"
+        finally:
+            client.close()
+            server.stop()
+
+    def test_streamed_request_and_response_end_to_end(self):
+        """stream_bodies server + iterable client body + stream_response:
+        no side ever holds the message whole, and keep-alive survives."""
+        seen = []
+
+        def handler(request):
+            total = 0
+            for piece in request.stream if request.stream is not None else ():
+                total += len(piece)
+            seen.append((dict(request.trailers.items()) if request.trailers else {}, total))
+            response = HttpResponse(200)
+            response.stream = (b"out-%d" % i for i in range(4))
+            return response
+
+        server, client = self._serve(handler, stream_bodies=True)
+        try:
+            resp = client.request(
+                "POST",
+                "/up",
+                body=iter([b"x" * 7000 for _ in range(10)]),
+                trailers={"X-Checksum": "abc"},
+                stream_response=True,
+            )
+            assert resp.status == 200
+            assert b"".join(resp.stream) == b"out-0out-1out-2out-3"
+            # the connection is reusable afterwards: framing stayed exact
+            assert client.get("/again", stream_response=False).status == 200
+        finally:
+            client.close()
+            server.stop()
+        assert seen[0] == ({"X-Checksum": "abc"}, 70000)
+
+    def test_unread_streamed_body_is_drained_for_keep_alive(self):
+        """A streaming handler that ignores the request body must not
+        poison the connection: the server drains the rest itself."""
+
+        def handler(request):
+            return HttpResponse(204)
+
+        server, client = self._serve(handler, stream_bodies=True)
+        try:
+            first = client.post("/ignored", body=iter([b"y" * 5000] * 4))
+            assert first.status == 204
+            # a second exchange frames correctly only if the unread
+            # chunked body left the channel before this request's head
+            assert client.get("/next").status == 204
+        finally:
+            client.close()
+            server.stop()
+
+    def test_unsupported_transfer_encoding_gets_501_and_close(self):
+        server, _client = self._serve(_echo_handler)
+        try:
+            channel = BufferedChannel(self.net.connect("web"))
+            channel.send_all(
+                b"POST / HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: gzip\r\n\r\n"
+            )
+            response = read_response(channel)
+            assert response.status == 501
+            assert (response.headers.get("Connection") or "").lower() == "close"
+        finally:
+            server.stop()
+
+    def test_te_with_content_length_gets_400(self):
+        server, _client = self._serve(_echo_handler)
+        try:
+            channel = BufferedChannel(self.net.connect("web"))
+            channel.send_all(
+                b"POST / HTTP/1.1\r\nHost: x\r\n"
+                b"Transfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\n"
+            )
+            assert read_response(channel).status == 400
+        finally:
+            server.stop()
+
+    def test_chunked_pipelining_residue_preserved(self):
+        """Bytes past the terminal chunk belong to the next request; the
+        reader must push them back, not swallow them."""
+        server, _client = self._serve(_echo_handler)
+        try:
+            channel = BufferedChannel(self.net.connect("web"))
+            channel.send_all(
+                b"POST /one HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"5\r\nhello\r\n0\r\n\r\n"
+                b"POST /two HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\nhi"
+            )
+            assert read_response(channel).body == b"hello"
+            assert read_response(channel).body == b"hi"
         finally:
             server.stop()

@@ -28,6 +28,7 @@ CURRENT = RESULTS_DIR / "hotpath.json"
 BASELINE = RESULTS_DIR / "hotpath_baseline.json"
 OBS_RESULTS = RESULTS_DIR / "obs.json"
 SERVE_RESULTS = RESULTS_DIR / "serve.json"
+STREAM_RESULTS = RESULTS_DIR / "stream.json"
 
 #: A pinned ratio may degrade to this fraction of its baseline before the
 #: guard fails (25% regression budget — generous enough for machine noise,
@@ -72,6 +73,23 @@ SERVE_FLOORS = {
     # floor leaves noise room without letting the claim rot).
     "aio_ladder_connections": 4096.0,
     "aio_vs_threaded_goodput": 0.9,
+}
+
+#: Fixed bounds for the streaming-pipeline pins that
+#: ``benchmarks/bench_stream.py`` writes to ``stream.json`` (Figure S).
+#: The streamed exchange's peak Python-heap allocation must stay a few
+#: transfer chunks regardless of message size, the buffered baseline must
+#: keep materializing (or the comparison measures nothing), buffered TTFB
+#: must stay >= 5x streamed at 64 MiB, and per-chunk signing may cost
+#: bounded throughput only.  Keep in sync with the constants at the top
+#: of that module.
+STREAM_CEILINGS = {
+    "streamed_peak_over_chunk": 4.0,
+    "signed_total_over_unsigned": 6.0,
+}
+STREAM_FLOORS = {
+    "ttfb_ratio_64mib": 5.0,
+    "buffered_peak_over_payload": 1.0,
 }
 
 
@@ -164,6 +182,35 @@ def check_serve_pins() -> list[str]:
     return failures
 
 
+def check_stream_pins() -> list[str]:
+    """Check stream.json against its fixed bounds; [] when absent or ok."""
+    results = load(STREAM_RESULTS)
+    if results is None or "measured" not in results:
+        print(
+            f"bench_guard: no streaming results at {STREAM_RESULTS.name} — skipping "
+            "(run PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest "
+            "benchmarks/bench_stream.py -q to produce them)"
+        )
+        return []
+    failures = []
+    bounds = [(name, limit, "ceiling") for name, limit in STREAM_CEILINGS.items()]
+    bounds += [(name, limit, "floor") for name, limit in STREAM_FLOORS.items()]
+    for name, limit, kind in bounds:
+        value = results["measured"].get(name)
+        if value is None:
+            failures.append(f"stream.{name}: missing from {STREAM_RESULTS.name}")
+            continue
+        ok = value <= limit if kind == "ceiling" else value >= limit
+        print(
+            f"bench_guard: {name:>28} current {value:10.3f}  "
+            f"{kind} {limit:8.3f}  {'ok' if ok else 'VIOLATED'}"
+        )
+        if not ok:
+            relation = "exceeds ceiling" if kind == "ceiling" else "fell below floor"
+            failures.append(f"stream.{name}: {value:.3f} {relation} {limit:.3f}")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     check_only = "--check" in argv
     reset = "--reset" in argv
@@ -216,6 +263,7 @@ def main(argv: list[str]) -> int:
     failures.extend(check_hotpath_ceilings(current))
     failures.extend(check_obs_ceilings())
     failures.extend(check_serve_pins())
+    failures.extend(check_stream_pins())
 
     if failures:
         print("bench_guard: FAIL")

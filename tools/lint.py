@@ -226,6 +226,59 @@ def concurrency_findings(path: str) -> list[tuple[int, str]]:
     return findings
 
 
+#: The one module allowed to speak chunked Transfer-Encoding on the wire.
+CHUNKED_FRAMING_HOME = "transport/http/messages.py"
+
+
+def chunked_framing_findings(path: str) -> list[tuple[int, str]]:
+    """Confine chunked-transfer framing to the HTTP message codec.
+
+    Chunked encoding has sharp edges (request smuggling via TE+CL, hex
+    size lines, trailer sections); every one of them is handled once in
+    ``transport/http/messages.py``.  Code elsewhere that touches the
+    ``Transfer-Encoding`` header by name, or parses hex the way a chunk
+    size line is parsed, is growing a second framing implementation —
+    route it through ``body_framing``/``ChunkedDecoder`` instead.
+    """
+    rel = _repro_relative(path)
+    if rel is None or rel == CHUNKED_FRAMING_HOME:
+        return []
+    with open(path, "rb") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # dead_imports already reports the syntax error
+    findings = []
+    header_message = (
+        "chunked transfer framing is reserved to transport/http/messages.py; "
+        "use body_framing()/ChunkedDecoder/iter_wire() instead of touching "
+        "the Transfer-Encoding header directly"
+    )
+    hex_message = (
+        "hex chunk-size parsing is reserved to transport/http/messages.py "
+        "(ChunkedDecoder owns the chunk-line grammar)"
+    )
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value.lower() == "transfer-encoding"
+        ):
+            findings.append((node.lineno, header_message))
+        elif (
+            rel.startswith("transport/")
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "int"
+            and len(node.args) == 2
+            and isinstance(node.args[1], ast.Constant)
+            and node.args[1].value == 16
+        ):
+            findings.append((node.lineno, hex_message))
+    return findings
+
+
 def iter_python_files(paths: list[str]):
     for root in paths:
         if os.path.isfile(root):
@@ -248,6 +301,9 @@ def main(argv: list[str]) -> int:
             print(f"{path}:{lineno}: {message}")
             serve_total += 1
         for lineno, message in concurrency_findings(path):
+            print(f"{path}:{lineno}: {message}")
+            serve_total += 1
+        for lineno, message in chunked_framing_findings(path):
             print(f"{path}:{lineno}: {message}")
             serve_total += 1
 

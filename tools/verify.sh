@@ -20,12 +20,18 @@ PYTHONPATH=src python -m pytest -x -q
 echo "== event-driven serving smoke =="
 python tools/aio_smoke.py
 
+echo "== stream pipeline smoke =="
+python tools/stream_smoke.py
+
 if [ "$1" != "--fast" ]; then
     echo "== hot-path bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_hotpath.py -q
 
     echo "== serving-runtime bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_serve.py -q
+
+    echo "== streaming-pipeline bench smoke =="
+    PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_stream.py -q
 
     echo "== bench guard =="
     python tools/bench_guard.py --check
