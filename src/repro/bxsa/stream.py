@@ -195,6 +195,7 @@ class BXSAStreamWriter:
         self._pending = bytearray()
         self._chunks: list = []
         self._nbytes = 0
+        self._pieces = 0
         self._scopes = ScopeStack()
         # (placeholder index, byte mark, child count, header bytes|None);
         # sink mode keeps only the child count (no back-patching)
@@ -211,6 +212,14 @@ class BXSAStreamWriter:
         else:
             self._sink_write(chunk)
 
+    def _piece_out(self, piece) -> None:
+        # a traced stream marks when its first piece left (TTFB's encode
+        # half) — the matching stream.last_chunk lands in end_document
+        if self._pieces == 0:
+            obs.event("stream.first_chunk", bytes=len(piece))
+        self._pieces += 1
+        self._sink(piece)
+
     def _sink_write(self, chunk) -> None:
         cs = self._chunk_size
         pending = self._pending
@@ -226,23 +235,23 @@ class BXSAStreamWriter:
                 # chunk-sized copies per chunk, which for a streamed
                 # gigabyte array *is* the pipeline's peak memory.  Pieces
                 # stay at most ``chunk_size``; only their boundaries shift.
-                self._sink(bytes(pending))
+                self._piece_out(bytes(pending))
                 pending.clear()
             off = 0
             while n - off >= cs:
-                self._sink(view[off : off + cs])
+                self._piece_out(view[off : off + cs])
                 off += cs
             if off < n:
                 pending += view[off:]
             return
         pending += chunk
         while len(pending) >= cs:
-            self._sink(bytes(pending[:cs]))
+            self._piece_out(bytes(pending[:cs]))
             del pending[:cs]
 
     def _flush_pending(self) -> None:
         if self._pending:
-            self._sink(bytes(self._pending))
+            self._piece_out(bytes(self._pending))
             self._pending.clear()
 
     def _count_child(self) -> None:
@@ -341,6 +350,7 @@ class BXSAStreamWriter:
         if self._sink is not None:
             self._emit_frame(FrameType.STREAM_END, [encode_vls(n_children)])
             self._flush_pending()
+            obs.event("stream.last_chunk", pieces=self._pieces, bytes=self._nbytes)
             obs.counter("bxsa.stream.bytes_written").add(self._nbytes)
             return b""
         self._patch(placeholder, mark, n_children, FrameType.DOCUMENT, b"")

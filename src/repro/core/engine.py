@@ -23,6 +23,7 @@ import random
 import time
 
 from repro import obs
+from repro.obs import propagation
 from repro.core.concepts import (
     check_binding_client,
     check_binding_server,
@@ -193,6 +194,12 @@ class SoapEngine:
     def send(self, envelope: SoapEnvelope, *, deadline=None) -> int:
         """One-way send; returns the payload size in bytes."""
         with obs.span("soap.send", kind="logical") as sp:
+            # trace context rides as a SOAP header block; injected before
+            # signing so the signature covers it (replacing any stale
+            # block, so proxy hops re-stamp rather than accumulate)
+            ctx = propagation.outbound_context(sp)
+            if ctx is not None:
+                propagation.inject_envelope(envelope, ctx)
             if self.security is not None:
                 self.security.sign(envelope)
             payload = self.encoding.encode(envelope.to_document())

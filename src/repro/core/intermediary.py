@@ -17,9 +17,11 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
+from repro import obs
 from repro.core.engine import SoapEngine
 from repro.core.fault import SoapFault
 from repro.core.policies import EncodingPolicy
+from repro.obs import propagation
 from repro.transport.base import Channel, Listener, TransportError
 from repro.transport.tcp_binding import TcpClientBinding, TcpServerBinding
 
@@ -99,13 +101,20 @@ class TcpIntermediary:
                     continue
                 # Forward on the downstream encoding; relay the response
                 # (or the downstream fault) back on the upstream one.
-                try:
-                    response = down.call(request)
-                except SoapFault as fault:
-                    up.reply_fault(fault, content_type)
-                    continue
-                self.forwarded += 1
-                up.reply(response, content_type)
+                # The hop joins the caller's trace (its span parents the
+                # next hop's work: down.call re-stamps the envelope's
+                # context block with this span as the new parent).
+                ctx = propagation.extract_envelope(request)
+                with obs.span(
+                    "soap.forward", kind="logical", context=ctx
+                ), obs.use_context(ctx):
+                    try:
+                        response = down.call(request)
+                    except SoapFault as fault:
+                        up.reply_fault(fault, content_type)
+                        continue
+                    self.forwarded += 1
+                    up.reply(response, content_type)
         finally:
             inbound_channel.close()
             if outbound_channel is not None:

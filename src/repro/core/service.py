@@ -23,11 +23,13 @@ from __future__ import annotations
 import threading
 import time
 
+from repro import obs
 from repro.core.dispatcher import Dispatcher
 from repro.core.engine import SoapEngine
 from repro.core.envelope import SoapEnvelope
 from repro.core.fault import CLIENT_FAULT, SoapFault
 from repro.core.policies import EncodingPolicy, XMLEncoding, encoding_for_content_type
+from repro.obs import propagation
 from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import Listener, TransportError
 from repro.transport.http.messages import HttpRequest, HttpResponse
@@ -66,6 +68,8 @@ class _RedRecorder:
                 "status": status,
             },
         ).add()
+        # the worst request's trace id rides along as an exemplar, linking
+        # the metric series back to the trace that explains it
         self._metrics.histogram(
             "soap_request_seconds",
             labels={
@@ -73,7 +77,7 @@ class _RedRecorder:
                 "encoding": encoding,
                 "binding": self._binding,
             },
-        ).observe(seconds)
+        ).observe(seconds, exemplar=obs.current_trace_id())
 
     @staticmethod
     def status_for(fault: SoapFault) -> str:
@@ -227,19 +231,27 @@ class SoapTcpService:
                     continue
                 encoding_label = content_type.split(";")[0].strip()
                 operation = red.operation_label(request)
-                try:
-                    response = self._dispatcher.dispatch(request)
-                except SoapFault as fault:
+                # the engine has no HTTP headers: here the trace context
+                # arrives as the envelope's SOAP header block
+                ctx = propagation.extract_envelope(request)
+                with obs.span(
+                    "soap.serve", kind="logical", context=ctx, operation=operation
+                ), obs.use_context(ctx):
+                    try:
+                        response = self._dispatcher.dispatch(request)
+                    except SoapFault as fault:
+                        red.record(
+                            operation,
+                            encoding_label,
+                            red.status_for(fault),
+                            time.perf_counter() - start,
+                        )
+                        engine.reply_fault(fault, content_type)
+                        continue
+                    engine.reply(response, content_type)
                     red.record(
-                        operation,
-                        encoding_label,
-                        red.status_for(fault),
-                        time.perf_counter() - start,
+                        operation, encoding_label, "ok", time.perf_counter() - start
                     )
-                    engine.reply_fault(fault, content_type)
-                    continue
-                engine.reply(response, content_type)
-                red.record(operation, encoding_label, "ok", time.perf_counter() - start)
         finally:
             self.metrics.gauge("soap_tcp_connections_open").dec()
             channel.close()

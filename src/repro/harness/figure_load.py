@@ -534,8 +534,30 @@ if __name__ == "__main__":
         default=None,
         help="connection counts for the ladder's event-driven rungs",
     )
+    parser.add_argument(
+        "--distributed-trace",
+        action="store_true",
+        help="run the cross-process tracing demo (live client + server, "
+        "both serving cores) and verify the assembled trace instead of "
+        "the load sweep",
+    )
     add_observability_args(parser)
     args = parser.parse_args()
+    if args.distributed_trace:
+        from repro.harness.dtrace import run_distributed_trace_demo
+
+        failed = False
+        for core in ("threaded", "aio"):
+            demo = run_distributed_trace_demo(core=core)
+            for problem in demo["problems"]:
+                print(f"PROBLEM[{core}]: {problem}")
+            print(
+                f"distributed-trace[{core}]: trace {demo['trace_id']} "
+                f"wire {demo['wire_seconds'] * 1e3:.3f}ms "
+                f"[{'OK' if demo['ok'] else 'FAIL'}]"
+            )
+            failed = failed or not demo["ok"]
+        raise SystemExit(1 if failed else 0)
     if args.ladder:
         result = run_ladder(
             workers=args.workers,

@@ -414,7 +414,26 @@ if __name__ == "__main__":
     parser.add_argument("--chunk-kib", type=int, default=DEFAULT_CHUNK_BYTES // 1024)
     parser.add_argument("--queue-depth", type=int, default=DEFAULT_QUEUE_DEPTH)
     parser.add_argument("--json-out", default=None, help="write the sweep JSON here")
+    parser.add_argument(
+        "--distributed-trace",
+        action="store_true",
+        help="run the cross-process tracing demo with streamed-pipeline "
+        "chunk markers (stream.first_chunk/stream.last_chunk events) and "
+        "verify the assembled trace instead of the size sweep",
+    )
     args = parser.parse_args()
+    if args.distributed_trace:
+        from repro.harness.dtrace import run_distributed_trace_demo
+
+        demo = run_distributed_trace_demo(core="threaded", streamed_markers=True)
+        for problem in demo["problems"]:
+            print(f"PROBLEM: {problem}")
+        print(
+            f"distributed-trace[stream]: trace {demo['trace_id']} "
+            f"wire {demo['wire_seconds'] * 1e3:.3f}ms "
+            f"[{'OK' if demo['ok'] else 'FAIL'}]"
+        )
+        raise SystemExit(0 if demo["ok"] else 1)
     result = run(
         sizes_mib=tuple(args.sizes) if args.sizes else DEFAULT_SIZES_MIB,
         buffered_cap_mib=args.buffered_cap,

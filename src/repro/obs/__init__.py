@@ -41,7 +41,7 @@ run — including from worker threads.
 
 from __future__ import annotations
 
-from repro.obs.export import folded_stacks, trace_dict, write_trace
+from repro.obs.export import append_trace, folded_stacks, read_trace_lines, trace_dict, write_trace
 from repro.obs.exposition import render_prometheus, render_varz
 from repro.obs.metrics import (
     Counter,
@@ -59,10 +59,15 @@ from repro.obs.trace import (
     NullRecorder,
     Span,
     SpanEvent,
+    TraceContext,
     TraceRecorder,
+    current_context,
+    current_trace_id,
     get_recorder,
     recording,
     set_recorder,
+    thread_recorder,
+    use_context,
 )
 
 __all__ = [
@@ -80,27 +85,34 @@ __all__ = [
     "NullRecorder",
     "Span",
     "SpanEvent",
+    "TraceContext",
     "TraceRecorder",
+    "append_trace",
     "charge",
     "counter",
+    "current_context",
+    "current_trace_id",
     "event",
     "folded_stacks",
     "gauge",
     "get_recorder",
     "histogram",
+    "read_trace_lines",
     "recording",
     "render_prometheus",
     "render_varz",
     "set_recorder",
     "span",
+    "thread_recorder",
     "trace_dict",
+    "use_context",
     "write_trace",
 ]
 
 
-def span(name: str, kind: str = "cpu", parent=None, **attributes):
+def span(name: str, kind: str = "cpu", parent=None, context=None, **attributes):
     """Open a span on the active recorder (no-op context when disabled)."""
-    return get_recorder().span(name, kind=kind, parent=parent, **attributes)
+    return get_recorder().span(name, kind=kind, parent=parent, context=context, **attributes)
 
 
 def event(name: str, **attributes) -> None:

@@ -1,11 +1,12 @@
-"""Trace analysis CLI: critical paths, cross-trace aggregates, diffs.
+"""Trace analysis CLI: critical paths, aggregates, diffs, cross-process joins.
 
 Works on the span-tree JSON documents (schema ``repro.obs.trace/1``) that
-``--trace-out`` writes — one file per harness exchange.  Three commands::
+``--trace-out`` writes — one file per harness exchange.  Four commands::
 
     python -m repro.obs.analyze critical-path TRACE_OR_DIR [...]
     python -m repro.obs.analyze aggregate DIR [...]
     python -m repro.obs.analyze diff DIR_A DIR_B
+    python -m repro.obs.analyze join TRACE_OR_DIR [...] [--out FILE]
 
 * **critical-path** walks each exchange tree along its most expensive
   child at every level, prints the chain, and *reconciles*: the sum of
@@ -20,6 +21,15 @@ Works on the span-tree JSON documents (schema ``repro.obs.trace/1``) that
 * **diff** pairs traces by filename across two directories (two runs,
   two machines, two commits) and reports per-exchange total deltas and
   the segments that moved most.
+* **join** assembles per-process trace files into one cross-process
+  tree: a server root span carrying ``trace.remote_origin`` /
+  ``trace.remote_span`` join keys is re-parented under the client span
+  it names, its clock is aligned into the client's time base (loopback
+  assumption: the wire delay splits evenly around the server's work),
+  and the link is annotated with ``wire_seconds`` — client span minus
+  server span, the time the request and response spent between the
+  processes.  Exits 1 when any join key fails to resolve, the linked
+  spans disagree on the trace id, or a wire time comes out negative.
 
 Everything here is pure stdlib and side-effect free below :func:`main`,
 so the same functions serve tests and notebooks.
@@ -54,15 +64,15 @@ def load_trace(path: str) -> dict:
     return document
 
 
-def trace_files(paths: Iterable[str]) -> list[str]:
-    """Expand files/directories into a sorted list of ``*.json`` traces."""
+def trace_files(paths: Iterable[str], suffixes: tuple[str, ...] = (".json",)) -> list[str]:
+    """Expand files/directories into a sorted list of trace files."""
     found: list[str] = []
     for path in paths:
         if os.path.isdir(path):
             found.extend(
                 os.path.join(path, name)
                 for name in sorted(os.listdir(path))
-                if name.endswith(".json")
+                if name.endswith(suffixes)
             )
         else:
             found.append(path)
@@ -125,6 +135,139 @@ def reconcile(document: dict) -> tuple[float, float | None, bool]:
         return segment_sum, None, True
     ok = math.isclose(segment_sum, reported, rel_tol=RECONCILE_REL_TOL, abs_tol=1e-12)
     return segment_sum, reported, ok
+
+
+# ---------------------------------------------------------------------------
+# cross-process assembly
+
+
+def load_documents(path: str) -> list[dict]:
+    """Trace documents at ``path``: one for ``.json``, many for ``.jsonl``."""
+    if path.endswith(".jsonl"):
+        documents = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                document = json.loads(line)
+                if document.get("schema") != "repro.obs.trace/1":
+                    raise ValueError(
+                        f"{path}: unsupported trace schema {document.get('schema')!r}"
+                    )
+                documents.append(document)
+        return documents
+    return [load_trace(path)]
+
+
+def _shift_subtree(span: dict, offset: float) -> None:
+    span["start"] = span.get("start", 0.0) + offset
+    for event in span.get("events", ()):
+        event["at"] = event.get("at", 0.0) + offset
+    for child in span.get("children", ()):
+        _shift_subtree(child, offset)
+
+
+def join_traces(documents: list[dict]) -> dict:
+    """Assemble per-process documents into one cross-process span forest.
+
+    Returns ``{"roots": [...], "trace_ids": [...], "links": [...],
+    "problems": [...], "ok": bool}``.  Every span gains a ``service``
+    key (its process's ``meta.service``).  For each resolved link the
+    client span gains ``attributes["wire_seconds"]`` and the server
+    subtree's timestamps are shifted into the client span's time base,
+    centred inside it (the loopback clock-offset alignment: with both
+    processes on one host the request and response halves of the wire
+    time are assumed symmetric).
+    """
+    by_origin: dict[str, dict[int, dict]] = {}
+    for document in documents:
+        meta = document.get("meta", {})
+        origin = str(meta.get("origin", ""))
+        service = str(meta.get("service", ""))
+        index = by_origin.setdefault(origin, {})
+        for root in roots(document):
+            for span in iter_spans(root):
+                span["service"] = service
+                index[span["id"]] = span
+
+    problems: list[str] = []
+    links: list[dict] = []
+    adopted: set[tuple[str, int]] = set()
+    linked_trace_ids: set[str] = set()
+
+    for document in documents:
+        origin = str(document.get("meta", {}).get("origin", ""))
+        for root in roots(document):
+            attrs = root.get("attributes", {})
+            remote_origin = attrs.get("trace.remote_origin")
+            remote_span = attrs.get("trace.remote_span")
+            if remote_origin is None or remote_span is None:
+                continue
+            parent = by_origin.get(str(remote_origin), {}).get(remote_span)
+            if parent is None:
+                problems.append(
+                    f"span {root['id']} ({root['name']}) from origin {origin}: "
+                    f"remote parent ({remote_origin}, {remote_span}) not found"
+                )
+                continue
+            if parent.get("trace_id") != root.get("trace_id"):
+                problems.append(
+                    f"span {root['id']} ({root['name']}): trace id "
+                    f"{root.get('trace_id')} does not match remote parent's "
+                    f"{parent.get('trace_id')}"
+                )
+            linked_trace_ids.add(str(root.get("trace_id")))
+            linked_trace_ids.add(str(parent.get("trace_id")))
+            wire_seconds = parent.get("seconds", 0.0) - root.get("seconds", 0.0)
+            if wire_seconds < 0:
+                problems.append(
+                    f"span {root['id']} ({root['name']}): negative wire time "
+                    f"{wire_seconds:.9f}s (server span longer than client span)"
+                )
+            # centre the server's subtree inside the client span: on
+            # loopback the only defensible split of the wire time is half
+            # before the server's work, half after
+            offset = (
+                parent.get("start", 0.0)
+                + wire_seconds / 2.0
+                - root.get("start", 0.0)
+            )
+            _shift_subtree(root, offset)
+            parent.setdefault("attributes", {})["wire_seconds"] = wire_seconds
+            parent.setdefault("children", []).append(root)
+            adopted.add((origin, root["id"]))
+            links.append(
+                {
+                    "client_span": parent["id"],
+                    "client_service": parent.get("service", ""),
+                    "server_span": root["id"],
+                    "server_service": root.get("service", ""),
+                    "wire_seconds": wire_seconds,
+                    "trace_id": str(parent.get("trace_id")),
+                }
+            )
+
+    if len(linked_trace_ids) > 1:
+        problems.append(
+            f"linked spans span {len(linked_trace_ids)} trace ids: "
+            + ", ".join(sorted(linked_trace_ids))
+        )
+
+    joined_roots = []
+    for document in documents:
+        origin = str(document.get("meta", {}).get("origin", ""))
+        for root in roots(document):
+            if (origin, root["id"]) not in adopted:
+                joined_roots.append(root)
+
+    return {
+        "roots": joined_roots,
+        "trace_ids": sorted(linked_trace_ids),
+        "links": links,
+        "problems": problems,
+        "ok": not problems,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -263,6 +406,40 @@ def _render_aggregate(result: dict, out) -> None:
         print(f"  {scheme:24s} {parts}", file=out)
 
 
+def _render_join_span(span: dict, depth: int, out) -> None:
+    service = span.get("service", "")
+    label = f"[{service}] " if service else ""
+    wire = span.get("attributes", {}).get("wire_seconds")
+    wire_note = f"  (wire {wire * 1e3:.4f}ms)" if wire is not None else ""
+    print(
+        f"  {'  ' * depth}{_ms(span.get('seconds', 0.0))}  "
+        f"{label}{span['name']}{wire_note}",
+        file=out,
+    )
+    for child in sorted(span.get("children", ()), key=lambda s: s.get("start", 0.0)):
+        _render_join_span(child, depth + 1, out)
+
+
+def _render_join(result: dict, out) -> None:
+    ids = result["trace_ids"]
+    if ids:
+        print(f"assembled trace {', '.join(ids)}:", file=out)
+    else:
+        print("no cross-process links found:", file=out)
+    for root in sorted(result["roots"], key=lambda s: s.get("start", 0.0)):
+        _render_join_span(root, 0, out)
+    for link in result["links"]:
+        print(
+            f"  link: {link['client_service']}#{link['client_span']} -> "
+            f"{link['server_service']}#{link['server_span']} "
+            f"wire {link['wire_seconds'] * 1e3:.4f}ms",
+            file=out,
+        )
+    for problem in result["problems"]:
+        print(f"  PROBLEM: {problem}", file=out)
+    print(f"  [{'OK' if result['ok'] else 'FAIL'}]", file=out)
+
+
 def _render_diff(result: dict, out) -> None:
     for name, entry in result["common"].items():
         drift = entry["delta"] / entry["a"] * 100.0 if entry["a"] else 0.0
@@ -312,6 +489,14 @@ def main(argv: list[str] | None = None, out=None) -> int:
     p_diff.add_argument("dir_a", metavar="DIR_A")
     p_diff.add_argument("dir_b", metavar="DIR_B")
 
+    p_join = sub.add_parser(
+        "join", help="assemble per-process trace files into one cross-process tree"
+    )
+    p_join.add_argument("paths", nargs="+", metavar="TRACE_OR_DIR")
+    p_join.add_argument(
+        "--out", default=None, metavar="FILE", help="also write the assembled forest as JSON"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "critical-path":
@@ -332,6 +517,20 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return 1
         _render_aggregate(aggregate(load_trace(path) for path in files), out)
         return 0
+
+    if args.command == "join":
+        files = trace_files(args.paths, suffixes=(".json", ".jsonl"))
+        if not files:
+            print("no trace files found", file=out)
+            return 1
+        documents = [doc for path in files for doc in load_documents(path)]
+        result = join_traces(documents)
+        _render_join(result, out)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(result, handle, indent=1, default=str)
+                handle.write("\n")
+        return 0 if result["ok"] else 1
 
     # diff
     result = diff_directories(args.dir_a, args.dir_b)

@@ -10,13 +10,19 @@ reproducible-looking and diffable; the raw monotonic origin is kept in
 from __future__ import annotations
 
 import json
+import threading
 
 SCHEMA = "repro.obs.trace/1"
+
+#: One writer at a time per process: concurrent handlers exporting their
+#: traces (or appending to a shared file) must not interleave bytes.
+_write_lock = threading.Lock()
 
 
 def _span_dict(span, t0: float) -> dict:
     out = {
         "id": span.span_id,
+        "trace_id": f"{span.trace_id:032x}",
         "name": span.name,
         "kind": span.kind,
         "thread": span.thread,
@@ -62,7 +68,12 @@ def trace_dict(recorder, meta: dict | None = None) -> dict:
     metrics = recorder.metrics.snapshot()
     return {
         "schema": SCHEMA,
-        "meta": {"t0": t0, **(meta or {})},
+        "meta": {
+            "t0": t0,
+            "service": getattr(recorder, "service", ""),
+            "origin": getattr(recorder, "origin", ""),
+            **(meta or {}),
+        },
         "spans": build_tree(spans, t0),
         "counters": metrics["counters"],
         "histograms": metrics["histograms"],
@@ -76,10 +87,38 @@ def trace_dict(recorder, meta: dict | None = None) -> dict:
 def write_trace(path: str, recorder, meta: dict | None = None) -> dict:
     """Serialize the trace document to ``path``; returns the document."""
     document = trace_dict(recorder, meta=meta)
-    with open(path, "w") as fh:
-        json.dump(document, fh, indent=1, default=str)
-        fh.write("\n")
+    with _write_lock:
+        with open(path, "w") as fh:
+            json.dump(document, fh, indent=1, default=str)
+            fh.write("\n")
     return document
+
+
+def append_trace(path: str, recorder, meta: dict | None = None) -> dict:
+    """Append the trace as one compact JSONL line (concurrency-safe).
+
+    Concurrent handlers exporting to one shared file serialize on the
+    process-wide writer lock, and each document is a single
+    newline-terminated line, so the result always parses line-by-line —
+    no interleaving even under N parallel requests.
+    """
+    document = trace_dict(recorder, meta=meta)
+    line = json.dumps(document, default=str, separators=(",", ":"))
+    with _write_lock:
+        with open(path, "a") as fh:
+            fh.write(line + "\n")
+    return document
+
+
+def read_trace_lines(path: str) -> list[dict]:
+    """Parse a JSONL trace file written by :func:`append_trace`."""
+    documents = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                documents.append(json.loads(line))
+    return documents
 
 
 # ---------------------------------------------------------------------------

@@ -136,7 +136,18 @@ class Histogram:
     bucketing.
     """
 
-    __slots__ = ("name", "labels", "bounds", "counts", "count", "total", "min", "max", "_lock")
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "counts",
+        "count",
+        "total",
+        "min",
+        "max",
+        "exemplar",
+        "_lock",
+    )
 
     def __init__(self, name: str, bounds=None, labels=None) -> None:
         self.name = name
@@ -149,9 +160,13 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: Trace reference for the worst observation so far:
+        #: ``{"trace_id": ..., "value": ...}`` or None.  Links the metric
+        #: system back to the trace system ("which request was the slow one").
+        self.exemplar: dict | None = None
         self._lock = threading.Lock()
 
-    def observe(self, value) -> None:
+    def observe(self, value, exemplar: str | None = None) -> None:
         value = float(value)
         index = bisect.bisect_left(self.bounds, value)
         with self._lock:
@@ -162,6 +177,8 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            if exemplar is not None and value >= self.max:
+                self.exemplar = {"trace_id": exemplar, "value": value}
 
     @property
     def mean(self) -> float:
@@ -223,12 +240,18 @@ class Histogram:
             total = other.total
             other_min = other.min
             other_max = other.max
+            other_exemplar = other.exemplar
         with self._lock:
             for i, n in enumerate(counts):
                 self.counts[i] += n
             self.count += count
             self.total += total
             self.min = min(self.min, other_min)
+            # the exemplar follows the larger max: it references the
+            # worst observation across both series
+            if other_max > self.max:
+                if other_exemplar is not None:
+                    self.exemplar = other_exemplar
             self.max = max(self.max, other_max)
 
     def snapshot(self) -> dict:
@@ -237,7 +260,8 @@ class Histogram:
             counts = list(self.counts)
             total = self.total
             lo, hi = self.min, self.max
-        return {
+            exemplar = self.exemplar
+        out = {
             "count": count,
             "total": total,
             "mean": total / count if count else 0.0,
@@ -246,6 +270,9 @@ class Histogram:
             "bounds": list(self.bounds),
             "counts": counts,
         }
+        if exemplar is not None:
+            out["exemplar"] = dict(exemplar)
+        return out
 
 
 # ---------------------------------------------------------------------------

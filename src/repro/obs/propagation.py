@@ -1,0 +1,151 @@
+"""Trace-context propagation: the wire formats and inject/extract pairs.
+
+One module owns every on-the-wire representation of a
+:class:`~repro.obs.trace.TraceContext` (a lint rule keeps the HTTP
+header name confined here, like chunked framing in
+``transport/http/messages.py``):
+
+* **HTTP header** ``X-Repro-Trace`` — injected by :mod:`repro.transport.http.client`,
+  extracted by both serving cores.
+* **SOAP header block** ``{http://repro.example/obs}TraceContext`` — injected by
+  :class:`~repro.core.engine.SoapEngine` before signing (the signature
+  covers it), extracted by the TCP service host and the intermediary.
+
+Both carry the same string value::
+
+    <trace_id:032x>-<span_id:016x>-<flags:02x>-<origin>
+
+``flags`` bit 0 is the sampling decision; ``span_id`` 0 means "trace
+known, no parent span".  ``origin`` is the sender's process identity
+(lowercase hex).  Extraction is strict-but-silent: anything malformed,
+oversized or ambiguous (duplicate headers) yields ``None`` — the
+receiver simply starts a fresh root trace rather than failing the
+request.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.obs.trace import TraceContext, current_context, get_recorder
+from repro.xdm.nodes import ElementNode, QName, TextNode
+
+#: The HTTP request header carrying the serialized context.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Namespace + QName of the SOAP header block carrying the same value.
+OBS_NAMESPACE = "http://repro.example/obs"
+TRACE_BLOCK = QName("TraceContext", OBS_NAMESPACE, "obs")
+
+_FLAG_SAMPLED = 0x01
+
+#: Upper bound on an inbound header value we will even look at.  The
+#: canonical form is 32+1+16+1+2+1+origin chars; 128 leaves generous
+#: room for longer origins while bounding hostile input.
+MAX_VALUE_LENGTH = 128
+
+_HEX = frozenset(string.hexdigits.lower())
+
+
+def format_context(context: TraceContext) -> str:
+    """Serialize ``context`` to the wire string."""
+    flags = _FLAG_SAMPLED if context.sampled else 0
+    span_id = context.span_id or 0
+    return f"{context.trace_id:032x}-{span_id:016x}-{flags:02x}-{context.origin}"
+
+
+def parse_context(value: str | None) -> TraceContext | None:
+    """Parse a wire string; ``None`` for anything not strictly valid."""
+    if not value or not isinstance(value, str) or len(value) > MAX_VALUE_LENGTH:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    trace_hex, span_hex, flags_hex, origin = parts
+    if len(trace_hex) != 32 or len(span_hex) != 16 or len(flags_hex) != 2:
+        return None
+    # origin may be empty (a sampler-minted context that never touched a
+    # recorder); when present it must be pure hex
+    if origin and not _HEX.issuperset(origin):
+        return None
+    try:
+        trace_id = int(trace_hex, 16)
+        span_id = int(span_hex, 16)
+        flags = int(flags_hex, 16)
+    except ValueError:
+        return None
+    if trace_id == 0:
+        return None
+    return TraceContext(
+        trace_id,
+        span_id or None,
+        bool(flags & _FLAG_SAMPLED),
+        origin,
+    )
+
+
+# ---------------------------------------------------------------------------
+# HTTP header carrier
+
+
+def inject_headers(headers, context: TraceContext) -> None:
+    """Set the trace header on an outbound request (replacing any)."""
+    headers.set(TRACE_HEADER, format_context(context))
+
+
+def extract_headers(headers) -> TraceContext | None:
+    """Read the trace header off an inbound request.
+
+    Exactly one well-formed header joins the trace; zero, duplicates
+    (ambiguous — an intermediary bug or an attack) or malformed values
+    all yield ``None`` so the server starts a fresh root.
+    """
+    values = headers.get_all(TRACE_HEADER)
+    if len(values) != 1:
+        return None
+    return parse_context(values[0])
+
+
+# ---------------------------------------------------------------------------
+# SOAP header-block carrier
+
+
+def inject_envelope(envelope, context: TraceContext) -> None:
+    """Attach the context as a SOAP header block (replacing any)."""
+    envelope.header_blocks = [
+        block
+        for block in envelope.header_blocks
+        if not (
+            isinstance(block, ElementNode)
+            and block.name.local == TRACE_BLOCK.local
+            and block.name.uri == TRACE_BLOCK.uri
+        )
+    ]
+    envelope.add_header(ElementNode(TRACE_BLOCK, children=[TextNode(format_context(context))]))
+
+
+def extract_envelope(envelope) -> TraceContext | None:
+    """Read the context block off an inbound envelope, if present."""
+    block = envelope.header(TRACE_BLOCK.local)
+    if block is None or block.name.uri != TRACE_BLOCK.uri:
+        return None
+    return parse_context(block.text_content())
+
+
+# ---------------------------------------------------------------------------
+# outbound decision
+
+
+def outbound_context(span=None) -> TraceContext | None:
+    """The context to inject on an outbound request, or ``None``.
+
+    Prefers ``span`` (the request's own client-side span, so the
+    callee's work parents under it); falls back to the thread's current
+    context, which also forwards a *negative* sampling decision when
+    nothing local is recording.
+    """
+    if span is not None and span.span_id is not None:
+        recorder = get_recorder()
+        if recorder.enabled:
+            return TraceContext(span.trace_id, span.span_id, True, recorder.origin)
+    return current_context()

@@ -21,8 +21,11 @@ Two properties matter here:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import zlib
+
+from repro.obs.trace import TraceContext
 
 _SCALE = float(1 << 32)
 
@@ -62,6 +65,18 @@ class HeadSampler:
             else:
                 self.dropped += 1
         return keep
+
+    def context_for(self, key: str) -> TraceContext:
+        """A :class:`TraceContext` carrying the decision for ``key``.
+
+        The trace id is a pure function of ``(seed, key)``, so two
+        processes handed the same key independently mint the *same*
+        context — and because the context travels with the request, the
+        server keeps or drops exactly the traces the client does.
+        """
+        digest = hashlib.md5(f"{self.seed}:{key}".encode("utf-8")).digest()
+        trace_id = int.from_bytes(digest, "big") or 1
+        return TraceContext(trace_id, None, self.decide(key), "")
 
     def count_into(self, metrics) -> None:
         """Mirror the running totals into a registry (idempotent set via

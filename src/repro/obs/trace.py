@@ -22,6 +22,8 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import hashlib
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -33,6 +35,64 @@ from repro.obs.metrics import MetricsRegistry
 #: Span kinds used across the library.  Free-form strings are accepted;
 #: these are the conventional taxonomy (see DESIGN.md).
 SPAN_KINDS = ("cpu", "wire", "disk", "logical")
+
+
+class TraceContext:
+    """One trace's cross-process identity: what travels on the wire.
+
+    ``trace_id`` is a 128-bit integer shared by every span of a
+    distributed trace; ``span_id`` is the sender's span that caused the
+    receiver's work (its root parents under it when the files are
+    joined); ``sampled`` carries the head-sampling decision so client and
+    server keep or drop the *same* requests; ``origin`` is the sending
+    process's identity (:attr:`TraceRecorder.origin`) — per-process span
+    ids are sequential, so a remote parent is only unambiguous as the
+    pair ``(origin, span_id)``.
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled", "origin")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int | None = None,
+        sampled: bool = True,
+        origin: str = "",
+    ) -> None:
+        self.trace_id = int(trace_id) & ((1 << 128) - 1)
+        self.span_id = span_id
+        self.sampled = bool(sampled)
+        self.origin = origin
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TraceContext):
+            return NotImplemented
+        return (
+            self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.sampled == other.sampled
+            and self.origin == other.origin
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.sampled, self.origin))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceContext({self.trace_id:032x}, span={self.span_id}, "
+            f"sampled={self.sampled}, origin={self.origin!r})"
+        )
+
+
+def _derive_trace_id(origin: str, span_id: int) -> int:
+    """Deterministic 128-bit trace id for a local root span.
+
+    Pure function of ``(origin, span_id)`` so a recorder with a pinned
+    origin (tests, golden files) mints reproducible ids, while the
+    random per-process origin makes ids unique across real processes.
+    """
+    digest = hashlib.md5(f"{origin}:{span_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest, "big")
 
 
 @dataclass
@@ -52,6 +112,7 @@ class Span:
         "kind",
         "span_id",
         "parent_id",
+        "trace_id",
         "thread",
         "start",
         "end",
@@ -69,11 +130,13 @@ class Span:
         start: float,
         attributes: dict,
         thread: str = "",
+        trace_id: int = 0,
     ) -> None:
         self.name = name
         self.kind = kind
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.thread = thread
         self.start = start
         self.end: float | None = None
@@ -126,7 +189,12 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        service: str = "",
+        origin: str | None = None,
+    ) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._next_id = 1
@@ -135,6 +203,12 @@ class TraceRecorder:
         self.orphan_events: list[SpanEvent] = []
         self.metrics = MetricsRegistry()
         self._local = threading.local()
+        #: Human label for the process/role this recorder observes
+        #: (e.g. "client", "serve"); lands in the trace file's meta.
+        self.service = service
+        #: Process identity for cross-file span references.  Random per
+        #: recorder by default; pin it for reproducible trace files.
+        self.origin = origin if origin is not None else os.urandom(4).hex()
 
     # -- context plumbing ----------------------------------------------
 
@@ -148,15 +222,40 @@ class TraceRecorder:
         stack = self._stack()
         return stack[-1] if stack else None
 
-    def _open(self, name: str, kind: str, parent, attributes: dict) -> Span:
+    def _open(
+        self,
+        name: str,
+        kind: str,
+        parent,
+        attributes: dict,
+        context: TraceContext | None = None,
+    ) -> Span:
         stack = self._stack()
-        if parent is not None:
+        trace_id = 0
+        if context is not None:
+            # Join the caller's trace.  A context from this same process
+            # (pool hand-offs) names a real local span we can parent
+            # under; a remote one leaves the span a root and records the
+            # (origin, span_id) join keys for cross-file assembly.
+            parent_id = None
+            if context.origin and context.origin == self.origin and context.span_id:
+                parent_id = context.span_id
+            elif context.span_id:
+                attributes.setdefault("trace.remote_origin", context.origin)
+                attributes.setdefault("trace.remote_span", context.span_id)
+            trace_id = context.trace_id
+        elif parent is not None:
             parent_id = getattr(parent, "span_id", None)
+            trace_id = getattr(parent, "trace_id", 0) or 0
         else:
             parent_id = stack[-1].span_id if stack else None
+            if stack:
+                trace_id = stack[-1].trace_id
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
+            if not trace_id:
+                trace_id = _derive_trace_id(self.origin, span_id)
             span = Span(
                 name,
                 kind,
@@ -165,6 +264,7 @@ class TraceRecorder:
                 self._clock(),
                 attributes,
                 thread=threading.current_thread().name,
+                trace_id=trace_id,
             )
             self.spans.append(span)
         stack.append(span)
@@ -183,10 +283,23 @@ class TraceRecorder:
 
     # -- public API -----------------------------------------------------
 
+    def span(self, name: str, kind: str = "cpu", parent=None, context=None, **attributes):
+        """Open a span; closes (stamps ``end``) when the block exits.
+
+        ``context=`` joins an incoming :class:`TraceContext`: the span
+        adopts its trace id (and, for a same-process context, its parent
+        span).  A context whose ``sampled`` flag is off suppresses the
+        span entirely — the shared null span is returned, so the server
+        side of an unsampled request records nothing, matching the
+        client's head-sampling decision.
+        """
+        if context is not None and not context.sampled:
+            return _NULL_SPAN
+        return self._span_cm(name, kind, parent, context, attributes)
+
     @contextmanager
-    def span(self, name: str, kind: str = "cpu", parent=None, **attributes) -> Iterator[Span]:
-        """Open a span; closes (stamps ``end``) when the block exits."""
-        sp = self._open(name, kind, parent, attributes)
+    def _span_cm(self, name, kind, parent, context, attributes) -> Iterator[Span]:
+        sp = self._open(name, kind, parent, attributes, context)
         try:
             yield sp
         except BaseException as exc:
@@ -240,6 +353,7 @@ class _NullSpan:
 
     __slots__ = ()
     span_id = None
+    trace_id = None
     events: tuple = ()
 
     def __enter__(self) -> "_NullSpan":
@@ -272,7 +386,7 @@ class _NullInstrument:
     def set(self, value) -> None:
         pass
 
-    def observe(self, value) -> None:
+    def observe(self, value, exemplar=None) -> None:
         pass
 
     def labels(self, **values) -> "_NullInstrument":
@@ -288,7 +402,7 @@ class NullRecorder:
 
     enabled = False
 
-    def span(self, name, kind="cpu", parent=None, **attributes) -> _NullSpan:
+    def span(self, name, kind="cpu", parent=None, context=None, **attributes) -> _NullSpan:
         return _NULL_SPAN
 
     def charge(self, name, seconds, kind="wire", parent=None, **attributes) -> _NullSpan:
@@ -317,9 +431,18 @@ NULL_RECORDER = NullRecorder()
 
 _active: TraceRecorder | NullRecorder = NULL_RECORDER
 
+# Per-thread overrides: a recorder pinned to one thread (two logical
+# processes sharing one interpreter, as in the distributed-trace smoke)
+# and an ambient inbound TraceContext (a context held where no local
+# span is open yet, e.g. between extraction and the first span).
+_tls = threading.local()
+
 
 def get_recorder():
     """The recorder instrumented call sites report to right now."""
+    override = getattr(_tls, "recorder", None)
+    if override is not None:
+        return override
     return _active
 
 
@@ -340,3 +463,58 @@ def recording(recorder: TraceRecorder | None = None) -> Iterator[TraceRecorder]:
         yield recorder
     finally:
         set_recorder(previous)
+
+
+@contextmanager
+def thread_recorder(recorder: TraceRecorder | None) -> Iterator[TraceRecorder | NullRecorder]:
+    """Pin ``recorder`` to the *calling thread* for the block.
+
+    Other threads keep seeing the process-global recorder — this is how
+    one interpreter hosts two observed roles at once (a traced client
+    thread talking to a traced server whose worker threads report to the
+    global recorder).
+    """
+    recorder = recorder if recorder is not None else NULL_RECORDER
+    previous = getattr(_tls, "recorder", None)
+    _tls.recorder = recorder
+    try:
+        yield recorder
+    finally:
+        _tls.recorder = previous
+
+
+@contextmanager
+def use_context(context: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Make ``context`` the calling thread's ambient inbound context."""
+    previous = getattr(_tls, "context", None)
+    _tls.context = context
+    try:
+        yield context
+    finally:
+        _tls.context = previous
+
+
+def current_context() -> TraceContext | None:
+    """The context an outbound request should carry right now.
+
+    The active recorder's current span wins (its trace id and span id
+    become the callee's parent); otherwise the thread's ambient inbound
+    context is forwarded unchanged — which is how an unsampled decision
+    still propagates even though nothing local is recording it.
+    """
+    recorder = get_recorder()
+    if recorder.enabled:
+        sp = recorder.current_span()
+        if sp is not None:
+            return TraceContext(sp.trace_id, sp.span_id, True, recorder.origin)
+    return getattr(_tls, "context", None)
+
+
+def current_trace_id() -> str | None:
+    """The current span's trace id as 32 hex chars, or None."""
+    recorder = get_recorder()
+    if recorder.enabled:
+        sp = recorder.current_span()
+        if sp is not None:
+            return f"{sp.trace_id:032x}"
+    return None

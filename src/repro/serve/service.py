@@ -34,9 +34,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.dispatcher import Dispatcher
 from repro.core.policies import EncodingPolicy, encoding_for_content_type
 from repro.core.service import _RedRecorder, run_soap_http_exchange
+from repro.obs import propagation
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.pool import AdmissionQueueFull, PoolStopped, WorkerPool
 from repro.transport.base import Listener
@@ -177,11 +179,13 @@ class SoapServeService:
         if request.method != "POST":
             return HttpResponse(405, body=b"SOAP endpoints accept POST only")
         start = time.perf_counter()
+        # hand the conn thread's trace position to the worker: the pooled
+        # exchange runs on another thread but parents under this request's
+        # serve span (same process, so the context adopts a local parent)
+        ctx = obs.current_context()
         try:
             completion = self.pool.submit(
-                lambda codecs: run_soap_http_exchange(
-                    request, self._dispatcher, self._red, codecs.resolve, self._security
-                )
+                lambda codecs: self._exchange_in_worker(request, codecs, ctx)
             )
         except (AdmissionQueueFull, PoolStopped) as exc:
             retry_after = getattr(exc, "retry_after", None)
@@ -198,6 +202,13 @@ class SoapServeService:
         self._red.record(operation, encoding_label, status, time.perf_counter() - start)
         return response
 
+    def _exchange_in_worker(self, request: HttpRequest, codecs: _WorkerCodecs, ctx):
+        """One exchange on a pool worker, joined to the conn thread's trace."""
+        with obs.span("serve.exchange", kind="logical", context=ctx), obs.use_context(ctx):
+            return run_soap_http_exchange(
+                request, self._dispatcher, self._red, codecs.resolve, self._security
+            )
+
     # ------------------------------------------------------------------
     # aio-core hooks: same routing/RED semantics, no blocking on the loop
 
@@ -212,14 +223,28 @@ class SoapServeService:
     def _pooled_exchange(
         self, request: HttpRequest, codecs: _WorkerCodecs, enqueued_at: float
     ) -> HttpResponse:
-        """Run one SOAP exchange on a worker (aio core's pool handler)."""
-        response, operation, encoding_label, status = run_soap_http_exchange(
-            request, self._dispatcher, self._red, codecs.resolve, self._security
-        )
-        # latency includes queue wait, matching the threaded path
-        self._red.record(
-            operation, encoding_label, status, time.perf_counter() - enqueued_at
-        )
+        """Run one SOAP exchange on a worker (aio core's pool handler).
+
+        The aio dispatch path bypasses ``HttpAppCore._respond`` for pooled
+        requests, so the server-side root span (joined to the wire
+        context, when one arrived intact) is opened here instead.
+        """
+        ctx = propagation.extract_headers(request.headers)
+        with obs.span(
+            "http.serve",
+            kind="logical",
+            context=ctx,
+            method=request.method,
+            target=request.target,
+        ) as sp, obs.use_context(ctx):
+            response, operation, encoding_label, status = run_soap_http_exchange(
+                request, self._dispatcher, self._red, codecs.resolve, self._security
+            )
+            sp.set("status", response.status)
+            # latency includes queue wait, matching the threaded path
+            self._red.record(
+                operation, encoding_label, status, time.perf_counter() - enqueued_at
+            )
         return response
 
     def _record_shed(self, _request: HttpRequest) -> None:

@@ -287,6 +287,12 @@ class AsyncHttpServer(HttpAppCore):
     def _run(self) -> None:
         sel = self._sel
         assert sel is not None
+        # loop health on /metrics: how long one iteration of event
+        # processing runs without touching the selector (scheduling delay
+        # any ready connection eats), and how much work each wakeup found
+        loop_lag = self.metrics.gauge("aio_loop_lag_seconds")
+        ready_depth = self.metrics.gauge("aio_ready_queue_depth")
+        busy_start = time.perf_counter()
         try:
             while True:
                 self._drain_completions()
@@ -303,7 +309,11 @@ class AsyncHttpServer(HttpAppCore):
                     timeout = min(0.05, remaining)
                 else:
                     timeout = 0.5
-                for key, mask in sel.select(timeout):
+                loop_lag.set(time.perf_counter() - busy_start)
+                events = sel.select(timeout)
+                busy_start = time.perf_counter()
+                ready_depth.set(len(events) + len(self._done))
+                for key, mask in events:
                     data = key.data
                     if data is _ACCEPT:
                         self._on_accept()

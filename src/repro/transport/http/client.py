@@ -18,6 +18,7 @@ import random
 from typing import Callable, Iterable
 
 from repro import obs
+from repro.obs import propagation
 from repro.transport.base import BufferedChannel, Channel, TransportError
 from repro.transport.http.messages import (
     HttpRequest,
@@ -107,65 +108,70 @@ class HttpClient:
         policy = retry if retry is not None else self._retry
         dl = as_deadline(deadline)
 
-        req = HttpRequest(method, target)
-        req.headers.set("Host", self._host)
-        for name, value in (headers or {}).items():
-            req.headers.set(name, value)
+        with obs.span("http.request", kind="cpu", method=method, target=target) as sp:
+            req = HttpRequest(method, target)
+            req.headers.set("Host", self._host)
+            for name, value in (headers or {}).items():
+                req.headers.set(name, value)
+            # propagate the trace context (this request span — or the
+            # ambient inbound context when nothing local records) so the
+            # server's root span joins the caller's trace
+            ctx = propagation.outbound_context(sp)
+            if ctx is not None:
+                propagation.inject_headers(req.headers, ctx)
 
-        consumed = {"response_bytes": False, "body_pulled": False}
-        streamed_body = not isinstance(body, (bytes, bytearray, memoryview))
-        if streamed_body:
-            source = iter(body)
+            consumed = {"response_bytes": False, "body_pulled": False}
+            streamed_body = not isinstance(body, (bytes, bytearray, memoryview))
+            if streamed_body:
+                source = iter(body)
 
-            def pulled() -> Iterable[bytes]:
-                for piece in source:
-                    consumed["body_pulled"] = True
-                    yield piece
+                def pulled() -> Iterable[bytes]:
+                    for piece in source:
+                        consumed["body_pulled"] = True
+                        yield piece
 
-            req.stream = pulled()
-            if trailers:
-                req.trailers = _Headers(list(trailers.items()))
-            wire = None
-            wire_bytes = 0
-        else:
-            req.body = bytes(body)
-            wire = req.to_bytes()
-            wire_bytes = len(wire)
+                req.stream = pulled()
+                if trailers:
+                    req.trailers = _Headers(list(trailers.items()))
+                wire = None
+                wire_bytes = 0
+            else:
+                req.body = bytes(body)
+                wire = req.to_bytes()
+                wire_bytes = len(wire)
+            sp.set("bytes", wire_bytes)
 
-        def attempt(_n: int) -> HttpResponse:
-            channel = self._ensure_channel()
-            assert self._shim is not None and self._stats is not None
-            self._shim.deadline = dl
-            try:
-                if wire is not None:
-                    channel.send_all(wire)
-                else:
-                    for piece in req.iter_wire():
-                        channel.send_all(piece)
-                mark = self._stats.bytes_received
+            def attempt(_n: int) -> HttpResponse:
+                channel = self._ensure_channel()
+                assert self._shim is not None and self._stats is not None
+                self._shim.deadline = dl
                 try:
-                    return read_response(channel, stream_body=stream_response)
+                    if wire is not None:
+                        channel.send_all(wire)
+                    else:
+                        for piece in req.iter_wire():
+                            channel.send_all(piece)
+                    mark = self._stats.bytes_received
+                    try:
+                        return read_response(channel, stream_body=stream_response)
+                    except TransportError:
+                        if self._stats.bytes_received > mark:
+                            consumed["response_bytes"] = True
+                        raise
                 except TransportError:
-                    if self._stats.bytes_received > mark:
-                        consumed["response_bytes"] = True
+                    self._drop_channel()
                     raise
-            except TransportError:
-                self._drop_channel()
-                raise
-            finally:
-                if self._shim is not None and not stream_response:
-                    self._shim.deadline = None
+                finally:
+                    if self._shim is not None and not stream_response:
+                        self._shim.deadline = None
 
-        def may_retry(_exc: BaseException, _attempt: int) -> bool:
-            return (
-                idempotent
-                and not consumed["response_bytes"]
-                and not consumed["body_pulled"]
-            )
+            def may_retry(_exc: BaseException, _attempt: int) -> bool:
+                return (
+                    idempotent
+                    and not consumed["response_bytes"]
+                    and not consumed["body_pulled"]
+                )
 
-        with obs.span(
-            "http.request", kind="cpu", method=method, target=target, bytes=wire_bytes
-        ) as sp:
             response = retry_call(
                 attempt, policy, deadline=dl, may_retry=may_retry, rng=self._rng
             )

@@ -37,6 +37,7 @@ from collections import deque
 from typing import Callable
 
 from repro import obs
+from repro.obs import propagation
 from repro.obs.exposition import render_prometheus, render_varz
 from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import BufferedChannel, Listener, TransportError
@@ -87,20 +88,32 @@ class HttpAppCore:
         in_flight = m.gauge("http_requests_in_flight")
         in_flight.inc()
         start = time.perf_counter()
+        # join the caller's trace when the request carries a valid
+        # context; malformed/duplicate headers mean a fresh root, never
+        # an error response
+        ctx = propagation.extract_headers(request.headers)
         try:
-            if self._admin and request.target in ADMIN_TARGETS:
-                target = self._admin_response
-            else:
-                target = self._handler
-            try:
-                response = target(request)
-            except HttpError as exc:
-                response = HttpResponse(exc.status, body=str(exc).encode())
-            except Exception as exc:  # noqa: BLE001 - server must not die
-                # the client gets a generic body: internals (exception
-                # type, message, paths) are server-side information
-                self._record_handler_error(request, exc)
-                response = HttpResponse(500, body=b"internal server error")
+            with obs.span(
+                "http.serve",
+                kind="logical",
+                context=ctx,
+                method=request.method,
+                target=request.target,
+            ) as sp, obs.use_context(ctx):
+                if self._admin and request.target in ADMIN_TARGETS:
+                    target = self._admin_response
+                else:
+                    target = self._handler
+                try:
+                    response = target(request)
+                except HttpError as exc:
+                    response = HttpResponse(exc.status, body=str(exc).encode())
+                except Exception as exc:  # noqa: BLE001 - server must not die
+                    # the client gets a generic body: internals (exception
+                    # type, message, paths) are server-side information
+                    self._record_handler_error(request, exc)
+                    response = HttpResponse(500, body=b"internal server error")
+                sp.set("status", response.status)
             return response
         finally:
             in_flight.dec()

@@ -239,7 +239,12 @@ def retry_call(
         retryable = lambda exc: isinstance(exc, TransportError)  # noqa: E731
     for attempt in range(1, policy.max_attempts + 1):
         try:
-            return fn(attempt)
+            # each try gets its own child span so a traced request shows
+            # where each attempt's time went; the retry.attempt/exhausted
+            # events stay on the enclosing span (emitted after this one
+            # closed), which is what the analysis tooling keys on
+            with obs.span("resilience.attempt", kind="logical", attempt=attempt):
+                return fn(attempt)
         except DeadlineExceeded:
             raise
         except Exception as exc:

@@ -28,6 +28,7 @@ from repro.obs import (
     trace_dict,
     write_trace,
 )
+from repro.obs import propagation
 from repro.transport import MemoryNetwork
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "obs_trace.json")
@@ -314,7 +315,7 @@ class TestNullRecorderPath:
 
 def build_reference_trace() -> TraceRecorder:
     """The fixed exchange pinned by the golden file (deterministic clock)."""
-    rec = TraceRecorder(clock=FakeClock(0.001))
+    rec = TraceRecorder(clock=FakeClock(0.001), service="golden", origin="deadbeef")
     with rec.span("exchange", kind="logical", scheme="soap-bxsa-tcp", model_size=100):
         with rec.span("bxsa.encode") as sp:
             sp.set("bytes", 1234)
@@ -423,3 +424,253 @@ class TestRetryObservability:
                     )
         assert [e.name for e in sp.events] == ["retry.attempt", "retry.exhausted"]
         assert sp.events[-1].attributes == {"attempts": 2, "error": "TransportError"}
+
+
+class TestTraceContext:
+    """The cross-process context: wire format, joining, suppression."""
+
+    def test_wire_round_trip(self):
+        ctx = propagation.TraceContext(0xABCDEF, 7, True, "deadbeef")
+        assert propagation.parse_context(propagation.format_context(ctx)) == ctx
+
+    def test_no_parent_span_round_trips(self):
+        ctx = propagation.TraceContext(5, None, False, "deadbeef")
+        parsed = propagation.parse_context(propagation.format_context(ctx))
+        assert parsed == ctx
+        assert parsed.span_id is None
+        assert parsed.sampled is False
+
+    def test_empty_origin_round_trips(self):
+        """Sampler-minted contexts never touched a recorder: no origin."""
+        ctx = propagation.TraceContext(5, None, False, "")
+        assert propagation.parse_context(propagation.format_context(ctx)) == ctx
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "garbage",
+            "zz" * 16 + "-" + "00" * 8 + "-01-ab",  # non-hex trace id
+            "0" * 32 + "-" + "0" * 16 + "-01-ab",  # zero trace id
+            "1" * 31 + "-" + "0" * 16 + "-01-ab",  # short trace id
+            "1" * 32 + "-" + "0" * 15 + "-01-ab",  # short span id
+            "1" * 32 + "-" + "0" * 16 + "-1-ab",  # short flags
+            "1" * 32 + "-" + "0" * 16 + "-01-xyz",  # non-hex origin
+            "1" * 32 + "-" + "0" * 16 + "-01-AB",  # uppercase origin
+            "1" * 32 + "-" + "0" * 16 + "-01",  # missing origin part
+            "x" * (propagation.MAX_VALUE_LENGTH + 1),  # oversized
+        ],
+    )
+    def test_malformed_values_parse_to_none(self, value):
+        assert propagation.parse_context(value) is None
+
+    def test_context_joined_span_becomes_remote_root(self):
+        rec = TraceRecorder(clock=FakeClock(), origin="aaaaaaaa")
+        ctx = propagation.TraceContext(99, 1234, True, "bbbbbbbb")
+        with rec.span("http.serve", context=ctx) as sp:
+            pass
+        assert sp.trace_id == 99
+        assert sp.parent_id is None  # remote parent: link, not local id
+        assert sp.attributes["trace.remote_origin"] == "bbbbbbbb"
+        assert sp.attributes["trace.remote_span"] == 1234
+
+    def test_same_origin_context_adopts_local_parent(self):
+        rec = TraceRecorder(clock=FakeClock(), origin="aaaaaaaa")
+        with rec.span("serve") as parent:
+            ctx = propagation.TraceContext(
+                parent.trace_id, parent.span_id, True, rec.origin
+            )
+        with rec.span("worker", context=ctx) as sp:
+            pass
+        assert sp.parent_id == parent.span_id
+        assert sp.trace_id == parent.trace_id
+        assert "trace.remote_origin" not in sp.attributes
+
+    def test_unsampled_context_suppresses_span(self):
+        rec = TraceRecorder(clock=FakeClock())
+        ctx = propagation.TraceContext(99, 1234, False, "bbbbbbbb")
+        with rec.span("http.serve", context=ctx) as sp:
+            pass
+        assert sp.trace_id is None  # the shared null span
+        assert rec.spans == []
+
+    def test_children_inherit_trace_id(self):
+        rec = TraceRecorder(clock=FakeClock())
+        ctx = propagation.TraceContext(99, 1234, True, "bbbbbbbb")
+        with rec.span("serve", context=ctx):
+            with rec.span("inner") as inner:
+                pass
+        assert inner.trace_id == 99
+
+    def test_thread_recorder_and_current_context(self):
+        """Two recorders in one process: the thread pin wins."""
+        shared = TraceRecorder(clock=FakeClock(), origin="aaaaaaaa")
+        pinned = TraceRecorder(clock=FakeClock(), origin="bbbbbbbb")
+        with recording(shared):
+            assert obs.get_recorder() is shared
+            with obs.thread_recorder(pinned):
+                assert obs.get_recorder() is pinned
+                with pinned.span("client") as sp:
+                    ctx = obs.current_context()
+                    assert ctx.trace_id == sp.trace_id
+                    assert ctx.origin == "bbbbbbbb"
+                    assert obs.current_trace_id() == f"{sp.trace_id:032x}"
+            assert obs.get_recorder() is shared
+
+    def test_use_context_forwards_ambient(self):
+        ctx = propagation.TraceContext(42, None, False, "")
+        with obs.use_context(ctx):
+            assert obs.current_context() == ctx
+        assert obs.current_context() is None
+
+
+class TestOutboundContext:
+    def test_span_wins_over_ambient(self):
+        rec = TraceRecorder(clock=FakeClock(), origin="aaaaaaaa")
+        with recording(rec):
+            with rec.span("client.call") as sp:
+                ctx = propagation.outbound_context(sp)
+        assert ctx == propagation.TraceContext(sp.trace_id, sp.span_id, True, "aaaaaaaa")
+
+    def test_ambient_negative_decision_is_forwarded(self):
+        """Nothing recording locally, but a drop decision still travels."""
+        dropped = propagation.TraceContext(42, None, False, "")
+        with obs.use_context(dropped):
+            assert propagation.outbound_context(None) == dropped
+
+    def test_nothing_to_send(self):
+        assert propagation.outbound_context(None) is None
+
+
+class TestEnvelopeCarrier:
+    def test_inject_extract_round_trip(self):
+        from repro.core.envelope import SoapEnvelope
+        from repro.xdm import element
+
+        envelope = SoapEnvelope.wrap(element("Echo"))
+        ctx = propagation.TraceContext(7, 9, True, "deadbeef")
+        propagation.inject_envelope(envelope, ctx)
+        assert propagation.extract_envelope(envelope) == ctx
+
+    def test_reinjection_replaces_block(self):
+        from repro.core.envelope import SoapEnvelope
+        from repro.xdm import element
+
+        envelope = SoapEnvelope.wrap(element("Echo"))
+        propagation.inject_envelope(
+            envelope, propagation.TraceContext(7, 9, True, "deadbeef")
+        )
+        ctx2 = propagation.TraceContext(7, 10, True, "deadbeef")
+        propagation.inject_envelope(envelope, ctx2)
+        blocks = [
+            b
+            for b in envelope.header_blocks
+            if b.name.local == propagation.TRACE_BLOCK.local
+        ]
+        assert len(blocks) == 1
+        assert propagation.extract_envelope(envelope) == ctx2
+
+    def test_absent_block_extracts_none(self):
+        from repro.core.envelope import SoapEnvelope
+        from repro.xdm import element
+
+        assert propagation.extract_envelope(SoapEnvelope.wrap(element("Echo"))) is None
+
+
+class TestSamplerContext:
+    def test_context_is_deterministic(self):
+        from repro.obs.sampling import HeadSampler
+
+        a = HeadSampler(0.5, seed=3).context_for("figure5-n100")
+        b = HeadSampler(0.5, seed=3).context_for("figure5-n100")
+        assert a == b
+        assert a.trace_id != 0
+        assert a.origin == ""
+
+    def test_keep_drop_consistent_across_processes(self):
+        """Client and server samplers agree per key: the decision rides
+        the wire, so both sides keep (or drop) the same trace ids."""
+        from repro.obs.sampling import HeadSampler
+
+        client = HeadSampler(0.5, seed=3)
+        server = HeadSampler(0.5, seed=3)
+        for key in (f"op-{i}" for i in range(64)):
+            ctx = client.context_for(key)
+            wire = propagation.parse_context(propagation.format_context(ctx))
+            assert wire.sampled == server.decide(key)
+            assert wire.trace_id == ctx.trace_id
+
+    def test_dropped_context_suppresses_both_sides(self):
+        from repro.obs.sampling import HeadSampler
+
+        sampler = HeadSampler(0.0, seed=3)
+        ctx = sampler.context_for("anything")
+        assert ctx.sampled is False
+        rec = TraceRecorder(clock=FakeClock())
+        with rec.span("serve", context=ctx):
+            pass
+        assert rec.spans == []
+
+
+class TestTraceFileSerialization:
+    def test_parallel_appends_stay_line_atomic(self, tmp_path):
+        """N threads appending traces concurrently must yield a parseable
+        JSONL file with no interleaved lines."""
+        from repro.obs import append_trace, read_trace_lines
+
+        path = str(tmp_path / "traces.jsonl")
+        workers = 8
+
+        def write_one(i):
+            rec = TraceRecorder(service=f"w{i}", origin=f"{i:08x}")
+            with rec.span("exchange", worker=i):
+                with rec.span("inner"):
+                    pass
+            append_trace(path, rec, meta={"worker": i})
+
+        threads = [
+            threading.Thread(target=write_one, args=(i,)) for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        documents = read_trace_lines(path)
+        assert len(documents) == workers
+        seen = set()
+        for doc in documents:
+            assert doc["schema"] == "repro.obs.trace/1"
+            assert doc["spans"][0]["name"] == "exchange"
+            seen.add(doc["meta"]["worker"])
+        assert seen == set(range(workers))
+
+    def test_trace_meta_carries_identity(self):
+        rec = TraceRecorder(service="serve", origin="deadbeef")
+        doc = trace_dict(rec)
+        assert doc["meta"]["service"] == "serve"
+        assert doc["meta"]["origin"] == "deadbeef"
+
+
+class TestHistogramExemplars:
+    def test_exemplar_tracks_max_observation(self):
+        h = Histogram("lat", bounds=(0.1, 1.0))
+        h.observe(0.2, exemplar="a" * 32)
+        h.observe(0.9, exemplar="b" * 32)
+        h.observe(0.3, exemplar="c" * 32)
+        snap = h.snapshot()
+        assert snap["exemplar"] == {"trace_id": "b" * 32, "value": 0.9}
+
+    def test_no_exemplar_key_when_never_offered(self):
+        h = Histogram("lat", bounds=(0.1, 1.0))
+        h.observe(0.2)
+        assert "exemplar" not in h.snapshot()
+
+    def test_merge_keeps_worst_case_exemplar(self):
+        a = Histogram("lat", bounds=(0.1, 1.0))
+        b = Histogram("lat", bounds=(0.1, 1.0))
+        a.observe(0.2, exemplar="small")
+        b.observe(0.8, exemplar="big")
+        a.merge(b)
+        assert a.snapshot()["exemplar"]["trace_id"] == "big"

@@ -44,6 +44,9 @@ OBS_CEILINGS = {
     "labelled_vs_unlabelled_ratio": 10.0,
     "sampler_decide_us": 10.0,
     "disabled_counter_site_us": 5.0,
+    # carrying trace context across the wire (header + SOAP block,
+    # inject + parse) may add at most 10% to a traced SOAP echo exchange
+    "propagation_overhead_ratio": 1.10,
 }
 
 #: Fixed ceiling for the warm per-message decode that

@@ -279,6 +279,42 @@ def chunked_framing_findings(path: str) -> list[tuple[int, str]]:
     return findings
 
 
+#: The one module allowed to name the trace-propagation HTTP header.
+TRACE_HEADER_HOME = "obs/propagation.py"
+
+
+def trace_header_findings(path: str) -> list[tuple[int, str]]:
+    """Confine the ``X-Repro-Trace`` header name to ``obs/propagation.py``.
+
+    Every on-the-wire representation of a trace context lives in one
+    module — its strict parser (length caps, duplicate rejection, hex
+    validation) is the only defence against hostile header values.  Code
+    elsewhere naming the header is growing a second inject/extract path;
+    route it through ``propagation.inject_headers``/``extract_headers``.
+    """
+    rel = _repro_relative(path)
+    if rel is None or rel == TRACE_HEADER_HOME:
+        return []
+    with open(path, "rb") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # dead_imports already reports the syntax error
+    message = (
+        "the trace-propagation header is reserved to obs/propagation.py; "
+        "use propagation.inject_headers()/extract_headers() instead of "
+        "naming X-Repro-Trace directly"
+    )
+    return [
+        (node.lineno, message)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value.lower() == "x-repro-trace"
+    ]
+
+
 def iter_python_files(paths: list[str]):
     for root in paths:
         if os.path.isfile(root):
@@ -304,6 +340,9 @@ def main(argv: list[str]) -> int:
             print(f"{path}:{lineno}: {message}")
             serve_total += 1
         for lineno, message in chunked_framing_findings(path):
+            print(f"{path}:{lineno}: {message}")
+            serve_total += 1
+        for lineno, message in trace_header_findings(path):
             print(f"{path}:{lineno}: {message}")
             serve_total += 1
 

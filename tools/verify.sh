@@ -23,6 +23,9 @@ python tools/aio_smoke.py
 echo "== stream pipeline smoke =="
 python tools/stream_smoke.py
 
+echo "== distributed trace smoke =="
+python tools/dtrace_smoke.py
+
 if [ "$1" != "--fast" ]; then
     echo "== hot-path bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_hotpath.py -q
@@ -32,6 +35,10 @@ if [ "$1" != "--fast" ]; then
 
     echo "== streaming-pipeline bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_stream.py -q
+
+    echo "== observability bench smoke =="
+    PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_obs.py -q \
+        -k "TelemetryOverhead or PropagationOverhead"
 
     echo "== bench guard =="
     python tools/bench_guard.py --check
