@@ -1,0 +1,125 @@
+"""Federated data-plane benchmarks: goodput scaling and cache-hit cost.
+
+Figure F's two quantitative claims, pinned to
+``benchmarks/results/fed.json`` for ``tools/bench_guard.py``:
+
+* ``fed_vs_single_goodput`` — the same offered rate driven at one node
+  and at a 3-node federation (real ``repro.fed.node`` processes over
+  TCP, backend-bound ``Work`` exchanges).  The single node saturates
+  its worker pool and sheds; the federation must sustain at least 1.5x
+  the single node's goodput while completing the full offered load.
+  Measured ~2.3x full / ~2.0x quick; the floor leaves noise room
+  without letting the scaling claim rot.
+* ``cache_hit_us`` — one warm hit through :class:`CachingClient`
+  (content-address the envelope, look it up, return the cached
+  response; **zero** upstream exchanges, asserted against the
+  balancer's request counter).  Measured ~70 µs, dominated by encoding
+  the request for its digest; the ceiling is a loose absolute bound
+  only a complexity regression (per-hit upstream call, lock convoy,
+  re-encode of the response) would blow.
+
+The floor/ceiling are duplicated in ``tools/bench_guard.py``
+(``FED_FLOORS`` / ``FED_CEILINGS``) so a stale ``fed.json`` from a
+regressed run fails CI even if this module is skipped.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.envelope import SoapEnvelope
+from repro.fed import (
+    Balancer,
+    CachingClient,
+    FederatedClient,
+    Replica,
+    ResponseCache,
+)
+from repro.fed.node import fed_dispatcher
+from repro.harness.figure_fed import federation_goodput
+from repro.serve import ServeConfig, SoapServeService
+from repro.transport.memory import MemoryNetwork
+from repro.xdm import element, leaf
+
+from benchmarks.conftest import quick_mode
+
+pytestmark = pytest.mark.bench
+
+HIT_OPS = 1_000 if quick_mode() else 5_000
+GOODPUT_RATE = 200.0 if quick_mode() else 220.0
+GOODPUT_TOTAL = 200 if quick_mode() else 440
+
+#: Floor/ceiling — keep in sync with tools/bench_guard.py.
+MIN_FED_VS_SINGLE_GOODPUT = 1.5
+MAX_CACHE_HIT_US = 300.0
+
+
+def _measure_cache_hit_us() -> float:
+    """Median-free steady-state cost of one warm cache hit, microseconds."""
+    network = MemoryNetwork()
+    service = SoapServeService(
+        network.listen("bench-fed"),
+        fed_dispatcher(blob_size=1 << 12),
+        config=ServeConfig(workers=2, queue_depth=8),
+    ).start()
+    try:
+        balancer = Balancer([Replica("bench-fed", lambda: network.connect("bench-fed"))])
+        client = CachingClient(
+            FederatedClient(balancer), ResponseCache(ttl_seconds=None)
+        )
+        envelope = SoapEnvelope.wrap(element("Echo", leaf("n", 1, "int")))
+        client.call(envelope)  # the one allowed miss
+        upstream = balancer.upstream_requests
+        start = time.perf_counter()
+        for _ in range(HIT_OPS):
+            client.call(envelope)
+        per_hit = (time.perf_counter() - start) / HIT_OPS
+        assert balancer.upstream_requests == upstream, (
+            "warm hits made upstream exchanges — the cache is not in the path"
+        )
+        client.close()
+        return per_hit * 1e6
+    finally:
+        service.stop()
+
+
+class TestFedPins:
+    def test_fed_pins(self, results_dir):
+        cache_hit_us = _measure_cache_hit_us()
+        goodput = federation_goodput(
+            rate=GOODPUT_RATE, total=GOODPUT_TOTAL, seed=0
+        )
+        ratio = goodput["fed_vs_single_goodput"]
+        print(
+            f"\ncache hit {cache_hit_us:.1f}us, single "
+            f"{goodput['single']['goodput_rps']:.0f} rps (shed "
+            f"{goodput['single']['shed']}), federation "
+            f"{goodput['federation']['goodput_rps']:.0f} rps -> {ratio:.2f}x"
+        )
+
+        measured = {
+            "fed_vs_single_goodput": ratio,
+            "cache_hit_us": cache_hit_us,
+            "single_goodput_rps": goodput["single"]["goodput_rps"],
+            "fed_goodput_rps": goodput["federation"]["goodput_rps"],
+            "single_shed": goodput["single"]["shed"],
+            "fed_failed": goodput["federation"]["failed"],
+        }
+        document = {"quick": quick_mode(), "measured": measured}
+        (results_dir / "fed.json").write_text(json.dumps(document, indent=2) + "\n")
+
+        assert goodput["single"]["accounting_exact"]
+        assert goodput["federation"]["accounting_exact"]
+        assert goodput["single"]["shed"] > 0, (
+            "the single node never saturated — the comparison measures nothing"
+        )
+        assert goodput["federation"]["failed"] == 0
+        assert ratio >= MIN_FED_VS_SINGLE_GOODPUT, (
+            f"federation goodput is {ratio:.2f}x the saturated single node "
+            f"(floor {MIN_FED_VS_SINGLE_GOODPUT:.1f}x)"
+        )
+        assert cache_hit_us <= MAX_CACHE_HIT_US, (
+            f"warm cache hit costs {cache_hit_us:.1f}us "
+            f"(ceiling {MAX_CACHE_HIT_US:.0f}us)"
+        )

@@ -271,6 +271,16 @@ class WorkerPool:
         with self._busy_lock:
             return self._busy
 
+    @property
+    def queue_size(self) -> int:
+        """Tasks waiting for a worker right now (approximate, lock-free)."""
+        return self._queue.qsize()
+
+    @property
+    def accepting(self) -> bool:
+        """Whether :meth:`submit` would even consider admitting a task."""
+        return self._running and not self._stopping
+
     # ------------------------------------------------------------------
 
     def _set_depth_gauge(self) -> None:

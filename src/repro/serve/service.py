@@ -66,6 +66,11 @@ class ServeConfig:
     #: ``"aio"`` (one selector loop for all connections; needs a
     #: socket-backed listener).  The pool discipline is identical.
     core: str = "threaded"
+    #: Readiness threshold: ``GET /readyz`` answers 503 once the admission
+    #: queue is at least this fraction full, so a load balancer probing
+    #: readiness stops routing here *before* shedding starts.  Liveness
+    #: (``/healthz``) is unaffected.
+    ready_queue_fraction: float = 0.75
 
 
 class _WorkerCodecs:
@@ -105,6 +110,7 @@ class SoapServeService:
         metrics: MetricsRegistry | None = None,
         admin: bool = True,
     ) -> None:
+        self._listener = listener
         self._dispatcher = dispatcher
         self._security = security
         self._target = target
@@ -129,6 +135,7 @@ class SoapServeService:
                 metrics=self.metrics,
                 admin=admin,
                 max_connections=self.config.max_connections,
+                readiness=self._readiness,
             )
         elif self.config.core == "aio":
             # deferred import: the aio module needs real sockets and is
@@ -146,6 +153,7 @@ class SoapServeService:
                 pool_handler=self._pooled_exchange,
                 inline_router=self._route_inline,
                 on_shed=self._record_shed,
+                readiness=self._readiness,
             )
         else:
             raise ValueError(
@@ -154,6 +162,37 @@ class SoapServeService:
             )
 
     # ------------------------------------------------------------------
+
+    @property
+    def address(self):
+        """The listener's bound address — valid before :meth:`start`.
+
+        ``TcpListener`` binds and listens in its constructor, so an
+        embedder may publish this address (and peers may connect) before
+        the serving loop runs: no sleep-polling for ephemeral ports.
+        Listeners without an address (memory pipes) return ``None``.
+        """
+        return getattr(self._listener, "address", None)
+
+    def _readiness(self) -> tuple[bool, dict]:
+        """Readiness probe for ``GET /readyz`` on both serving cores.
+
+        Not-ready once the admission queue crosses
+        ``config.ready_queue_fraction`` of its capacity (or the pool
+        stops accepting) — a balancer probing this stops routing here
+        before requests start getting shed.
+        """
+        capacity = self.pool.queue_depth
+        depth = self.pool.queue_size
+        threshold = max(1, int(capacity * self.config.ready_queue_fraction))
+        ready = self.pool.accepting and depth < threshold
+        return ready, {
+            "queue_depth": depth,
+            "queue_capacity": capacity,
+            "ready_threshold": threshold,
+            "workers_busy": self.pool.busy_workers,
+            "retry_after": self.config.retry_after,
+        }
 
     def start(self) -> "SoapServeService":
         self.pool.start()

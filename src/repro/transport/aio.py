@@ -161,6 +161,7 @@ class AsyncHttpServer(HttpAppCore):
         pool_handler: Callable[[HttpRequest, object, float], HttpResponse] | None = None,
         inline_router: Callable[[HttpRequest], HttpResponse | None] | None = None,
         on_shed: Callable[[HttpRequest], None] | None = None,
+        readiness: Callable[[], tuple[bool, dict]] | None = None,
     ) -> None:
         raw = getattr(listener, "raw_socket", None)
         if raw is None:
@@ -182,6 +183,7 @@ class AsyncHttpServer(HttpAppCore):
         self._name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._admin = admin
+        self._readiness = readiness
         self._drain_timeout = drain_timeout
         self._max_connections = max_connections
         self._pool = pool

@@ -51,7 +51,11 @@ from repro.transport.http.messages import (
 )
 
 #: Reserved admin targets (GET only); everything else goes to the handler.
-ADMIN_TARGETS = ("/metrics", "/healthz", "/varz")
+#: ``/healthz`` is liveness (200 while the process serves at all);
+#: ``/readyz`` is readiness (503 when the embedder's readiness probe —
+#: e.g. worker-pool admission-queue occupancy — says "stop routing
+#: here"), the signal load balancers gate on.
+ADMIN_TARGETS = ("/metrics", "/healthz", "/readyz", "/varz")
 
 #: Default ceiling on concurrent connection threads.  The seed spawned one
 #: thread per connection without bound — a connection flood grew threads
@@ -75,6 +79,9 @@ class HttpAppCore:
 
     Subclasses provide ``self._name``, ``self.metrics``, ``self._admin``,
     ``self._handler``, ``self._started_at`` and ``self.recent_errors``.
+    They may also set ``self._readiness`` — a callable returning
+    ``(ready, detail_dict)`` — to drive ``GET /readyz``; without one the
+    server is always ready (liveness and readiness coincide).
     """
 
     _name: str
@@ -82,6 +89,8 @@ class HttpAppCore:
     _admin: bool
     _started_at: float | None
     recent_errors: deque
+    #: Optional readiness probe: ``() -> (ready, detail)``.
+    _readiness: Callable[[], tuple[bool, dict]] | None = None
 
     def _respond(self, request: HttpRequest) -> HttpResponse:
         m = self.metrics
@@ -172,6 +181,29 @@ class HttpAppCore:
             response = HttpResponse(200, body=json.dumps(payload).encode("utf-8"))
             response.headers.set("Content-Type", "application/json")
             return response
+        if request.target == "/readyz":
+            ready, detail = True, {}
+            if self._readiness is not None:
+                try:
+                    ready, detail = self._readiness()
+                except Exception as exc:  # noqa: BLE001 - a broken probe is "not ready"
+                    ready, detail = False, {"probe_error": type(exc).__name__}
+            payload = {
+                "status": "ready" if ready else "saturated",
+                "server": self._name,
+                "uptime_seconds": self.uptime_seconds,
+            }
+            payload.update(detail)
+            response = HttpResponse(
+                200 if ready else 503,
+                body=json.dumps(payload, default=str).encode("utf-8"),
+            )
+            response.headers.set("Content-Type", "application/json")
+            if not ready:
+                retry_after = detail.get("retry_after")
+                if retry_after is not None:
+                    response.headers.set("Retry-After", f"{float(retry_after):.3f}")
+            return response
         # /varz
         payload = render_varz(
             self.metrics,
@@ -204,12 +236,14 @@ class HttpServer(HttpAppCore):
         drain_timeout: float = 5.0,
         max_connections: int | None = DEFAULT_MAX_CONNECTIONS,
         stream_bodies: bool = False,
+        readiness: Callable[[], tuple[bool, dict]] | None = None,
     ) -> None:
         self._listener = listener
         self._handler = handler
         self._name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._admin = admin
+        self._readiness = readiness
         self._drain_timeout = drain_timeout
         #: With ``stream_bodies`` request bodies are not buffered: the
         #: handler receives ``request.stream`` yielding pieces off the

@@ -29,6 +29,7 @@ BASELINE = RESULTS_DIR / "hotpath_baseline.json"
 OBS_RESULTS = RESULTS_DIR / "obs.json"
 SERVE_RESULTS = RESULTS_DIR / "serve.json"
 STREAM_RESULTS = RESULTS_DIR / "stream.json"
+FED_RESULTS = RESULTS_DIR / "fed.json"
 
 #: A pinned ratio may degrade to this fraction of its baseline before the
 #: guard fails (25% regression budget — generous enough for machine noise,
@@ -93,6 +94,21 @@ STREAM_CEILINGS = {
 STREAM_FLOORS = {
     "ttfb_ratio_64mib": 5.0,
     "buffered_peak_over_payload": 1.0,
+}
+
+#: Fixed bounds for the federated data-plane pins that
+#: ``benchmarks/bench_fed.py`` writes to ``fed.json`` (Figure F).  A
+#: 3-node federation must sustain >= 1.5x a saturated single node's
+#: goodput (measured ~2.3x), and a warm content-addressed cache hit —
+#: which makes zero upstream exchanges — must stay under a loose
+#: absolute ceiling (measured ~70 us, dominated by encoding the request
+#: for its digest).  Keep in sync with the constants at the top of that
+#: module.
+FED_CEILINGS = {
+    "cache_hit_us": 300.0,
+}
+FED_FLOORS = {
+    "fed_vs_single_goodput": 1.5,
 }
 
 
@@ -214,6 +230,35 @@ def check_stream_pins() -> list[str]:
     return failures
 
 
+def check_fed_pins() -> list[str]:
+    """Check fed.json against its fixed bounds; [] when absent or ok."""
+    results = load(FED_RESULTS)
+    if results is None or "measured" not in results:
+        print(
+            f"bench_guard: no federation results at {FED_RESULTS.name} — skipping "
+            "(run PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest "
+            "benchmarks/bench_fed.py -q to produce them)"
+        )
+        return []
+    failures = []
+    bounds = [(name, limit, "ceiling") for name, limit in FED_CEILINGS.items()]
+    bounds += [(name, limit, "floor") for name, limit in FED_FLOORS.items()]
+    for name, limit, kind in bounds:
+        value = results["measured"].get(name)
+        if value is None:
+            failures.append(f"fed.{name}: missing from {FED_RESULTS.name}")
+            continue
+        ok = value <= limit if kind == "ceiling" else value >= limit
+        print(
+            f"bench_guard: {name:>28} current {value:10.3f}  "
+            f"{kind} {limit:8.3f}  {'ok' if ok else 'VIOLATED'}"
+        )
+        if not ok:
+            relation = "exceeds ceiling" if kind == "ceiling" else "fell below floor"
+            failures.append(f"fed.{name}: {value:.3f} {relation} {limit:.3f}")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     check_only = "--check" in argv
     reset = "--reset" in argv
@@ -267,6 +312,7 @@ def main(argv: list[str]) -> int:
     failures.extend(check_obs_ceilings())
     failures.extend(check_serve_pins())
     failures.extend(check_stream_pins())
+    failures.extend(check_fed_pins())
 
     if failures:
         print("bench_guard: FAIL")

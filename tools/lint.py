@@ -23,6 +23,10 @@ lint) — they confine the concurrency machinery to its designated homes:
 * inside ``src/repro/transport`` only ``aio.py`` (its loop thread) and
   ``http/server.py`` (the threaded core) may reference
   ``threading.Thread`` — transport code must not grow ad-hoc threads.
+* inside ``src/repro`` only ``fed/balancer.py`` may define
+  ``choose_replica`` — replica-selection policy is one pluggable
+  surface; a routing brain elsewhere would bypass the balancer's
+  failover, circuit breaking and metrics.
 
 Exit status 0 = clean, 1 = findings, matching ruff's convention so the
 verify flow can chain it after the tier-1 pytest run.
@@ -315,6 +319,43 @@ def trace_header_findings(path: str) -> list[tuple[int, str]]:
     ]
 
 
+#: The one module allowed to define replica-selection policy logic.
+POLICY_HOME = "fed/balancer.py"
+
+
+def replica_policy_findings(path: str) -> list[tuple[int, str]]:
+    """Confine replica-selection policy logic to ``fed/balancer.py``.
+
+    The balancer's contract is that *every* routing decision flows
+    through one pluggable policy surface — ``choose_replica`` on a
+    policy object — so failover, circuit breaking and metrics stay
+    consistent no matter which policy runs.  A ``choose_replica``
+    defined elsewhere in ``src/repro`` is a second routing brain the
+    balancer cannot see; implement it as a policy class in
+    ``fed/balancer.py`` instead.
+    """
+    rel = _repro_relative(path)
+    if rel is None or rel == POLICY_HOME:
+        return []
+    with open(path, "rb") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # dead_imports already reports the syntax error
+    message = (
+        "replica-selection policy logic is reserved to fed/balancer.py; "
+        "implement choose_replica as a policy class there and pass it to "
+        "Balancer(policy=...)"
+    )
+    return [
+        (node.lineno, message)
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name == "choose_replica"
+    ]
+
+
 def iter_python_files(paths: list[str]):
     for root in paths:
         if os.path.isfile(root):
@@ -343,6 +384,9 @@ def main(argv: list[str]) -> int:
             print(f"{path}:{lineno}: {message}")
             serve_total += 1
         for lineno, message in trace_header_findings(path):
+            print(f"{path}:{lineno}: {message}")
+            serve_total += 1
+        for lineno, message in replica_policy_findings(path):
             print(f"{path}:{lineno}: {message}")
             serve_total += 1
 

@@ -26,6 +26,9 @@ python tools/stream_smoke.py
 echo "== distributed trace smoke =="
 python tools/dtrace_smoke.py
 
+echo "== federated data-plane smoke =="
+python tools/fed_smoke.py
+
 if [ "$1" != "--fast" ]; then
     echo "== hot-path bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_hotpath.py -q
@@ -35,6 +38,9 @@ if [ "$1" != "--fast" ]; then
 
     echo "== streaming-pipeline bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_stream.py -q
+
+    echo "== federated data-plane bench smoke =="
+    PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_fed.py -q
 
     echo "== observability bench smoke =="
     PYTHONPATH=src:. REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_obs.py -q \
